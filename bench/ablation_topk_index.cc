@@ -1,0 +1,89 @@
+// Ablation for the paper's stated future work (§5.1): approximate
+// indexing for top-k similarity queries. Compares brute-force top-k
+// (what the ORDER BY ... LIMIT k plan does) against an IVF index at
+// several probe counts, reporting time and recall@k on SimCLIP
+// embeddings of the attachment corpus.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/data/attachments.h"
+#include "src/index/ivf_index.h"
+#include "src/models/clip.h"
+#include "src/tensor/ops.h"
+
+int main() {
+  const int64_t kImages = tdp::bench::Scaled(600, 4000);
+  const int64_t kTopK = 10;
+  const int kQueries = 20;
+
+  tdp::Rng rng(3);
+  tdp::data::AttachmentDataset corpus = tdp::data::MakeAttachmentDataset(
+      kImages / 2, kImages / 4, kImages - kImages / 2 - kImages / 4, rng);
+  tdp::models::SimClip clip;
+  const tdp::Tensor embeddings =
+      clip.EncodeImages(corpus.images.To(tdp::Device::kAccel));
+
+  tdp::index::IvfIndex::Options options;
+  options.num_lists = 16;
+  tdp::Rng build_rng(7);
+  auto built = tdp::index::IvfIndex::Build(embeddings, options, build_rng);
+  TDP_CHECK(built.ok()) << built.status().ToString();
+
+  // Query embeddings: the text prototypes.
+  std::vector<tdp::Tensor> queries;
+  const std::vector<std::string> texts = {"dog", "cat", "beach", "receipt",
+                                          "logo"};
+  for (int q = 0; q < kQueries; ++q) {
+    auto e = clip.EncodeText(texts[static_cast<size_t>(q) % texts.size()]);
+    TDP_CHECK(e.ok());
+    queries.push_back(std::move(e).value().To(tdp::Device::kAccel));
+  }
+
+  // Brute force reference (timing + ground truth).
+  std::vector<std::set<int64_t>> exact(queries.size());
+  tdp::Timer timer;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const tdp::Tensor scores = Squeeze(
+        MatMul(embeddings, Reshape(queries[q], {queries[q].numel(), 1})), 1);
+    const tdp::Tensor order = ArgSort(scores, /*descending=*/true);
+    for (int64_t i = 0; i < kTopK; ++i) {
+      exact[q].insert(static_cast<int64_t>(order.At({i})));
+    }
+  }
+  const double brute_ms = timer.ElapsedMillis() / kQueries;
+
+  std::printf("Top-k index ablation: %lld embeddings, k=%lld, %d queries\n\n",
+              static_cast<long long>(kImages),
+              static_cast<long long>(kTopK), kQueries);
+  std::printf("%-22s %12s %10s %12s\n", "method", "ms/query", "recall@10",
+              "rows scanned");
+  std::printf("%-22s %12.3f %10.2f %11.0f%%\n", "brute force (ORDER BY)",
+              brute_ms, 1.0, 100.0);
+
+  for (int64_t probes : {1, 2, 4, 8, 16}) {
+    timer.Reset();
+    double recall = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = built->Search(queries[q], kTopK, probes);
+      TDP_CHECK(result.ok());
+      for (int64_t i = 0; i < result->indices.numel(); ++i) {
+        if (exact[q].contains(
+                static_cast<int64_t>(result->indices.At({i})))) {
+          recall += 1;
+        }
+      }
+    }
+    const double ms = timer.ElapsedMillis() / kQueries;
+    recall /= static_cast<double>(kQueries * kTopK);
+    std::printf("%-22s %12.3f %10.2f %11.0f%%\n",
+                ("ivf probes=" + std::to_string(probes)).c_str(), ms, recall,
+                100.0 * built->ScanFraction(probes));
+  }
+  std::printf(
+      "\nexpected shape: recall rises with probes; probing a fraction of "
+      "cells\nrecovers most of the exact top-k at a fraction of the scan.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#ifndef TDP_BENCH_BENCH_UTIL_H_
+#define TDP_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tdp {
+namespace bench {
+
+/// True when TDP_BENCH_SCALE=full — run paper-scale sweeps instead of the
+/// single-core CI sizing (see EXPERIMENTS.md for both configurations).
+inline bool FullScale() {
+  const char* env = std::getenv("TDP_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+inline int64_t Scaled(int64_t ci_value, int64_t full_value) {
+  return FullScale() ? full_value : ci_value;
+}
+
+}  // namespace bench
+}  // namespace tdp
+
+#endif  // TDP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// Kernel-backend ablation (google-benchmark): per-op timing of the
+// reference backend (Device::kCpu) vs the accelerated backend
+// (Device::kAccel). This quantifies the mechanism behind the Fig. 2
+// device gap at the operator level.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace {
+
+Device ArgDevice(const benchmark::State& state) {
+  return state.range(0) == 0 ? Device::kCpu : Device::kAccel;
+}
+
+void BM_ElementwiseAdd(benchmark::State& state) {
+  Rng rng(1);
+  const Device device = ArgDevice(state);
+  Tensor a = RandNormal({1 << 16}, 0, 1, rng).To(device);
+  Tensor b = RandNormal({1 << 16}, 0, 1, rng).To(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, b).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(0)->Arg(1);
+
+void BM_ElementwiseMulBroadcast(benchmark::State& state) {
+  Rng rng(2);
+  const Device device = ArgDevice(state);
+  Tensor a = RandNormal({256, 256}, 0, 1, rng).To(device);
+  Tensor b = RandNormal({256, 1}, 0, 1, rng).To(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(a, b).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+BENCHMARK(BM_ElementwiseMulBroadcast)->Arg(0)->Arg(1);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(3);
+  const Device device = ArgDevice(state);
+  const int64_t n = state.range(1);
+  Tensor a = RandNormal({n, n}, 0, 1, rng).To(device);
+  Tensor b = RandNormal({n, n}, 0, 1, rng).To(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Args({0, 64})->Args({1, 64})->Args({0, 128})
+    ->Args({1, 128});
+
+void BM_Conv2d(benchmark::State& state) {
+  Rng rng(4);
+  const Device device = ArgDevice(state);
+  Tensor input = RandNormal({4, 8, 16, 16}, 0, 1, rng).To(device);
+  Tensor weight = RandNormal({16, 8, 3, 3}, 0, 0.1, rng).To(device);
+  Tensor bias = RandNormal({16}, 0, 0.1, rng).To(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv2d(input, weight, bias, 1, 1).impl().get());
+  }
+}
+BENCHMARK(BM_Conv2d)->Arg(0)->Arg(1);
+
+void BM_Exp(benchmark::State& state) {
+  Rng rng(5);
+  const Device device = ArgDevice(state);
+  Tensor a = RandNormal({1 << 15}, 0, 1, rng).To(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Exp(a).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_Exp)->Arg(0)->Arg(1);
+
+void BM_SortAndUnique(benchmark::State& state) {
+  Rng rng(6);
+  Tensor keys = RandInt({1 << 14}, 0, 999, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unique(keys).values.impl().get());
+  }
+}
+BENCHMARK(BM_SortAndUnique);
+
+void BM_AutogradMatMulBackward(benchmark::State& state) {
+  Rng rng(7);
+  Tensor a = RandNormal({64, 64}, 0, 1, rng).To(Device::kAccel);
+  a.set_requires_grad(true);
+  Tensor b = RandNormal({64, 64}, 0, 1, rng).To(Device::kAccel);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    Sum(MatMul(a, b)).Backward();
+    benchmark::DoNotOptimize(a.grad().impl().get());
+  }
+}
+BENCHMARK(BM_AutogradMatMulBackward);
+
+}  // namespace
+}  // namespace tdp
+
+BENCHMARK_MAIN();

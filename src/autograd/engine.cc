@@ -1,0 +1,122 @@
+#include <unordered_map>
+#include <vector>
+
+#include "src/autograd/node.h"
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace autograd {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradMode::IsEnabled() { return g_grad_enabled; }
+void GradMode::SetEnabled(bool enabled) { g_grad_enabled = enabled; }
+
+bool ShouldRecord(const std::vector<Tensor>& inputs) {
+  if (!GradMode::IsEnabled()) return false;
+  for (const Tensor& t : inputs) {
+    if (t.defined() && (t.requires_grad() || t.grad_fn())) return true;
+  }
+  return false;
+}
+
+void RecordOp(std::string name, std::vector<Tensor> inputs, Tensor& out,
+              LambdaNode::BackwardFn backward_fn) {
+  if (!ShouldRecord(inputs)) return;
+  out.set_grad_fn(std::make_shared<LambdaNode>(
+      std::move(name), std::move(inputs), std::move(backward_fn)));
+  out.impl()->requires_grad = true;
+}
+
+namespace {
+
+// Discovers all nodes reachable from `root_node` and counts, for each node,
+// how many consumer edges point at it (so grads can be fully accumulated
+// before a node runs its backward).
+void CollectGraph(Node* root_node,
+                  std::unordered_map<Node*, int>& dependency_count) {
+  std::vector<Node*> stack = {root_node};
+  dependency_count[root_node] = 0;
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (const Tensor& input : node->inputs()) {
+      if (!input.defined()) continue;
+      Node* producer = input.grad_fn().get();
+      if (producer == nullptr) continue;
+      auto [it, inserted] = dependency_count.emplace(producer, 0);
+      ++it->second;
+      if (inserted) stack.push_back(producer);
+    }
+  }
+}
+
+}  // namespace
+
+void RunBackward(const Tensor& root, Tensor grad_output) {
+  TDP_CHECK(root.defined());
+  if (!grad_output.defined()) {
+    TDP_CHECK_EQ(root.numel(), 1)
+        << "Backward() without an explicit gradient requires a scalar root";
+    grad_output = Tensor::Ones(root.shape(), root.dtype(), root.device());
+  }
+  TDP_CHECK(grad_output.shape() == root.shape());
+
+  // Gradients must never themselves be recorded.
+  NoGradGuard no_grad;
+
+  if (!root.grad_fn()) {
+    if (root.requires_grad()) root.AccumulateGrad(grad_output);
+    return;
+  }
+
+  std::unordered_map<Node*, int> dependency_count;
+  CollectGraph(root.grad_fn().get(), dependency_count);
+
+  std::unordered_map<Node*, Tensor> pending_grad;
+  pending_grad[root.grad_fn().get()] = grad_output;
+
+  std::vector<Node*> ready = {root.grad_fn().get()};
+  while (!ready.empty()) {
+    Node* node = ready.back();
+    ready.pop_back();
+
+    auto grad_it = pending_grad.find(node);
+    TDP_CHECK(grad_it != pending_grad.end())
+        << "node " << node->name() << " became ready without a gradient";
+    Tensor node_grad = grad_it->second;
+    pending_grad.erase(grad_it);
+
+    std::vector<Tensor> input_grads = node->Backward(node_grad);
+    TDP_CHECK_EQ(input_grads.size(), node->inputs().size())
+        << "backward of " << node->name()
+        << " returned wrong number of gradients";
+
+    for (size_t i = 0; i < input_grads.size(); ++i) {
+      const Tensor& input = node->inputs()[i];
+      Tensor& grad_in = input_grads[i];
+      if (!grad_in.defined() || !input.defined()) continue;
+      TDP_CHECK(grad_in.shape() == input.shape())
+          << "backward of " << node->name() << " produced gradient "
+          << ShapeToString(grad_in.shape()) << " for input "
+          << ShapeToString(input.shape());
+      Node* producer = input.grad_fn().get();
+      if (producer != nullptr) {
+        auto [it, inserted] = pending_grad.emplace(producer, grad_in);
+        if (!inserted) it->second = Add(it->second, grad_in);
+        if (--dependency_count[producer] == 0) ready.push_back(producer);
+      } else if (input.requires_grad()) {
+        input.AccumulateGrad(grad_in);
+      }
+    }
+  }
+}
+
+}  // namespace autograd
+
+void Tensor::Backward() const { autograd::RunBackward(*this); }
+
+}  // namespace tdp

@@ -1,0 +1,90 @@
+#ifndef TDP_AUTOGRAD_NODE_H_
+#define TDP_AUTOGRAD_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace autograd {
+
+/// One step of the recorded computation: produced by a differentiable op,
+/// owned (via shared_ptr) by the op's output tensor. `Backward` maps the
+/// gradient of the output to gradients of each input (an undefined Tensor
+/// marks a non-differentiable input such as an index tensor).
+class Node {
+ public:
+  Node(std::string name, std::vector<Tensor> inputs)
+      : name_(std::move(name)), inputs_(std::move(inputs)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  virtual std::vector<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Tensor>& inputs() const { return inputs_; }
+
+ private:
+  std::string name_;
+  std::vector<Tensor> inputs_;
+};
+
+/// Node whose backward pass is a captured lambda — the single node type
+/// used by all ops (keeps op definitions local to their kernels).
+class LambdaNode : public Node {
+ public:
+  using BackwardFn = std::function<std::vector<Tensor>(const Tensor&)>;
+
+  LambdaNode(std::string name, std::vector<Tensor> inputs, BackwardFn fn)
+      : Node(std::move(name), std::move(inputs)), fn_(std::move(fn)) {}
+
+  std::vector<Tensor> Backward(const Tensor& grad_output) override {
+    return fn_(grad_output);
+  }
+
+ private:
+  BackwardFn fn_;
+};
+
+/// Thread-local switch disabling graph recording (PyTorch's no_grad).
+class GradMode {
+ public:
+  static bool IsEnabled();
+  static void SetEnabled(bool enabled);
+};
+
+/// RAII scope that disables autograd recording.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::IsEnabled()) { GradMode::SetEnabled(false); }
+  ~NoGradGuard() { GradMode::SetEnabled(prev_); }
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True if autograd is on and any input participates in the graph.
+bool ShouldRecord(const std::vector<Tensor>& inputs);
+
+/// Attaches a LambdaNode to `out` when recording is appropriate; otherwise
+/// a no-op. All differentiable ops funnel through this helper.
+void RecordOp(std::string name, std::vector<Tensor> inputs, Tensor& out,
+              LambdaNode::BackwardFn backward_fn);
+
+/// Runs reverse-mode differentiation from `root` (which must be scalar
+/// unless `grad_output` is supplied), accumulating into leaf `.grad()`s.
+void RunBackward(const Tensor& root, Tensor grad_output = Tensor());
+
+}  // namespace autograd
+}  // namespace tdp
+
+#endif  // TDP_AUTOGRAD_NODE_H_

@@ -1,0 +1,48 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdp {
+namespace internal_logging {
+namespace {
+
+Severity g_min_severity = Severity::kInfo;
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarning:
+      return "WARNING";
+    case Severity::kError:
+      return "ERROR";
+    case Severity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(Severity severity) { g_min_severity = severity; }
+Severity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == Severity::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace tdp

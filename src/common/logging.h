@@ -1,0 +1,66 @@
+#ifndef TDP_COMMON_LOGGING_H_
+#define TDP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tdp {
+namespace internal_logging {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Stream-style log message; emits on destruction. `kFatal` aborts the
+/// process after emitting, so `TDP_CHECK` failures cannot be swallowed.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+/// Minimum severity that is actually emitted (kFatal always is). Tests can
+/// raise this to silence expected warnings.
+void SetMinLogSeverity(Severity severity);
+Severity MinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace tdp
+
+#define TDP_LOG(severity)                                      \
+  ::tdp::internal_logging::LogMessage(                         \
+      ::tdp::internal_logging::Severity::k##severity, __FILE__, __LINE__)
+
+/// Fatal-on-failure invariant check. Use for programmer errors (shape
+/// mismatches in kernels, broken internal state), not for user input —
+/// user input is validated with Status returns.
+#define TDP_CHECK(condition)        \
+  if (!(condition))                 \
+  TDP_LOG(Fatal) << "Check failed: " #condition " "
+
+#define TDP_CHECK_EQ(a, b) TDP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TDP_CHECK_NE(a, b) TDP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TDP_CHECK_LT(a, b) TDP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TDP_CHECK_LE(a, b) TDP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TDP_CHECK_GT(a, b) TDP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TDP_CHECK_GE(a, b) TDP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define TDP_DCHECK(condition) \
+  if (false) TDP_LOG(Fatal) << ""
+#else
+#define TDP_DCHECK(condition) TDP_CHECK(condition)
+#endif
+
+#endif  // TDP_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#ifndef TDP_COMMON_STATUSOR_H_
+#define TDP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace tdp {
+
+/// Either a value of type `T` or an error `Status` — the TDP analogue of
+/// `absl::StatusOr`. Accessing the value of an errored `StatusOr` is a
+/// fatal programming error (checked via `TDP_CHECK`).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    TDP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TDP_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TDP_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TDP_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define TDP_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  TDP_ASSIGN_OR_RETURN_IMPL_(                                   \
+      TDP_STATUS_MACRO_CONCAT_(_tdp_statusor, __LINE__), lhs, rexpr)
+
+#define TDP_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define TDP_STATUS_MACRO_CONCAT_(x, y) TDP_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define TDP_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) return statusor.status();          \
+  lhs = std::move(statusor).value()
+
+}  // namespace tdp
+
+#endif  // TDP_COMMON_STATUSOR_H_

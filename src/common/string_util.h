@@ -1,0 +1,34 @@
+#ifndef TDP_COMMON_STRING_UTIL_H_
+#define TDP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdp {
+
+/// ASCII-lowercases `s` (SQL keywords and identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases `s`.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `delim`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `s` equals `target` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view target);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace tdp
+
+#endif  // TDP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef TDP_COMMON_TIMER_H_
+#define TDP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tdp {
+
+/// Wall-clock stopwatch used by the experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tdp
+
+#endif  // TDP_COMMON_TIMER_H_

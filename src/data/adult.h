@@ -1,0 +1,44 @@
+#ifndef TDP_DATA_ADULT_H_
+#define TDP_DATA_ADULT_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace data {
+
+/// Synthetic stand-in for the Adult Income (1994 US Census) dataset used
+/// by the paper's LLP experiments (§5.3/5.4). Mixed continuous/categorical
+/// features with a noisy ground-truth decision rule tuned so a linear
+/// classifier attains ~15-20% error (comparable to Adult), which is all
+/// the LLP bag-size/noise curves depend on.
+
+inline constexpr int64_t kAdultNumFeatures = 6;
+
+struct AdultDataset {
+  Tensor features;  // [n, 6] float32, standardized
+  Tensor labels;    // [n] int64, 1 = income > 50K
+};
+
+AdultDataset MakeAdultDataset(int64_t n, Rng& rng);
+
+/// LLP bags: instances partitioned into bags of `bag_size`; supervision is
+/// per-bag positive/negative counts (not instance labels).
+struct LlpBags {
+  std::vector<Tensor> bag_features;  // each [bag_size, 6]
+  /// Per-bag class counts [num_bags, 2]: column 0 = label 0, 1 = label 1.
+  Tensor counts;
+};
+
+/// Partitions `dataset` (shuffled) into bags. When `laplace_scale` > 0,
+/// Laplace(scale) noise is added to each count (the paper's Label-DP
+/// mechanism, ε = 1/scale per count).
+LlpBags MakeBags(const AdultDataset& dataset, int64_t bag_size,
+                 double laplace_scale, Rng& rng);
+
+}  // namespace data
+}  // namespace tdp
+
+#endif  // TDP_DATA_ADULT_H_

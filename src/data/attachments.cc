@@ -1,0 +1,236 @@
+#include "src/data/attachments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace tdp {
+namespace data {
+namespace {
+
+struct Rgb {
+  float r, g, b;
+};
+
+void FillBackground(float* img, Rgb color) {
+  const int64_t hw = kImageSize * kImageSize;
+  for (int64_t i = 0; i < hw; ++i) {
+    img[0 * hw + i] = color.r;
+    img[1 * hw + i] = color.g;
+    img[2 * hw + i] = color.b;
+  }
+}
+
+void SetPixel(float* img, int64_t y, int64_t x, Rgb color) {
+  if (y < 0 || y >= kImageSize || x < 0 || x >= kImageSize) return;
+  const int64_t hw = kImageSize * kImageSize;
+  img[0 * hw + y * kImageSize + x] = color.r;
+  img[1 * hw + y * kImageSize + x] = color.g;
+  img[2 * hw + y * kImageSize + x] = color.b;
+}
+
+void FillCircle(float* img, double cy, double cx, double radius, Rgb color) {
+  for (int64_t y = 0; y < kImageSize; ++y) {
+    for (int64_t x = 0; x < kImageSize; ++x) {
+      const double dy = y - cy, dx = x - cx;
+      if (dy * dy + dx * dx <= radius * radius) SetPixel(img, y, x, color);
+    }
+  }
+}
+
+void FillRect(float* img, int64_t y0, int64_t x0, int64_t y1, int64_t x1,
+              Rgb color) {
+  for (int64_t y = y0; y <= y1; ++y) {
+    for (int64_t x = x0; x <= x1; ++x) SetPixel(img, y, x, color);
+  }
+}
+
+void FillTriangle(float* img, int64_t base_y, int64_t apex_y, int64_t cx,
+                  int64_t half_base, Rgb color) {
+  const int64_t height = std::abs(base_y - apex_y);
+  if (height == 0) return;
+  const int64_t dir = apex_y < base_y ? -1 : 1;
+  for (int64_t i = 0; i <= height; ++i) {
+    const int64_t y = base_y + dir * i;
+    const int64_t half = half_base * (height - i) / height;
+    for (int64_t x = cx - half; x <= cx + half; ++x) SetPixel(img, y, x, color);
+  }
+}
+
+}  // namespace
+
+std::string_view ConceptName(Concept c) {
+  switch (c) {
+    case Concept::kDog:
+      return "dog";
+    case Concept::kCat:
+      return "cat";
+    case Concept::kBeach:
+      return "beach";
+    case Concept::kMountain:
+      return "mountain";
+    case Concept::kStoreReceipt:
+      return "store_receipt";
+    case Concept::kKfcReceipt:
+      return "kfc_receipt";
+    case Concept::kKfcLogo:
+      return "kfc_logo";
+    case Concept::kAcmeLogo:
+      return "acme_logo";
+    case Concept::kGlobexLogo:
+      return "globex_logo";
+  }
+  return "unknown";
+}
+
+bool IsPhotograph(Concept c) {
+  return c == Concept::kDog || c == Concept::kCat || c == Concept::kBeach ||
+         c == Concept::kMountain;
+}
+bool IsReceipt(Concept c) {
+  return c == Concept::kStoreReceipt || c == Concept::kKfcReceipt;
+}
+bool IsLogo(Concept c) {
+  return c == Concept::kKfcLogo || c == Concept::kAcmeLogo ||
+         c == Concept::kGlobexLogo;
+}
+
+Tensor RenderConceptImage(Concept c, Rng& rng) {
+  Tensor image = Tensor::Zeros({kImageChannels, kImageSize, kImageSize});
+  float* img = image.data<float>();
+  const double jx = rng.Uniform(-2, 2);
+  const double jy = rng.Uniform(-2, 2);
+
+  switch (c) {
+    case Concept::kDog:
+      // Outdoor greenish background, brown body blob + head + ears.
+      FillBackground(img, {0.35f, 0.55f, 0.30f});
+      FillCircle(img, 20 + jy, 16 + jx, 7.5, {0.55f, 0.38f, 0.20f});
+      FillCircle(img, 11 + jy, 16 + jx, 4.5, {0.60f, 0.42f, 0.24f});
+      FillCircle(img, 7 + jy, 12 + jx, 2.0, {0.40f, 0.28f, 0.14f});  // ear
+      FillCircle(img, 7 + jy, 20 + jx, 2.0, {0.40f, 0.28f, 0.14f});  // ear
+      break;
+    case Concept::kCat:
+      // Indoor warm background, gray body, triangular ears.
+      FillBackground(img, {0.60f, 0.50f, 0.42f});
+      FillCircle(img, 20 + jy, 16 + jx, 7.0, {0.45f, 0.45f, 0.48f});
+      FillCircle(img, 11 + jy, 16 + jx, 4.5, {0.50f, 0.50f, 0.53f});
+      FillTriangle(img, static_cast<int64_t>(9 + jy),
+                   static_cast<int64_t>(4 + jy),
+                   static_cast<int64_t>(12 + jx), 2, {0.45f, 0.45f, 0.48f});
+      FillTriangle(img, static_cast<int64_t>(9 + jy),
+                   static_cast<int64_t>(4 + jy),
+                   static_cast<int64_t>(20 + jx), 2, {0.45f, 0.45f, 0.48f});
+      break;
+    case Concept::kBeach:
+      // Sky / sea / sand horizontal bands + sun.
+      FillRect(img, 0, 0, 12, kImageSize - 1, {0.45f, 0.70f, 0.95f});
+      FillRect(img, 13, 0, 21, kImageSize - 1, {0.15f, 0.45f, 0.75f});
+      FillRect(img, 22, 0, kImageSize - 1, kImageSize - 1,
+               {0.90f, 0.80f, 0.55f});
+      FillCircle(img, 5 + jy, 25 + jx, 3.0, {1.0f, 0.95f, 0.60f});
+      break;
+    case Concept::kMountain:
+      // Sky background, gray peak with snow cap.
+      FillBackground(img, {0.55f, 0.70f, 0.90f});
+      FillTriangle(img, 28, static_cast<int64_t>(6 + jy),
+                   static_cast<int64_t>(16 + jx), 13, {0.40f, 0.38f, 0.40f});
+      FillTriangle(img, static_cast<int64_t>(12 + jy),
+                   static_cast<int64_t>(6 + jy),
+                   static_cast<int64_t>(16 + jx), 4, {0.95f, 0.95f, 0.98f});
+      break;
+    case Concept::kStoreReceipt:
+    case Concept::kKfcReceipt: {
+      // White paper with dark text lines; KFC receipts have a red header.
+      FillBackground(img, {0.93f, 0.93f, 0.90f});
+      if (c == Concept::kKfcReceipt) {
+        FillRect(img, 0, 0, 5, kImageSize - 1, {0.80f, 0.12f, 0.10f});
+      } else {
+        FillRect(img, 0, 0, 5, kImageSize - 1, {0.30f, 0.30f, 0.35f});
+      }
+      for (int64_t y = 8; y < kImageSize - 2; y += 3) {
+        const int64_t len =
+            18 + static_cast<int64_t>(rng.UniformInt(0, 7));
+        FillRect(img, y, 3, y, 3 + len, {0.15f, 0.15f, 0.18f});
+      }
+      break;
+    }
+    case Concept::kKfcLogo:
+      // Flat white background, red circle with white stripe.
+      FillBackground(img, {0.98f, 0.98f, 0.98f});
+      FillCircle(img, 16 + jy, 16 + jx, 10.0, {0.85f, 0.10f, 0.08f});
+      FillRect(img, static_cast<int64_t>(15 + jy), static_cast<int64_t>(8 + jx),
+               static_cast<int64_t>(17 + jy), static_cast<int64_t>(24 + jx),
+               {0.98f, 0.98f, 0.98f});
+      break;
+    case Concept::kAcmeLogo:
+      // Flat light background, solid blue square.
+      FillBackground(img, {0.95f, 0.95f, 0.98f});
+      FillRect(img, static_cast<int64_t>(9 + jy), static_cast<int64_t>(9 + jx),
+               static_cast<int64_t>(23 + jy), static_cast<int64_t>(23 + jx),
+               {0.10f, 0.25f, 0.75f});
+      break;
+    case Concept::kGlobexLogo:
+      // Flat light background, green diamond (two triangles).
+      FillBackground(img, {0.96f, 0.98f, 0.95f});
+      FillTriangle(img, static_cast<int64_t>(16 + jy),
+                   static_cast<int64_t>(6 + jy),
+                   static_cast<int64_t>(16 + jx), 9, {0.10f, 0.60f, 0.25f});
+      FillTriangle(img, static_cast<int64_t>(16 + jy),
+                   static_cast<int64_t>(26 + jy),
+                   static_cast<int64_t>(16 + jx), 9, {0.10f, 0.60f, 0.25f});
+      break;
+  }
+
+  // Instance noise.
+  const int64_t numel = kImageChannels * kImageSize * kImageSize;
+  for (int64_t i = 0; i < numel; ++i) {
+    img[i] = std::clamp(
+        img[i] + static_cast<float>(rng.Normal(0.0, 0.035)), 0.0f, 1.0f);
+  }
+  return image;
+}
+
+AttachmentDataset MakeAttachmentDataset(int64_t photos, int64_t receipts,
+                                        int64_t logos, Rng& rng) {
+  std::vector<Concept> plan;
+  constexpr Concept kPhotoClasses[] = {Concept::kDog, Concept::kCat,
+                                       Concept::kBeach, Concept::kMountain};
+  constexpr Concept kReceiptClasses[] = {Concept::kStoreReceipt,
+                                         Concept::kKfcReceipt};
+  constexpr Concept kLogoClasses[] = {Concept::kKfcLogo, Concept::kAcmeLogo,
+                                      Concept::kGlobexLogo};
+  for (int64_t i = 0; i < photos; ++i) {
+    plan.push_back(kPhotoClasses[rng.UniformInt(0, 3)]);
+  }
+  for (int64_t i = 0; i < receipts; ++i) {
+    plan.push_back(kReceiptClasses[rng.UniformInt(0, 1)]);
+  }
+  for (int64_t i = 0; i < logos; ++i) {
+    plan.push_back(kLogoClasses[rng.UniformInt(0, 2)]);
+  }
+  const std::vector<int64_t> perm =
+      rng.Permutation(static_cast<int64_t>(plan.size()));
+
+  AttachmentDataset ds;
+  const int64_t n = static_cast<int64_t>(plan.size());
+  ds.images =
+      Tensor::Zeros({n, kImageChannels, kImageSize, kImageSize});
+  float* ip = ds.images.data<float>();
+  const int64_t image_elems = kImageChannels * kImageSize * kImageSize;
+  for (int64_t i = 0; i < n; ++i) {
+    const Concept c = plan[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+    const Tensor image = RenderConceptImage(c, rng);
+    const float* sp = image.data<float>();
+    std::copy(sp, sp + image_elems, ip + i * image_elems);
+    ds.concepts.push_back(c);
+    char name[32];
+    std::snprintf(name, sizeof(name), "img_%04d.png", static_cast<int>(i));
+    ds.filenames.emplace_back(name);
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace tdp

@@ -1,0 +1,62 @@
+#ifndef TDP_DATA_ATTACHMENTS_H_
+#define TDP_DATA_ATTACHMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace data {
+
+/// Synthetic email-attachment image corpus for the multimodal-query
+/// experiments (paper §5.1, Fig. 2): photographs, receipts and company
+/// logos. Each class/concept has a distinctive visual pattern (shapes,
+/// textures, color layout) plus per-instance noise, so a joint image/text
+/// embedder can separate concepts the way CLIP separates them.
+
+inline constexpr int64_t kImageChannels = 3;
+inline constexpr int64_t kImageSize = 32;
+
+/// Visual concepts; photographs have subclasses, mirroring queries like
+/// "dog" vs the coarse "photo".
+enum class Concept {
+  kDog = 0,
+  kCat,
+  kBeach,
+  kMountain,
+  kStoreReceipt,
+  kKfcReceipt,
+  kKfcLogo,
+  kAcmeLogo,
+  kGlobexLogo,
+};
+
+inline constexpr int64_t kNumConcepts = 9;
+
+std::string_view ConceptName(Concept c);
+
+/// True for the four photograph subclasses.
+bool IsPhotograph(Concept c);
+bool IsReceipt(Concept c);
+bool IsLogo(Concept c);
+
+/// Renders one [3, 32, 32] instance of `c` with instance noise.
+Tensor RenderConceptImage(Concept c, Rng& rng);
+
+struct AttachmentDataset {
+  Tensor images;                      // [n, 3, 32, 32]
+  std::vector<Concept> concepts;      // per image
+  std::vector<std::string> filenames; // per image, e.g. "img_0007.png"
+};
+
+/// The paper's corpus shape: `photos` photographs (uniform subclasses),
+/// `receipts` receipts, `logos` logos, shuffled.
+AttachmentDataset MakeAttachmentDataset(int64_t photos, int64_t receipts,
+                                        int64_t logos, Rng& rng);
+
+}  // namespace data
+}  // namespace tdp
+
+#endif  // TDP_DATA_ATTACHMENTS_H_

@@ -1,0 +1,115 @@
+#include "src/data/digits.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/common/logging.h"
+
+namespace tdp {
+namespace data {
+namespace {
+
+// Seven-segment layout:
+//   0: top, 1: top-left, 2: top-right, 3: middle, 4: bottom-left,
+//   5: bottom-right, 6: bottom.
+constexpr std::array<uint8_t, 10> kSegments = {
+    0b1110111,  // 0: top tl tr bl br bottom
+    0b0100100,  // 1: tr br
+    0b1011101,  // 2: top tr mid bl bottom
+    0b1101101,  // 3: top tr mid br bottom
+    0b0101110,  // 4: tl tr mid br
+    0b1101011,  // 5: top tl mid br bottom
+    0b1111011,  // 6: top tl mid bl br bottom
+    0b0100101,  // 7: top tr br
+    0b1111111,  // 8: all
+    0b1101111,  // 9: top tl tr mid br bottom
+};
+
+constexpr int kSegTop = 0;
+constexpr int kSegTopLeft = 1;
+constexpr int kSegTopRight = 2;
+constexpr int kSegMiddle = 3;
+constexpr int kSegBottomLeft = 4;
+constexpr int kSegBottomRight = 5;
+constexpr int kSegBottom = 6;
+
+bool HasSegment(int digit, int segment) {
+  // Bit order: bit0 = top ... bit6 = bottom.
+  return (kSegments[static_cast<size_t>(digit)] >> segment) & 1;
+}
+
+void DrawHLine(float* img, int64_t size, int y, int x0, int x1,
+               float intensity) {
+  if (y < 0 || y >= size) return;
+  for (int x = std::max(0, x0); x <= std::min<int>(size - 1, x1); ++x) {
+    img[y * size + x] = std::min(1.0f, img[y * size + x] + intensity);
+  }
+}
+
+void DrawVLine(float* img, int64_t size, int x, int y0, int y1,
+               float intensity) {
+  if (x < 0 || x >= size) return;
+  for (int y = std::max(0, y0); y <= std::min<int>(size - 1, y1); ++y) {
+    img[y * size + x] = std::min(1.0f, img[y * size + x] + intensity);
+  }
+}
+
+}  // namespace
+
+Tensor RenderDigitTile(int digit, bool large, Rng& rng) {
+  TDP_CHECK(digit >= 0 && digit <= 9);
+  Tensor tile = Tensor::Zeros({1, kTileSize, kTileSize});
+  float* img = tile.data<float>();
+
+  // Glyph box: large = 6x10, small = 4x6, jittered placement.
+  const int glyph_w = large ? 6 : 4;
+  const int glyph_h = large ? 10 : 6;
+  const int max_x = static_cast<int>(kTileSize) - glyph_w - 1;
+  const int max_y = static_cast<int>(kTileSize) - glyph_h - 1;
+  const int x0 = static_cast<int>(rng.UniformInt(1, std::max(1, max_x)));
+  const int y0 = static_cast<int>(rng.UniformInt(1, std::max(1, max_y)));
+  const int x1 = x0 + glyph_w - 1;
+  const int y1 = y0 + glyph_h - 1;
+  const int ym = y0 + glyph_h / 2;
+
+  const float intensity = static_cast<float>(rng.Uniform(0.7, 1.0));
+  if (HasSegment(digit, kSegTop)) DrawHLine(img, kTileSize, y0, x0, x1, intensity);
+  if (HasSegment(digit, kSegMiddle)) DrawHLine(img, kTileSize, ym, x0, x1, intensity);
+  if (HasSegment(digit, kSegBottom)) DrawHLine(img, kTileSize, y1, x0, x1, intensity);
+  if (HasSegment(digit, kSegTopLeft)) DrawVLine(img, kTileSize, x0, y0, ym, intensity);
+  if (HasSegment(digit, kSegTopRight)) DrawVLine(img, kTileSize, x1, y0, ym, intensity);
+  if (HasSegment(digit, kSegBottomLeft)) DrawVLine(img, kTileSize, x0, ym, y1, intensity);
+  if (HasSegment(digit, kSegBottomRight)) DrawVLine(img, kTileSize, x1, ym, y1, intensity);
+
+  // Pixel noise + occasional dropout to stop trivial template matching.
+  for (int64_t i = 0; i < kTileSize * kTileSize; ++i) {
+    float v = img[i] + static_cast<float>(rng.Normal(0.0, 0.08));
+    if (img[i] > 0 && rng.Bernoulli(0.05)) v = 0.0f;  // stroke dropout
+    img[i] = std::clamp(v, 0.0f, 1.0f);
+  }
+  return tile;
+}
+
+DigitDataset MakeDigitDataset(int64_t n, Rng& rng) {
+  DigitDataset ds;
+  ds.images = Tensor::Zeros({n, 1, kTileSize, kTileSize});
+  ds.labels = Tensor::Empty({n}, DType::kInt64);
+  ds.sizes = Tensor::Empty({n}, DType::kInt64);
+  float* ip = ds.images.data<float>();
+  int64_t* lp = ds.labels.data<int64_t>();
+  int64_t* sp = ds.sizes.data<int64_t>();
+  const int64_t tile_elems = kTileSize * kTileSize;
+  for (int64_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng.UniformInt(0, 9));
+    const bool large = rng.Bernoulli(0.5);
+    const Tensor tile = RenderDigitTile(digit, large, rng);
+    const float* tp = tile.data<float>();
+    std::copy(tp, tp + tile_elems, ip + i * tile_elems);
+    lp[i] = digit;
+    sp[i] = large ? 1 : 0;
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace tdp

@@ -1,0 +1,39 @@
+#ifndef TDP_DATA_DIGITS_H_
+#define TDP_DATA_DIGITS_H_
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace data {
+
+/// Procedural MNIST substitute: 12x12 grayscale digit glyphs rendered from
+/// seven-segment strokes with random jitter, stroke-intensity variation
+/// and pixel noise. Two sizes mirror the paper's MNISTGrid variant
+/// ("small"/"large" resized digits).
+///
+/// Substitution note (DESIGN.md §4): learning-from-counts experiments only
+/// need a learnable multi-class image classification task. These glyphs
+/// are linearly non-separable in pixel space (jitter + noise + two scales)
+/// yet learnable by a small CNN — the same role MNIST plays in the paper,
+/// at single-core-laptop cost.
+
+inline constexpr int64_t kTileSize = 12;
+
+/// Renders one digit tile [1, 12, 12], values in [0, 1].
+/// `large` selects the big glyph variant; small glyphs are ~60% scale.
+Tensor RenderDigitTile(int digit, bool large, Rng& rng);
+
+struct DigitDataset {
+  Tensor images;  // [n, 1, 12, 12] float32
+  Tensor labels;  // [n] int64, digit 0-9
+  Tensor sizes;   // [n] int64, 0 = small, 1 = large
+};
+
+/// Samples `n` tiles with uniform digit and size.
+DigitDataset MakeDigitDataset(int64_t n, Rng& rng);
+
+}  // namespace data
+}  // namespace tdp
+
+#endif  // TDP_DATA_DIGITS_H_

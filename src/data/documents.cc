@@ -1,0 +1,82 @@
+#include "src/data/documents.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/data/digits.h"
+
+namespace tdp {
+namespace data {
+namespace {
+
+// Iris-like per-column means/stddevs (values clipped into [1.0, 9.9]).
+constexpr double kColumnMean[kDocCols] = {5.8, 3.0, 3.7, 1.9};
+constexpr double kColumnStd[kDocCols] = {0.8, 0.4, 1.2, 0.5};
+
+void BlitTile(float* img, int64_t img_width, int64_t y0, int64_t x0,
+              const Tensor& tile) {
+  const float* tp = tile.data<float>();
+  for (int64_t y = 0; y < kTileSize; ++y) {
+    for (int64_t x = 0; x < kTileSize; ++x) {
+      img[(y0 + y) * img_width + (x0 + x)] =
+          std::max(img[(y0 + y) * img_width + (x0 + x)],
+                   tp[y * kTileSize + x]);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor RenderDigitTemplate(int digit) {
+  TDP_CHECK(digit >= 0 && digit <= 9);
+  // One fixed-seed draw per digit: deterministic glyph, identical for the
+  // document renderer and the OCR matcher (scanner noise is added on top
+  // of documents, so recognition is a real correlation task, not equality).
+  Rng rng(0xD1617ull + static_cast<uint64_t>(digit));
+  return RenderDigitTile(digit, /*large=*/true, rng).Squeeze(0).Contiguous();
+}
+
+DocumentDataset MakeDocumentDataset(int64_t n, Rng& rng) {
+  DocumentDataset ds;
+  ds.images = Tensor::Zeros({n, 1, kDocHeight, kDocWidth});
+  ds.values = Tensor::Zeros({n, kDocRows, kDocCols});
+  float* base = ds.images.data<float>();
+  float* vp = ds.values.data<float>();
+
+  for (int64_t i = 0; i < n; ++i) {
+    float* img = base + i * kDocHeight * kDocWidth;
+    // Jittered table origin (the OCR detector must find it).
+    const int64_t ty = rng.UniformInt(4, 12);
+    const int64_t tx = rng.UniformInt(4, 12);
+    for (int64_t r = 0; r < kDocRows; ++r) {
+      for (int64_t c = 0; c < kDocCols; ++c) {
+        double value = kColumnMean[c] + rng.Normal(0.0, kColumnStd[c]);
+        value = std::clamp(value, 1.0, 9.9);
+        const int encoded = static_cast<int>(std::lround(value * 10.0));
+        const int d1 = encoded / 10;
+        const int d2 = encoded % 10;
+        vp[(i * kDocRows + r) * kDocCols + c] =
+            static_cast<float>(encoded) / 10.0f;
+        const int64_t y0 = ty + r * kCellHeight;
+        const int64_t x0 = tx + c * kCellWidth;
+        BlitTile(img, kDocWidth, y0, x0, RenderDigitTemplate(d1));
+        BlitTile(img, kDocWidth, y0, x0 + kTileSize, RenderDigitTemplate(d2));
+      }
+    }
+    // Light scanner noise over the whole page.
+    for (int64_t p = 0; p < kDocHeight * kDocWidth; ++p) {
+      img[p] = std::clamp(
+          img[p] + static_cast<float>(rng.Normal(0.0, 0.02)), 0.0f, 1.0f);
+    }
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "2022:08:%02d %02d:00",
+                  static_cast<int>(i / 24) + 1, static_cast<int>(i % 24));
+    ds.timestamps.emplace_back(stamp);
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace tdp

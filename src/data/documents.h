@@ -1,0 +1,48 @@
+#ifndef TDP_DATA_DOCUMENTS_H_
+#define TDP_DATA_DOCUMENTS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace data {
+
+/// Synthetic document images for the SQL-over-OCR scenario (paper §5.2):
+/// each image shows a numeric table (Iris-style, 4 measurement columns x
+/// 10 rows) rendered with digit glyphs — the stand-in for the paper's
+/// `dataframe_image` renderings of Iris dataframes. Each document carries
+/// a timestamp metadata string; queries filter on it.
+
+inline constexpr int64_t kDocRows = 10;
+inline constexpr int64_t kDocCols = 4;
+/// Each cell renders a value in [1.0, 9.9] as two digit glyphs (d.d).
+inline constexpr int64_t kCellWidth = 24;   // two 12px glyphs
+inline constexpr int64_t kCellHeight = 12;
+inline constexpr int64_t kDocHeight = 136;  // 10*12 table + margins
+inline constexpr int64_t kDocWidth = 112;   // 4*24 table + margins
+
+inline constexpr std::array<const char*, kDocCols> kDocColumnNames = {
+    "SepalLength", "SepalWidth", "PetalLength", "PetalWidth"};
+
+struct DocumentDataset {
+  Tensor images;                        // [n, 1, 136, 112]
+  std::vector<std::string> timestamps;  // unique per document
+  Tensor values;                        // [n, 10, 4] ground truth
+};
+
+/// Generates `n` documents with Iris-like column statistics. Table
+/// placement jitters a few pixels so OCR detection is not a no-op.
+DocumentDataset MakeDocumentDataset(int64_t n, Rng& rng);
+
+/// Clean (noise-free, deterministic) digit glyph used both by the
+/// document renderer and as the OCR matcher template: [12, 12].
+Tensor RenderDigitTemplate(int digit);
+
+}  // namespace data
+}  // namespace tdp
+
+#endif  // TDP_DATA_DOCUMENTS_H_

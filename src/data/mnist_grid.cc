@@ -1,0 +1,62 @@
+#include "src/data/mnist_grid.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace data {
+
+MnistGridDataset MakeMnistGridDataset(int64_t n, Rng& rng) {
+  MnistGridDataset ds;
+  ds.grids = Tensor::Zeros({n, 1, kGridSize, kGridSize});
+  ds.counts = Tensor::Zeros({n, kNumCountBuckets});
+  ds.tile_labels = Tensor::Empty({n, kGridTiles * kGridTiles}, DType::kInt64);
+  ds.tile_sizes = Tensor::Empty({n, kGridTiles * kGridTiles}, DType::kInt64);
+
+  float* gp = ds.grids.data<float>();
+  float* cp = ds.counts.data<float>();
+  int64_t* lp = ds.tile_labels.data<int64_t>();
+  int64_t* sp = ds.tile_sizes.data<int64_t>();
+
+  for (int64_t i = 0; i < n; ++i) {
+    float* grid = gp + i * kGridSize * kGridSize;
+    for (int64_t ty = 0; ty < kGridTiles; ++ty) {
+      for (int64_t tx = 0; tx < kGridTiles; ++tx) {
+        const int digit = static_cast<int>(rng.UniformInt(0, 9));
+        const bool large = rng.Bernoulli(0.5);
+        const Tensor tile = RenderDigitTile(digit, large, rng);
+        const float* tp = tile.data<float>();
+        for (int64_t y = 0; y < kTileSize; ++y) {
+          std::copy(tp + y * kTileSize, tp + (y + 1) * kTileSize,
+                    grid + (ty * kTileSize + y) * kGridSize + tx * kTileSize);
+        }
+        const int64_t tile_index = ty * kGridTiles + tx;
+        lp[i * kGridTiles * kGridTiles + tile_index] = digit;
+        sp[i * kGridTiles * kGridTiles + tile_index] = large ? 1 : 0;
+        cp[i * kNumCountBuckets + digit * kNumSizeClasses + (large ? 1 : 0)] +=
+            1.0f;
+      }
+    }
+  }
+  return ds;
+}
+
+Tensor GridToTiles(const Tensor& grids) {
+  TDP_CHECK_EQ(grids.dim(), 4);
+  TDP_CHECK_EQ(grids.size(1), 1);
+  TDP_CHECK_EQ(grids.size(2), kGridSize);
+  TDP_CHECK_EQ(grids.size(3), kGridSize);
+  const int64_t n = grids.size(0);
+  // einops: "n 1 (h1 h2) (w1 w2) -> (n h1 w1) 1 h2 w2" with h1 = w1 = 3,
+  // expressed through reshape/permute tensor ops (differentiable view
+  // chain, so gradients flow back into the grid pixels if needed).
+  Tensor x = Reshape(grids, {n, kGridTiles, kTileSize, kGridTiles, kTileSize});
+  x = Permute(x, {0, 1, 3, 2, 4});  // n, h1, w1, h2, w2
+  return Reshape(x.Contiguous(),
+                 {n * kGridTiles * kGridTiles, 1, kTileSize, kTileSize});
+}
+
+}  // namespace data
+}  // namespace tdp

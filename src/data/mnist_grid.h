@@ -1,0 +1,43 @@
+#ifndef TDP_DATA_MNIST_GRID_H_
+#define TDP_DATA_MNIST_GRID_H_
+
+#include "src/common/rng.h"
+#include "src/data/digits.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace data {
+
+/// MNISTGrid (paper §3, Example 3.1): images containing a 3x3 grid of
+/// digit tiles (9 tiles, matching the paper's einops decomposition
+/// `"1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2", h1=3, w1=3`), each tile a
+/// small or large digit. The supervision signal is the *grouped count*
+/// table: COUNT(*) GROUP BY (digit, size) — 10x2 = 20 buckets.
+
+inline constexpr int64_t kGridTiles = 3;          // 3x3 grid
+inline constexpr int64_t kGridSize = kGridTiles * kTileSize;  // 36
+inline constexpr int64_t kNumDigitClasses = 10;
+inline constexpr int64_t kNumSizeClasses = 2;
+inline constexpr int64_t kNumCountBuckets =
+    kNumDigitClasses * kNumSizeClasses;  // 20
+
+struct MnistGridDataset {
+  Tensor grids;        // [n, 1, 36, 36] float32
+  /// Target grouped counts [n, 20]; bucket (d, s) at index d*2 + s —
+  /// exactly the row order TDP's soft group-by enumerates (digit slowest).
+  Tensor counts;
+  Tensor tile_labels;  // [n, 9] int64 (row-major tiles; eval only)
+  Tensor tile_sizes;   // [n, 9] int64
+};
+
+/// Samples `n` grids with i.i.d. uniform digits and sizes per tile.
+MnistGridDataset MakeMnistGridDataset(int64_t n, Rng& rng);
+
+/// The einops rearrange from the paper: [n, 1, 36, 36] grids -> batched
+/// tiles [n*9, 1, 12, 12] (row-major tile order).
+Tensor GridToTiles(const Tensor& grids);
+
+}  // namespace data
+}  // namespace tdp
+
+#endif  // TDP_DATA_MNIST_GRID_H_

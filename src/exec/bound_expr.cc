@@ -1,0 +1,434 @@
+#include "src/exec/bound_expr.h"
+
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace exec {
+namespace {
+
+using sql::BinaryOp;
+using sql::UnaryOp;
+
+// Scalar -> rank-1 single-element tensor on `device` (broadcasts against
+// column tensors).
+StatusOr<Tensor> ScalarToTensor(const ScalarValue& v, Device device) {
+  if (v.is_int()) {
+    return Tensor::Full({1}, static_cast<double>(v.int_value()),
+                        DType::kInt64, device);
+  }
+  if (v.is_float()) {
+    return Tensor::Full({1}, v.float_value(), DType::kFloat32, device);
+  }
+  if (v.is_bool()) {
+    Tensor t = Tensor::Empty({1}, DType::kBool, device);
+    *t.data<bool>() = v.bool_value();
+    return t;
+  }
+  return Status::TypeError("cannot lower scalar " + v.ToString() +
+                           " to a tensor");
+}
+
+// Numeric payload of a column for expression math: PE columns decode to
+// hard values, dictionary columns expose codes (comparisons only).
+Tensor NumericPayload(const Column& c) { return c.DecodeValues(); }
+
+StatusOr<Column> CompareStringLiteral(const Column& column, BinaryOp op,
+                                      const std::string& literal,
+                                      bool literal_on_left) {
+  if (column.encoding() != Encoding::kDictionary) {
+    return Status::TypeError(
+        "string literal compared against a non-string column");
+  }
+  // Normalize to <column> <op> <literal>.
+  BinaryOp norm = op;
+  if (literal_on_left) {
+    switch (op) {
+      case BinaryOp::kLt:
+        norm = BinaryOp::kGt;
+        break;
+      case BinaryOp::kLe:
+        norm = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGt:
+        norm = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGe:
+        norm = BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  const Tensor codes = column.data();
+  const Device device = codes.device();
+  auto code_scalar = [&](int64_t code) {
+    return Tensor::Full({1}, static_cast<double>(code), DType::kInt64,
+                        device);
+  };
+  switch (norm) {
+    case BinaryOp::kEq: {
+      const int64_t code = column.DictionaryCode(literal);
+      if (code < 0) {
+        return Column::Plain(
+            Tensor::Zeros({column.length()}, DType::kBool, device));
+      }
+      return Column::Plain(Eq(codes, code_scalar(code)));
+    }
+    case BinaryOp::kNe: {
+      const int64_t code = column.DictionaryCode(literal);
+      if (code < 0) {
+        return Column::Plain(
+            Tensor::Ones({column.length()}, DType::kBool, device));
+      }
+      return Column::Plain(Ne(codes, code_scalar(code)));
+    }
+    // Order-preserving dictionary: range predicates become code ranges.
+    case BinaryOp::kLt:
+      return Column::Plain(
+          Lt(codes, code_scalar(column.LowerBoundCode(literal))));
+    case BinaryOp::kLe:
+      return Column::Plain(
+          Lt(codes, code_scalar(column.UpperBoundCode(literal))));
+    case BinaryOp::kGt:
+      return Column::Plain(
+          Ge(codes, code_scalar(column.UpperBoundCode(literal))));
+    case BinaryOp::kGe:
+      return Column::Plain(
+          Ge(codes, code_scalar(column.LowerBoundCode(literal))));
+    default:
+      return Status::TypeError("unsupported operator on string column");
+  }
+}
+
+StatusOr<ScalarValue> FoldScalarBinary(BinaryOp op, const ScalarValue& a,
+                                       const ScalarValue& b) {
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    if (!a.is_bool() || !b.is_bool()) {
+      return Status::TypeError("AND/OR need boolean operands");
+    }
+    return ScalarValue::Bool(op == BinaryOp::kAnd
+                                 ? (a.bool_value() && b.bool_value())
+                                 : (a.bool_value() || b.bool_value()));
+  }
+  if (a.is_string() && b.is_string()) {
+    const int cmp = a.string_value().compare(b.string_value());
+    switch (op) {
+      case BinaryOp::kEq:
+        return ScalarValue::Bool(cmp == 0);
+      case BinaryOp::kNe:
+        return ScalarValue::Bool(cmp != 0);
+      case BinaryOp::kLt:
+        return ScalarValue::Bool(cmp < 0);
+      case BinaryOp::kLe:
+        return ScalarValue::Bool(cmp <= 0);
+      case BinaryOp::kGt:
+        return ScalarValue::Bool(cmp > 0);
+      case BinaryOp::kGe:
+        return ScalarValue::Bool(cmp >= 0);
+      default:
+        return Status::TypeError("arithmetic on strings");
+    }
+  }
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::TypeError("type mismatch in constant expression");
+  }
+  const double x = a.AsDouble();
+  const double y = b.AsDouble();
+  const bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? ScalarValue::Int(a.int_value() + b.int_value())
+                      : ScalarValue::Float(x + y);
+    case BinaryOp::kSub:
+      return both_int ? ScalarValue::Int(a.int_value() - b.int_value())
+                      : ScalarValue::Float(x - y);
+    case BinaryOp::kMul:
+      return both_int ? ScalarValue::Int(a.int_value() * b.int_value())
+                      : ScalarValue::Float(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0) return Status::ExecutionError("division by zero");
+      return ScalarValue::Float(x / y);
+    case BinaryOp::kMod:
+      if (b.int_value() == 0) {
+        return Status::ExecutionError("modulo by zero");
+      }
+      return ScalarValue::Int(a.int_value() % b.int_value());
+    case BinaryOp::kEq:
+      return ScalarValue::Bool(x == y);
+    case BinaryOp::kNe:
+      return ScalarValue::Bool(x != y);
+    case BinaryOp::kLt:
+      return ScalarValue::Bool(x < y);
+    case BinaryOp::kLe:
+      return ScalarValue::Bool(x <= y);
+    case BinaryOp::kGt:
+      return ScalarValue::Bool(x > y);
+    case BinaryOp::kGe:
+      return ScalarValue::Bool(x >= y);
+    default:
+      return Status::TypeError("bad scalar op");
+  }
+}
+
+StatusOr<Column> TensorBinary(BinaryOp op, const Tensor& a, const Tensor& b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Column::Plain(Add(a, b));
+    case BinaryOp::kSub:
+      return Column::Plain(Sub(a, b));
+    case BinaryOp::kMul:
+      return Column::Plain(Mul(a, b));
+    case BinaryOp::kDiv: {
+      // SQL semantics: division yields float.
+      const Tensor af = IsFloatingPoint(a.dtype()) ? a : a.To(DType::kFloat32);
+      const Tensor bf = IsFloatingPoint(b.dtype()) ? b : b.To(DType::kFloat32);
+      return Column::Plain(Div(af, bf));
+    }
+    case BinaryOp::kMod: {
+      // a - floor(a/b) * b (float path; exact for moderate integers).
+      const Tensor af = a.To(DType::kFloat64);
+      const Tensor bf = b.To(DType::kFloat64);
+      Tensor m = Sub(af, Mul(Floor(Div(af, bf)), bf));
+      if (IsInteger(a.dtype()) && IsInteger(b.dtype())) {
+        return Column::Plain(m.To(DType::kInt64));
+      }
+      return Column::Plain(m.To(DType::kFloat32));
+    }
+    case BinaryOp::kEq:
+      return Column::Plain(Eq(a, b));
+    case BinaryOp::kNe:
+      return Column::Plain(Ne(a, b));
+    case BinaryOp::kLt:
+      return Column::Plain(Lt(a, b));
+    case BinaryOp::kLe:
+      return Column::Plain(Le(a, b));
+    case BinaryOp::kGt:
+      return Column::Plain(Gt(a, b));
+    case BinaryOp::kGe:
+      return Column::Plain(Ge(a, b));
+    case BinaryOp::kAnd:
+      return Column::Plain(LogicalAnd(a, b));
+    case BinaryOp::kOr:
+      return Column::Plain(LogicalOr(a, b));
+  }
+  return Status::TypeError("unknown binary operator");
+}
+
+StatusOr<EvalResult> EvaluateBinary(const BoundBinary& expr,
+                                    const Chunk& input, Device device) {
+  TDP_ASSIGN_OR_RETURN(EvalResult lhs, EvaluateExpr(*expr.left, input, device));
+  TDP_ASSIGN_OR_RETURN(EvalResult rhs,
+                       EvaluateExpr(*expr.right, input, device));
+
+  // Constant folding at runtime (both sides scalar).
+  if (lhs.is_scalar && rhs.is_scalar) {
+    TDP_ASSIGN_OR_RETURN(ScalarValue folded,
+                         FoldScalarBinary(expr.op, lhs.scalar, rhs.scalar));
+    EvalResult out;
+    out.is_scalar = true;
+    out.scalar = std::move(folded);
+    return out;
+  }
+
+  // String literal vs dictionary column.
+  if (lhs.is_scalar && lhs.scalar.is_string()) {
+    TDP_ASSIGN_OR_RETURN(Column c,
+                         CompareStringLiteral(rhs.column, expr.op,
+                                              lhs.scalar.string_value(),
+                                              /*literal_on_left=*/true));
+    return EvalResult{false, {}, std::move(c)};
+  }
+  if (rhs.is_scalar && rhs.scalar.is_string()) {
+    TDP_ASSIGN_OR_RETURN(Column c,
+                         CompareStringLiteral(lhs.column, expr.op,
+                                              rhs.scalar.string_value(),
+                                              /*literal_on_left=*/false));
+    return EvalResult{false, {}, std::move(c)};
+  }
+
+  // Dictionary vs dictionary comparison: equality of decoded strings
+  // (engines with shared dictionaries can compare codes; we keep it safe).
+  if (!lhs.is_scalar && !rhs.is_scalar &&
+      lhs.column.encoding() == Encoding::kDictionary &&
+      rhs.column.encoding() == Encoding::kDictionary) {
+    if (expr.op != BinaryOp::kEq && expr.op != BinaryOp::kNe) {
+      return Status::Unimplemented(
+          "only =/<> between two string columns is supported");
+    }
+    const std::vector<std::string> a = lhs.column.DecodeStrings();
+    const std::vector<std::string> b = rhs.column.DecodeStrings();
+    if (a.size() != b.size()) {
+      return Status::ExecutionError("string column length mismatch");
+    }
+    Tensor mask = Tensor::Empty({static_cast<int64_t>(a.size())},
+                                DType::kBool, device);
+    bool* mp = mask.data<bool>();
+    for (size_t i = 0; i < a.size(); ++i) {
+      mp[i] = expr.op == BinaryOp::kEq ? a[i] == b[i] : a[i] != b[i];
+    }
+    return EvalResult{false, {}, Column::Plain(std::move(mask))};
+  }
+
+  Tensor ta, tb;
+  if (lhs.is_scalar) {
+    TDP_ASSIGN_OR_RETURN(ta, ScalarToTensor(lhs.scalar, device));
+  } else {
+    ta = NumericPayload(lhs.column);
+  }
+  if (rhs.is_scalar) {
+    TDP_ASSIGN_OR_RETURN(tb, ScalarToTensor(rhs.scalar, device));
+  } else {
+    tb = NumericPayload(rhs.column);
+  }
+  TDP_ASSIGN_OR_RETURN(Column c, TensorBinary(expr.op, ta, tb));
+  return EvalResult{false, {}, std::move(c)};
+}
+
+StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
+                                  Device device) {
+  // Lower to nested Where(cond, then, else) — differentiable in the
+  // then/else values.
+  Tensor result;
+  bool have_result = false;
+  // Build from the last branch backwards.
+  Tensor else_tensor;
+  if (expr.else_expr) {
+    TDP_ASSIGN_OR_RETURN(Column c,
+                         EvaluateExprToColumn(*expr.else_expr, input, device));
+    else_tensor = NumericPayload(c);
+  }
+  for (auto it = expr.branches.rbegin(); it != expr.branches.rend(); ++it) {
+    TDP_ASSIGN_OR_RETURN(Tensor cond,
+                         EvaluatePredicate(*it->first, input, device));
+    TDP_ASSIGN_OR_RETURN(Column then_col,
+                         EvaluateExprToColumn(*it->second, input, device));
+    Tensor then_tensor = NumericPayload(then_col);
+    if (!have_result) {
+      result = else_tensor.defined()
+                   ? Where(cond, then_tensor, else_tensor)
+                   : Where(cond, then_tensor,
+                           Tensor::Zeros(then_tensor.shape(),
+                                         then_tensor.dtype(), device));
+      have_result = true;
+    } else {
+      result = Where(cond, then_tensor, result);
+    }
+  }
+  TDP_CHECK(have_result);
+  return EvalResult{false, {}, Column::Plain(result)};
+}
+
+StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
+                                 Device device) {
+  std::vector<udf::Argument> args;
+  args.reserve(expr.args.size());
+  for (const BoundExprPtr& arg_expr : expr.args) {
+    TDP_ASSIGN_OR_RETURN(EvalResult r,
+                         EvaluateExpr(*arg_expr, input, device));
+    udf::Argument arg;
+    if (r.is_scalar) {
+      arg.is_scalar = true;
+      arg.scalar = std::move(r.scalar);
+    } else {
+      arg.column = std::move(r.column);
+    }
+    args.push_back(std::move(arg));
+  }
+  TDP_ASSIGN_OR_RETURN(Column out,
+                       expr.fn->fn(args, input.num_rows(), device));
+  if (out.length() != input.num_rows()) {
+    return Status::ExecutionError(
+        "scalar UDF " + expr.fn->name + " returned " +
+        std::to_string(out.length()) + " rows, expected " +
+        std::to_string(input.num_rows()));
+  }
+  return EvalResult{false, {}, std::move(out)};
+}
+
+}  // namespace
+
+StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
+                                  Device device) {
+  switch (expr.kind) {
+    case BoundExprKind::kColumnRef: {
+      const auto& ref = static_cast<const BoundColumnRef&>(expr);
+      TDP_CHECK(ref.column_index >= 0 &&
+                ref.column_index < input.num_columns())
+          << "bound column index out of range";
+      return EvalResult{
+          false, {}, input.columns[static_cast<size_t>(ref.column_index)]};
+    }
+    case BoundExprKind::kLiteral: {
+      const auto& lit = static_cast<const BoundLiteral&>(expr);
+      return EvalResult{true, lit.value, {}};
+    }
+    case BoundExprKind::kBinary:
+      return EvaluateBinary(static_cast<const BoundBinary&>(expr), input,
+                            device);
+    case BoundExprKind::kUnary: {
+      const auto& un = static_cast<const BoundUnary&>(expr);
+      TDP_ASSIGN_OR_RETURN(EvalResult operand,
+                           EvaluateExpr(*un.operand, input, device));
+      if (operand.is_scalar) {
+        if (un.op == UnaryOp::kNeg) {
+          if (operand.scalar.is_int()) {
+            return EvalResult{
+                true, ScalarValue::Int(-operand.scalar.int_value()), {}};
+          }
+          if (operand.scalar.is_float()) {
+            return EvalResult{
+                true, ScalarValue::Float(-operand.scalar.float_value()), {}};
+          }
+          return Status::TypeError("negation of non-numeric literal");
+        }
+        if (!operand.scalar.is_bool()) {
+          return Status::TypeError("NOT of non-boolean literal");
+        }
+        return EvalResult{
+            true, ScalarValue::Bool(!operand.scalar.bool_value()), {}};
+      }
+      if (un.op == UnaryOp::kNeg) {
+        return EvalResult{
+            false, {}, Column::Plain(Neg(NumericPayload(operand.column)))};
+      }
+      if (operand.column.data().dtype() != DType::kBool) {
+        return Status::TypeError("NOT requires a boolean column");
+      }
+      return EvalResult{
+          false, {}, Column::Plain(LogicalNot(operand.column.data()))};
+    }
+    case BoundExprKind::kUdfCall:
+      return EvaluateUdf(static_cast<const BoundUdfCall&>(expr), input,
+                         device);
+    case BoundExprKind::kCase:
+      return EvaluateCase(static_cast<const BoundCase&>(expr), input, device);
+  }
+  return Status::Internal("unknown bound expression kind");
+}
+
+StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
+                                      const Chunk& input, Device device) {
+  TDP_ASSIGN_OR_RETURN(EvalResult r, EvaluateExpr(expr, input, device));
+  if (!r.is_scalar) return r.column;
+  const int64_t rows = std::max<int64_t>(input.num_rows(), 1);
+  if (r.scalar.is_string()) {
+    return Column::FromStrings(
+        std::vector<std::string>(static_cast<size_t>(rows),
+                                 r.scalar.string_value()),
+        device);
+  }
+  TDP_ASSIGN_OR_RETURN(Tensor t, ScalarToTensor(r.scalar, device));
+  return Column::Plain(Expand(t, {rows}).Contiguous());
+}
+
+StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
+                                   Device device) {
+  TDP_ASSIGN_OR_RETURN(Column c, EvaluateExprToColumn(expr, input, device));
+  if (c.data().dtype() != DType::kBool || c.data().dim() != 1) {
+    return Status::TypeError("predicate did not evaluate to a boolean column");
+  }
+  return c.data();
+}
+
+}  // namespace exec
+}  // namespace tdp

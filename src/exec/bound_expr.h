@@ -1,0 +1,107 @@
+#ifndef TDP_EXEC_BOUND_EXPR_H_
+#define TDP_EXEC_BOUND_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/chunk.h"
+#include "src/exec/value.h"
+#include "src/sql/ast.h"
+#include "src/udf/registry.h"
+
+namespace tdp {
+namespace exec {
+
+// Bound (resolved) expressions: column references are indices into the
+// child operator's output chunk, function names are resolved registry
+// pointers. Evaluation lowers every expression to tensor ops, so the same
+// expression tree is differentiable when its inputs carry autograd state.
+
+enum class BoundExprKind {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kUnary,
+  kUdfCall,
+  kCase,
+};
+
+struct BoundExpr {
+  explicit BoundExpr(BoundExprKind kind) : kind(kind) {}
+  virtual ~BoundExpr() = default;
+  BoundExprKind kind;
+  std::string display_name;  // column header when projected
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+struct BoundColumnRef : BoundExpr {
+  explicit BoundColumnRef(int64_t index)
+      : BoundExpr(BoundExprKind::kColumnRef), column_index(index) {}
+  int64_t column_index;
+};
+
+struct BoundLiteral : BoundExpr {
+  explicit BoundLiteral(ScalarValue v)
+      : BoundExpr(BoundExprKind::kLiteral), value(std::move(v)) {}
+  ScalarValue value;
+};
+
+struct BoundBinary : BoundExpr {
+  BoundBinary(sql::BinaryOp op, BoundExprPtr left, BoundExprPtr right)
+      : BoundExpr(BoundExprKind::kBinary),
+        op(op),
+        left(std::move(left)),
+        right(std::move(right)) {}
+  sql::BinaryOp op;
+  BoundExprPtr left;
+  BoundExprPtr right;
+};
+
+struct BoundUnary : BoundExpr {
+  BoundUnary(sql::UnaryOp op, BoundExprPtr operand)
+      : BoundExpr(BoundExprKind::kUnary),
+        op(op),
+        operand(std::move(operand)) {}
+  sql::UnaryOp op;
+  BoundExprPtr operand;
+};
+
+struct BoundUdfCall : BoundExpr {
+  BoundUdfCall() : BoundExpr(BoundExprKind::kUdfCall) {}
+  const udf::ScalarFunction* fn = nullptr;  // owned by the registry
+  std::vector<BoundExprPtr> args;
+};
+
+struct BoundCase : BoundExpr {
+  BoundCase() : BoundExpr(BoundExprKind::kCase) {}
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> branches;
+  BoundExprPtr else_expr;  // may be null -> 0
+};
+
+/// Result of evaluating an expression: either a per-row column or a
+/// constant scalar (broadcast lazily by consumers).
+struct EvalResult {
+  bool is_scalar = false;
+  ScalarValue scalar;
+  Column column;
+};
+
+/// Evaluates `expr` over `input` on `device`. All column math runs as
+/// tensor ops, so gradients flow through results whose inputs require grad.
+StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
+                                  Device device);
+
+/// EvaluateExpr + broadcast scalars to `num_rows` and wrap as a column.
+StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
+                                      const Chunk& input, Device device);
+
+/// Evaluates a predicate to a 1-d bool mask of input.num_rows().
+StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
+                                   Device device);
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_BOUND_EXPR_H_

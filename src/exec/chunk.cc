@@ -1,0 +1,47 @@
+#include "src/exec/chunk.h"
+
+#include "src/common/string_util.h"
+#include "src/exec/value.h"
+
+namespace tdp {
+namespace exec {
+
+std::string ScalarValue::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(int_value());
+  if (is_float()) return std::to_string(float_value());
+  if (is_bool()) return bool_value() ? "TRUE" : "FALSE";
+  return "'" + string_value() + "'";
+}
+
+int64_t Chunk::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (EqualsIgnoreCase(names[i], name)) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+Chunk Chunk::FromTable(const Table& table) {
+  Chunk chunk;
+  chunk.names = table.column_names();
+  for (int64_t i = 0; i < table.num_columns(); ++i) {
+    chunk.columns.push_back(table.column(i));
+  }
+  return chunk;
+}
+
+StatusOr<std::shared_ptr<Table>> Chunk::ToTable(
+    const std::string& name) const {
+  return Table::Create(name, names, columns);
+}
+
+Chunk Chunk::Select(const Tensor& indices) const {
+  Chunk out;
+  out.names = names;
+  out.columns.reserve(columns.size());
+  for (const Column& c : columns) out.columns.push_back(c.Select(indices));
+  return out;
+}
+
+}  // namespace exec
+}  // namespace tdp

@@ -1,0 +1,130 @@
+#include "src/exec/compiled_query.h"
+
+#include <set>
+
+#include "src/exec/bound_expr.h"
+
+namespace tdp {
+namespace exec {
+namespace {
+
+void CollectExprModules(
+    const BoundExpr& e,
+    std::vector<std::shared_ptr<nn::Module>>& modules) {
+  switch (e.kind) {
+    case BoundExprKind::kUdfCall: {
+      const auto& call = static_cast<const BoundUdfCall&>(e);
+      for (const auto& m : call.fn->modules) modules.push_back(m);
+      for (const auto& a : call.args) CollectExprModules(*a, modules);
+      return;
+    }
+    case BoundExprKind::kBinary: {
+      const auto& b = static_cast<const BoundBinary&>(e);
+      CollectExprModules(*b.left, modules);
+      CollectExprModules(*b.right, modules);
+      return;
+    }
+    case BoundExprKind::kUnary:
+      CollectExprModules(*static_cast<const BoundUnary&>(e).operand, modules);
+      return;
+    case BoundExprKind::kCase: {
+      const auto& c = static_cast<const BoundCase&>(e);
+      for (const auto& [when, then] : c.branches) {
+        CollectExprModules(*when, modules);
+        CollectExprModules(*then, modules);
+      }
+      if (c.else_expr) CollectExprModules(*c.else_expr, modules);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CollectPlanModules(
+    const plan::LogicalNode& node,
+    std::vector<std::shared_ptr<nn::Module>>& modules) {
+  switch (node.kind) {
+    case plan::NodeKind::kTvfScan: {
+      const auto& tvf = static_cast<const plan::TvfScanNode&>(node);
+      for (const auto& m : tvf.fn->modules) modules.push_back(m);
+      break;
+    }
+    case plan::NodeKind::kFilter:
+      CollectExprModules(
+          *static_cast<const plan::FilterNode&>(node).predicate, modules);
+      break;
+    case plan::NodeKind::kProject:
+      for (const auto& e :
+           static_cast<const plan::ProjectNode&>(node).exprs) {
+        CollectExprModules(*e, modules);
+      }
+      break;
+    case plan::NodeKind::kAggregate: {
+      const auto& agg = static_cast<const plan::AggregateNode&>(node);
+      for (const auto& e : agg.group_exprs) CollectExprModules(*e, modules);
+      for (const auto& d : agg.aggregates) {
+        if (d.arg) CollectExprModules(*d.arg, modules);
+      }
+      break;
+    }
+    case plan::NodeKind::kJoin: {
+      const auto& join = static_cast<const plan::JoinNode&>(node);
+      if (join.residual) CollectExprModules(*join.residual, modules);
+      break;
+    }
+    case plan::NodeKind::kSort:
+      for (const auto& item :
+           static_cast<const plan::SortNode&>(node).items) {
+        CollectExprModules(*item.expr, modules);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : node.children) {
+    CollectPlanModules(*child, modules);
+  }
+}
+
+}  // namespace
+
+CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
+                             std::shared_ptr<const Catalog> catalog,
+                             Device device, bool trainable)
+    : plan_(std::move(plan)),
+      catalog_(std::move(catalog)),
+      device_(device),
+      trainable_(trainable),
+      training_mode_(trainable) {
+  std::vector<std::shared_ptr<nn::Module>> raw;
+  CollectPlanModules(*plan_, raw);
+  std::set<nn::Module*> seen;
+  for (auto& m : raw) {
+    if (seen.insert(m.get()).second) modules_.push_back(std::move(m));
+  }
+}
+
+StatusOr<Chunk> CompiledQuery::RunChunk() const {
+  ExecContext ctx;
+  ctx.catalog = catalog_.get();
+  ctx.device = device_;
+  ctx.soft_mode = trainable_ && training_mode_;
+  return ExecuteNode(*plan_, ctx);
+}
+
+StatusOr<std::shared_ptr<Table>> CompiledQuery::Run() const {
+  TDP_ASSIGN_OR_RETURN(Chunk chunk, RunChunk());
+  return chunk.ToTable("result");
+}
+
+std::vector<Tensor> CompiledQuery::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& m : modules_) {
+    for (const Tensor& t : m->Parameters()) params.push_back(t);
+  }
+  return params;
+}
+
+}  // namespace exec
+}  // namespace tdp

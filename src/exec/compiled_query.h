@@ -1,0 +1,82 @@
+#ifndef TDP_EXEC_COMPILED_QUERY_H_
+#define TDP_EXEC_COMPILED_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/exec/operators.h"
+#include "src/nn/module.h"
+#include "src/plan/logical_plan.h"
+#include "src/storage/catalog.h"
+
+namespace tdp {
+namespace exec {
+
+/// A SQL statement compiled to a tensor program — TDP's analogue of the
+/// PyTorch model object returned by `tdp.sql.spark.query(...)` (§2 of the
+/// paper). Like a model, it can be:
+///   - executed (`Run()`), on whichever device it was compiled for;
+///   - embedded in a training loop: `Parameters()` exposes every trainable
+///     tensor reachable through the UDFs/TVFs in the plan, and when
+///     compiled TRAINABLE the plan uses differentiable soft operators so
+///     gradients flow from the result back into those parameters;
+///   - inspected (`Explain()`).
+///
+/// Tables are re-resolved from the catalog at each Run(), so re-registering
+/// an input table re-runs the same compiled query on fresh data.
+class CompiledQuery {
+ public:
+  CompiledQuery(plan::LogicalNodePtr plan,
+                std::shared_ptr<const Catalog> catalog, Device device,
+                bool trainable);
+
+  CompiledQuery(const CompiledQuery&) = delete;
+  CompiledQuery& operator=(const CompiledQuery&) = delete;
+
+  /// Executes the plan and materializes the result.
+  StatusOr<std::shared_ptr<Table>> Run() const;
+  /// Executes the plan, returning the raw column chunk (tensor access —
+  /// training loops read the differentiable count column from here).
+  StatusOr<Chunk> RunChunk() const;
+
+  /// All trainable parameters of modules referenced by the plan's
+  /// UDFs/TVFs — pass to an optimizer, per Listing 5 of the paper.
+  std::vector<Tensor> Parameters() const;
+
+  /// The nn::Modules referenced by the plan (e.g. to extract a trained
+  /// digit_parser for reuse, §5.5 Experiment 2).
+  const std::vector<std::shared_ptr<nn::Module>>& Modules() const {
+    return modules_;
+  }
+
+  bool trainable() const { return trainable_; }
+
+  /// For TRAINABLE queries: true (default) runs soft differentiable
+  /// operators; set false to swap in the exact operators for inference
+  /// ("at inference time, we swap the approximate differentiable operators
+  /// with exact implementations", §4).
+  void set_training_mode(bool training) { training_mode_ = training; }
+  bool training_mode() const { return training_mode_; }
+
+  Device device() const { return device_; }
+
+  /// EXPLAIN-style plan rendering.
+  std::string Explain() const { return plan_->ToString(); }
+
+  const plan::LogicalNode& plan() const { return *plan_; }
+
+ private:
+  plan::LogicalNodePtr plan_;
+  std::shared_ptr<const Catalog> catalog_;
+  Device device_;
+  bool trainable_;
+  bool training_mode_;
+  std::vector<std::shared_ptr<nn::Module>> modules_;
+};
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_COMPILED_QUERY_H_

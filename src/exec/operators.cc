@@ -1,0 +1,571 @@
+#include "src/exec/operators.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/bound_expr.h"
+#include "src/exec/soft_ops.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace exec {
+namespace {
+
+using plan::AggDef;
+using plan::AggKind;
+using plan::AggregateNode;
+using plan::DistinctNode;
+using plan::FilterNode;
+using plan::JoinNode;
+using plan::LimitNode;
+using plan::LogicalNode;
+using plan::ProjectNode;
+using plan::ScanNode;
+using plan::SortNode;
+using plan::TvfScanNode;
+
+// ---- Key normalization ------------------------------------------------------
+//
+// Grouping / joining / distinct all need a per-row integer code whose
+// equality (and order) agrees with value equality (and order). Dictionary
+// columns already are codes; numeric columns are ranked through Unique.
+
+StatusOr<std::vector<int64_t>> ColumnToCodes(const Column& column) {
+  switch (column.encoding()) {
+    case Encoding::kDictionary:
+      return column.data().ToVector<int64_t>();
+    case Encoding::kProbability: {
+      // Hard-decode, then rank.
+      const Column hard = Column::Plain(column.DecodeValues());
+      return ColumnToCodes(hard);
+    }
+    case Encoding::kPlain: {
+      const Tensor& data = column.data();
+      if (data.dim() != 1) {
+        return Status::TypeError(
+            "tensor-valued columns cannot be grouping/join keys");
+      }
+      if (data.dtype() == DType::kInt64) return data.ToVector<int64_t>();
+      if (data.dtype() == DType::kBool) {
+        return data.To(DType::kInt64).ToVector<int64_t>();
+      }
+      // Rank values through Unique so float equality becomes code equality.
+      const UniqueResult uniq = Unique(data.Detach());
+      return uniq.inverse.ToVector<int64_t>();
+    }
+  }
+  return Status::Internal("unknown encoding");
+}
+
+struct RowKeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (int64_t v : key) {
+      h ^= static_cast<size_t>(v);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+// ---- Scan -------------------------------------------------------------------
+
+StatusOr<Chunk> ExecuteScan(const ScanNode& node, const ExecContext& ctx) {
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                       ctx.catalog->GetTable(node.table_name));
+  // The catalog may hold a newer registration of this table (training
+  // loops re-register inputs); validate it still matches the bound schema.
+  const size_t expected =
+      node.projected_columns.empty()
+          ? node.schema.size()
+          : node.projected_columns.size();
+  if (node.projected_columns.empty() &&
+      static_cast<size_t>(table->num_columns()) != expected) {
+    return Status::ExecutionError(
+        "table " + node.table_name +
+        " changed shape since compilation; re-compile the query");
+  }
+  Chunk chunk;
+  if (node.projected_columns.empty()) {
+    chunk = Chunk::FromTable(*table);
+  } else {
+    for (int64_t i : node.projected_columns) {
+      if (i >= table->num_columns()) {
+        return Status::ExecutionError("projected column out of range");
+      }
+      chunk.names.push_back(table->column_names()[static_cast<size_t>(i)]);
+      chunk.columns.push_back(table->column(i));
+    }
+  }
+  // Move data to the execution device if the table lives elsewhere.
+  for (Column& c : chunk.columns) {
+    if (c.data().device() != ctx.device) c = c.To(ctx.device);
+  }
+  return chunk;
+}
+
+StatusOr<Chunk> ExecuteTvfScan(const TvfScanNode& node, Chunk input,
+                               const ExecContext& ctx) {
+  for (Column& c : input.columns) {
+    if (c.data().device() != ctx.device) c = c.To(ctx.device);
+  }
+  TDP_ASSIGN_OR_RETURN(Chunk out, node.fn->fn(input, node.args, ctx.device));
+  if (out.names.size() != node.fn->output_schema.size()) {
+    return Status::ExecutionError(
+        "TVF " + node.fn->name + " returned " +
+        std::to_string(out.names.size()) + " columns, declared " +
+        std::to_string(node.fn->output_schema.size()));
+  }
+  return out;
+}
+
+// ---- Filter / Project -------------------------------------------------------
+
+StatusOr<Chunk> ExecuteFilter(const FilterNode& node, const Chunk& input,
+                              const ExecContext& ctx) {
+  TDP_ASSIGN_OR_RETURN(Tensor mask,
+                       EvaluatePredicate(*node.predicate, input, ctx.device));
+  if (mask.numel() != input.num_rows()) {
+    return Status::ExecutionError("predicate mask length mismatch");
+  }
+  return input.Select(NonZero(mask));
+}
+
+StatusOr<Chunk> ExecuteProject(const ProjectNode& node, const Chunk& input,
+                               const ExecContext& ctx) {
+  Chunk out;
+  for (size_t i = 0; i < node.exprs.size(); ++i) {
+    TDP_ASSIGN_OR_RETURN(Column c,
+                         EvaluateExprToColumn(*node.exprs[i], input,
+                                              ctx.device));
+    out.names.push_back(node.schema[i].name);
+    out.columns.push_back(std::move(c));
+  }
+  return out;
+}
+
+// ---- Aggregate --------------------------------------------------------------
+
+StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
+                                 const Chunk& input, const ExecContext& ctx) {
+  // Soft path: trainable mode + PE keys + COUNT(*) aggregates only.
+  if (ctx.soft_mode && !node.group_exprs.empty()) {
+    bool all_count_star = true;
+    for (const AggDef& def : node.aggregates) {
+      if (def.kind != AggKind::kCountStar) all_count_star = false;
+    }
+    // Probe the first key's encoding to decide; PE keys require soft.
+    bool keys_are_pe = true;
+    std::vector<Column> probe;
+    for (const auto& expr : node.group_exprs) {
+      TDP_ASSIGN_OR_RETURN(Column key,
+                           EvaluateExprToColumn(*expr, input, ctx.device));
+      if (key.encoding() != Encoding::kProbability) keys_are_pe = false;
+      probe.push_back(std::move(key));
+    }
+    if (keys_are_pe) {
+      if (!all_count_star) {
+        return Status::Unimplemented(
+            "trainable aggregation over PE keys supports COUNT(*) only");
+      }
+      TDP_ASSIGN_OR_RETURN(SoftGroupByResult soft, SoftGroupByCount(probe));
+      Chunk out;
+      for (size_t g = 0; g < node.group_names.size(); ++g) {
+        out.names.push_back(node.group_names[g]);
+        out.columns.push_back(Column::Plain(soft.key_values[g]));
+      }
+      for (const AggDef& def : node.aggregates) {
+        out.names.push_back(def.name);
+        out.columns.push_back(Column::Plain(soft.counts));
+      }
+      return out;
+    }
+    // Fall through to exact with already-evaluated keys discarded.
+  }
+
+  const int64_t rows = input.num_rows();
+
+  // Evaluate group keys.
+  std::vector<Column> key_columns;
+  std::vector<std::vector<int64_t>> key_codes;
+  for (const auto& expr : node.group_exprs) {
+    TDP_ASSIGN_OR_RETURN(Column key,
+                         EvaluateExprToColumn(*expr, input, ctx.device));
+    TDP_ASSIGN_OR_RETURN(std::vector<int64_t> codes, ColumnToCodes(key));
+    key_columns.push_back(std::move(key));
+    key_codes.push_back(std::move(codes));
+  }
+
+  // Assign group ids; order groups lexicographically by key codes (codes
+  // are order-preserving, so this sorts by value).
+  std::map<std::vector<int64_t>, int64_t> group_ids;
+  std::vector<int64_t> row_group(static_cast<size_t>(rows));
+  std::vector<int64_t> key(key_codes.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t k = 0; k < key_codes.size(); ++k) {
+      key[k] = key_codes[k][static_cast<size_t>(r)];
+    }
+    auto [it, inserted] = group_ids.emplace(key, 0);
+    (void)inserted;
+    row_group[static_cast<size_t>(r)] = 0;  // filled after renumbering
+  }
+  // Renumber in sorted order and record a representative row per group.
+  int64_t next_id = 0;
+  for (auto& [unused_key, id] : group_ids) id = next_id++;
+  const int64_t num_groups =
+      node.group_exprs.empty() ? 1 : next_id;
+  std::vector<int64_t> representative(
+      static_cast<size_t>(std::max<int64_t>(num_groups, 1)), -1);
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t gid = 0;
+    if (!node.group_exprs.empty()) {
+      for (size_t k = 0; k < key_codes.size(); ++k) {
+        key[k] = key_codes[k][static_cast<size_t>(r)];
+      }
+      gid = group_ids[key];
+    }
+    row_group[static_cast<size_t>(r)] = gid;
+    if (representative[static_cast<size_t>(gid)] < 0) {
+      representative[static_cast<size_t>(gid)] = r;
+    }
+  }
+
+  Chunk out;
+
+  // Group key output columns: representative rows of the key columns
+  // (PE keys are hard-decoded — the exact operator swap of §4).
+  if (!node.group_exprs.empty()) {
+    Tensor rep = Tensor::Empty({num_groups}, DType::kInt64, ctx.device);
+    int64_t* rp = rep.data<int64_t>();
+    for (int64_t g = 0; g < num_groups; ++g) {
+      rp[g] = representative[static_cast<size_t>(g)];
+    }
+    for (size_t k = 0; k < key_columns.size(); ++k) {
+      Column key_col = key_columns[k];
+      if (key_col.encoding() == Encoding::kProbability) {
+        key_col = Column::Plain(key_col.DecodeValues());
+      }
+      out.names.push_back(node.group_names[k]);
+      out.columns.push_back(key_col.Select(rep));
+    }
+  }
+
+  // Aggregates.
+  for (const AggDef& def : node.aggregates) {
+    std::vector<double> acc(static_cast<size_t>(num_groups), 0.0);
+    std::vector<int64_t> counts(static_cast<size_t>(num_groups), 0);
+    std::vector<bool> has_value(static_cast<size_t>(num_groups), false);
+
+    std::vector<double> arg_values;
+    std::vector<int64_t> arg_codes;  // for DISTINCT
+    if (def.arg) {
+      TDP_ASSIGN_OR_RETURN(Column arg_col,
+                           EvaluateExprToColumn(*def.arg, input, ctx.device));
+      if (arg_col.encoding() == Encoding::kDictionary &&
+          def.kind != AggKind::kCount) {
+        return Status::TypeError("cannot " +
+                                 std::string(plan::AggKindName(def.kind)) +
+                                 " a string column");
+      }
+      const Tensor values = arg_col.DecodeValues();
+      if (values.dim() != 1) {
+        return Status::TypeError("aggregate argument must be a scalar column");
+      }
+      arg_values = values.To(DType::kFloat64).ToVector<double>();
+      if (def.distinct) {
+        TDP_ASSIGN_OR_RETURN(arg_codes, ColumnToCodes(arg_col));
+      }
+    }
+
+    std::vector<std::set<int64_t>> distinct_seen;
+    if (def.distinct) {
+      distinct_seen.resize(static_cast<size_t>(num_groups));
+    }
+
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t g = static_cast<size_t>(row_group[static_cast<size_t>(r)]);
+      if (def.distinct && def.arg) {
+        if (!distinct_seen[g].insert(arg_codes[static_cast<size_t>(r)])
+                 .second) {
+          continue;
+        }
+      }
+      const double v =
+          def.arg ? arg_values[static_cast<size_t>(r)] : 0.0;
+      switch (def.kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          acc[g] += v;
+          break;
+        case AggKind::kMin:
+          acc[g] = has_value[g] ? std::min(acc[g], v) : v;
+          break;
+        case AggKind::kMax:
+          acc[g] = has_value[g] ? std::max(acc[g], v) : v;
+          break;
+      }
+      has_value[g] = true;
+      ++counts[g];
+    }
+
+    // Materialize the aggregate output column with the schema's dtype.
+    const DType out_dtype =
+        node.schema[node.group_exprs.size() + (&def - node.aggregates.data())]
+            .dtype;
+    Tensor result = Tensor::Zeros({num_groups}, out_dtype, ctx.device);
+    for (int64_t g = 0; g < num_groups; ++g) {
+      const size_t ug = static_cast<size_t>(g);
+      double v = 0;
+      switch (def.kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          v = static_cast<double>(counts[ug]);
+          break;
+        case AggKind::kSum:
+          v = acc[ug];
+          break;
+        case AggKind::kAvg:
+          v = counts[ug] > 0 ? acc[ug] / static_cast<double>(counts[ug]) : 0;
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          v = acc[ug];
+          break;
+      }
+      result.SetAt({g}, v);
+    }
+    out.names.push_back(def.name);
+    out.columns.push_back(Column::Plain(std::move(result)));
+  }
+  return out;
+}
+
+// ---- Join -------------------------------------------------------------------
+
+StatusOr<Chunk> ExecuteJoin(const JoinNode& node, const Chunk& left,
+                            const Chunk& right, const ExecContext& ctx) {
+  const int64_t lrows = left.num_rows();
+  const int64_t rrows = right.num_rows();
+
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;
+
+  if (!node.left_keys.empty()) {
+    // Join keys must be code-compatible across sides. Dictionary and float
+    // columns get side-local codes, so compare decoded values instead:
+    // build per-row key vectors of raw representations.
+    // Build hashable row keys: strings decode to std::string (hashed into
+    // int64 via a dictionary built across both sides); numerics use value
+    // bit patterns via doubles.
+    auto row_keys = [&](const Chunk& chunk, const std::vector<int64_t>& cols)
+        -> StatusOr<std::vector<std::vector<int64_t>>> {
+      std::vector<std::vector<int64_t>> keys(
+          static_cast<size_t>(chunk.num_rows()),
+          std::vector<int64_t>(cols.size()));
+      for (size_t k = 0; k < cols.size(); ++k) {
+        const Column& c = chunk.columns[static_cast<size_t>(cols[k])];
+        if (c.encoding() == Encoding::kDictionary) {
+          // Strings: hash decoded values (exact equality verified later
+          // only through hash equality — collisions are astronomically
+          // unlikely with FNV-1a 64 over short strings; acceptable here).
+          const std::vector<std::string> strs = c.DecodeStrings();
+          for (size_t r = 0; r < strs.size(); ++r) {
+            uint64_t h = 0xcbf29ce484222325ull;
+            for (char ch : strs[r]) {
+              h ^= static_cast<unsigned char>(ch);
+              h *= 0x100000001b3ull;
+            }
+            keys[r][k] = static_cast<int64_t>(h);
+          }
+        } else {
+          const Tensor vals = c.DecodeValues();
+          if (vals.dim() != 1) {
+            return Status::TypeError("join key must be a scalar column");
+          }
+          const std::vector<double> d =
+              vals.To(DType::kFloat64).ToVector<double>();
+          for (size_t r = 0; r < d.size(); ++r) {
+            int64_t bits;
+            const double dv = d[r] == 0.0 ? 0.0 : d[r];  // normalize -0
+            static_assert(sizeof(bits) == sizeof(dv));
+            std::memcpy(&bits, &dv, sizeof(bits));
+            keys[r][k] = bits;
+          }
+        }
+      }
+      return keys;
+    };
+
+    TDP_ASSIGN_OR_RETURN(auto lkeys, row_keys(left, node.left_keys));
+    TDP_ASSIGN_OR_RETURN(auto rkeys, row_keys(right, node.right_keys));
+
+    // Hash join: build on the smaller side.
+    const bool build_left = lrows <= rrows;
+    const auto& build_keys = build_left ? lkeys : rkeys;
+    const auto& probe_keys = build_left ? rkeys : lkeys;
+    std::unordered_multimap<std::vector<int64_t>, int64_t, RowKeyHash> ht;
+    ht.reserve(build_keys.size());
+    for (size_t r = 0; r < build_keys.size(); ++r) {
+      ht.emplace(build_keys[r], static_cast<int64_t>(r));
+    }
+    for (size_t r = 0; r < probe_keys.size(); ++r) {
+      auto [lo, hi] = ht.equal_range(probe_keys[r]);
+      for (auto it = lo; it != hi; ++it) {
+        if (build_left) {
+          left_idx.push_back(it->second);
+          right_idx.push_back(static_cast<int64_t>(r));
+        } else {
+          left_idx.push_back(static_cast<int64_t>(r));
+          right_idx.push_back(it->second);
+        }
+      }
+    }
+  } else {
+    // Pure residual join: cartesian pairs filtered below.
+    left_idx.reserve(static_cast<size_t>(lrows * rrows));
+    right_idx.reserve(static_cast<size_t>(lrows * rrows));
+    for (int64_t l = 0; l < lrows; ++l) {
+      for (int64_t r = 0; r < rrows; ++r) {
+        left_idx.push_back(l);
+        right_idx.push_back(r);
+      }
+    }
+  }
+
+  Chunk joined;
+  const Tensor lsel = Tensor::FromVector(left_idx, {}, ctx.device);
+  const Tensor rsel = Tensor::FromVector(right_idx, {}, ctx.device);
+  for (size_t i = 0; i < left.columns.size(); ++i) {
+    joined.names.push_back(node.schema[i].name);
+    joined.columns.push_back(left.columns[i].Select(lsel));
+  }
+  for (size_t i = 0; i < right.columns.size(); ++i) {
+    joined.names.push_back(node.schema[left.columns.size() + i].name);
+    joined.columns.push_back(right.columns[i].Select(rsel));
+  }
+
+  if (node.residual) {
+    TDP_ASSIGN_OR_RETURN(
+        Tensor mask, EvaluatePredicate(*node.residual, joined, ctx.device));
+    joined = joined.Select(NonZero(mask));
+  }
+  return joined;
+}
+
+// ---- Sort / Limit / Distinct ------------------------------------------------
+
+StatusOr<Chunk> ExecuteSort(const SortNode& node, const Chunk& input,
+                            const ExecContext& ctx) {
+  const int64_t rows = input.num_rows();
+  Tensor perm = Tensor::Arange(rows, DType::kInt64, ctx.device);
+  // Stable multi-key sort: apply keys from last to first.
+  for (auto it = node.items.rbegin(); it != node.items.rend(); ++it) {
+    TDP_ASSIGN_OR_RETURN(Column key_col,
+                         EvaluateExprToColumn(*it->expr, input, ctx.device));
+    Tensor keys = key_col.DecodeValues();
+    if (keys.dim() != 1) {
+      return Status::TypeError("ORDER BY key must be a scalar column");
+    }
+    const Tensor gathered = IndexSelect(keys.Detach(), 0, perm);
+    const Tensor order = ArgSort(gathered, it->descending);
+    perm = IndexSelect(perm, 0, order);
+  }
+  if (node.fused_limit >= 0 && node.fused_limit < rows) {
+    perm = Slice(perm, 0, 0, node.fused_limit).Contiguous();
+  }
+  return input.Select(perm);
+}
+
+StatusOr<Chunk> ExecuteLimit(const LimitNode& node, const Chunk& input) {
+  const int64_t rows = input.num_rows();
+  const int64_t start = std::min(node.offset, rows);
+  int64_t count = node.limit < 0 ? rows - start
+                                 : std::min(node.limit, rows - start);
+  Tensor idx = Tensor::Empty({count}, DType::kInt64,
+                             input.columns.empty()
+                                 ? Device::kCpu
+                                 : input.columns[0].data().device());
+  int64_t* p = idx.data<int64_t>();
+  for (int64_t i = 0; i < count; ++i) p[i] = start + i;
+  return input.Select(idx);
+}
+
+StatusOr<Chunk> ExecuteDistinct(const Chunk& input) {
+  const int64_t rows = input.num_rows();
+  std::vector<std::vector<int64_t>> codes;
+  for (const Column& c : input.columns) {
+    TDP_ASSIGN_OR_RETURN(std::vector<int64_t> col_codes, ColumnToCodes(c));
+    codes.push_back(std::move(col_codes));
+  }
+  std::set<std::vector<int64_t>> seen;
+  std::vector<int64_t> keep;
+  std::vector<int64_t> key(codes.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t k = 0; k < codes.size(); ++k) {
+      key[k] = codes[k][static_cast<size_t>(r)];
+    }
+    if (seen.insert(key).second) keep.push_back(r);
+  }
+  const Device device =
+      input.columns.empty() ? Device::kCpu : input.columns[0].data().device();
+  return input.Select(Tensor::FromVector(keep, {}, device));
+}
+
+}  // namespace
+
+StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
+  switch (node.kind) {
+    case plan::NodeKind::kScan:
+      return ExecuteScan(static_cast<const ScanNode&>(node), ctx);
+    case plan::NodeKind::kTvfScan: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteTvfScan(static_cast<const TvfScanNode&>(node),
+                            std::move(input), ctx);
+    }
+    case plan::NodeKind::kFilter: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteFilter(static_cast<const FilterNode&>(node), input, ctx);
+    }
+    case plan::NodeKind::kProject: {
+      Chunk input;
+      if (!node.children.empty()) {
+        TDP_ASSIGN_OR_RETURN(input, ExecuteNode(*node.children[0], ctx));
+      }
+      return ExecuteProject(static_cast<const ProjectNode&>(node), input,
+                            ctx);
+    }
+    case plan::NodeKind::kAggregate: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteAggregate(static_cast<const AggregateNode&>(node), input,
+                              ctx);
+    }
+    case plan::NodeKind::kJoin: {
+      TDP_ASSIGN_OR_RETURN(Chunk left, ExecuteNode(*node.children[0], ctx));
+      TDP_ASSIGN_OR_RETURN(Chunk right, ExecuteNode(*node.children[1], ctx));
+      return ExecuteJoin(static_cast<const JoinNode&>(node), left, right,
+                         ctx);
+    }
+    case plan::NodeKind::kSort: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteSort(static_cast<const SortNode&>(node), input, ctx);
+    }
+    case plan::NodeKind::kLimit: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteLimit(static_cast<const LimitNode&>(node), input);
+    }
+    case plan::NodeKind::kDistinct: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteDistinct(input);
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace exec
+}  // namespace tdp

@@ -1,0 +1,30 @@
+#ifndef TDP_EXEC_OPERATORS_H_
+#define TDP_EXEC_OPERATORS_H_
+
+#include "src/common/statusor.h"
+#include "src/exec/chunk.h"
+#include "src/plan/logical_plan.h"
+#include "src/storage/catalog.h"
+
+namespace tdp {
+namespace exec {
+
+/// Per-run execution context.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  Device device = Device::kCpu;
+  /// True when a TRAINABLE-compiled query runs in training mode: group-by/
+  /// count over PE keys execute as soft (differentiable) operators.
+  bool soft_mode = false;
+};
+
+/// Executes a bound plan subtree, materializing its result chunk. Each
+/// node lowers to a tensor program on `ctx.device` (TQP-style compiled
+/// operators).
+StatusOr<Chunk> ExecuteNode(const plan::LogicalNode& node,
+                            const ExecContext& ctx);
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_OPERATORS_H_

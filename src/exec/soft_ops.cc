@@ -1,0 +1,79 @@
+#include "src/exec/soft_ops.h"
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace exec {
+
+Tensor SoftCount(const Tensor& probs) {
+  TDP_CHECK_EQ(probs.dim(), 2) << "PE tensor must be [rows, classes]";
+  return Sum(probs, /*dim=*/0, /*keepdim=*/false);
+}
+
+StatusOr<SoftGroupByResult> SoftGroupByCount(const std::vector<Column>& keys) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("soft group-by needs at least one key");
+  }
+  for (const Column& key : keys) {
+    if (key.encoding() != Encoding::kProbability) {
+      return Status::TypeError(
+          "soft group-by requires Probability-Encoded keys; re-encode with "
+          "PEEncoding or compile without TRAINABLE");
+    }
+  }
+  const int64_t rows = keys[0].length();
+  for (const Column& key : keys) {
+    if (key.length() != rows) {
+      return Status::ExecutionError("PE key row counts differ");
+    }
+  }
+
+  // joint [n, K]: running product distribution over the cartesian domain.
+  Tensor joint = keys[0].data();
+  int64_t combos = joint.size(1);
+  for (size_t j = 1; j < keys.size(); ++j) {
+    const Tensor& next = keys[j].data();
+    const int64_t k = next.size(1);
+    // [n, K, 1] x [n, 1, k] -> [n, K, k] -> [n, K*k]
+    joint = Reshape(BMM(Unsqueeze(joint, 2), Unsqueeze(next, 1)),
+                    {rows, combos * k});
+    combos *= k;
+  }
+
+  SoftGroupByResult result;
+  result.counts = SoftCount(joint);
+
+  // Enumerate the cartesian product of domains, row-major.
+  int64_t repeat_inner = combos;
+  for (const Column& key : keys) {
+    const std::vector<double>& domain = key.domain();
+    const int64_t k = static_cast<int64_t>(domain.size());
+    repeat_inner /= k;
+    Tensor values =
+        Tensor::Empty({combos}, DType::kFloat32, result.counts.device());
+    float* vp = values.data<float>();
+    for (int64_t i = 0; i < combos; ++i) {
+      vp[i] = static_cast<float>(domain[static_cast<size_t>(
+          (i / repeat_inner) % k)]);
+    }
+    result.key_values.push_back(std::move(values));
+  }
+  return result;
+}
+
+Tensor SoftFilterWeights(const Tensor& scores) {
+  TDP_CHECK_EQ(scores.dim(), 1);
+  return Clamp(scores, 0.0, 1.0);
+}
+
+Tensor SoftWeightedCount(const Tensor& probs, const Tensor& weights) {
+  TDP_CHECK_EQ(probs.dim(), 2);
+  TDP_CHECK_EQ(weights.dim(), 1);
+  TDP_CHECK_EQ(probs.size(0), weights.numel());
+  return Sum(Mul(probs, Unsqueeze(weights, 1)), /*dim=*/0,
+             /*keepdim=*/false);
+}
+
+}  // namespace exec
+}  // namespace tdp

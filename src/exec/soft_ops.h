@@ -1,0 +1,49 @@
+#ifndef TDP_EXEC_SOFT_OPS_H_
+#define TDP_EXEC_SOFT_OPS_H_
+
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/storage/column.h"
+
+namespace tdp {
+namespace exec {
+
+// Differentiable relaxations of discrete relational operators (§4 of the
+// paper). They consume Probability-Encoded columns and are built from
+// addition and multiplication only, so gradients flow from aggregate
+// outputs back into the classifiers that produced the PE columns.
+
+/// soft_count: expected per-class count of one PE column.
+/// probs [n, k] -> counts [k], counts[c] = Σ_rows probs[row, c].
+Tensor SoftCount(const Tensor& probs);
+
+struct SoftGroupByResult {
+  /// One enumerated key column per input key, each [K] float32, where K is
+  /// the product of domain sizes (row-major enumeration: first key varies
+  /// slowest). These are exact (hard) domain values.
+  std::vector<Tensor> key_values;
+  /// Expected group sizes [K], float32, differentiable.
+  Tensor counts;
+};
+
+/// soft_groupby + soft_count over one or more PE key columns:
+///   counts[c1, .., cm] = Σ_rows Π_j probs_j[row, c_j]
+/// i.e. the expected contingency table under independent per-row class
+/// distributions. Unlike the exact operator, every domain combination is
+/// emitted (zeros included) — matching Fig. 1 of the paper.
+StatusOr<SoftGroupByResult> SoftGroupByCount(const std::vector<Column>& keys);
+
+/// soft_filter: expected row-membership weights for a soft predicate in
+/// [0, 1]; returns weights usable to reweight downstream soft aggregates.
+/// `scores` is [n] float in [0,1] (e.g. sigmoid of a learned score).
+Tensor SoftFilterWeights(const Tensor& scores);
+
+/// Weighted soft count: counts[c] = Σ_rows weights[row] * probs[row, c].
+/// Composes soft_filter with soft_groupby/soft_count.
+Tensor SoftWeightedCount(const Tensor& probs, const Tensor& weights);
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_SOFT_OPS_H_

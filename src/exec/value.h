@@ -1,0 +1,62 @@
+#ifndef TDP_EXEC_VALUE_H_
+#define TDP_EXEC_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/logging.h"
+
+namespace tdp {
+namespace exec {
+
+/// A constant scalar appearing in a query (literal or bound parameter).
+class ScalarValue {
+ public:
+  ScalarValue() : value_(std::monostate{}) {}
+  static ScalarValue Int(int64_t v) { return ScalarValue(v); }
+  static ScalarValue Float(double v) { return ScalarValue(v); }
+  static ScalarValue String(std::string v) {
+    return ScalarValue(std::move(v));
+  }
+  static ScalarValue Bool(bool v) { return ScalarValue(v); }
+  static ScalarValue Null() { return ScalarValue(); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(value_);
+  }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_float() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_numeric() const { return is_int() || is_float(); }
+
+  int64_t int_value() const { return std::get<int64_t>(value_); }
+  double float_value() const { return std::get<double>(value_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(value_);
+  }
+  bool bool_value() const { return std::get<bool>(value_); }
+
+  /// Numeric value as double (int or float).
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(int_value());
+    TDP_CHECK(is_float()) << "not numeric";
+    return float_value();
+  }
+
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  explicit ScalarValue(T v) : value_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string, bool> value_;
+};
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_VALUE_H_

@@ -1,0 +1,133 @@
+#include "src/index/ivf_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace index {
+
+StatusOr<IvfIndex> IvfIndex::Build(const Tensor& embeddings,
+                                   const Options& options, Rng& rng) {
+  if (!embeddings.defined() || embeddings.dim() != 2) {
+    return Status::InvalidArgument("IVF index needs a [n, d] tensor");
+  }
+  if (!IsFloatingPoint(embeddings.dtype())) {
+    return Status::TypeError("IVF index needs float embeddings");
+  }
+  const int64_t n = embeddings.size(0);
+  const int64_t lists = std::min(options.num_lists, n);
+  if (n == 0 || lists <= 0) {
+    return Status::InvalidArgument("IVF index needs data and >= 1 list");
+  }
+
+  IvfIndex index;
+  index.data_ =
+      embeddings.Detach().Contiguous().To(DType::kFloat32);
+
+  // k-means++ -lite init: random distinct rows as seed centroids.
+  const std::vector<int64_t> perm = rng.Permutation(n);
+  std::vector<int64_t> seeds(perm.begin(), perm.begin() + lists);
+  Tensor centroids = IndexSelect(
+      index.data_, 0, Tensor::FromVector(seeds, {}, index.data_.device()));
+
+  std::vector<int64_t> assignment(static_cast<size_t>(n), 0);
+  for (int64_t iter = 0; iter < options.kmeans_iterations; ++iter) {
+    // Assign: nearest centroid by inner product (normalized rows).
+    const Tensor scores =
+        MatMul(index.data_, Transpose(centroids, 0, 1));  // [n, lists]
+    const Tensor best = ArgMax(scores, 1, false);
+    const std::vector<int64_t> new_assignment = best.ToVector<int64_t>();
+    if (new_assignment == assignment && iter > 0) break;
+    assignment = new_assignment;
+
+    // Update: mean of members (empty cells keep their centroid).
+    const Device device = index.data_.device();
+    Tensor sums = Tensor::Zeros({lists, index.data_.size(1)},
+                                DType::kFloat32, device);
+    Tensor counts = Tensor::Zeros({lists, 1}, DType::kFloat32, device);
+    sums = ScatterAddRows(sums, best.To(device), index.data_);
+    float* cp = counts.data<float>();
+    for (int64_t i = 0; i < n; ++i) {
+      cp[assignment[static_cast<size_t>(i)]] += 1.0f;
+    }
+    const Tensor one = Tensor::Full({1}, 1.0f, DType::kFloat32, device);
+    const Tensor zero = Tensor::Full({1}, 0.0f, DType::kFloat32, device);
+    const Tensor safe_counts = Maximum(counts, one);
+    Tensor updated = Div(sums, safe_counts);
+    // Keep old centroids where a cell is empty.
+    const Tensor empty = Le(counts, zero);
+    centroids = Where(empty, centroids, updated);
+  }
+
+  index.centroids_ = centroids.Contiguous();
+  index.lists_.assign(static_cast<size_t>(lists), {});
+  for (int64_t i = 0; i < n; ++i) {
+    index.lists_[static_cast<size_t>(assignment[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  return index;
+}
+
+StatusOr<IvfIndex::SearchResult> IvfIndex::Search(const Tensor& query,
+                                                  int64_t k,
+                                                  int64_t num_probes) const {
+  if (!query.defined() || query.numel() != data_.size(1)) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  num_probes = std::clamp<int64_t>(num_probes, 1, num_lists());
+
+  const Tensor q =
+      Reshape(query.Detach().To(DType::kFloat32).To(data_.device()),
+              {data_.size(1), 1});
+
+  // Rank cells by centroid score; visit the top `num_probes`.
+  const Tensor cell_scores = Squeeze(MatMul(centroids_, q), 1);
+  const Tensor cell_order = ArgSort(cell_scores, /*descending=*/true);
+  std::vector<int64_t> candidates;
+  for (int64_t p = 0; p < num_probes; ++p) {
+    const int64_t cell = static_cast<int64_t>(cell_order.At({p}));
+    const auto& members = lists_[static_cast<size_t>(cell)];
+    candidates.insert(candidates.end(), members.begin(), members.end());
+  }
+  if (candidates.empty()) {
+    return SearchResult{Tensor::Empty({0}, DType::kInt64),
+                        Tensor::Empty({0}, DType::kFloat32)};
+  }
+
+  // Exact scoring of the candidate set.
+  const Tensor cand_ids =
+      Tensor::FromVector(candidates, {}, data_.device());
+  const Tensor cand_rows = IndexSelect(data_, 0, cand_ids);
+  const Tensor scores = Squeeze(MatMul(cand_rows, q), 1);
+  const Tensor order = ArgSort(scores, /*descending=*/true);
+  const int64_t out_k = std::min<int64_t>(k, scores.numel());
+  const Tensor top = Slice(order, 0, 0, out_k).Contiguous();
+
+  SearchResult result;
+  result.indices = IndexSelect(cand_ids, 0, top);
+  result.scores = IndexSelect(scores, 0, top).To(DType::kFloat32);
+  return result;
+}
+
+double IvfIndex::ScanFraction(int64_t num_probes) const {
+  num_probes = std::clamp<int64_t>(num_probes, 1, num_lists());
+  // Average over cells visited assuming uniform query distribution: use
+  // actual list sizes of the largest `num_probes` cells as a bound.
+  std::vector<size_t> sizes;
+  sizes.reserve(lists_.size());
+  for (const auto& list : lists_) sizes.push_back(list.size());
+  std::sort(sizes.rbegin(), sizes.rend());
+  size_t scanned = 0;
+  for (int64_t p = 0; p < num_probes; ++p) {
+    scanned += sizes[static_cast<size_t>(p)];
+  }
+  return static_cast<double>(scanned) /
+         static_cast<double>(std::max<int64_t>(num_rows(), 1));
+}
+
+}  // namespace index
+}  // namespace tdp

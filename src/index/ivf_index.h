@@ -1,0 +1,62 @@
+#ifndef TDP_INDEX_IVF_INDEX_H_
+#define TDP_INDEX_IVF_INDEX_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/statusor.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace index {
+
+/// IVF (inverted-file) approximate nearest-neighbor index over an
+/// embedding column — the paper's stated future work ("we are currently
+/// integrating approximate indexing [Milvus] into TDP for speeding up
+/// top-k queries", §5.1).
+///
+/// Build: k-means over the [n, d] embedding rows partitions them into
+/// `num_lists` cells. Search: score the query against the centroids,
+/// visit only the `num_probes` closest cells, and rank their members
+/// exactly. With num_probes == num_lists the search is exact; fewer
+/// probes trade recall for time (the ablation_topk_index bench sweeps
+/// this).
+class IvfIndex {
+ public:
+  struct Options {
+    int64_t num_lists = 16;
+    int64_t kmeans_iterations = 10;
+  };
+
+  /// Builds over `embeddings` [n, d] (rows should be L2-normalized for
+  /// inner-product search). The index snapshots the data.
+  static StatusOr<IvfIndex> Build(const Tensor& embeddings,
+                                  const Options& options, Rng& rng);
+
+  struct SearchResult {
+    Tensor indices;  // [k] kInt64 row ids, best first
+    Tensor scores;   // [k] float32 inner products
+  };
+
+  /// Approximate top-k by inner product with `query` [d].
+  StatusOr<SearchResult> Search(const Tensor& query, int64_t k,
+                                int64_t num_probes) const;
+
+  int64_t num_lists() const { return centroids_.size(0); }
+  int64_t num_rows() const { return data_.size(0); }
+
+  /// Fraction of rows scanned for a given probe count (cost model).
+  double ScanFraction(int64_t num_probes) const;
+
+ private:
+  IvfIndex() = default;
+
+  Tensor data_;       // [n, d] snapshot
+  Tensor centroids_;  // [lists, d]
+  std::vector<std::vector<int64_t>> lists_;  // row ids per cell
+};
+
+}  // namespace index
+}  // namespace tdp
+
+#endif  // TDP_INDEX_IVF_INDEX_H_

@@ -1,0 +1,256 @@
+#include "src/io/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace tdp {
+namespace io {
+namespace {
+
+// Splits one CSV line honoring double-quoted fields ("" escapes a quote).
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParseInt(const std::string& s, int64_t& out) {
+  const std::string_view sv = StripWhitespace(s);
+  if (sv.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(sv.data(), sv.data() + sv.size(), out);
+  return ec == std::errc() && ptr == sv.data() + sv.size();
+}
+
+bool ParseDouble(const std::string& s, double& out) {
+  const std::string_view sv = StripWhitespace(s);
+  if (sv.empty()) return false;
+  // std::from_chars<double> is not universally available; use strtod.
+  std::string buf(sv);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+bool ParseBool(const std::string& s, bool& out) {
+  if (EqualsIgnoreCase(StripWhitespace(s), "true")) {
+    out = true;
+    return true;
+  }
+  if (EqualsIgnoreCase(StripWhitespace(s), "false")) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  return s.find(delimiter) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<Table>> ReadCsvString(const std::string& text,
+                                               const std::string& table_name,
+                                               const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    rows.push_back(SplitCsvLine(line, options.delimiter));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const std::string& h : rows[0]) {
+      names.push_back(std::string(StripWhitespace(h)));
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t c = 0; c < rows[0].size(); ++c) {
+      names.push_back("c" + std::to_string(c));
+    }
+  }
+  const size_t num_cols = names.size();
+  const size_t num_rows = rows.size() - first_data_row;
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (rows[r].size() != num_cols) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(r + 1) + " has " +
+          std::to_string(rows[r].size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+  }
+
+  // Per-column type inference: int ⊂ float; any failure -> string.
+  TableBuilder builder(table_name);
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool all_int = num_rows > 0, all_float = num_rows > 0,
+         all_bool = num_rows > 0;
+    for (size_t r = first_data_row; r < rows.size(); ++r) {
+      int64_t iv;
+      double dv;
+      bool bv;
+      if (!ParseInt(rows[r][c], iv)) all_int = false;
+      if (!ParseDouble(rows[r][c], dv)) all_float = false;
+      if (!ParseBool(rows[r][c], bv)) all_bool = false;
+      if (!all_int && !all_float && !all_bool) break;
+    }
+    if (all_int) {
+      std::vector<int64_t> values;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        int64_t v = 0;
+        ParseInt(rows[r][c], v);
+        values.push_back(v);
+      }
+      builder.AddInt64(names[c], values);
+    } else if (all_float) {
+      std::vector<double> values;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        double v = 0;
+        ParseDouble(rows[r][c], v);
+        values.push_back(v);
+      }
+      builder.AddFloat64(names[c], values);
+    } else if (all_bool) {
+      std::vector<bool> values;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        bool v = false;
+        ParseBool(rows[r][c], v);
+        values.push_back(v);
+      }
+      builder.AddBool(names[c], values);
+    } else {
+      std::vector<std::string> values;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        values.push_back(rows[r][c]);
+      }
+      builder.AddStrings(names[c], values);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<std::shared_ptr<Table>> ReadCsvFile(const std::string& path,
+                                             const std::string& table_name,
+                                             const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvString(buffer.str(), table_name, options);
+}
+
+StatusOr<std::string> WriteCsvString(const Table& table,
+                                     const CsvOptions& options) {
+  std::ostringstream out;
+  std::vector<std::vector<std::string>> decoded(
+      static_cast<size_t>(table.num_columns()));
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.IsTensorColumn()) {
+      return Status::InvalidArgument(
+          "tensor column '" + table.column_names()[static_cast<size_t>(c)] +
+          "' has no CSV representation");
+    }
+    if (col.encoding() == Encoding::kDictionary) {
+      decoded[static_cast<size_t>(c)] = col.DecodeStrings();
+    }
+  }
+  if (options.has_header) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const std::string& name =
+          table.column_names()[static_cast<size_t>(c)];
+      out << (NeedsQuoting(name, options.delimiter) ? QuoteField(name)
+                                                    : name);
+    }
+    out << '\n';
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Column& col = table.column(c);
+      if (col.encoding() == Encoding::kDictionary) {
+        const std::string& v =
+            decoded[static_cast<size_t>(c)][static_cast<size_t>(r)];
+        out << (NeedsQuoting(v, options.delimiter) ? QuoteField(v) : v);
+      } else {
+        const double v = col.DecodeValues().At({r});
+        if (col.data().dtype() == DType::kInt64 ||
+            col.data().dtype() == DType::kInt32) {
+          out << static_cast<int64_t>(v);
+        } else if (col.data().dtype() == DType::kBool) {
+          out << (v != 0 ? "true" : "false");
+        } else {
+          out << v;
+        }
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  TDP_ASSIGN_OR_RETURN(std::string text, WriteCsvString(table, options));
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  file << text;
+  return file.good() ? Status::OK()
+                     : Status::Internal("write failed: " + path);
+}
+
+}  // namespace io
+}  // namespace tdp

@@ -1,0 +1,49 @@
+#ifndef TDP_IO_CSV_H_
+#define TDP_IO_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/statusor.h"
+#include "src/storage/table.h"
+
+namespace tdp {
+namespace io {
+
+/// CSV ingestion/export — the interchange-format counterpart of the
+/// paper's `register_df` / Parquet / Arrow registration APIs (§2).
+/// Column types are inferred per column from the data: int64 if every
+/// value parses as an integer, float64 if every value parses as a number,
+/// bool for true/false columns, otherwise an order-preserving dictionary
+/// string column.
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are named c0, c1...
+  bool has_header = true;
+};
+
+/// Parses CSV text into a table named `table_name`.
+StatusOr<std::shared_ptr<Table>> ReadCsvString(const std::string& text,
+                                               const std::string& table_name,
+                                               const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+StatusOr<std::shared_ptr<Table>> ReadCsvFile(const std::string& path,
+                                             const std::string& table_name,
+                                             const CsvOptions& options = {});
+
+/// Renders a table as CSV (header + rows). Tensor columns are rejected
+/// (no lossless scalar representation); PE columns export hard-decoded
+/// values.
+StatusOr<std::string> WriteCsvString(const Table& table,
+                                     const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace io
+}  // namespace tdp
+
+#endif  // TDP_IO_CSV_H_

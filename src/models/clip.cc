@@ -1,0 +1,191 @@
+#include "src/models/clip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/data/attachments.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace models {
+namespace {
+
+using data::Concept;
+
+constexpr int64_t kPatch = 2;     // 2x2 average pooling
+constexpr int64_t kPooled = 16;   // 32 / 2
+constexpr int64_t kFeatureDim =
+    data::kImageChannels * kPooled * kPooled + 2 * data::kImageChannels;
+constexpr int64_t kHiddenDim = 512;
+constexpr int64_t kPrototypesPerConcept = 16;
+
+// Concept groups for coarse queries.
+const std::vector<Concept> kPhotoConcepts = {
+    Concept::kDog, Concept::kCat, Concept::kBeach, Concept::kMountain};
+const std::vector<Concept> kReceiptConcepts = {Concept::kStoreReceipt,
+                                               Concept::kKfcReceipt};
+const std::vector<Concept> kLogoConcepts = {
+    Concept::kKfcLogo, Concept::kAcmeLogo, Concept::kGlobexLogo};
+
+}  // namespace
+
+SimClip::SimClip(uint64_t seed) {
+  Rng rng(seed);
+  w1_ = RandNormal({kFeatureDim, kHiddenDim}, 0.0,
+                   1.0 / std::sqrt(static_cast<double>(kFeatureDim)), rng);
+  b1_ = RandNormal({kHiddenDim}, 0.0, 0.1, rng);
+  w2_ = RandNormal({kHiddenDim, kEmbeddingDim}, 0.0,
+                   1.0 / std::sqrt(static_cast<double>(kHiddenDim)), rng);
+
+  // Feature whitening statistics over a sample of every concept: without
+  // centering, all-positive pixel statistics collapse every embedding into
+  // a narrow cone and concepts stop being separable.
+  {
+    feature_mean_ = Tensor::Zeros({1, kFeatureDim});
+    feature_scale_ = Tensor::Ones({1, kFeatureDim});
+    std::vector<Tensor> sample;
+    Rng stats_rng = rng.Split();
+    for (int64_t ci = 0; ci < data::kNumConcepts; ++ci) {
+      for (int i = 0; i < 8; ++i) {
+        sample.push_back(Unsqueeze(
+            data::RenderConceptImage(static_cast<Concept>(ci), stats_rng),
+            0));
+      }
+    }
+    const Tensor features = ComputeFeatures(Cat(sample, 0));
+    feature_mean_ = Mean(features, 0, /*keepdim=*/true);
+    const Tensor centered = Sub(features, feature_mean_);
+    const Tensor var = Mean(Mul(centered, centered), 0, /*keepdim=*/true);
+    feature_scale_ = RDivScalar(1.0, Sqrt(AddScalar(var, 1e-4)));
+  }
+
+  // Build prototype (text-side) embeddings from freshly sampled concept
+  // images — this is the "training" that aligns the two modalities.
+  auto prototype = [&](const std::vector<Concept>& concepts) {
+    std::vector<Tensor> images;
+    Rng proto_rng = rng.Split();
+    for (Concept c : concepts) {
+      for (int64_t i = 0; i < kPrototypesPerConcept; ++i) {
+        images.push_back(
+            Unsqueeze(data::RenderConceptImage(c, proto_rng), 0));
+      }
+    }
+    const Tensor batch = Cat(images, 0);
+    const Tensor embeddings = EncodeImages(batch);
+    Tensor centroid = Mean(embeddings, 0, /*keepdim=*/false);
+    return L2Normalize(Unsqueeze(centroid, 0), 1).Squeeze(0).Contiguous();
+  };
+
+  text_embeddings_["dog"] = prototype({Concept::kDog});
+  text_embeddings_["cat"] = prototype({Concept::kCat});
+  text_embeddings_["beach"] = prototype({Concept::kBeach});
+  text_embeddings_["mountain"] = prototype({Concept::kMountain});
+  text_embeddings_["photo"] = prototype(kPhotoConcepts);
+  text_embeddings_["photograph"] = text_embeddings_["photo"];
+  text_embeddings_["receipt"] = prototype(kReceiptConcepts);
+  text_embeddings_["kfc receipt"] = prototype({Concept::kKfcReceipt});
+  text_embeddings_["store receipt"] = prototype({Concept::kStoreReceipt});
+  text_embeddings_["logo"] = prototype(kLogoConcepts);
+  text_embeddings_["company logo"] = text_embeddings_["logo"];
+  text_embeddings_["kfc logo"] = prototype({Concept::kKfcLogo});
+  text_embeddings_["acme logo"] = prototype({Concept::kAcmeLogo});
+  text_embeddings_["globex logo"] = prototype({Concept::kGlobexLogo});
+}
+
+Tensor SimClip::ComputeFeatures(const Tensor& images) const {
+  TDP_CHECK_EQ(images.dim(), 4);
+  TDP_CHECK_EQ(images.size(1), data::kImageChannels);
+  const int64_t n = images.size(0);
+
+  // Patch statistics: 4x4 average pooling -> [n, 3*8*8].
+  const Tensor pooled = AvgPool2d(images, kPatch, kPatch);
+  const Tensor patches =
+      Reshape(pooled, {n, data::kImageChannels * kPooled * kPooled});
+
+  // Channel means and variances -> [n, 6].
+  const Tensor flat =
+      Reshape(images, {n, data::kImageChannels,
+                       data::kImageSize * data::kImageSize});
+  const Tensor channel_mean = Mean(flat, 2, /*keepdim=*/false);
+  const Tensor centered = Sub(flat, Mean(flat, 2, /*keepdim=*/true));
+  const Tensor channel_var = Mean(Mul(centered, centered), 2, false);
+
+  return Cat({patches, channel_mean, channel_var}, 1);
+}
+
+Tensor SimClip::EncodeImages(const Tensor& images) const {
+  const Device device = images.device();
+  const Tensor features = ComputeFeatures(images);
+  const Tensor whitened = Mul(Sub(features, feature_mean_.To(device)),
+                              feature_scale_.To(device));
+  const Tensor h =
+      Tanh(Add(MatMul(whitened, w1_.To(device)), b1_.To(device)));
+  const Tensor e = MatMul(h, w2_.To(device));
+  return L2Normalize(e, 1);
+}
+
+StatusOr<Tensor> SimClip::EncodeText(const std::string& query) const {
+  const std::string q = ToLower(query);
+  // Longest matching concept phrase wins ("kfc receipt" beats "receipt").
+  const std::string* best_key = nullptr;
+  for (const auto& [key, unused] : text_embeddings_) {
+    if (q.find(key) != std::string::npos) {
+      if (best_key == nullptr || key.size() > best_key->size()) {
+        best_key = &key;
+      }
+    }
+  }
+  if (best_key == nullptr) {
+    return Status::NotFound("SimCLIP has no concept matching query: '" +
+                            query + "'");
+  }
+  return text_embeddings_.at(*best_key);
+}
+
+StatusOr<Tensor> SimClip::Similarity(const std::string& query,
+                                     const Tensor& images) const {
+  TDP_ASSIGN_OR_RETURN(Tensor text, EncodeText(query));
+  const Tensor image_embeddings = EncodeImages(images);
+  // [n, 64] @ [64, 1] -> [n]
+  const Tensor scores = MatMul(
+      image_embeddings, Unsqueeze(text.To(images.device()), 1));
+  return Squeeze(scores, 1).Contiguous();
+}
+
+std::vector<std::string> SimClip::Vocabulary() const {
+  std::vector<std::string> out;
+  for (const auto& [key, unused] : text_embeddings_) out.push_back(key);
+  return out;
+}
+
+Status RegisterImageTextSimilarityUdf(
+    udf::FunctionRegistry& registry, std::shared_ptr<const SimClip> clip) {
+  udf::ScalarFunction fn;
+  fn.name = "image_text_similarity";
+  fn.return_type = udf::DeclaredType::kFloat;
+  fn.fn = [clip](const std::vector<udf::Argument>& args, int64_t num_rows,
+                 Device device) -> StatusOr<Column> {
+    if (args.size() != 2 || !args[0].is_scalar ||
+        !args[0].scalar.is_string() || args[1].is_scalar) {
+      return Status::InvalidArgument(
+          "image_text_similarity(query_string, image_column)");
+    }
+    const Column& images = args[1].column;
+    if (!images.IsTensorColumn()) {
+      return Status::TypeError(
+          "image_text_similarity expects an image tensor column");
+    }
+    (void)num_rows;
+    (void)device;  // kernels follow the column's device
+    TDP_ASSIGN_OR_RETURN(
+        Tensor scores,
+        clip->Similarity(args[0].scalar.string_value(), images.data()));
+    return Column::Plain(scores);
+  };
+  return registry.RegisterScalar(std::move(fn));
+}
+
+}  // namespace models
+}  // namespace tdp

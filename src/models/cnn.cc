@@ -1,0 +1,91 @@
+#include "src/models/cnn.h"
+
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace models {
+
+using nn::Conv2dLayer;
+using nn::FlattenLayer;
+using nn::Linear;
+using nn::MaxPool2dLayer;
+using nn::Module;
+using nn::ReluLayer;
+using nn::Sequential;
+
+std::shared_ptr<Module> MakeTileClassifier(int64_t num_classes, Rng& rng,
+                                           Device device) {
+  std::vector<std::shared_ptr<Module>> layers;
+  layers.push_back(
+      std::make_shared<Conv2dLayer>(1, 8, 3, 1, 1, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));  // 12 -> 6
+  layers.push_back(
+      std::make_shared<Conv2dLayer>(8, 16, 3, 1, 1, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));  // 6 -> 3
+  layers.push_back(std::make_shared<FlattenLayer>());        // 16*3*3 = 144
+  layers.push_back(std::make_shared<Linear>(144, 64, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(
+      std::make_shared<Linear>(64, num_classes, rng, true, device));
+  return std::make_shared<Sequential>(std::move(layers));
+}
+
+std::shared_ptr<Module> MakeCnnSmallRegressor(Rng& rng, Device device) {
+  std::vector<std::shared_ptr<Module>> layers;
+  layers.push_back(
+      std::make_shared<Conv2dLayer>(1, 8, 3, 1, 1, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));  // 36 -> 18
+  layers.push_back(
+      std::make_shared<Conv2dLayer>(8, 16, 3, 1, 1, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));  // 18 -> 9
+  layers.push_back(
+      std::make_shared<Conv2dLayer>(16, 32, 3, 1, 1, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(3, 3));  // 9 -> 3
+  layers.push_back(std::make_shared<FlattenLayer>());        // 32*9 = 288
+  layers.push_back(std::make_shared<Linear>(288, 128, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<Linear>(128, 20, rng, true, device));
+  return std::make_shared<Sequential>(std::move(layers));
+}
+
+ResidualBlock::ResidualBlock(int64_t channels, Rng& rng, Device device)
+    : Module("residual_block") {
+  conv1_ = std::make_shared<Conv2dLayer>(channels, channels, 3, 1, 1, rng,
+                                         true, device);
+  conv2_ = std::make_shared<Conv2dLayer>(channels, channels, 3, 1, 1, rng,
+                                         true, device);
+  RegisterModule("conv1", conv1_);
+  RegisterModule("conv2", conv2_);
+}
+
+Tensor ResidualBlock::Forward(const Tensor& input) {
+  Tensor h = Relu(conv1_->Forward(input));
+  h = conv2_->Forward(h);
+  return Relu(Add(h, input));
+}
+
+std::shared_ptr<Module> MakeMiniResNetRegressor(Rng& rng, Device device) {
+  std::vector<std::shared_ptr<Module>> layers;
+  layers.push_back(
+      std::make_shared<Conv2dLayer>(1, 16, 3, 1, 1, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));  // 36 -> 18
+  layers.push_back(std::make_shared<ResidualBlock>(16, rng, device));
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));  // 18 -> 9
+  layers.push_back(std::make_shared<ResidualBlock>(16, rng, device));
+  layers.push_back(std::make_shared<MaxPool2dLayer>(3, 3));  // 9 -> 3
+  layers.push_back(std::make_shared<ResidualBlock>(16, rng, device));
+  layers.push_back(std::make_shared<FlattenLayer>());        // 16*9 = 144
+  layers.push_back(std::make_shared<Linear>(144, 128, rng, true, device));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<Linear>(128, 20, rng, true, device));
+  return std::make_shared<Sequential>(std::move(layers));
+}
+
+}  // namespace models
+}  // namespace tdp

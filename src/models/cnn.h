@@ -1,0 +1,46 @@
+#ifndef TDP_MODELS_CNN_H_
+#define TDP_MODELS_CNN_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/nn/layers.h"
+
+namespace tdp {
+namespace models {
+
+/// CNN classifier over 12x12 single-channel digit tiles (the paper's
+/// `CNN(num_classes=10)` / `CNN(num_classes=2)` in Listing 4):
+///   conv(1->8) relu pool2 -> conv(8->16) relu pool2 -> fc(144->64) relu
+///   -> fc(64->classes).
+/// Output is logits [n, classes]; compose with Softmax + PE encoding in
+/// the TVF.
+std::shared_ptr<nn::Module> MakeTileClassifier(int64_t num_classes, Rng& rng,
+                                               Device device = Device::kAccel);
+
+/// CNN-Small: the monolithic regression baseline of §5.5 Experiment 1 —
+/// one CNN mapping a whole 36x36 grid to the 20 grouped counts (it must
+/// learn classification AND the group-by/count logic end to end).
+std::shared_ptr<nn::Module> MakeCnnSmallRegressor(
+    Rng& rng, Device device = Device::kAccel);
+
+/// MiniResNet: the ResNet-18-role baseline — deeper residual CNN regressor
+/// over the grid (scaled down for single-core hosts; see EXPERIMENTS.md).
+std::shared_ptr<nn::Module> MakeMiniResNetRegressor(
+    Rng& rng, Device device = Device::kAccel);
+
+/// Residual block: x + conv(relu(conv(x))), channel-preserving 3x3.
+class ResidualBlock : public nn::Module {
+ public:
+  ResidualBlock(int64_t channels, Rng& rng, Device device);
+  Tensor Forward(const Tensor& input) override;
+
+ private:
+  std::shared_ptr<nn::Conv2dLayer> conv1_;
+  std::shared_ptr<nn::Conv2dLayer> conv2_;
+};
+
+}  // namespace models
+}  // namespace tdp
+
+#endif  // TDP_MODELS_CNN_H_

@@ -1,0 +1,204 @@
+#include "src/models/ocr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/data/digits.h"
+#include "src/data/documents.h"
+#include "src/exec/chunk.h"
+
+namespace tdp {
+namespace models {
+
+using data::kCellHeight;
+using data::kCellWidth;
+using data::kDocCols;
+using data::kDocColumnNames;
+using data::kDocRows;
+using data::kTileSize;
+
+TableOcr::TableOcr() {
+  templates_ = Tensor::Zeros({10, kTileSize, kTileSize});
+  template_norms_ = Tensor::Zeros({10});
+  float* tp = templates_.data<float>();
+  float* np = template_norms_.data<float>();
+  for (int d = 0; d < 10; ++d) {
+    const Tensor glyph = data::RenderDigitTemplate(d);
+    const float* gp = glyph.data<float>();
+    double norm_sq = 0;
+    for (int64_t i = 0; i < kTileSize * kTileSize; ++i) {
+      tp[d * kTileSize * kTileSize + i] = gp[i];
+      norm_sq += gp[i] * gp[i];
+    }
+    np[d] = static_cast<float>(std::sqrt(norm_sq) + 1e-9);
+  }
+}
+
+int TableOcr::RecognizeGlyph(const float* tile, int64_t row_stride) const {
+  const float* tp = templates_.data<float>();
+  const float* np = template_norms_.data<float>();
+  double tile_norm_sq = 0;
+  for (int64_t y = 0; y < kTileSize; ++y) {
+    for (int64_t x = 0; x < kTileSize; ++x) {
+      const double v = tile[y * row_stride + x];
+      tile_norm_sq += v * v;
+    }
+  }
+  const double tile_norm = std::sqrt(tile_norm_sq) + 1e-9;
+  int best = 0;
+  double best_score = -1;
+  for (int d = 0; d < 10; ++d) {
+    const float* glyph = tp + d * kTileSize * kTileSize;
+    double dot = 0;
+    for (int64_t y = 0; y < kTileSize; ++y) {
+      for (int64_t x = 0; x < kTileSize; ++x) {
+        dot += tile[y * row_stride + x] * glyph[y * kTileSize + x];
+      }
+    }
+    const double score = dot / (tile_norm * np[d]);
+    if (score > best_score) {
+      best_score = score;
+      best = d;
+    }
+  }
+  return best;
+}
+
+StatusOr<Tensor> TableOcr::ExtractTable(const Tensor& image) const {
+  Tensor img2d = image;
+  if (img2d.dim() == 3) {
+    if (img2d.size(0) != 1) {
+      return Status::TypeError("document images must be single-channel");
+    }
+    img2d = Squeeze(img2d, 0);
+  }
+  if (img2d.dim() != 2) {
+    return Status::TypeError("ExtractTable expects [1, H, W] or [H, W]");
+  }
+  const Tensor contiguous = img2d.Detach().Contiguous();
+  const int64_t height = contiguous.size(0);
+  const int64_t width = contiguous.size(1);
+  const float* img = contiguous.data<float>();
+
+  // --- Step 1: table detection — exhaustive template-alignment sweep. ---
+  // Every feasible table origin is scored by correlating the first column
+  // of cells against all digit templates (real form-OCR detection work;
+  // this sweep is what makes per-image conversion expensive, the property
+  // Fig. 3 (left) measures).
+  const int64_t max_top = height - kDocRows * kCellHeight;
+  const int64_t max_left = width - kDocCols * kCellWidth;
+  if (max_top < 0 || max_left < 0) {
+    return Status::ExecutionError("image smaller than the table layout");
+  }
+  const float* np = template_norms_.data<float>();
+  const float* tp = templates_.data<float>();
+  double best_score = -1;
+  int64_t top = -1, left = -1;
+  for (int64_t ty = 0; ty <= max_top; ++ty) {
+    for (int64_t tx = 0; tx <= max_left; ++tx) {
+      double origin_score = 0;
+      for (int64_t rc = 0; rc < kDocRows * kDocCols; ++rc) {
+        const int64_t r = rc / kDocCols;
+        const int64_t c = rc % kDocCols;
+        // Score both glyph positions of the cell; this disambiguates
+        // origins shifted by exactly one glyph width.
+        for (int64_t g = 0; g < 2; ++g) {
+          const float* cell = img + (ty + r * kCellHeight) * width +
+                              (tx + c * kCellWidth + g * kTileSize);
+          double tile_norm_sq = 1e-9;
+          for (int64_t y = 0; y < kTileSize; ++y) {
+            for (int64_t x = 0; x < kTileSize; ++x) {
+              tile_norm_sq += cell[y * width + x] * cell[y * width + x];
+            }
+          }
+          double best_cell = -1;
+          for (int d = 0; d < 10; ++d) {
+            double dot = 0;
+            const float* glyph = tp + d * kTileSize * kTileSize;
+            for (int64_t y = 0; y < kTileSize; ++y) {
+              for (int64_t x = 0; x < kTileSize; ++x) {
+                dot += cell[y * width + x] * glyph[y * kTileSize + x];
+              }
+            }
+            best_cell = std::max(best_cell,
+                                 dot / (std::sqrt(tile_norm_sq) * np[d]));
+          }
+          origin_score += best_cell;
+        }
+      }
+      if (origin_score > best_score) {
+        best_score = origin_score;
+        top = ty;
+        left = tx;
+      }
+    }
+  }
+  // An aligned table correlates near 1.0 per cell; a blank or non-table
+  // image scores far lower.
+  if (top < 0 || best_score < 0.5 * 2 * kDocRows * kDocCols) {
+    return Status::ExecutionError("no table found in document image");
+  }
+
+  // --- Steps 2+3: segment cells and recognize glyph pairs. ---
+  Tensor values = Tensor::Zeros({kDocRows, kDocCols});
+  float* vp = values.data<float>();
+  for (int64_t r = 0; r < kDocRows; ++r) {
+    for (int64_t c = 0; c < kDocCols; ++c) {
+      const float* cell =
+          img + (top + r * kCellHeight) * width + (left + c * kCellWidth);
+      const int d1 = RecognizeGlyph(cell, width);
+      const int d2 = RecognizeGlyph(cell + kTileSize, width);
+      vp[r * kDocCols + c] = static_cast<float>(d1 * 10 + d2) / 10.0f;
+    }
+  }
+  return values;
+}
+
+Status RegisterExtractTableUdf(udf::FunctionRegistry& registry,
+                               std::shared_ptr<const TableOcr> ocr) {
+  udf::TableFunction fn;
+  fn.name = "extract_table";
+  for (const char* name : kDocColumnNames) {
+    fn.output_schema.push_back({name, udf::DeclaredType::kFloat});
+  }
+  fn.fn = [ocr](const exec::Chunk& input,
+                const std::vector<exec::ScalarValue>& args,
+                Device device) -> StatusOr<exec::Chunk> {
+    (void)args;
+    // Find the image column (any rank >= 3 tensor column).
+    int64_t image_col = -1;
+    for (int64_t i = 0; i < input.num_columns(); ++i) {
+      if (input.columns[static_cast<size_t>(i)].IsTensorColumn()) {
+        image_col = i;
+        break;
+      }
+    }
+    if (image_col < 0) {
+      return Status::TypeError("extract_table: no image column in input");
+    }
+    const Tensor images = input.columns[static_cast<size_t>(image_col)].data();
+    const int64_t docs = images.size(0);
+    std::vector<Tensor> extracted;
+    extracted.reserve(static_cast<size_t>(docs));
+    for (int64_t d = 0; d < docs; ++d) {
+      TDP_ASSIGN_OR_RETURN(Tensor values,
+                           ocr->ExtractTable(Squeeze(
+                               Slice(images, 0, d, 1), 0)));
+      extracted.push_back(std::move(values));
+    }
+    Tensor all =
+        docs > 0 ? Cat(extracted, 0)
+                 : Tensor::Zeros({0, kDocCols});
+    exec::Chunk out;
+    for (int64_t c = 0; c < kDocCols; ++c) {
+      out.names.emplace_back(kDocColumnNames[static_cast<size_t>(c)]);
+      out.columns.push_back(Column::Plain(
+          Slice(all, 1, c, 1).Squeeze(1).Contiguous().To(device)));
+    }
+    return out;
+  };
+  return registry.RegisterTable(std::move(fn));
+}
+
+}  // namespace models
+}  // namespace tdp

@@ -1,0 +1,44 @@
+#ifndef TDP_MODELS_OCR_H_
+#define TDP_MODELS_OCR_H_
+
+#include <memory>
+
+#include "src/common/statusor.h"
+#include "src/tensor/tensor.h"
+#include "src/udf/registry.h"
+
+namespace tdp {
+namespace models {
+
+/// Table-extraction pipeline for document images (the paper's
+/// `extract_table` UDF, §5.2): (1) locate the table via ink-density
+/// projections, (2) segment the known grid layout into digit cells,
+/// (3) recognize each glyph by normalized cross-correlation against digit
+/// templates, (4) assemble a plain numeric tensor. Steps (1) and (3) do
+/// real image work per document — extraction dominates end-to-end cost,
+/// which is the property Fig. 3 (left) measures.
+class TableOcr {
+ public:
+  TableOcr();
+
+  /// Extracts the [kDocRows, kDocCols] value matrix from one document
+  /// image [1, H, W] (or [H, W]).
+  StatusOr<Tensor> ExtractTable(const Tensor& image) const;
+
+  /// Recognizes a single 12x12 glyph; returns the digit 0-9.
+  int RecognizeGlyph(const float* tile, int64_t row_stride) const;
+
+ private:
+  Tensor templates_;        // [10, 12, 12]
+  Tensor template_norms_;   // [10] L2 norms
+};
+
+/// Registers `extract_table(doc_subquery_or_table)` as a TVF producing the
+/// four Iris-style measurement columns, kDocRows rows per input document.
+Status RegisterExtractTableUdf(udf::FunctionRegistry& registry,
+                               std::shared_ptr<const TableOcr> ocr);
+
+}  // namespace models
+}  // namespace tdp
+
+#endif  // TDP_MODELS_OCR_H_

@@ -1,0 +1,113 @@
+#include "src/models/tvfs.h"
+
+#include "src/data/mnist_grid.h"
+#include "src/models/cnn.h"
+#include "src/nn/layers.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace models {
+
+StatusOr<ParseMnistGridTvf> RegisterParseMnistGridTvf(
+    udf::FunctionRegistry& registry, Rng& rng, Device device) {
+  ParseMnistGridTvf tvf;
+  tvf.digit_parser =
+      MakeTileClassifier(data::kNumDigitClasses, rng, device);
+  tvf.size_parser = MakeTileClassifier(data::kNumSizeClasses, rng, device);
+
+  udf::TableFunction fn;
+  fn.name = "parse_mnist_grid";
+  fn.output_schema = {{"Digit", udf::DeclaredType::kProbability},
+                      {"Size", udf::DeclaredType::kProbability}};
+  fn.modules = {tvf.digit_parser, tvf.size_parser};
+  auto digit_parser = tvf.digit_parser;
+  auto size_parser = tvf.size_parser;
+  fn.fn = [digit_parser, size_parser](
+              const exec::Chunk& input,
+              const std::vector<exec::ScalarValue>& args,
+              Device device) -> StatusOr<exec::Chunk> {
+    (void)args;
+    (void)device;
+    int64_t grid_col = -1;
+    for (int64_t i = 0; i < input.num_columns(); ++i) {
+      if (input.columns[static_cast<size_t>(i)].IsTensorColumn()) {
+        grid_col = i;
+        break;
+      }
+    }
+    if (grid_col < 0) {
+      return Status::TypeError("parse_mnist_grid: no grid image column");
+    }
+    const Tensor grids = input.columns[static_cast<size_t>(grid_col)].data();
+    if (grids.dim() != 4 || grids.size(2) != data::kGridSize ||
+        grids.size(3) != data::kGridSize) {
+      return Status::TypeError(
+          "parse_mnist_grid expects [n, 1, 36, 36] grids, got " +
+          ShapeToString(grids.shape()));
+    }
+    // einops rearrange: grids -> batched tiles (Listing 4, lines 6-10).
+    const Tensor tiles = data::GridToTiles(grids);
+    // Classification heads; PE-encode the softmax outputs (line 12).
+    const Tensor digit_probs = Softmax(digit_parser->Forward(tiles), 1);
+    const Tensor size_probs = Softmax(size_parser->Forward(tiles), 1);
+    std::vector<double> digit_domain;
+    for (int64_t d = 0; d < data::kNumDigitClasses; ++d) {
+      digit_domain.push_back(static_cast<double>(d));
+    }
+    exec::Chunk out;
+    out.names = {"Digit", "Size"};
+    out.columns.push_back(Column::Probability(digit_probs, digit_domain));
+    out.columns.push_back(Column::Probability(size_probs, {0.0, 1.0}));
+    return out;
+  };
+  TDP_RETURN_NOT_OK(registry.RegisterTable(std::move(fn)));
+  return tvf;
+}
+
+StatusOr<ClassifyIncomesTvf> RegisterClassifyIncomesTvf(
+    udf::FunctionRegistry& registry, int64_t num_features, Rng& rng,
+    Device device) {
+  ClassifyIncomesTvf tvf;
+  tvf.model = std::make_shared<nn::Linear>(num_features, 2, rng,
+                                           /*with_bias=*/true, device);
+
+  udf::TableFunction fn;
+  fn.name = "classify_incomes";
+  fn.output_schema = {{"Income", udf::DeclaredType::kProbability}};
+  fn.modules = {tvf.model};
+  auto model = tvf.model;
+  fn.fn = [model, num_features](
+              const exec::Chunk& input,
+              const std::vector<exec::ScalarValue>& args,
+              Device device) -> StatusOr<exec::Chunk> {
+    (void)args;
+    (void)device;
+    int64_t feature_col = -1;
+    for (int64_t i = 0; i < input.num_columns(); ++i) {
+      const Column& c = input.columns[static_cast<size_t>(i)];
+      if (c.encoding() == Encoding::kPlain && c.data().dim() == 2) {
+        feature_col = i;
+        break;
+      }
+    }
+    if (feature_col < 0) {
+      return Status::TypeError(
+          "classify_incomes: no [n, features] column in input");
+    }
+    const Tensor features =
+        input.columns[static_cast<size_t>(feature_col)].data();
+    if (features.size(1) != num_features) {
+      return Status::TypeError("classify_incomes: feature width mismatch");
+    }
+    const Tensor probs = Softmax(model->Forward(features), 1);
+    exec::Chunk out;
+    out.names = {"Income"};
+    out.columns.push_back(Column::Probability(probs, {0.0, 1.0}));
+    return out;
+  };
+  TDP_RETURN_NOT_OK(registry.RegisterTable(std::move(fn)));
+  return tvf;
+}
+
+}  // namespace models
+}  // namespace tdp

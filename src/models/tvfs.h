@@ -1,0 +1,41 @@
+#ifndef TDP_MODELS_TVFS_H_
+#define TDP_MODELS_TVFS_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/statusor.h"
+#include "src/nn/module.h"
+#include "src/udf/registry.h"
+
+namespace tdp {
+namespace models {
+
+/// The paper's `parse_mnist_grid` TVF (Listing 4): splits each grid image
+/// into 9 tiles (einops rearrange), runs a digit CNN and a size CNN, and
+/// returns two Probability-Encoded columns ("Digit": 10 classes, "Size":
+/// 2 classes) — one row per tile. The returned modules are the trainable
+/// parsers; compiled queries that call the TVF surface their parameters.
+struct ParseMnistGridTvf {
+  std::shared_ptr<nn::Module> digit_parser;
+  std::shared_ptr<nn::Module> size_parser;
+};
+
+StatusOr<ParseMnistGridTvf> RegisterParseMnistGridTvf(
+    udf::FunctionRegistry& registry, Rng& rng,
+    Device device = Device::kAccel);
+
+/// The paper's `classify_incomes` TVF (Listing 9): a linear classifier
+/// over census feature rows producing a 2-class PE column "Income".
+struct ClassifyIncomesTvf {
+  std::shared_ptr<nn::Module> model;
+};
+
+StatusOr<ClassifyIncomesTvf> RegisterClassifyIncomesTvf(
+    udf::FunctionRegistry& registry, int64_t num_features, Rng& rng,
+    Device device = Device::kAccel);
+
+}  // namespace models
+}  // namespace tdp
+
+#endif  // TDP_MODELS_TVFS_H_

@@ -1,0 +1,72 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+namespace tdp {
+namespace nn {
+namespace {
+
+// Kaiming-uniform fan-in initialization (PyTorch's default for
+// Linear/Conv2d), bound = 1/sqrt(fan_in).
+Tensor KaimingUniform(std::vector<int64_t> shape, int64_t fan_in, Rng& rng,
+                      Device device) {
+  const double bound = fan_in > 0 ? 1.0 / std::sqrt(static_cast<double>(fan_in))
+                                  : 0.0;
+  return RandUniform(std::move(shape), -bound, bound, rng, DType::kFloat32,
+                     device);
+}
+
+}  // namespace
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool with_bias, Device device)
+    : Module("linear") {
+  weight_ = RegisterParameter(
+      "weight",
+      KaimingUniform({out_features, in_features}, in_features, rng, device));
+  if (with_bias) {
+    bias_ = RegisterParameter(
+        "bias", KaimingUniform({out_features}, in_features, rng, device));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  TDP_CHECK_EQ(input.dim(), 2) << "Linear expects [n, in_features]";
+  Tensor out = MatMul(input, Transpose(weight_, 0, 1));
+  if (bias_.defined()) out = Add(out, bias_);
+  return out;
+}
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, int64_t stride, int64_t padding,
+                         Rng& rng, bool with_bias, Device device)
+    : Module("conv2d"), stride_(stride), padding_(padding) {
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = RegisterParameter(
+      "weight", KaimingUniform({out_channels, in_channels, kernel, kernel},
+                               fan_in, rng, device));
+  if (with_bias) {
+    bias_ = RegisterParameter(
+        "bias", KaimingUniform({out_channels}, fan_in, rng, device));
+  }
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& input) {
+  return Conv2d(input, weight_, bias_, stride_, padding_);
+}
+
+Sequential::Sequential(std::vector<std::shared_ptr<Module>> layers)
+    : Module("sequential"), layers_(std::move(layers)) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    RegisterModule(std::to_string(i), layers_[i]);
+  }
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+}  // namespace nn
+}  // namespace tdp

@@ -1,0 +1,105 @@
+#ifndef TDP_NN_LAYERS_H_
+#define TDP_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/module.h"
+
+namespace tdp {
+namespace nn {
+
+/// y = x @ W^T + b for x: [n, in_features].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool with_bias = true, Device device = Device::kAccel);
+
+  Tensor Forward(const Tensor& input) override;
+
+  const Tensor& weight() const { return weight_; }  // [out, in]
+  const Tensor& bias() const { return bias_; }      // [out] or undefined
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// 2-d convolution over [N, C, H, W] with square kernel.
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              int64_t stride, int64_t padding, Rng& rng,
+              bool with_bias = true, Device device = Device::kAccel);
+
+  Tensor Forward(const Tensor& input) override;
+
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  int64_t stride_;
+  int64_t padding_;
+};
+
+/// Elementwise max(x, 0).
+class ReluLayer : public Module {
+ public:
+  ReluLayer() : Module("relu") {}
+  Tensor Forward(const Tensor& input) override { return Relu(input); }
+};
+
+/// Elementwise tanh.
+class TanhLayer : public Module {
+ public:
+  TanhLayer() : Module("tanh") {}
+  Tensor Forward(const Tensor& input) override { return Tanh(input); }
+};
+
+class MaxPool2dLayer : public Module {
+ public:
+  MaxPool2dLayer(int64_t kernel, int64_t stride)
+      : Module("maxpool2d"), kernel_(kernel), stride_(stride) {}
+  Tensor Forward(const Tensor& input) override {
+    return MaxPool2d(input, kernel_, stride_);
+  }
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+};
+
+/// Collapses all trailing dims: [n, ...] -> [n, prod(...)].
+class FlattenLayer : public Module {
+ public:
+  FlattenLayer() : Module("flatten") {}
+  Tensor Forward(const Tensor& input) override {
+    return Reshape(input, {input.size(0), -1});
+  }
+};
+
+/// Softmax over the last dimension.
+class SoftmaxLayer : public Module {
+ public:
+  SoftmaxLayer() : Module("softmax") {}
+  Tensor Forward(const Tensor& input) override {
+    return Softmax(input, -1);
+  }
+};
+
+/// Runs children in order.
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::vector<std::shared_ptr<Module>> layers);
+  Tensor Forward(const Tensor& input) override;
+
+ private:
+  std::vector<std::shared_ptr<Module>> layers_;
+};
+
+}  // namespace nn
+}  // namespace tdp
+
+#endif  // TDP_NN_LAYERS_H_

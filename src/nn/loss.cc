@@ -1,0 +1,37 @@
+#include "src/nn/loss.h"
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace nn {
+
+Tensor MSELoss(const Tensor& pred, const Tensor& target) {
+  TDP_CHECK(pred.shape() == target.shape())
+      << "MSELoss shapes: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  const Tensor diff = Sub(pred, target);
+  return Mean(Mul(diff, diff));
+}
+
+Tensor SoftmaxCrossEntropyLoss(const Tensor& logits, const Tensor& targets) {
+  TDP_CHECK_EQ(logits.dim(), 2);
+  TDP_CHECK(targets.dtype() == DType::kInt64);
+  TDP_CHECK_EQ(targets.numel(), logits.size(0));
+  const Tensor log_probs = LogSoftmax(logits, 1);
+  const Tensor onehot =
+      OneHot(targets.To(Device::kCpu), logits.size(1)).To(logits.device());
+  // -sum(onehot * log_probs) / n
+  return Neg(DivScalar(Sum(Mul(onehot, log_probs)),
+                       static_cast<double>(logits.size(0))));
+}
+
+Tensor SoftCrossEntropyLoss(const Tensor& logits, const Tensor& target_probs) {
+  TDP_CHECK(logits.shape() == target_probs.shape());
+  const Tensor log_probs = LogSoftmax(logits, 1);
+  return Neg(DivScalar(Sum(Mul(target_probs, log_probs)),
+                       static_cast<double>(logits.size(0))));
+}
+
+}  // namespace nn
+}  // namespace tdp

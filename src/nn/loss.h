@@ -1,0 +1,24 @@
+#ifndef TDP_NN_LOSS_H_
+#define TDP_NN_LOSS_H_
+
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace nn {
+
+/// mean((pred - target)^2) over all elements — the loss used by the
+/// paper's MNISTGrid training loop (Listing 5).
+Tensor MSELoss(const Tensor& pred, const Tensor& target);
+
+/// Softmax cross-entropy between `logits` [n, classes] and int64 class
+/// `targets` [n]; mean over the batch.
+Tensor SoftmaxCrossEntropyLoss(const Tensor& logits, const Tensor& targets);
+
+/// Cross-entropy against a full target distribution [n, classes].
+Tensor SoftCrossEntropyLoss(const Tensor& logits,
+                            const Tensor& target_probs);
+
+}  // namespace nn
+}  // namespace tdp
+
+#endif  // TDP_NN_LOSS_H_

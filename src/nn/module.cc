@@ -1,0 +1,54 @@
+#include "src/nn/module.h"
+
+#include "src/common/logging.h"
+
+namespace tdp {
+namespace nn {
+
+Tensor Module::RegisterParameter(std::string param_name, Tensor value) {
+  TDP_CHECK(value.defined());
+  value.set_requires_grad(true);
+  params_.emplace_back(std::move(param_name), value);
+  return value;
+}
+
+void Module::RegisterModule(std::string child_name,
+                            std::shared_ptr<Module> child) {
+  TDP_CHECK(child != nullptr);
+  children_.emplace_back(std::move(child_name), std::move(child));
+}
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [unused_name, tensor] : params_) out.push_back(tensor);
+  for (const auto& [unused_name, child] : children_) {
+    for (const Tensor& t : child->Parameters()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [param_name, tensor] : params_) {
+    out.emplace_back(param_name, tensor);
+  }
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [sub_name, tensor] : child->NamedParameters()) {
+      out.emplace_back(child_name + "." + sub_name, tensor);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() const {
+  for (const Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& t : Parameters()) n += t.numel();
+  return n;
+}
+
+}  // namespace nn
+}  // namespace tdp

@@ -1,0 +1,66 @@
+#ifndef TDP_NN_MODULE_H_
+#define TDP_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace nn {
+
+/// Base class for neural-network building blocks (PyTorch nn.Module
+/// analogue). Owns trainable parameter tensors and child modules;
+/// `Parameters()` walks the tree, which is how TDP's `CompiledQuery`
+/// surfaces everything trainable inside a query's UDFs/TVFs.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the module's output for `input`.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// All parameters of this module and its descendants (shared handles —
+  /// mutating them updates the module).
+  std::vector<Tensor> Parameters() const;
+
+  /// Named flat view ("child.weight"-style keys), for checkpoint-like tests.
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Clears gradients on every parameter.
+  void ZeroGrad() const;
+
+  /// Number of scalar trainable parameters in the subtree.
+  int64_t NumParameters() const;
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  /// Registers a trainable tensor (sets requires_grad).
+  Tensor RegisterParameter(std::string param_name, Tensor value);
+  /// Registers a child whose parameters are included in Parameters().
+  void RegisterModule(std::string child_name, std::shared_ptr<Module> child);
+
+  const std::vector<std::pair<std::string, std::shared_ptr<Module>>>&
+  children() const {
+    return children_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+}  // namespace nn
+}  // namespace tdp
+
+#endif  // TDP_NN_MODULE_H_

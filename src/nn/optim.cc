@@ -1,0 +1,96 @@
+#include "src/nn/optim.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    TDP_CHECK(p.defined() && p.dtype() == DType::kFloat32)
+        << "optimizers operate on float32 parameters";
+    TDP_CHECK(p.is_contiguous()) << "parameters must be contiguous";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (const Tensor& p : params_) p.ZeroGrad();
+}
+
+SGD::SGD(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void SGD::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const Tensor g = p.grad();
+    if (!g.defined()) continue;
+    const Tensor gc = g.Contiguous();
+    float* w = p.data<float>();
+    const float* gp = gc.data<float>();
+    const int64_t n = p.numel();
+    if (momentum_ != 0.0) {
+      if (!velocity_[i].defined()) {
+        velocity_[i] = Tensor::Zeros(p.shape(), DType::kFloat32, p.device());
+      }
+      float* v = velocity_[i].data<float>();
+      for (int64_t j = 0; j < n; ++j) {
+        v[j] = static_cast<float>(momentum_ * v[j] + gp[j]);
+        w[j] -= static_cast<float>(lr_ * v[j]);
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        w[j] -= static_cast<float>(lr_ * gp[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const Tensor g = p.grad();
+    if (!g.defined()) continue;
+    if (!m_[i].defined()) {
+      m_[i] = Tensor::Zeros(p.shape(), DType::kFloat32, p.device());
+      v_[i] = Tensor::Zeros(p.shape(), DType::kFloat32, p.device());
+    }
+    const Tensor gc = g.Contiguous();
+    float* w = p.data<float>();
+    const float* gp = gc.data<float>();
+    float* m = m_[i].data<float>();
+    float* v = v_[i].data<float>();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * gp[j]);
+      v[j] = static_cast<float>(beta2_ * v[j] +
+                                (1.0 - beta2_) * gp[j] * gp[j]);
+      const double mhat = m[j] / bias1;
+      const double vhat = v[j] / bias2;
+      w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace tdp

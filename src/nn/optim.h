@@ -1,0 +1,64 @@
+#ifndef TDP_NN_OPTIM_H_
+#define TDP_NN_OPTIM_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace nn {
+
+/// Gradient-descent optimizer over a fixed parameter list (the tensors are
+/// shared handles into modules / compiled queries; updates are in place).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using each parameter's accumulated `.grad()`.
+  /// Parameters with no gradient are skipped.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& parameters() const { return params_; }
+
+ protected:
+  explicit Optimizer(std::vector<Tensor> params);
+
+  std::vector<Tensor> params_;
+};
+
+/// SGD with optional momentum.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Tensor> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;  // lazily sized to params
+};
+
+/// Adam (Kingma & Ba) — the optimizer the paper uses in Listing 5.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace tdp
+
+#endif  // TDP_NN_OPTIM_H_

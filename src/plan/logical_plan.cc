@@ -1,0 +1,121 @@
+#include "src/plan/logical_plan.h"
+
+#include <sstream>
+
+namespace tdp {
+namespace plan {
+
+std::string SchemaToString(const Schema& schema) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << schema[i].name;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kScan:
+      return "Scan";
+    case NodeKind::kTvfScan:
+      return "TvfScan";
+    case NodeKind::kFilter:
+      return "Filter";
+    case NodeKind::kProject:
+      return "Project";
+    case NodeKind::kAggregate:
+      return "Aggregate";
+    case NodeKind::kJoin:
+      return "Join";
+    case NodeKind::kSort:
+      return "Sort";
+    case NodeKind::kLimit:
+      return "Limit";
+    case NodeKind::kDistinct:
+      return "Distinct";
+  }
+  return "Unknown";
+}
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string LogicalNode::ToString(int indent) const {
+  std::ostringstream os;
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << Describe() << " -> " << SchemaToString(schema) << "\n";
+  for (const auto& child : children) os << child->ToString(indent + 1);
+  return os.str();
+}
+
+std::string ScanNode::Describe() const {
+  std::string out = "Scan(" + table_name;
+  if (!projected_columns.empty()) {
+    out += ", cols=" + std::to_string(projected_columns.size());
+  }
+  return out + ")";
+}
+
+std::string TvfScanNode::Describe() const {
+  return "TvfScan(" + (fn != nullptr ? fn->name : "?") + ")";
+}
+
+std::string FilterNode::Describe() const {
+  return "Filter(" + predicate->display_name + ")";
+}
+
+std::string ProjectNode::Describe() const {
+  return "Project(" + std::to_string(exprs.size()) + " exprs)";
+}
+
+std::string AggregateNode::Describe() const {
+  std::ostringstream os;
+  os << "Aggregate(groups=" << group_exprs.size() << ", aggs=[";
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << AggKindName(aggregates[i].kind);
+  }
+  os << "])";
+  return os.str();
+}
+
+std::string JoinNode::Describe() const {
+  return std::string("Join(") +
+         (join_type == sql::JoinType::kInner ? "inner" : "left") +
+         ", keys=" + std::to_string(left_keys.size()) +
+         (residual ? ", residual" : "") + ")";
+}
+
+std::string SortNode::Describe() const {
+  std::string out = "Sort(" + std::to_string(items.size()) + " keys";
+  if (fused_limit >= 0) out += ", topk=" + std::to_string(fused_limit);
+  return out + ")";
+}
+
+std::string LimitNode::Describe() const {
+  return "Limit(" + std::to_string(limit) + ", offset=" +
+         std::to_string(offset) + ")";
+}
+
+std::string DistinctNode::Describe() const { return "Distinct"; }
+
+}  // namespace plan
+}  // namespace tdp

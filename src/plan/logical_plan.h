@@ -1,0 +1,152 @@
+#ifndef TDP_PLAN_LOGICAL_PLAN_H_
+#define TDP_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/bound_expr.h"
+#include "src/storage/table.h"
+#include "src/udf/registry.h"
+
+namespace tdp {
+namespace plan {
+
+/// Compile-time description of one output column of a plan node.
+struct ColumnMeta {
+  std::string name;
+  Encoding encoding = Encoding::kPlain;
+  DType dtype = DType::kFloat32;  // payload dtype (codes for dictionary)
+  bool is_tensor = false;         // rank >= 2 plain column
+};
+
+using Schema = std::vector<ColumnMeta>;
+
+std::string SchemaToString(const Schema& schema);
+
+enum class NodeKind {
+  kScan,
+  kTvfScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kJoin,
+  kSort,
+  kLimit,
+  kDistinct,
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+/// Logical (and, in TDP, also physical) plan node. TDP compiles each node
+/// to a tensor program at execution; there is no separate physical tree.
+struct LogicalNode {
+  explicit LogicalNode(NodeKind kind) : kind(kind) {}
+  virtual ~LogicalNode() = default;
+  NodeKind kind;
+  Schema schema;  // output schema
+  std::vector<std::unique_ptr<LogicalNode>> children;
+
+  /// Single-line description (without children).
+  virtual std::string Describe() const = 0;
+  /// Indented full-tree rendering (EXPLAIN output).
+  std::string ToString(int indent = 0) const;
+};
+
+using LogicalNodePtr = std::unique_ptr<LogicalNode>;
+
+/// Leaf: reads a registered table. The table is re-resolved from the
+/// catalog at every Run() so re-registering a table (the paper's training
+/// loop re-registers MNIST_Grid each iteration) is picked up without
+/// recompilation. `projected_columns` (filled by the optimizer) narrows
+/// the scan.
+struct ScanNode : LogicalNode {
+  ScanNode() : LogicalNode(NodeKind::kScan) {}
+  std::string table_name;
+  std::vector<int64_t> projected_columns;  // empty = all
+  std::string Describe() const override;
+};
+
+/// Runs a registered table-valued function over its child's output (a
+/// scan, or any subplan when the TVF input is a subquery).
+struct TvfScanNode : LogicalNode {
+  TvfScanNode() : LogicalNode(NodeKind::kTvfScan) {}
+  const udf::TableFunction* fn = nullptr;  // owned by the registry
+  std::vector<exec::ScalarValue> args;
+  std::string Describe() const override;
+};
+
+struct FilterNode : LogicalNode {
+  FilterNode() : LogicalNode(NodeKind::kFilter) {}
+  exec::BoundExprPtr predicate;
+  std::string Describe() const override;
+};
+
+struct ProjectNode : LogicalNode {
+  ProjectNode() : LogicalNode(NodeKind::kProject) {}
+  std::vector<exec::BoundExprPtr> exprs;  // one per output column
+  std::string Describe() const override;
+};
+
+enum class AggKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggKindName(AggKind kind);
+
+struct AggDef {
+  AggKind kind = AggKind::kCountStar;
+  exec::BoundExprPtr arg;  // null for COUNT(*)
+  bool distinct = false;
+  std::string name;
+};
+
+/// Grouped (or global, when group_exprs empty) aggregation. Output schema:
+/// group columns first, aggregate columns after. In trainable mode with PE
+/// group keys this node executes as soft_groupby/soft_count (§4).
+struct AggregateNode : LogicalNode {
+  AggregateNode() : LogicalNode(NodeKind::kAggregate) {}
+  std::vector<exec::BoundExprPtr> group_exprs;
+  std::vector<std::string> group_names;
+  std::vector<AggDef> aggregates;
+  std::string Describe() const override;
+};
+
+struct JoinNode : LogicalNode {
+  JoinNode() : LogicalNode(NodeKind::kJoin) {}
+  sql::JoinType join_type = sql::JoinType::kInner;
+  // Equi-join keys: column indices into left/right child outputs.
+  std::vector<int64_t> left_keys;
+  std::vector<int64_t> right_keys;
+  // Residual non-equi condition over [left columns ++ right columns].
+  exec::BoundExprPtr residual;
+  std::string Describe() const override;
+};
+
+struct SortItem {
+  exec::BoundExprPtr expr;
+  bool descending = false;
+};
+
+struct SortNode : LogicalNode {
+  SortNode() : LogicalNode(NodeKind::kSort) {}
+  std::vector<SortItem> items;
+  /// When >= 0, a following Limit was fused in (top-k sort).
+  int64_t fused_limit = -1;
+  std::string Describe() const override;
+};
+
+struct LimitNode : LogicalNode {
+  LimitNode() : LogicalNode(NodeKind::kLimit) {}
+  int64_t limit = -1;  // -1 = unbounded (OFFSET only)
+  int64_t offset = 0;
+  std::string Describe() const override;
+};
+
+struct DistinctNode : LogicalNode {
+  DistinctNode() : LogicalNode(NodeKind::kDistinct) {}
+  std::string Describe() const override;
+};
+
+}  // namespace plan
+}  // namespace tdp
+
+#endif  // TDP_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,306 @@
+#include "src/plan/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace tdp {
+namespace plan {
+namespace {
+
+using exec::BoundBinary;
+using exec::BoundCase;
+using exec::BoundColumnRef;
+using exec::BoundExpr;
+using exec::BoundExprPtr;
+using exec::BoundUdfCall;
+using exec::BoundUnary;
+
+// ---- Expression utilities ---------------------------------------------------
+
+void CollectColumnRefs(const BoundExpr& e, std::set<int64_t>& out) {
+  switch (e.kind) {
+    case exec::BoundExprKind::kColumnRef:
+      out.insert(static_cast<const BoundColumnRef&>(e).column_index);
+      return;
+    case exec::BoundExprKind::kBinary: {
+      const auto& b = static_cast<const BoundBinary&>(e);
+      CollectColumnRefs(*b.left, out);
+      CollectColumnRefs(*b.right, out);
+      return;
+    }
+    case exec::BoundExprKind::kUnary:
+      CollectColumnRefs(*static_cast<const BoundUnary&>(e).operand, out);
+      return;
+    case exec::BoundExprKind::kUdfCall:
+      for (const auto& a : static_cast<const BoundUdfCall&>(e).args) {
+        CollectColumnRefs(*a, out);
+      }
+      return;
+    case exec::BoundExprKind::kCase: {
+      const auto& c = static_cast<const BoundCase&>(e);
+      for (const auto& [when, then] : c.branches) {
+        CollectColumnRefs(*when, out);
+        CollectColumnRefs(*then, out);
+      }
+      if (c.else_expr) CollectColumnRefs(*c.else_expr, out);
+      return;
+    }
+    case exec::BoundExprKind::kLiteral:
+      return;
+  }
+}
+
+void RemapColumnRefs(BoundExpr& e, const std::vector<int64_t>& old_to_new) {
+  switch (e.kind) {
+    case exec::BoundExprKind::kColumnRef: {
+      auto& ref = static_cast<BoundColumnRef&>(e);
+      ref.column_index = old_to_new[static_cast<size_t>(ref.column_index)];
+      return;
+    }
+    case exec::BoundExprKind::kBinary: {
+      auto& b = static_cast<BoundBinary&>(e);
+      RemapColumnRefs(*b.left, old_to_new);
+      RemapColumnRefs(*b.right, old_to_new);
+      return;
+    }
+    case exec::BoundExprKind::kUnary:
+      RemapColumnRefs(*static_cast<BoundUnary&>(e).operand, old_to_new);
+      return;
+    case exec::BoundExprKind::kUdfCall:
+      for (auto& a : static_cast<BoundUdfCall&>(e).args) {
+        RemapColumnRefs(*a, old_to_new);
+      }
+      return;
+    case exec::BoundExprKind::kCase: {
+      auto& c = static_cast<BoundCase&>(e);
+      for (auto& [when, then] : c.branches) {
+        RemapColumnRefs(*when, old_to_new);
+        RemapColumnRefs(*then, old_to_new);
+      }
+      if (c.else_expr) RemapColumnRefs(*c.else_expr, old_to_new);
+      return;
+    }
+    case exec::BoundExprKind::kLiteral:
+      return;
+  }
+}
+
+// Walks all bound expressions attached to `node` (not children).
+void ForEachExpr(LogicalNode& node,
+                 const std::function<void(BoundExpr&)>& fn) {
+  switch (node.kind) {
+    case NodeKind::kFilter:
+      fn(*static_cast<FilterNode&>(node).predicate);
+      return;
+    case NodeKind::kProject:
+      for (auto& e : static_cast<ProjectNode&>(node).exprs) fn(*e);
+      return;
+    case NodeKind::kAggregate: {
+      auto& agg = static_cast<AggregateNode&>(node);
+      for (auto& e : agg.group_exprs) fn(*e);
+      for (auto& d : agg.aggregates) {
+        if (d.arg) fn(*d.arg);
+      }
+      return;
+    }
+    case NodeKind::kJoin: {
+      auto& join = static_cast<JoinNode&>(node);
+      if (join.residual) fn(*join.residual);
+      return;
+    }
+    case NodeKind::kSort:
+      for (auto& item : static_cast<SortNode&>(node).items) fn(*item.expr);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---- Rule 1: fuse Limit into Sort -------------------------------------------
+
+LogicalNodePtr FuseLimitIntoSort(LogicalNodePtr node) {
+  for (auto& child : node->children) {
+    child = FuseLimitIntoSort(std::move(child));
+  }
+  if (node->kind != NodeKind::kLimit) return node;
+  auto& limit = static_cast<LimitNode&>(*node);
+  if (limit.limit < 0) return node;
+  // Look through the hidden-sort-column cleanup Project, if present.
+  LogicalNode* below = limit.children[0].get();
+  bool through_project = false;
+  if (below->kind == NodeKind::kProject && !below->children.empty() &&
+      below->children[0]->kind == NodeKind::kSort) {
+    below = below->children[0].get();
+    through_project = true;
+  }
+  if (below->kind != NodeKind::kSort) return node;
+  auto& sort = static_cast<SortNode&>(*below);
+  // The sort keeps offset+limit rows; the Limit then applies the offset.
+  sort.fused_limit = limit.offset + limit.limit;
+  if (limit.offset == 0 && !through_project) {
+    return std::move(node->children[0]);
+  }
+  if (limit.offset == 0) {
+    // Row count already exact after the top-k sort; drop the Limit but
+    // keep the cleanup projection.
+    return std::move(node->children[0]);
+  }
+  return node;
+}
+
+// ---- Rule 2: push single-side filter conjuncts below a join -----------------
+
+void SplitConjuncts(BoundExprPtr expr, std::vector<BoundExprPtr>& out) {
+  if (expr->kind == exec::BoundExprKind::kBinary) {
+    auto* b = static_cast<BoundBinary*>(expr.get());
+    if (b->op == sql::BinaryOp::kAnd) {
+      SplitConjuncts(std::move(b->left), out);
+      SplitConjuncts(std::move(b->right), out);
+      return;
+    }
+  }
+  out.push_back(std::move(expr));
+}
+
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts) {
+  BoundExprPtr result;
+  for (auto& c : conjuncts) {
+    if (!result) {
+      result = std::move(c);
+    } else {
+      auto combined = std::make_unique<BoundBinary>(
+          sql::BinaryOp::kAnd, std::move(result), std::move(c));
+      combined->display_name = "and";
+      result = std::move(combined);
+    }
+  }
+  return result;
+}
+
+LogicalNodePtr PushFilterIntoJoin(LogicalNodePtr node) {
+  for (auto& child : node->children) {
+    child = PushFilterIntoJoin(std::move(child));
+  }
+  if (node->kind != NodeKind::kFilter ||
+      node->children[0]->kind != NodeKind::kJoin) {
+    return node;
+  }
+  auto& filter = static_cast<FilterNode&>(*node);
+  auto& join = static_cast<JoinNode&>(*filter.children[0]);
+  if (join.join_type != sql::JoinType::kInner) return node;
+
+  const int64_t left_size =
+      static_cast<int64_t>(join.children[0]->schema.size());
+  const int64_t total = static_cast<int64_t>(join.schema.size());
+
+  std::vector<BoundExprPtr> conjuncts;
+  SplitConjuncts(std::move(filter.predicate), conjuncts);
+
+  std::vector<BoundExprPtr> keep;
+  std::vector<BoundExprPtr> to_left;
+  std::vector<BoundExprPtr> to_right;
+  for (auto& conjunct : conjuncts) {
+    std::set<int64_t> refs;
+    CollectColumnRefs(*conjunct, refs);
+    const bool all_left =
+        std::all_of(refs.begin(), refs.end(),
+                    [&](int64_t i) { return i < left_size; });
+    const bool all_right =
+        std::all_of(refs.begin(), refs.end(),
+                    [&](int64_t i) { return i >= left_size; });
+    if (!refs.empty() && all_left) {
+      to_left.push_back(std::move(conjunct));
+    } else if (!refs.empty() && all_right) {
+      // Shift refs into the right child's frame.
+      std::vector<int64_t> old_to_new(static_cast<size_t>(total), -1);
+      for (int64_t i = left_size; i < total; ++i) {
+        old_to_new[static_cast<size_t>(i)] = i - left_size;
+      }
+      RemapColumnRefs(*conjunct, old_to_new);
+      to_right.push_back(std::move(conjunct));
+    } else {
+      keep.push_back(std::move(conjunct));
+    }
+  }
+
+  auto add_filter = [](LogicalNodePtr child,
+                       std::vector<BoundExprPtr> preds) -> LogicalNodePtr {
+    if (preds.empty()) return child;
+    auto f = std::make_unique<FilterNode>();
+    f->schema = child->schema;
+    f->predicate = CombineConjuncts(std::move(preds));
+    f->children.push_back(std::move(child));
+    return f;
+  };
+  join.children[0] = add_filter(std::move(join.children[0]),
+                                std::move(to_left));
+  join.children[1] = add_filter(std::move(join.children[1]),
+                                std::move(to_right));
+
+  if (keep.empty()) {
+    return std::move(filter.children[0]);  // filter fully pushed down
+  }
+  filter.predicate = CombineConjuncts(std::move(keep));
+  return node;
+}
+
+// ---- Rule 3: scan projection pruning ----------------------------------------
+//
+// For a chain Project -> Filter* -> Scan, narrow the scan to the columns
+// the project and filters actually reference. Particularly valuable when
+// tables carry wide tensor columns (images) that the query never touches.
+
+LogicalNodePtr PruneScanColumns(LogicalNodePtr node) {
+  for (auto& child : node->children) {
+    child = PruneScanColumns(std::move(child));
+  }
+  if (node->kind != NodeKind::kProject || node->children.empty()) {
+    return node;
+  }
+  // Walk the chain below the project.
+  std::vector<LogicalNode*> chain;
+  LogicalNode* cursor = node->children[0].get();
+  while (cursor->kind == NodeKind::kFilter) {
+    chain.push_back(cursor);
+    cursor = cursor->children[0].get();
+  }
+  if (cursor->kind != NodeKind::kScan) return node;
+  auto& scan = static_cast<ScanNode&>(*cursor);
+  if (!scan.projected_columns.empty()) return node;  // already pruned
+
+  std::set<int64_t> used;
+  ForEachExpr(*node, [&](BoundExpr& e) { CollectColumnRefs(e, used); });
+  for (LogicalNode* f : chain) {
+    ForEachExpr(*f, [&](BoundExpr& e) { CollectColumnRefs(e, used); });
+  }
+  if (used.size() == scan.schema.size()) return node;  // nothing to prune
+
+  std::vector<int64_t> old_to_new(scan.schema.size(), -1);
+  Schema new_schema;
+  for (int64_t old : used) {
+    old_to_new[static_cast<size_t>(old)] =
+        static_cast<int64_t>(scan.projected_columns.size());
+    scan.projected_columns.push_back(old);
+    new_schema.push_back(scan.schema[static_cast<size_t>(old)]);
+  }
+  scan.schema = new_schema;
+  for (LogicalNode* f : chain) {
+    f->schema = new_schema;
+    ForEachExpr(*f, [&](BoundExpr& e) { RemapColumnRefs(e, old_to_new); });
+  }
+  ForEachExpr(*node, [&](BoundExpr& e) { RemapColumnRefs(e, old_to_new); });
+  return node;
+}
+
+}  // namespace
+
+LogicalNodePtr Optimize(LogicalNodePtr root) {
+  root = FuseLimitIntoSort(std::move(root));
+  root = PushFilterIntoJoin(std::move(root));
+  root = PruneScanColumns(std::move(root));
+  return root;
+}
+
+}  // namespace plan
+}  // namespace tdp

@@ -1,0 +1,23 @@
+#ifndef TDP_PLAN_OPTIMIZER_H_
+#define TDP_PLAN_OPTIMIZER_H_
+
+#include "src/common/statusor.h"
+#include "src/plan/logical_plan.h"
+
+namespace tdp {
+namespace plan {
+
+/// Rule-based plan rewriter (the role Spark/Substrait play for the paper's
+/// prototype). Applied rules:
+///   1. limit-into-sort fusion (top-k sort; ORDER BY ... LIMIT k queries,
+///      e.g. the paper's top-k image search, avoid full materialization),
+///   2. filter pushdown through join (single-side conjuncts move below),
+///   3. scan projection pruning (only referenced columns are read —
+///      important when unreferenced columns are image tensors).
+/// Rewrites in place; returns the (possibly replaced) root.
+LogicalNodePtr Optimize(LogicalNodePtr root);
+
+}  // namespace plan
+}  // namespace tdp
+
+#endif  // TDP_PLAN_OPTIMIZER_H_

@@ -1,0 +1,56 @@
+#include "src/runtime/session.h"
+
+#include "src/plan/optimizer.h"
+#include "src/sql/binder.h"
+#include "src/sql/parser.h"
+
+namespace tdp {
+
+Session::Session()
+    : catalog_(std::make_shared<Catalog>()),
+      registry_(std::make_unique<udf::FunctionRegistry>()) {}
+
+Status Session::RegisterTable(const std::string& name,
+                              std::shared_ptr<Table> table, Device device) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register a null table");
+  }
+  if (device != Device::kCpu) table = table->To(device);
+  return catalog_->RegisterTable(name, std::move(table), /*replace=*/true);
+}
+
+Status Session::RegisterTensor(const std::string& name, Tensor tensor,
+                               Device device) {
+  if (!tensor.defined()) {
+    return Status::InvalidArgument("cannot register an undefined tensor");
+  }
+  TDP_ASSIGN_OR_RETURN(
+      std::shared_ptr<Table> table,
+      Table::Create(name, {"value"}, {Column::Plain(std::move(tensor))}));
+  return RegisterTable(name, std::move(table), device);
+}
+
+StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
+    const std::string& sql, const QueryOptions& options) {
+  TDP_ASSIGN_OR_RETURN(auto statement, sql::Parse(sql));
+  sql::Binder binder(*catalog_, *registry_);
+  TDP_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical_plan,
+                       binder.Bind(*statement));
+  logical_plan = plan::Optimize(std::move(logical_plan));
+  return std::make_shared<exec::CompiledQuery>(
+      std::move(logical_plan), catalog_, options.device, options.trainable);
+}
+
+StatusOr<std::shared_ptr<Table>> Session::Sql(const std::string& sql,
+                                              const QueryOptions& options) {
+  TDP_ASSIGN_OR_RETURN(auto query, Query(sql, options));
+  return query->Run();
+}
+
+StatusOr<std::string> Session::Explain(const std::string& sql,
+                                       const QueryOptions& options) {
+  TDP_ASSIGN_OR_RETURN(auto query, Query(sql, options));
+  return query->Explain();
+}
+
+}  // namespace tdp

@@ -1,0 +1,74 @@
+#ifndef TDP_RUNTIME_SESSION_H_
+#define TDP_RUNTIME_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/statusor.h"
+#include "src/exec/compiled_query.h"
+#include "src/storage/catalog.h"
+#include "src/udf/registry.h"
+
+namespace tdp {
+
+/// Compilation options — the paper's `extra_config` (Listing 6) plus the
+/// target device (Listing 2).
+struct QueryOptions {
+  Device device = Device::kAccel;
+  /// Compile an end-to-end differentiable plan (soft operators over PE
+  /// columns); enables training the query with gradient descent.
+  bool trainable = false;
+};
+
+/// Top-level TDP handle — the C++ analogue of the paper's `tdp` module:
+/// registration APIs (`tdp.sql.register_df` et al.), the UDF/TVF
+/// annotation registry, and query compilation (`tdp.sql.spark.query`).
+class Session {
+ public:
+  Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- Data ingestion --------------------------------------------------
+
+  /// Registers `table` under `name`, replacing any previous registration
+  /// (training loops re-register inputs each iteration). Data is moved to
+  /// `device`.
+  Status RegisterTable(const std::string& name, std::shared_ptr<Table> table,
+                       Device device = Device::kCpu);
+
+  /// Registers a single-column table holding one tensor (the paper's
+  /// `register_tensor`), column name "value".
+  Status RegisterTensor(const std::string& name, Tensor tensor,
+                        Device device = Device::kCpu);
+
+  // ---- Functions --------------------------------------------------------
+
+  udf::FunctionRegistry& functions() { return *registry_; }
+
+  // ---- Queries ----------------------------------------------------------
+
+  /// Parses, binds, optimizes and compiles `sql` into a tensor program.
+  StatusOr<std::shared_ptr<exec::CompiledQuery>> Query(
+      const std::string& sql, const QueryOptions& options = {});
+
+  /// One-shot convenience: compile + run.
+  StatusOr<std::shared_ptr<Table>> Sql(const std::string& sql,
+                                       const QueryOptions& options = {});
+
+  /// EXPLAIN: the optimized plan for `sql`.
+  StatusOr<std::string> Explain(const std::string& sql,
+                                const QueryOptions& options = {});
+
+  const Catalog& catalog() const { return *catalog_; }
+  Catalog& catalog() { return *catalog_; }
+
+ private:
+  std::shared_ptr<Catalog> catalog_;
+  std::unique_ptr<udf::FunctionRegistry> registry_;
+};
+
+}  // namespace tdp
+
+#endif  // TDP_RUNTIME_SESSION_H_

@@ -1,0 +1,39 @@
+#ifndef TDP_SQL_BINDER_H_
+#define TDP_SQL_BINDER_H_
+
+#include <memory>
+
+#include "src/common/statusor.h"
+#include "src/plan/logical_plan.h"
+#include "src/sql/ast.h"
+#include "src/storage/catalog.h"
+#include "src/udf/registry.h"
+
+namespace tdp {
+namespace sql {
+
+/// Resolves names and types in a parsed SELECT against a catalog and
+/// function registry, producing a bound logical plan:
+///
+///   Scan/TvfScan -> Filter(WHERE) -> Aggregate -> Filter(HAVING)
+///     -> Project -> Distinct -> Sort -> Limit
+///
+/// (nodes omitted when the query lacks the clause). Aggregate expressions
+/// in SELECT/HAVING are decomposed into AggDefs plus post-aggregation
+/// expressions over the aggregate's output.
+class Binder {
+ public:
+  Binder(const Catalog& catalog, const udf::FunctionRegistry& registry)
+      : catalog_(catalog), registry_(registry) {}
+
+  StatusOr<plan::LogicalNodePtr> Bind(const SelectStatement& stmt);
+
+ private:
+  const Catalog& catalog_;
+  const udf::FunctionRegistry& registry_;
+};
+
+}  // namespace sql
+}  // namespace tdp
+
+#endif  // TDP_SQL_BINDER_H_

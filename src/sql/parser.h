@@ -1,0 +1,23 @@
+#ifndef TDP_SQL_PARSER_H_
+#define TDP_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/statusor.h"
+#include "src/sql/ast.h"
+
+namespace tdp {
+namespace sql {
+
+/// Parses one SELECT statement (optionally ';'-terminated). TDP's SQL
+/// dialect covers the analytical subset the paper exercises: projections
+/// with expressions and aliases, scalar UDF calls, TVFs in FROM, WHERE,
+/// GROUP BY + aggregates, HAVING, ORDER BY, LIMIT/OFFSET, INNER/LEFT JOIN,
+/// FROM-subqueries, DISTINCT, CASE, BETWEEN, IN.
+StatusOr<std::unique_ptr<SelectStatement>> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace tdp
+
+#endif  // TDP_SQL_PARSER_H_

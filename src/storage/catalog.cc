@@ -1,0 +1,46 @@
+#include "src/storage/catalog.h"
+
+#include "src/common/string_util.h"
+
+namespace tdp {
+
+Status Catalog::RegisterTable(const std::string& name,
+                              std::shared_ptr<Table> table, bool replace) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register a null table");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  const std::string key = ToLower(name);
+  if (!replace && tables_.contains(key)) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, unused_table] : tables_) names.push_back(key);
+  return names;
+}
+
+}  // namespace tdp

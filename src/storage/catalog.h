@@ -1,0 +1,41 @@
+#ifndef TDP_STORAGE_CATALOG_H_
+#define TDP_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/storage/table.h"
+
+namespace tdp {
+
+/// Name -> table registry backing a TDP session (the paper's
+/// `tdp.sql.register_df` target). Names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `table` under `name`. When `replace` is true an existing
+  /// table is overwritten (the paper re-registers MNIST_Grid every
+  /// training iteration), otherwise AlreadyExists is returned.
+  Status RegisterTable(const std::string& name,
+                       std::shared_ptr<Table> table, bool replace = true);
+
+  StatusOr<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;  // lowercased keys
+};
+
+}  // namespace tdp
+
+#endif  // TDP_STORAGE_CATALOG_H_

@@ -1,0 +1,161 @@
+#include "src/storage/column.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+
+std::string_view EncodingName(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return "plain";
+    case Encoding::kDictionary:
+      return "dictionary";
+    case Encoding::kProbability:
+      return "probability";
+  }
+  return "unknown";
+}
+
+Column Column::Plain(Tensor data) {
+  TDP_CHECK(data.defined());
+  TDP_CHECK_GE(data.dim(), 1) << "columns must have a row dimension";
+  Column c;
+  c.encoding_ = Encoding::kPlain;
+  c.data_ = std::move(data);
+  return c;
+}
+
+Column Column::Dictionary(Tensor codes, std::vector<std::string> dictionary) {
+  TDP_CHECK(codes.defined());
+  TDP_CHECK(codes.dtype() == DType::kInt64 && codes.dim() == 1)
+      << "dictionary codes must be 1-d int64";
+  TDP_CHECK(std::is_sorted(dictionary.begin(), dictionary.end()))
+      << "dictionary must be sorted (order-preserving encoding)";
+  Column c;
+  c.encoding_ = Encoding::kDictionary;
+  c.data_ = std::move(codes);
+  c.dictionary_ = std::move(dictionary);
+  return c;
+}
+
+Column Column::FromStrings(const std::vector<std::string>& values,
+                           Device device) {
+  // Order-preserving: sort distinct values so that code comparisons agree
+  // with lexicographic comparisons.
+  std::map<std::string, int64_t> index;
+  for (const std::string& v : values) index.emplace(v, 0);
+  std::vector<std::string> dictionary;
+  dictionary.reserve(index.size());
+  int64_t next = 0;
+  for (auto& [key, code] : index) {
+    code = next++;
+    dictionary.push_back(key);
+  }
+  Tensor codes =
+      Tensor::Empty({static_cast<int64_t>(values.size())}, DType::kInt64,
+                    device);
+  int64_t* p = codes.data<int64_t>();
+  for (size_t i = 0; i < values.size(); ++i) p[i] = index[values[i]];
+  return Dictionary(std::move(codes), std::move(dictionary));
+}
+
+Column Column::Probability(Tensor probs, std::vector<double> domain) {
+  TDP_CHECK(probs.defined());
+  TDP_CHECK_EQ(probs.dim(), 2) << "PE tensor must be [rows, classes]";
+  TDP_CHECK(IsFloatingPoint(probs.dtype()));
+  TDP_CHECK_EQ(probs.size(1), static_cast<int64_t>(domain.size()))
+      << "PE domain size must match the class dimension";
+  Column c;
+  c.encoding_ = Encoding::kProbability;
+  c.data_ = std::move(probs);
+  c.domain_ = std::move(domain);
+  return c;
+}
+
+int64_t Column::DictionaryCode(const std::string& value) const {
+  TDP_CHECK(encoding_ == Encoding::kDictionary);
+  const auto it =
+      std::lower_bound(dictionary_.begin(), dictionary_.end(), value);
+  if (it == dictionary_.end() || *it != value) return -1;
+  return it - dictionary_.begin();
+}
+
+int64_t Column::LowerBoundCode(const std::string& value) const {
+  TDP_CHECK(encoding_ == Encoding::kDictionary);
+  return std::lower_bound(dictionary_.begin(), dictionary_.end(), value) -
+         dictionary_.begin();
+}
+
+int64_t Column::UpperBoundCode(const std::string& value) const {
+  TDP_CHECK(encoding_ == Encoding::kDictionary);
+  return std::upper_bound(dictionary_.begin(), dictionary_.end(), value) -
+         dictionary_.begin();
+}
+
+std::vector<std::string> Column::DecodeStrings() const {
+  TDP_CHECK(encoding_ == Encoding::kDictionary)
+      << "DecodeStrings on a non-dictionary column";
+  const std::vector<int64_t> codes = data_.ToVector<int64_t>();
+  std::vector<std::string> out;
+  out.reserve(codes.size());
+  for (int64_t code : codes) {
+    TDP_CHECK(code >= 0 && code < static_cast<int64_t>(dictionary_.size()));
+    out.push_back(dictionary_[static_cast<size_t>(code)]);
+  }
+  return out;
+}
+
+Tensor Column::DecodeValues() const {
+  switch (encoding_) {
+    case Encoding::kPlain:
+      return data_;
+    case Encoding::kDictionary:
+      return data_;  // codes are the comparable representation
+    case Encoding::kProbability: {
+      // Hard decode: domain[argmax(probs)].
+      const Tensor arg = ArgMax(data_.Detach(), 1, /*keepdim=*/false);
+      Tensor domain_t = Tensor::Empty(
+          {static_cast<int64_t>(domain_.size())}, DType::kFloat32,
+          data_.device());
+      float* dp = domain_t.data<float>();
+      for (size_t i = 0; i < domain_.size(); ++i) {
+        dp[i] = static_cast<float>(domain_[i]);
+      }
+      return IndexSelect(domain_t, 0, arg);
+    }
+  }
+  TDP_LOG(Fatal) << "unknown encoding";
+  return Tensor();
+}
+
+Column Column::To(Device device) const {
+  Column c = *this;
+  c.data_ = data_.To(device);
+  return c;
+}
+
+Column Column::Select(const Tensor& indices) const {
+  Column c = *this;
+  c.data_ = IndexSelect(data_, 0, indices);
+  return c;
+}
+
+std::string Column::ToString() const {
+  std::ostringstream os;
+  os << "Column(" << EncodingName(encoding_) << ", " << data_.ToString();
+  if (encoding_ == Encoding::kDictionary) {
+    os << ", dict_size=" << dictionary_.size();
+  }
+  if (encoding_ == Encoding::kProbability) {
+    os << ", domain_size=" << domain_.size();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tdp

@@ -1,0 +1,146 @@
+#include "src/storage/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace tdp {
+
+StatusOr<std::shared_ptr<Table>> Table::Create(
+    std::string name, std::vector<std::string> column_names,
+    std::vector<Column> columns) {
+  if (column_names.size() != columns.size()) {
+    return Status::InvalidArgument("column name/data count mismatch");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  const int64_t rows = columns[0].length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!columns[i].defined()) {
+      return Status::InvalidArgument("undefined column: " + column_names[i]);
+    }
+    if (columns[i].length() != rows) {
+      return Status::InvalidArgument(
+          "column " + column_names[i] + " has " +
+          std::to_string(columns[i].length()) + " rows, expected " +
+          std::to_string(rows));
+    }
+    for (size_t j = i + 1; j < column_names.size(); ++j) {
+      if (EqualsIgnoreCase(column_names[i], column_names[j])) {
+        return Status::InvalidArgument("duplicate column name: " +
+                                       column_names[i]);
+      }
+    }
+  }
+  return std::shared_ptr<Table>(new Table(std::move(name),
+                                          std::move(column_names),
+                                          std::move(columns), rows));
+}
+
+StatusOr<int64_t> Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (EqualsIgnoreCase(column_names_[i], column_name)) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return Status::NotFound("column not found: " + column_name + " in table " +
+                          name_);
+}
+
+std::shared_ptr<Table> Table::To(Device device) const {
+  std::vector<Column> moved;
+  moved.reserve(columns_.size());
+  for (const Column& c : columns_) moved.push_back(c.To(device));
+  auto result = Create(name_, column_names_, std::move(moved));
+  TDP_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << " (" << num_rows_ << " rows)\n";
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << column_names_[i];
+  }
+  os << "\n";
+  const int64_t shown = std::min<int64_t>(max_rows, num_rows_);
+  // Pre-decode dictionary columns once.
+  std::vector<std::vector<std::string>> decoded(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].encoding() == Encoding::kDictionary) {
+      decoded[c] = columns_[c].DecodeStrings();
+    }
+  }
+  for (int64_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << " | ";
+      const Column& col = columns_[c];
+      if (col.encoding() == Encoding::kDictionary) {
+        os << decoded[c][static_cast<size_t>(r)];
+      } else if (col.IsTensorColumn()) {
+        os << "<tensor " << ShapeToString(col.data().shape()) << " row>";
+      } else if (col.encoding() == Encoding::kProbability) {
+        os << "<pe " << col.data().size(1) << " classes>";
+      } else {
+        os << col.data().At({r});
+      }
+    }
+    os << "\n";
+  }
+  if (shown < num_rows_) os << "... (" << num_rows_ - shown << " more)\n";
+  return os.str();
+}
+
+TableBuilder& TableBuilder::AddFloat32(const std::string& column_name,
+                                       const std::vector<float>& values) {
+  return AddColumn(column_name, Column::Plain(Tensor::FromVector(values)));
+}
+
+TableBuilder& TableBuilder::AddFloat64(const std::string& column_name,
+                                       const std::vector<double>& values) {
+  return AddColumn(column_name, Column::Plain(Tensor::FromVector(values)));
+}
+
+TableBuilder& TableBuilder::AddInt64(const std::string& column_name,
+                                     const std::vector<int64_t>& values) {
+  return AddColumn(column_name, Column::Plain(Tensor::FromVector(values)));
+}
+
+TableBuilder& TableBuilder::AddBool(const std::string& column_name,
+                                    const std::vector<bool>& values) {
+  Tensor t = Tensor::Empty({static_cast<int64_t>(values.size())},
+                           DType::kBool);
+  bool* p = t.data<bool>();
+  for (size_t i = 0; i < values.size(); ++i) p[i] = values[i];
+  return AddColumn(column_name, Column::Plain(std::move(t)));
+}
+
+TableBuilder& TableBuilder::AddStrings(const std::string& column_name,
+                                       const std::vector<std::string>& values) {
+  return AddColumn(column_name, Column::FromStrings(values));
+}
+
+TableBuilder& TableBuilder::AddTensor(const std::string& column_name,
+                                      Tensor values) {
+  return AddColumn(column_name, Column::Plain(std::move(values)));
+}
+
+TableBuilder& TableBuilder::AddColumn(const std::string& column_name,
+                                      Column column) {
+  column_names_.push_back(column_name);
+  columns_.push_back(std::move(column));
+  return *this;
+}
+
+StatusOr<std::shared_ptr<Table>> TableBuilder::Build(Device device) {
+  TDP_ASSIGN_OR_RETURN(
+      std::shared_ptr<Table> table,
+      Table::Create(name_, std::move(column_names_), std::move(columns_)));
+  if (device != Device::kCpu) return table->To(device);
+  return table;
+}
+
+}  // namespace tdp

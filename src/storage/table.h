@@ -1,0 +1,94 @@
+#ifndef TDP_STORAGE_TABLE_H_
+#define TDP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/storage/column.h"
+
+namespace tdp {
+
+/// Immutable columnar table: named encoded-tensor columns of equal row
+/// count. TDP's storage model (§2): scalar columns are 1-d tensors, while
+/// unstructured columns (images, embeddings) are rank >= 2 tensors whose
+/// dim 0 is the row dimension — structured and unstructured data share one
+/// representation.
+class Table {
+ public:
+  /// Validates equal column lengths and unique names.
+  static StatusOr<std::shared_ptr<Table>> Create(
+      std::string name, std::vector<std::string> column_names,
+      std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_columns() const {
+    return static_cast<int64_t>(columns_.size());
+  }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  const Column& column(int64_t i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+
+  /// Case-insensitive column lookup.
+  StatusOr<int64_t> ColumnIndex(const std::string& column_name) const;
+
+  /// Copies all columns to `device` (the paper's `register_df(...,
+  /// device=...)`).
+  std::shared_ptr<Table> To(Device device) const;
+
+  /// Renders up to `max_rows` rows as an aligned text table (result
+  /// display in examples — the `toPandas` analogue).
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Table(std::string name, std::vector<std::string> column_names,
+        std::vector<Column> columns, int64_t num_rows)
+      : name_(std::move(name)),
+        column_names_(std::move(column_names)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<Column> columns_;
+  int64_t num_rows_;
+};
+
+/// Convenience incremental builder used by ingestion APIs and tests.
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::string table_name)
+      : name_(std::move(table_name)) {}
+
+  TableBuilder& AddFloat32(const std::string& column_name,
+                           const std::vector<float>& values);
+  TableBuilder& AddFloat64(const std::string& column_name,
+                           const std::vector<double>& values);
+  TableBuilder& AddInt64(const std::string& column_name,
+                         const std::vector<int64_t>& values);
+  TableBuilder& AddBool(const std::string& column_name,
+                        const std::vector<bool>& values);
+  TableBuilder& AddStrings(const std::string& column_name,
+                           const std::vector<std::string>& values);
+  /// Rank >= 2 tensor column (e.g. [n, c, h, w] images).
+  TableBuilder& AddTensor(const std::string& column_name, Tensor values);
+  /// Pre-built column of any encoding.
+  TableBuilder& AddColumn(const std::string& column_name, Column column);
+
+  /// Builds the table, optionally moving all columns to `device`.
+  StatusOr<std::shared_ptr<Table>> Build(Device device = Device::kCpu);
+
+ private:
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace tdp
+
+#endif  // TDP_STORAGE_TABLE_H_

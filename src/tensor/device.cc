@@ -1,0 +1,28 @@
+#include "src/tensor/device.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace tdp {
+
+std::string_view DeviceName(Device device) {
+  switch (device) {
+    case Device::kCpu:
+      return "cpu";
+    case Device::kAccel:
+      return "accel";
+  }
+  return "unknown";
+}
+
+Device ParseDevice(std::string_view name) {
+  if (EqualsIgnoreCase(name, "cpu")) return Device::kCpu;
+  if (EqualsIgnoreCase(name, "accel") || EqualsIgnoreCase(name, "cuda") ||
+      EqualsIgnoreCase(name, "gpu")) {
+    return Device::kAccel;
+  }
+  TDP_LOG(Fatal) << "unknown device name: " << name;
+  return Device::kCpu;
+}
+
+}  // namespace tdp

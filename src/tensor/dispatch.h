@@ -1,0 +1,51 @@
+#ifndef TDP_TENSOR_DISPATCH_H_
+#define TDP_TENSOR_DISPATCH_H_
+
+#include "src/common/logging.h"
+#include "src/tensor/dtype.h"
+
+// Kernel dtype dispatch macros. `__VA_ARGS__` is a block that may use the
+// local type alias `scalar_t`. Modeled on PyTorch's AT_DISPATCH family.
+
+#define TDP_DISPATCH_CASE_(dtype_enum, ctype, ...) \
+  case dtype_enum: {                               \
+    using scalar_t = ctype;                        \
+    __VA_ARGS__                                    \
+    break;                                         \
+  }
+
+/// Dispatches over every supported dtype.
+#define TDP_DISPATCH_ALL(dtype, ...)                                \
+  switch (dtype) {                                                  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kFloat32, float, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kFloat64, double, __VA_ARGS__) \
+    TDP_DISPATCH_CASE_(::tdp::DType::kInt32, int32_t, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kInt64, int64_t, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kUInt8, uint8_t, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kBool, bool, __VA_ARGS__)      \
+    default:                                                        \
+      TDP_LOG(Fatal) << "unsupported dtype in dispatch";            \
+  }
+
+/// Dispatches over numeric (non-bool) dtypes.
+#define TDP_DISPATCH_NUMERIC(dtype, ...)                            \
+  switch (dtype) {                                                  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kFloat32, float, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kFloat64, double, __VA_ARGS__) \
+    TDP_DISPATCH_CASE_(::tdp::DType::kInt32, int32_t, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kInt64, int64_t, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kUInt8, uint8_t, __VA_ARGS__)  \
+    default:                                                        \
+      TDP_LOG(Fatal) << "expected a numeric dtype";                 \
+  }
+
+/// Dispatches over floating-point dtypes.
+#define TDP_DISPATCH_FLOAT(dtype, ...)                              \
+  switch (dtype) {                                                  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kFloat32, float, __VA_ARGS__)  \
+    TDP_DISPATCH_CASE_(::tdp::DType::kFloat64, double, __VA_ARGS__) \
+    default:                                                        \
+      TDP_LOG(Fatal) << "expected a floating-point dtype";          \
+  }
+
+#endif  // TDP_TENSOR_DISPATCH_H_

@@ -1,0 +1,75 @@
+#include "src/tensor/dtype.h"
+
+#include "src/common/logging.h"
+
+namespace tdp {
+
+int64_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 8;
+    case DType::kInt32:
+      return 4;
+    case DType::kInt64:
+      return 8;
+    case DType::kUInt8:
+      return 1;
+    case DType::kBool:
+      return 1;
+  }
+  TDP_LOG(Fatal) << "unknown dtype";
+  return 0;
+}
+
+std::string_view DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kUInt8:
+      return "uint8";
+    case DType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+bool IsFloatingPoint(DType dtype) {
+  return dtype == DType::kFloat32 || dtype == DType::kFloat64;
+}
+
+bool IsInteger(DType dtype) {
+  return dtype == DType::kInt32 || dtype == DType::kInt64 ||
+         dtype == DType::kUInt8;
+}
+
+DType PromoteTypes(DType a, DType b) {
+  if (a == b) return a;
+  auto rank = [](DType t) {
+    switch (t) {
+      case DType::kBool:
+        return 0;
+      case DType::kUInt8:
+        return 1;
+      case DType::kInt32:
+        return 2;
+      case DType::kInt64:
+        return 3;
+      case DType::kFloat32:
+        return 4;
+      case DType::kFloat64:
+        return 5;
+    }
+    return -1;
+  };
+  return rank(a) > rank(b) ? a : b;
+}
+
+}  // namespace tdp

@@ -1,0 +1,68 @@
+#ifndef TDP_TENSOR_DTYPE_H_
+#define TDP_TENSOR_DTYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tdp {
+
+/// Element type of a tensor. Float32 is the primary compute type (and the
+/// only one tracked by autograd together with Float64); integer and bool
+/// types back relational columns, masks, and index tensors.
+enum class DType : uint8_t {
+  kFloat32 = 0,
+  kFloat64,
+  kInt32,
+  kInt64,
+  kUInt8,
+  kBool,
+};
+
+/// Size in bytes of one element of `dtype`.
+int64_t DTypeSize(DType dtype);
+
+/// Stable lowercase name, e.g. "float32".
+std::string_view DTypeName(DType dtype);
+
+/// True for kFloat32/kFloat64.
+bool IsFloatingPoint(DType dtype);
+
+/// True for kInt32/kInt64/kUInt8.
+bool IsInteger(DType dtype);
+
+/// C++ type -> DType mapping (primary template intentionally undefined).
+template <typename T>
+struct DTypeOf;
+
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kFloat32;
+};
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kFloat64;
+};
+template <>
+struct DTypeOf<int32_t> {
+  static constexpr DType value = DType::kInt32;
+};
+template <>
+struct DTypeOf<int64_t> {
+  static constexpr DType value = DType::kInt64;
+};
+template <>
+struct DTypeOf<uint8_t> {
+  static constexpr DType value = DType::kUInt8;
+};
+template <>
+struct DTypeOf<bool> {
+  static constexpr DType value = DType::kBool;
+};
+
+/// Result dtype of arithmetic between `a` and `b` (numpy-like promotion:
+/// any float wins, wider wins, bool promotes to the other side).
+DType PromoteTypes(DType a, DType b);
+
+}  // namespace tdp
+
+#endif  // TDP_TENSOR_DTYPE_H_

@@ -1,0 +1,77 @@
+#include <cmath>
+
+#include "src/autograd/node.h"
+#include "src/tensor/dispatch.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/ops_internal.h"
+
+namespace tdp {
+
+Tensor Softmax(const Tensor& t, int64_t dim) {
+  const int64_t d = internal_ops::NormalizeDim(dim, t.dim());
+  // Stabilize with the (detached) per-slice max; gradients flow through the
+  // exp/sum composition, which is exact for softmax.
+  const Tensor max_vals = Max(t.Detach(), d, /*keepdim=*/true).values;
+  const Tensor shifted = Sub(t, max_vals);
+  const Tensor exps = Exp(shifted);
+  const Tensor denom = Sum(exps, d, /*keepdim=*/true);
+  return Div(exps, denom);
+}
+
+Tensor LogSoftmax(const Tensor& t, int64_t dim) {
+  const int64_t d = internal_ops::NormalizeDim(dim, t.dim());
+  const Tensor max_vals = Max(t.Detach(), d, /*keepdim=*/true).values;
+  const Tensor shifted = Sub(t, max_vals);
+  const Tensor log_denom = Log(Sum(Exp(shifted), d, /*keepdim=*/true));
+  return Sub(shifted, log_denom);
+}
+
+Tensor L2Normalize(const Tensor& t, int64_t dim, double eps) {
+  const int64_t d = internal_ops::NormalizeDim(dim, t.dim());
+  const Tensor norm = Sqrt(Sum(Mul(t, t), d, /*keepdim=*/true));
+  const Tensor safe = Maximum(
+      norm, Tensor::Scalar(eps, norm.dtype(), norm.device()));
+  return Div(t, safe);
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (!a.defined() || !b.defined()) return false;
+  if (a.shape() != b.shape()) return false;
+  const Tensor ac = a.Detach().Contiguous();
+  const Tensor bc = b.Detach().Contiguous();
+  const int64_t n = ac.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    double av = 0, bv = 0;
+    TDP_DISPATCH_ALL(ac.dtype(), {
+      av = static_cast<double>(ac.data<scalar_t>()[i]);
+    });
+    TDP_DISPATCH_ALL(bc.dtype(), {
+      bv = static_cast<double>(bc.data<scalar_t>()[i]);
+    });
+    if (std::isnan(av) || std::isnan(bv)) return false;
+    if (std::abs(av - bv) > atol + rtol * std::abs(bv)) return false;
+  }
+  return true;
+}
+
+bool TensorEqual(const Tensor& a, const Tensor& b) {
+  if (!a.defined() || !b.defined()) return false;
+  if (a.dtype() != b.dtype() || a.shape() != b.shape()) return false;
+  const Tensor ac = a.Detach().Contiguous();
+  const Tensor bc = b.Detach().Contiguous();
+  const int64_t n = ac.numel();
+  bool equal = true;
+  TDP_DISPATCH_ALL(a.dtype(), {
+    const scalar_t* ap = ac.data<scalar_t>();
+    const scalar_t* bp = bc.data<scalar_t>();
+    for (int64_t i = 0; i < n; ++i) {
+      if (ap[i] != bp[i]) {
+        equal = false;
+        break;
+      }
+    }
+  });
+  return equal;
+}
+
+}  // namespace tdp

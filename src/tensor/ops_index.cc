@@ -1,0 +1,226 @@
+#include <cstring>
+
+#include "src/autograd/node.h"
+#include "src/tensor/dispatch.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/ops_internal.h"
+
+namespace tdp {
+namespace {
+
+using internal_ops::NormalizeDim;
+
+}  // namespace
+
+Tensor IndexSelect(const Tensor& t, int64_t dim, const Tensor& indices) {
+  TDP_CHECK(t.defined() && indices.defined());
+  TDP_CHECK(indices.dtype() == DType::kInt64 && indices.dim() == 1)
+      << "IndexSelect indices must be 1-d int64";
+  const int64_t d = NormalizeDim(dim, t.dim());
+  const Tensor tc = t.Contiguous();
+  const Tensor ic = indices.Contiguous();
+  const int64_t k = ic.numel();
+
+  std::vector<int64_t> out_shape = t.shape();
+  out_shape[static_cast<size_t>(d)] = k;
+  Tensor out = Tensor::Empty(out_shape, t.dtype(), t.device());
+
+  // Geometry: [outer, dim, inner] with contiguous input.
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < d; ++i) outer *= t.size(i);
+  for (int64_t i = d + 1; i < t.dim(); ++i) inner *= t.size(i);
+  const int64_t dim_size = t.size(d);
+  const int64_t* ip = ic.data<int64_t>();
+  const int64_t esize = DTypeSize(t.dtype());
+
+  const uint8_t* sp = reinterpret_cast<const uint8_t*>(tc.impl()->buffer->data()) +
+                      tc.offset() * esize;
+  uint8_t* op = out.impl()->buffer->data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t src_row = ip[j];
+      TDP_CHECK(src_row >= 0 && src_row < dim_size)
+          << "index " << src_row << " out of range [0, " << dim_size << ")";
+      std::memcpy(op + ((o * k + j) * inner) * esize,
+                  sp + ((o * dim_size + src_row) * inner) * esize,
+                  static_cast<size_t>(inner * esize));
+    }
+  }
+
+  Tensor indices_saved = ic;
+  autograd::RecordOp(
+      "IndexSelect", {t, Tensor()}, out,
+      [t, d, indices_saved](const Tensor& g) {
+        // Scatter-add the gradient rows back to their source positions.
+        Tensor grad_in = Tensor::Zeros(t.shape(), g.dtype(), g.device());
+        const Tensor gc = g.Contiguous();
+        int64_t outer = 1, inner = 1;
+        for (int64_t i = 0; i < d; ++i) outer *= t.size(i);
+        for (int64_t i = d + 1; i < t.dim(); ++i) inner *= t.size(i);
+        const int64_t dim_size = t.size(d);
+        const int64_t k = indices_saved.numel();
+        const int64_t* ip = indices_saved.data<int64_t>();
+        TDP_DISPATCH_FLOAT(g.dtype(), {
+          const scalar_t* gp = gc.data<scalar_t>();
+          scalar_t* rp = grad_in.data<scalar_t>();
+          for (int64_t o = 0; o < outer; ++o) {
+            for (int64_t j = 0; j < k; ++j) {
+              const scalar_t* src = gp + (o * k + j) * inner;
+              scalar_t* dst = rp + (o * dim_size + ip[j]) * inner;
+              for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+            }
+          }
+        });
+        return std::vector<Tensor>{grad_in, Tensor()};
+      });
+  return out;
+}
+
+Tensor NonZero(const Tensor& mask) {
+  TDP_CHECK(mask.defined());
+  TDP_CHECK(mask.dtype() == DType::kBool && mask.dim() == 1)
+      << "NonZero expects a 1-d bool mask";
+  const Tensor mc = mask.Contiguous();
+  const bool* mp = mc.data<bool>();
+  const int64_t n = mc.numel();
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) count += mp[i] ? 1 : 0;
+  Tensor out = Tensor::Empty({count}, DType::kInt64, mask.device());
+  int64_t* op = out.data<int64_t>();
+  int64_t j = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (mp[i]) op[j++] = i;
+  }
+  return out;
+}
+
+Tensor MaskedSelectRows(const Tensor& t, const Tensor& mask) {
+  TDP_CHECK(t.defined() && mask.defined());
+  TDP_CHECK(mask.dim() == 1 && mask.numel() == t.size(0))
+      << "mask must be 1-d with one entry per row";
+  return IndexSelect(t, 0, NonZero(mask));
+}
+
+Tensor Gather(const Tensor& t, int64_t dim, const Tensor& index) {
+  TDP_CHECK(t.defined() && index.defined());
+  TDP_CHECK(index.dtype() == DType::kInt64);
+  TDP_CHECK_EQ(t.dim(), index.dim());
+  const int64_t d = NormalizeDim(dim, t.dim());
+  const Tensor tc = t.Contiguous();
+  const Tensor ic = index.Contiguous();
+  Tensor out = Tensor::Empty(index.shape(), t.dtype(), t.device());
+
+  // Walk the index space of `index`; for each position, replace the d-th
+  // coordinate by the index value when addressing `t`.
+  const int64_t n = ic.numel();
+  const std::vector<int64_t> tstrides = ContiguousStrides(t.shape());
+  const std::vector<int64_t> istrides = ContiguousStrides(index.shape());
+  const int64_t* ip = ic.data<int64_t>();
+  TDP_DISPATCH_ALL(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    scalar_t* op = out.data<scalar_t>();
+    std::vector<int64_t> idx(static_cast<size_t>(index.dim()), 0);
+    for (int64_t flat = 0; flat < n; ++flat) {
+      const int64_t gathered = ip[flat];
+      TDP_CHECK(gathered >= 0 && gathered < t.size(d));
+      int64_t soff = 0;
+      for (int64_t dd = 0; dd < index.dim(); ++dd) {
+        const int64_t coord = dd == d ? gathered : idx[static_cast<size_t>(dd)];
+        soff += coord * tstrides[static_cast<size_t>(dd)];
+      }
+      op[flat] = sp[soff];
+      for (int64_t dd = index.dim() - 1; dd >= 0; --dd) {
+        const size_t ud = static_cast<size_t>(dd);
+        if (++idx[ud] < index.size(dd)) break;
+        idx[ud] = 0;
+      }
+    }
+  });
+
+  Tensor index_saved = ic;
+  autograd::RecordOp(
+      "Gather", {t, Tensor()}, out, [t, d, index_saved](const Tensor& g) {
+        Tensor grad_in = Tensor::Zeros(t.shape(), g.dtype(), g.device());
+        const Tensor gc = g.Contiguous();
+        const std::vector<int64_t> tstrides = ContiguousStrides(t.shape());
+        const int64_t n = index_saved.numel();
+        const int64_t* ip = index_saved.data<int64_t>();
+        TDP_DISPATCH_FLOAT(g.dtype(), {
+          const scalar_t* gp = gc.data<scalar_t>();
+          scalar_t* rp = grad_in.data<scalar_t>();
+          std::vector<int64_t> idx(static_cast<size_t>(index_saved.dim()), 0);
+          for (int64_t flat = 0; flat < n; ++flat) {
+            int64_t soff = 0;
+            for (int64_t dd = 0; dd < index_saved.dim(); ++dd) {
+              const int64_t coord =
+                  dd == d ? ip[flat] : idx[static_cast<size_t>(dd)];
+              soff += coord * tstrides[static_cast<size_t>(dd)];
+            }
+            rp[soff] += gp[flat];
+            for (int64_t dd = index_saved.dim() - 1; dd >= 0; --dd) {
+              const size_t ud = static_cast<size_t>(dd);
+              if (++idx[ud] < index_saved.size(dd)) break;
+              idx[ud] = 0;
+            }
+          }
+        });
+        return std::vector<Tensor>{grad_in, Tensor()};
+      });
+  return out;
+}
+
+Tensor ScatterAddRows(const Tensor& base, const Tensor& index,
+                      const Tensor& src) {
+  TDP_CHECK(base.defined() && index.defined() && src.defined());
+  TDP_CHECK(index.dtype() == DType::kInt64 && index.dim() == 1);
+  TDP_CHECK_EQ(index.numel(), src.size(0));
+  TDP_CHECK_EQ(base.dim(), src.dim());
+  for (int64_t i = 1; i < base.dim(); ++i) {
+    TDP_CHECK_EQ(base.size(i), src.size(i));
+  }
+  Tensor out = base.Detach().Clone();
+  const Tensor sc = src.Detach().Contiguous();
+  const Tensor ic = index.Contiguous();
+  const int64_t rows = src.size(0);
+  const int64_t inner = src.numel() / std::max<int64_t>(rows, 1);
+  const int64_t* ip = ic.data<int64_t>();
+  TDP_DISPATCH_NUMERIC(base.dtype(), {
+    scalar_t* op = out.data<scalar_t>();
+    const scalar_t* sp = sc.data<scalar_t>();
+    for (int64_t r = 0; r < rows; ++r) {
+      const int64_t dst = ip[r];
+      TDP_CHECK(dst >= 0 && dst < out.size(0));
+      scalar_t* d = op + dst * inner;
+      const scalar_t* s = sp + r * inner;
+      for (int64_t i = 0; i < inner; ++i) d[i] += s[i];
+    }
+  });
+  Tensor index_saved = ic;
+  autograd::RecordOp("ScatterAddRows", {base, Tensor(), src}, out,
+                     [index_saved](const Tensor& g) {
+                       // d/dbase = g; d/dsrc = g gathered at index rows.
+                       return std::vector<Tensor>{
+                           g, Tensor(), IndexSelect(g, 0, index_saved)};
+                     });
+  return out;
+}
+
+Tensor OneHot(const Tensor& indices, int64_t num_classes) {
+  TDP_CHECK(indices.defined());
+  TDP_CHECK(indices.dtype() == DType::kInt64 && indices.dim() == 1);
+  TDP_CHECK_GT(num_classes, 0);
+  const Tensor ic = indices.Contiguous();
+  const int64_t n = ic.numel();
+  Tensor out =
+      Tensor::Zeros({n, num_classes}, DType::kFloat32, indices.device());
+  const int64_t* ip = ic.data<int64_t>();
+  float* op = out.data<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    TDP_CHECK(ip[i] >= 0 && ip[i] < num_classes)
+        << "one-hot index " << ip[i] << " out of range";
+    op[i * num_classes + ip[i]] = 1.0f;
+  }
+  return out;
+}
+
+}  // namespace tdp

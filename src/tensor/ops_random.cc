@@ -1,0 +1,41 @@
+#include "src/tensor/dispatch.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+
+Tensor RandUniform(std::vector<int64_t> shape, double lo, double hi, Rng& rng,
+                   DType dtype, Device device) {
+  Tensor t = Tensor::Empty(std::move(shape), dtype, device);
+  const int64_t n = t.numel();
+  TDP_DISPATCH_FLOAT(dtype, {
+    scalar_t* p = t.data<scalar_t>();
+    for (int64_t i = 0; i < n; ++i) {
+      p[i] = static_cast<scalar_t>(rng.Uniform(lo, hi));
+    }
+  });
+  return t;
+}
+
+Tensor RandNormal(std::vector<int64_t> shape, double mean, double stddev,
+                  Rng& rng, DType dtype, Device device) {
+  Tensor t = Tensor::Empty(std::move(shape), dtype, device);
+  const int64_t n = t.numel();
+  TDP_DISPATCH_FLOAT(dtype, {
+    scalar_t* p = t.data<scalar_t>();
+    for (int64_t i = 0; i < n; ++i) {
+      p[i] = static_cast<scalar_t>(rng.Normal(mean, stddev));
+    }
+  });
+  return t;
+}
+
+Tensor RandInt(std::vector<int64_t> shape, int64_t lo, int64_t hi, Rng& rng,
+               Device device) {
+  Tensor t = Tensor::Empty(std::move(shape), DType::kInt64, device);
+  const int64_t n = t.numel();
+  int64_t* p = t.data<int64_t>();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.UniformInt(lo, hi);
+  return t;
+}
+
+}  // namespace tdp

@@ -1,0 +1,258 @@
+#include <cmath>
+#include <limits>
+
+#include "src/autograd/node.h"
+#include "src/tensor/dispatch.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/ops_internal.h"
+
+namespace tdp {
+namespace {
+
+using internal_ops::NormalizeDim;
+
+// Collapses `shape` around `dim` into [outer, reduced, inner].
+struct ReduceGeometry {
+  int64_t outer = 1;
+  int64_t reduced = 1;
+  int64_t inner = 1;
+};
+
+ReduceGeometry MakeGeometry(const std::vector<int64_t>& shape, int64_t dim) {
+  ReduceGeometry geo;
+  for (int64_t i = 0; i < dim; ++i) geo.outer *= shape[static_cast<size_t>(i)];
+  geo.reduced = shape[static_cast<size_t>(dim)];
+  for (size_t i = static_cast<size_t>(dim) + 1; i < shape.size(); ++i) {
+    geo.inner *= shape[i];
+  }
+  return geo;
+}
+
+std::vector<int64_t> ReducedShape(const std::vector<int64_t>& shape,
+                                  int64_t dim, bool keepdim) {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < static_cast<int64_t>(shape.size()); ++i) {
+    if (i == dim) {
+      if (keepdim) out.push_back(1);
+    } else {
+      out.push_back(shape[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& t) {
+  TDP_CHECK(t.defined());
+  TDP_CHECK(t.dtype() != DType::kBool) << "Sum of bool: cast or CountNonzero";
+  const Tensor tc = t.Contiguous();
+  Tensor out = Tensor::Zeros({}, t.dtype(), t.device());
+  const int64_t n = tc.numel();
+  TDP_DISPATCH_NUMERIC(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    // double accumulator avoids catastrophic float32 error on long columns.
+    double acc = 0;
+    for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(sp[i]);
+    *out.data<scalar_t>() = static_cast<scalar_t>(acc);
+  });
+  autograd::RecordOp("Sum", {t}, out, [t](const Tensor& g) {
+    return std::vector<Tensor>{
+        Mul(Tensor::Ones(t.shape(), g.dtype(), g.device()), g)};
+  });
+  return out;
+}
+
+Tensor Sum(const Tensor& t, int64_t dim, bool keepdim) {
+  TDP_CHECK(t.defined());
+  TDP_CHECK(t.dtype() != DType::kBool);
+  dim = NormalizeDim(dim, t.dim());
+  const Tensor tc = t.Contiguous();
+  const ReduceGeometry geo = MakeGeometry(t.shape(), dim);
+  Tensor out =
+      Tensor::Zeros(ReducedShape(t.shape(), dim, keepdim), t.dtype(),
+                    t.device());
+  TDP_DISPATCH_NUMERIC(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    scalar_t* op = out.data<scalar_t>();
+    for (int64_t o = 0; o < geo.outer; ++o) {
+      for (int64_t i = 0; i < geo.inner; ++i) {
+        double acc = 0;
+        const scalar_t* base = sp + (o * geo.reduced) * geo.inner + i;
+        for (int64_t r = 0; r < geo.reduced; ++r) {
+          acc += static_cast<double>(base[r * geo.inner]);
+        }
+        op[o * geo.inner + i] = static_cast<scalar_t>(acc);
+      }
+    }
+  });
+  autograd::RecordOp("SumDim", {t}, out, [t, dim, keepdim](const Tensor& g) {
+    Tensor gx = keepdim ? g : Unsqueeze(g, dim);
+    return std::vector<Tensor>{
+        Mul(Tensor::Ones(t.shape(), g.dtype(), g.device()), gx)};
+  });
+  return out;
+}
+
+Tensor Mean(const Tensor& t) {
+  const int64_t n = t.numel();
+  TDP_CHECK_GT(n, 0);
+  Tensor s = Sum(IsFloatingPoint(t.dtype()) ? t : t.To(DType::kFloat64));
+  return DivScalar(s, static_cast<double>(n));
+}
+
+Tensor Mean(const Tensor& t, int64_t dim, bool keepdim) {
+  const int64_t d = NormalizeDim(dim, t.dim());
+  const int64_t n = t.size(d);
+  TDP_CHECK_GT(n, 0);
+  Tensor s =
+      Sum(IsFloatingPoint(t.dtype()) ? t : t.To(DType::kFloat64), d, keepdim);
+  return DivScalar(s, static_cast<double>(n));
+}
+
+namespace {
+
+MinMaxResult MinMaxImpl(const Tensor& t, int64_t dim, bool keepdim,
+                        bool is_max) {
+  TDP_CHECK(t.defined());
+  TDP_CHECK(t.dtype() != DType::kBool);
+  const int64_t d = NormalizeDim(dim, t.dim());
+  TDP_CHECK_GT(t.size(d), 0) << "min/max over empty dimension";
+  const Tensor tc = t.Contiguous();
+  const ReduceGeometry geo = MakeGeometry(t.shape(), d);
+  const std::vector<int64_t> out_shape = ReducedShape(t.shape(), d, keepdim);
+  Tensor values = Tensor::Empty(out_shape, t.dtype(), t.device());
+  Tensor indices = Tensor::Empty(out_shape, DType::kInt64, t.device());
+  TDP_DISPATCH_NUMERIC(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    scalar_t* vp = values.data<scalar_t>();
+    int64_t* ip = indices.data<int64_t>();
+    for (int64_t o = 0; o < geo.outer; ++o) {
+      for (int64_t i = 0; i < geo.inner; ++i) {
+        const scalar_t* base = sp + (o * geo.reduced) * geo.inner + i;
+        scalar_t best = base[0];
+        int64_t best_idx = 0;
+        for (int64_t r = 1; r < geo.reduced; ++r) {
+          const scalar_t v = base[r * geo.inner];
+          if (is_max ? (v > best) : (v < best)) {
+            best = v;
+            best_idx = r;
+          }
+        }
+        vp[o * geo.inner + i] = best;
+        ip[o * geo.inner + i] = best_idx;
+      }
+    }
+  });
+  // Backward scatters the output gradient to the winning positions.
+  Tensor indices_saved = indices;
+  autograd::RecordOp(is_max ? "Max" : "Min", {t}, values,
+                     [t, d, keepdim, indices_saved, geo](const Tensor& g) {
+    Tensor grad_in = Tensor::Zeros(t.shape(), g.dtype(), g.device());
+    const Tensor gc = g.Contiguous();
+    TDP_DISPATCH_FLOAT(g.dtype(), {
+      const scalar_t* gp = gc.data<scalar_t>();
+      const int64_t* ip = indices_saved.data<int64_t>();
+      scalar_t* out = grad_in.data<scalar_t>();
+      (void)keepdim;  // layouts identical either way
+      for (int64_t o = 0; o < geo.outer; ++o) {
+        for (int64_t i = 0; i < geo.inner; ++i) {
+          const int64_t flat = o * geo.inner + i;
+          out[(o * geo.reduced + ip[flat]) * geo.inner + i] = gp[flat];
+        }
+      }
+    });
+    return std::vector<Tensor>{grad_in};
+  });
+  return {values, indices};
+}
+
+}  // namespace
+
+MinMaxResult Max(const Tensor& t, int64_t dim, bool keepdim) {
+  return MinMaxImpl(t, dim, keepdim, /*is_max=*/true);
+}
+
+MinMaxResult Min(const Tensor& t, int64_t dim, bool keepdim) {
+  return MinMaxImpl(t, dim, keepdim, /*is_max=*/false);
+}
+
+Tensor MaxAll(const Tensor& t) {
+  TDP_CHECK_GT(t.numel(), 0);
+  const Tensor flat = t.Detach().Contiguous().Reshape({t.numel()});
+  return Max(flat, 0, /*keepdim=*/false).values;
+}
+
+Tensor MinAll(const Tensor& t) {
+  TDP_CHECK_GT(t.numel(), 0);
+  const Tensor flat = t.Detach().Contiguous().Reshape({t.numel()});
+  return Min(flat, 0, /*keepdim=*/false).values;
+}
+
+Tensor ArgMax(const Tensor& t, int64_t dim, bool keepdim) {
+  autograd::NoGradGuard no_grad;
+  return MinMaxImpl(t, dim, keepdim, /*is_max=*/true).indices;
+}
+
+Tensor CumSum(const Tensor& t, int64_t dim) {
+  TDP_CHECK(t.defined());
+  TDP_CHECK(t.dtype() != DType::kBool);
+  const int64_t d = NormalizeDim(dim, t.dim());
+  const Tensor tc = t.Contiguous();
+  const ReduceGeometry geo = MakeGeometry(t.shape(), d);
+  Tensor out = Tensor::Empty(t.shape(), t.dtype(), t.device());
+  TDP_DISPATCH_NUMERIC(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    scalar_t* op = out.data<scalar_t>();
+    for (int64_t o = 0; o < geo.outer; ++o) {
+      for (int64_t i = 0; i < geo.inner; ++i) {
+        const int64_t base = (o * geo.reduced) * geo.inner + i;
+        scalar_t acc = 0;
+        for (int64_t r = 0; r < geo.reduced; ++r) {
+          acc = static_cast<scalar_t>(acc + sp[base + r * geo.inner]);
+          op[base + r * geo.inner] = acc;
+        }
+      }
+    }
+  });
+  autograd::RecordOp("CumSum", {t}, out, [t, geo, d](const Tensor& g) {
+    (void)d;
+    // Gradient of inclusive cumsum is the reversed cumsum of the output grad.
+    Tensor grad_in = Tensor::Empty(t.shape(), g.dtype(), g.device());
+    const Tensor gc = g.Contiguous();
+    TDP_DISPATCH_FLOAT(g.dtype(), {
+      const scalar_t* gp = gc.data<scalar_t>();
+      scalar_t* op = grad_in.data<scalar_t>();
+      for (int64_t o = 0; o < geo.outer; ++o) {
+        for (int64_t i = 0; i < geo.inner; ++i) {
+          const int64_t base = (o * geo.reduced) * geo.inner + i;
+          double acc = 0;
+          for (int64_t r = geo.reduced - 1; r >= 0; --r) {
+            acc += static_cast<double>(gp[base + r * geo.inner]);
+            op[base + r * geo.inner] = static_cast<scalar_t>(acc);
+          }
+        }
+      }
+    });
+    return std::vector<Tensor>{grad_in};
+  });
+  return out;
+}
+
+Tensor CountNonzero(const Tensor& t) {
+  TDP_CHECK(t.defined());
+  const Tensor tc = t.Contiguous();
+  int64_t count = 0;
+  const int64_t n = tc.numel();
+  TDP_DISPATCH_ALL(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    for (int64_t i = 0; i < n; ++i) {
+      if (sp[i] != static_cast<scalar_t>(0)) ++count;
+    }
+  });
+  Tensor out = Tensor::Scalar(static_cast<double>(count), DType::kInt64,
+                              t.device());
+  return out;
+}
+
+}  // namespace tdp

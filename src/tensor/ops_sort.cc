@@ -1,0 +1,79 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/autograd/node.h"
+#include "src/tensor/dispatch.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+
+Tensor ArgSort(const Tensor& t, bool descending) {
+  TDP_CHECK(t.defined());
+  TDP_CHECK_EQ(t.dim(), 1) << "ArgSort expects a 1-d tensor";
+  TDP_CHECK(t.dtype() != DType::kBool);
+  const Tensor tc = t.Detach().Contiguous();
+  const int64_t n = tc.numel();
+  Tensor out = Tensor::Empty({n}, DType::kInt64, t.device());
+  int64_t* op = out.data<int64_t>();
+  std::iota(op, op + n, 0);
+  TDP_DISPATCH_NUMERIC(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    if (descending) {
+      std::stable_sort(op, op + n, [sp](int64_t a, int64_t b) {
+        return sp[a] > sp[b];
+      });
+    } else {
+      std::stable_sort(op, op + n, [sp](int64_t a, int64_t b) {
+        return sp[a] < sp[b];
+      });
+    }
+  });
+  return out;
+}
+
+SortResult Sort(const Tensor& t, bool descending) {
+  Tensor indices = ArgSort(t, descending);
+  Tensor values = IndexSelect(t, 0, indices);
+  return {values, indices};
+}
+
+UniqueResult Unique(const Tensor& t) {
+  TDP_CHECK(t.defined());
+  TDP_CHECK_EQ(t.dim(), 1) << "Unique expects a 1-d tensor";
+  const Tensor tc = t.Detach().Contiguous();
+  const int64_t n = tc.numel();
+  const Tensor order = ArgSort(tc, /*descending=*/false);
+  const int64_t* op = order.data<int64_t>();
+
+  UniqueResult result;
+  Tensor inverse = Tensor::Empty({n}, DType::kInt64, t.device());
+  int64_t* inv = inverse.data<int64_t>();
+
+  TDP_DISPATCH_NUMERIC(t.dtype(), {
+    const scalar_t* sp = tc.data<scalar_t>();
+    std::vector<scalar_t> values;
+    std::vector<int64_t> counts;
+    for (int64_t i = 0; i < n; ++i) {
+      const scalar_t v = sp[op[i]];
+      if (values.empty() || values.back() != v) {
+        values.push_back(v);
+        counts.push_back(0);
+      }
+      inv[op[i]] = static_cast<int64_t>(values.size()) - 1;
+      ++counts.back();
+    }
+    const int64_t u = static_cast<int64_t>(values.size());
+    Tensor vt = Tensor::Empty({u}, t.dtype(), t.device());
+    scalar_t* vp = vt.data<scalar_t>();
+    for (int64_t i = 0; i < u; ++i) vp[i] = values[static_cast<size_t>(i)];
+    Tensor ct = Tensor::Empty({u}, DType::kInt64, t.device());
+    int64_t* cp = ct.data<int64_t>();
+    for (int64_t i = 0; i < u; ++i) cp[i] = counts[static_cast<size_t>(i)];
+    result.values = vt;
+    result.counts = ct;
+  });
+  result.inverse = inverse;
+  return result;
+}
+
+}  // namespace tdp

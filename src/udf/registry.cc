@@ -1,0 +1,56 @@
+#include "src/udf/registry.h"
+
+#include "src/common/string_util.h"
+
+namespace tdp {
+namespace udf {
+
+Status FunctionRegistry::RegisterScalar(ScalarFunction fn) {
+  if (fn.name.empty() || !fn.fn) {
+    return Status::InvalidArgument("scalar UDF needs a name and a body");
+  }
+  const std::string key = ToLower(fn.name);
+  if (scalar_fns_.contains(key) || table_fns_.contains(key)) {
+    return Status::AlreadyExists("function already registered: " + fn.name);
+  }
+  scalar_fns_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterTable(TableFunction fn) {
+  if (fn.name.empty() || !fn.fn) {
+    return Status::InvalidArgument("TVF needs a name and a body");
+  }
+  if (fn.output_schema.empty()) {
+    return Status::InvalidArgument(
+        "TVF must declare its output schema (tdp_udf annotation)");
+  }
+  const std::string key = ToLower(fn.name);
+  if (scalar_fns_.contains(key) || table_fns_.contains(key)) {
+    return Status::AlreadyExists("function already registered: " + fn.name);
+  }
+  table_fns_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+const ScalarFunction* FunctionRegistry::FindScalar(
+    const std::string& name) const {
+  const auto it = scalar_fns_.find(ToLower(name));
+  return it == scalar_fns_.end() ? nullptr : &it->second;
+}
+
+const TableFunction* FunctionRegistry::FindTable(
+    const std::string& name) const {
+  const auto it = table_fns_.find(ToLower(name));
+  return it == table_fns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::ListFunctions() const {
+  std::vector<std::string> names;
+  for (const auto& [key, unused] : scalar_fns_) names.push_back(key);
+  for (const auto& [key, unused] : table_fns_) names.push_back(key);
+  return names;
+}
+
+}  // namespace udf
+}  // namespace tdp

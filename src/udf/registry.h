@@ -1,0 +1,96 @@
+#ifndef TDP_UDF_REGISTRY_H_
+#define TDP_UDF_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/exec/chunk.h"
+#include "src/exec/value.h"
+#include "src/nn/module.h"
+
+namespace tdp {
+namespace udf {
+
+/// Declared column type of a UDF/TVF output (the paper's annotation
+/// `@tdp_udf("Digit float, Size float")`).
+enum class DeclaredType {
+  kFloat,
+  kInt,
+  kString,
+  kBool,
+  kTensor,       // rank >= 2 plain column (images, embeddings)
+  kProbability,  // PE column
+};
+
+struct DeclaredColumn {
+  std::string name;
+  DeclaredType type;
+};
+
+/// One evaluated argument of a scalar UDF call: either a per-row column or
+/// a constant (e.g. the query string in image_text_similarity("dog", imgs)).
+struct Argument {
+  bool is_scalar = false;
+  exec::ScalarValue scalar;
+  Column column;
+};
+
+/// Scalar UDF body: columns/constants in, one column (num_rows values) out.
+/// Bodies are tensor programs — they run on the same runtime as relational
+/// operators, so "context switches" into ML are free (§3 of the paper).
+using ScalarFn = std::function<StatusOr<Column>(
+    const std::vector<Argument>& args, int64_t num_rows, Device device)>;
+
+/// TVF body: a chunk in, a chunk out (row counts may differ — e.g.
+/// parse_mnist_grid maps 1 grid row to 9 tile rows).
+using TableFn = std::function<StatusOr<exec::Chunk>(
+    const exec::Chunk& input, const std::vector<exec::ScalarValue>& args,
+    Device device)>;
+
+/// Registered scalar function. `modules` lists the trainable nn::Modules
+/// the body closes over — compiled queries surface their parameters.
+struct ScalarFunction {
+  std::string name;
+  DeclaredType return_type = DeclaredType::kFloat;
+  ScalarFn fn;
+  std::vector<std::shared_ptr<nn::Module>> modules;
+};
+
+struct TableFunction {
+  std::string name;
+  std::vector<DeclaredColumn> output_schema;
+  TableFn fn;
+  std::vector<std::shared_ptr<nn::Module>> modules;
+};
+
+/// Name -> function map for one session (names case-insensitive). This is
+/// the C++ analogue of the paper's `@tdp_udf` annotation API.
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+
+  FunctionRegistry(const FunctionRegistry&) = delete;
+  FunctionRegistry& operator=(const FunctionRegistry&) = delete;
+
+  Status RegisterScalar(ScalarFunction fn);
+  Status RegisterTable(TableFunction fn);
+
+  /// nullptr when not registered.
+  const ScalarFunction* FindScalar(const std::string& name) const;
+  const TableFunction* FindTable(const std::string& name) const;
+
+  std::vector<std::string> ListFunctions() const;
+
+ private:
+  std::map<std::string, ScalarFunction> scalar_fns_;  // lowercased keys
+  std::map<std::string, TableFunction> table_fns_;
+};
+
+}  // namespace udf
+}  // namespace tdp
+
+#endif  // TDP_UDF_REGISTRY_H_

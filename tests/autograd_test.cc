@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "src/autograd/node.h"
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace {
+
+// Numerical gradient of a scalar-valued function wrt one input tensor.
+template <typename Fn>
+Tensor NumericalGrad(Fn fn, Tensor& x, double eps = 1e-3) {
+  Tensor grad = Tensor::Zeros(x.shape(), DType::kFloat64);
+  Tensor xc = x.Contiguous();
+  float* p = x.data<float>();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = p[i];
+    p[i] = static_cast<float>(orig + eps);
+    const double up = fn();
+    p[i] = static_cast<float>(orig - eps);
+    const double down = fn();
+    p[i] = orig;
+    grad.data<double>()[i] = (up - down) / (2 * eps);
+  }
+  (void)xc;
+  return grad;
+}
+
+void ExpectGradClose(const Tensor& analytic, const Tensor& numeric,
+                     double tol = 5e-2) {
+  ASSERT_TRUE(analytic.defined()) << "missing gradient";
+  ASSERT_EQ(analytic.shape(), numeric.shape());
+  const Tensor a = analytic.To(DType::kFloat64);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double av = a.Contiguous().data<double>()[i];
+    const double nv = numeric.Contiguous().data<double>()[i];
+    EXPECT_NEAR(av, nv, tol * std::max(1.0, std::abs(nv)))
+        << "at flat index " << i;
+  }
+}
+
+TEST(AutogradTest, AddBackward) {
+  Tensor a = Tensor::FromVector(std::vector<float>{1, 2}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector(std::vector<float>{3, 4}).set_requires_grad(true);
+  Sum(Add(a, b)).Backward();
+  EXPECT_EQ(a.grad().ToVector<float>(), (std::vector<float>{1, 1}));
+  EXPECT_EQ(b.grad().ToVector<float>(), (std::vector<float>{1, 1}));
+}
+
+TEST(AutogradTest, MulBackward) {
+  Tensor a = Tensor::FromVector(std::vector<float>{2, 3}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector(std::vector<float>{5, 7});
+  Sum(Mul(a, b)).Backward();
+  EXPECT_EQ(a.grad().ToVector<float>(), (std::vector<float>{5, 7}));
+}
+
+TEST(AutogradTest, BroadcastReducesGrad) {
+  Tensor a = Tensor::FromVector(std::vector<float>{1, 2, 3}, {3, 1})
+                 .set_requires_grad(true);
+  Tensor b = Tensor::Ones({3, 4});
+  Sum(Mul(a, b)).Backward();
+  // Each a element is used 4 times with factor 1.
+  EXPECT_EQ(a.grad().ToVector<float>(), (std::vector<float>{4, 4, 4}));
+}
+
+TEST(AutogradTest, ChainRuleThroughReuse) {
+  // y = sum(x * x + x); dy/dx = 2x + 1
+  Tensor x = Tensor::FromVector(std::vector<float>{1, -2, 0.5f})
+                 .set_requires_grad(true);
+  Sum(Add(Mul(x, x), x)).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{3, -3, 2}));
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::Ones({2}).set_requires_grad(true);
+  Sum(x).Backward();
+  Sum(x).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{2, 2}));
+  x.ZeroGrad();
+  EXPECT_FALSE(x.grad().defined());
+}
+
+TEST(AutogradTest, NoGradGuardDisablesRecording) {
+  Tensor x = Tensor::Ones({2}).set_requires_grad(true);
+  autograd::NoGradGuard guard;
+  Tensor y = Mul(x, x);
+  EXPECT_EQ(y.grad_fn(), nullptr);
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Tensor x = Tensor::FromVector(std::vector<float>{3}).set_requires_grad(true);
+  Sum(Mul(x.Detach(), x)).Backward();
+  // Only the non-detached path contributes: d/dx (c * x) = c = 3.
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{3}));
+}
+
+TEST(AutogradTest, DivExpLogNumericCheck) {
+  Rng rng(5);
+  Tensor x = RandUniform({4}, 0.5, 2.0, rng).set_requires_grad(true);
+  auto loss = [&]() {
+    return Sum(Div(Exp(x), AddScalar(Log(x), 2.0))).item<double>();
+  };
+  Sum(Div(Exp(x), AddScalar(Log(x), 2.0))).Backward();
+  ExpectGradClose(x.grad(), NumericalGrad(loss, x));
+}
+
+TEST(AutogradTest, SoftmaxNumericCheck) {
+  Rng rng(6);
+  Tensor x = RandNormal({3, 4}, 0, 1, rng).set_requires_grad(true);
+  Tensor w = RandNormal({3, 4}, 0, 1, rng);
+  auto loss = [&]() { return Sum(Mul(Softmax(x, 1), w)).item<double>(); };
+  Sum(Mul(Softmax(x, 1), w)).Backward();
+  ExpectGradClose(x.grad(), NumericalGrad(loss, x));
+}
+
+TEST(AutogradTest, MatMulNumericCheck) {
+  Rng rng(7);
+  Tensor a = RandNormal({3, 4}, 0, 1, rng).set_requires_grad(true);
+  Tensor b = RandNormal({4, 2}, 0, 1, rng).set_requires_grad(true);
+  auto loss = [&]() { return Sum(MatMul(a, b)).item<double>(); };
+  Sum(MatMul(a, b)).Backward();
+  ExpectGradClose(a.grad(), NumericalGrad(loss, a));
+  ExpectGradClose(b.grad(), NumericalGrad(loss, b));
+}
+
+TEST(AutogradTest, ReluSubgradient) {
+  Tensor x = Tensor::FromVector(std::vector<float>{-1, 2}).set_requires_grad(true);
+  Sum(Relu(x)).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{0, 1}));
+}
+
+TEST(AutogradTest, MaxBackwardRoutesToWinner) {
+  Tensor x = Tensor::FromVector(std::vector<float>{1, 5, 3}, {1, 3})
+                 .set_requires_grad(true);
+  Sum(Max(x, 1, false).values).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{0, 1, 0}));
+}
+
+TEST(AutogradTest, IndexSelectBackwardScatters) {
+  Tensor x = Tensor::FromVector(std::vector<float>{1, 2, 3}).set_requires_grad(true);
+  Tensor idx = Tensor::FromVector(std::vector<int64_t>{2, 2, 0});
+  Sum(IndexSelect(x, 0, idx)).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{1, 0, 2}));
+}
+
+TEST(AutogradTest, SliceAndCatBackward) {
+  Tensor x = Tensor::FromVector(std::vector<float>{1, 2, 3, 4}).set_requires_grad(true);
+  Tensor y = Cat({Slice(x, 0, 0, 2), Slice(x, 0, 2, 2), Slice(x, 0, 1, 2)}, 0);
+  Sum(y).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{1, 2, 2, 1}));
+}
+
+TEST(AutogradTest, ReshapeTransposeBackward) {
+  Rng rng(8);
+  Tensor x = RandNormal({2, 6}, 0, 1, rng).set_requires_grad(true);
+  Tensor w = RandNormal({6, 2}, 0, 1, rng);
+  auto loss = [&]() {
+    return Sum(Mul(Transpose(Reshape(x, {3, 4}), 0, 1).Contiguous(),
+                   Reshape(w, {4, 3})))
+        .item<double>();
+  };
+  Sum(Mul(Transpose(Reshape(x, {3, 4}), 0, 1).Contiguous(),
+          Reshape(w, {4, 3})))
+      .Backward();
+  ExpectGradClose(x.grad(), NumericalGrad(loss, x));
+}
+
+TEST(AutogradTest, Conv2dNumericCheck) {
+  Rng rng(9);
+  Tensor input = RandNormal({2, 2, 5, 5}, 0, 1, rng).set_requires_grad(true);
+  Tensor weight = RandNormal({3, 2, 3, 3}, 0, 0.5, rng).set_requires_grad(true);
+  Tensor bias = RandNormal({3}, 0, 0.5, rng).set_requires_grad(true);
+  auto loss = [&]() {
+    return Sum(Conv2d(input, weight, bias, 1, 1)).item<double>();
+  };
+  Sum(Conv2d(input, weight, bias, 1, 1)).Backward();
+  ExpectGradClose(weight.grad(), NumericalGrad(loss, weight));
+  ExpectGradClose(bias.grad(), NumericalGrad(loss, bias));
+  ExpectGradClose(input.grad(), NumericalGrad(loss, input));
+}
+
+TEST(AutogradTest, MaxPoolBackward) {
+  Tensor x = Tensor::FromVector(
+                 std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                    13, 14, 15, 16},
+                 {1, 1, 4, 4})
+                 .set_requires_grad(true);
+  Sum(MaxPool2d(x, 2, 2)).Backward();
+  // Winners are 6, 8, 14, 16.
+  std::vector<float> expected(16, 0);
+  expected[5] = expected[7] = expected[13] = expected[15] = 1;
+  EXPECT_EQ(x.grad().ToVector<float>(), expected);
+}
+
+TEST(AutogradTest, CumSumBackward) {
+  Tensor x = Tensor::FromVector(std::vector<float>{1, 2, 3}).set_requires_grad(true);
+  Tensor w = Tensor::FromVector(std::vector<float>{1, 10, 100});
+  Sum(Mul(CumSum(x, 0), w)).Backward();
+  // dy/dx_i = sum_{j>=i} w_j
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{111, 110, 100}));
+}
+
+TEST(AutogradTest, BackwardRequiresScalarRoot) {
+  Tensor x = Tensor::Ones({2}).set_requires_grad(true);
+  Tensor y = Mul(x, x);
+  // Explicit gradient works for non-scalar roots.
+  autograd::RunBackward(y, Tensor::Ones({2}));
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{2, 2}));
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // y = a*x, z = b*x, loss = sum(y + z): dx = a + b.
+  Tensor x = Tensor::FromVector(std::vector<float>{1, 1}).set_requires_grad(true);
+  Tensor a = Tensor::Full({2}, 3);
+  Tensor b = Tensor::Full({2}, 4);
+  Sum(Add(Mul(a, x), Mul(b, x))).Backward();
+  EXPECT_EQ(x.grad().ToVector<float>(), (std::vector<float>{7, 7}));
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/statusor.h"
+#include "src/common/string_util.h"
+
+namespace tdp {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("table x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table x");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+  EXPECT_EQ(*ok_result, 42);
+
+  StatusOr<int> err_result(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> StatusOr<int> {
+    TDP_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(outer(false).value(), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).NextUint64(), c.NextUint64());
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(9);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RngTest, LaplaceIsSymmetricHeavyTailed) {
+  Rng rng(10);
+  double sum = 0;
+  int extreme = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Laplace(1.0);
+    sum += v;
+    if (std::abs(v) > 3.0) ++extreme;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // P(|Laplace(1)| > 3) = e^-3 ~ 5%.
+  EXPECT_NEAR(static_cast<double>(extreme) / n, 0.05, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(11);
+  const std::vector<int64_t> perm = rng.Permutation(100);
+  std::vector<bool> seen(100, false);
+  for (int64_t v : perm) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    EXPECT_FALSE(seen[static_cast<size_t>(v)]);
+    seen[static_cast<size_t>(v)] = true;
+  }
+}
+
+TEST(StringUtilTest, CaseAndSplit) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_TRUE(EqualsIgnoreCase("Digits", "DIGITS"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+}
+
+}  // namespace
+}  // namespace tdp

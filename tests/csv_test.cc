@@ -1,0 +1,115 @@
+#include "src/io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/session.h"
+
+namespace tdp {
+namespace io {
+namespace {
+
+TEST(CsvTest, TypeInference) {
+  auto table = ReadCsvString(
+      "id,score,name,active\n"
+      "1,0.5,alice,true\n"
+      "2,1.5,bob,false\n"
+      "3,-2,carol,true\n",
+      "people");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_rows(), 3);
+  EXPECT_EQ((*table)->column(0).data().dtype(), DType::kInt64);
+  EXPECT_EQ((*table)->column(1).data().dtype(), DType::kFloat64);
+  EXPECT_EQ((*table)->column(2).encoding(), Encoding::kDictionary);
+  EXPECT_EQ((*table)->column(3).data().dtype(), DType::kBool);
+  EXPECT_EQ((*table)->column(2).DecodeStrings()[1], "bob");
+}
+
+TEST(CsvTest, IntegersPreferedOverFloats) {
+  auto t = ReadCsvString("x\n1\n2\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->column(0).data().dtype(), DType::kInt64);
+  auto f = ReadCsvString("x\n1\n2.5\n", "t");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->column(0).data().dtype(), DType::kFloat64);
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  auto table = ReadCsvString(
+      "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,text\n", "t");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const auto strings = (*table)->column(0).DecodeStrings();
+  EXPECT_EQ(strings[0], "hello, world");
+  EXPECT_EQ((*table)->column(1).DecodeStrings()[0], "say \"hi\"");
+}
+
+TEST(CsvTest, HeaderlessAndCustomDelimiter) {
+  CsvOptions options;
+  options.has_header = false;
+  options.delimiter = ';';
+  auto table = ReadCsvString("1;x\n2;y\n", "t", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column_names()[0], "c0");
+  EXPECT_EQ((*table)->num_rows(), 2);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsvString("", "t").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n", "t").ok());  // ragged row
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv", "t").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string csv =
+      "k,v,tag\n"
+      "1,0.5,red\n"
+      "2,1.25,blue\n";
+  auto table = ReadCsvString(csv, "t");
+  ASSERT_TRUE(table.ok());
+  auto out = WriteCsvString(**table);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto again = ReadCsvString(*out, "t2");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->num_rows(), 2);
+  EXPECT_EQ((*again)->column(2).DecodeStrings(),
+            (std::vector<std::string>{"red", "blue"}));
+  EXPECT_EQ((*again)->column(1).data().At({1}), 1.25);
+}
+
+TEST(CsvTest, WriteRejectsTensorColumns) {
+  auto table = TableBuilder("t")
+                   .AddTensor("img", Tensor::Zeros({2, 1, 2, 2}))
+                   .Build();
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(WriteCsvString(**table).ok());
+}
+
+TEST(CsvTest, IngestedCsvIsQueryable) {
+  Session session;
+  auto table = ReadCsvString(
+      "region,amount\neast,10\nwest,20\neast,30\n", "sales");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session.RegisterTable("sales", table.value()).ok());
+  auto r = session.Sql(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY "
+      "region");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 2);
+  EXPECT_EQ((*r)->column(1).data().At({0}), 40.0);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto table = TableBuilder("t")
+                   .AddInt64("a", {1, 2})
+                   .AddStrings("b", {"x", "y"})
+                   .Build();
+  ASSERT_TRUE(table.ok());
+  const std::string path = ::testing::TempDir() + "/tdp_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(**table, path).ok());
+  auto loaded = ReadCsvFile(path, "t2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_rows(), 2);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace tdp

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/adult.h"
+#include "src/data/attachments.h"
+#include "src/data/digits.h"
+#include "src/data/documents.h"
+#include "src/data/mnist_grid.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace data {
+namespace {
+
+TEST(DigitsTest, TilesAreNormalizedAndVaried) {
+  Rng rng(1);
+  Tensor a = RenderDigitTile(3, true, rng);
+  Tensor b = RenderDigitTile(3, true, rng);
+  EXPECT_EQ(a.shape(), (std::vector<int64_t>{1, kTileSize, kTileSize}));
+  EXPECT_LE(MaxAll(a).item<float>(), 1.0f);
+  EXPECT_GE(MinAll(a).item<float>(), 0.0f);
+  // Jitter/noise: two renders of the same digit differ.
+  EXPECT_FALSE(TensorEqual(a, b));
+  // Ink present.
+  EXPECT_GT(Sum(a).item<float>(), 2.0f);
+}
+
+TEST(DigitsTest, DatasetIsBalancedEnough) {
+  Rng rng(2);
+  DigitDataset ds = MakeDigitDataset(600, rng);
+  std::vector<int> per_digit(10, 0);
+  for (int64_t i = 0; i < 600; ++i) {
+    per_digit[static_cast<size_t>(ds.labels.At({i}))]++;
+  }
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_GT(per_digit[static_cast<size_t>(d)], 25) << "digit " << d;
+  }
+}
+
+TEST(MnistGridTest, CountsMatchTileLabels) {
+  Rng rng(3);
+  MnistGridDataset ds = MakeMnistGridDataset(10, rng);
+  for (int64_t i = 0; i < 10; ++i) {
+    // Recompute counts from tile labels.
+    std::vector<float> expected(kNumCountBuckets, 0);
+    for (int64_t t = 0; t < 9; ++t) {
+      const int64_t d = static_cast<int64_t>(ds.tile_labels.At({i, t}));
+      const int64_t s = static_cast<int64_t>(ds.tile_sizes.At({i, t}));
+      expected[static_cast<size_t>(d * 2 + s)] += 1;
+    }
+    for (int64_t b = 0; b < kNumCountBuckets; ++b) {
+      EXPECT_EQ(ds.counts.At({i, b}), expected[static_cast<size_t>(b)]);
+    }
+    // Counts per grid sum to 9 tiles.
+    EXPECT_EQ(Sum(Slice(ds.counts, 0, i, 1)).item<float>(), 9.0f);
+  }
+}
+
+TEST(MnistGridTest, GridToTilesMatchesEinopsLayout) {
+  Rng rng(4);
+  MnistGridDataset ds = MakeMnistGridDataset(2, rng);
+  Tensor tiles = GridToTiles(ds.grids);
+  EXPECT_EQ(tiles.shape(),
+            (std::vector<int64_t>{18, 1, kTileSize, kTileSize}));
+  // Tile (grid 1, row 2, col 0) must equal the corresponding grid region.
+  const int64_t tile_index = 1 * 9 + 2 * 3 + 0;
+  for (int64_t y = 0; y < kTileSize; ++y) {
+    for (int64_t x = 0; x < kTileSize; ++x) {
+      EXPECT_EQ(tiles.At({tile_index, 0, y, x}),
+                ds.grids.At({1, 0, 2 * kTileSize + y, 0 * kTileSize + x}));
+    }
+  }
+}
+
+TEST(AdultTest, LabelsCorrelateWithFeaturesButNoisily) {
+  Rng rng(5);
+  AdultDataset ds = MakeAdultDataset(2000, rng);
+  EXPECT_EQ(ds.features.shape(), (std::vector<int64_t>{2000, 6}));
+  // Class balance: positives are a nontrivial minority/majority.
+  int64_t positives = 0;
+  for (int64_t i = 0; i < 2000; ++i) {
+    positives += static_cast<int64_t>(ds.labels.At({i}));
+  }
+  EXPECT_GT(positives, 300);
+  EXPECT_LT(positives, 1700);
+}
+
+TEST(AdultTest, BagsPartitionAndCount) {
+  Rng rng(6);
+  AdultDataset ds = MakeAdultDataset(128, rng);
+  LlpBags bags = MakeBags(ds, 16, /*laplace_scale=*/0.0, rng);
+  EXPECT_EQ(bags.bag_features.size(), 8u);
+  // Counts per bag sum to the bag size.
+  for (int64_t b = 0; b < 8; ++b) {
+    EXPECT_FLOAT_EQ(static_cast<float>(bags.counts.At({b, 0}) +
+                                       bags.counts.At({b, 1})),
+                    16.0f);
+  }
+  // Total positives across bags equals dataset positives.
+  double bag_positives = 0;
+  for (int64_t b = 0; b < 8; ++b) bag_positives += bags.counts.At({b, 1});
+  double data_positives = 0;
+  for (int64_t i = 0; i < 128; ++i) data_positives += ds.labels.At({i});
+  EXPECT_DOUBLE_EQ(bag_positives, data_positives);
+}
+
+TEST(AdultTest, LaplaceNoiseChangesCounts) {
+  Rng rng(7);
+  AdultDataset ds = MakeAdultDataset(64, rng);
+  Rng rng_a(1), rng_b(1);
+  LlpBags clean = MakeBags(ds, 8, 0.0, rng_a);
+  LlpBags noisy = MakeBags(ds, 8, /*laplace_scale=*/10.0, rng_b);
+  // Same partition (same rng seed), different counts due to noise.
+  double diff = 0;
+  for (int64_t b = 0; b < clean.counts.size(0); ++b) {
+    diff += std::abs(clean.counts.At({b, 0}) - noisy.counts.At({b, 0}));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(AttachmentsTest, CorpusShapeAndClasses) {
+  Rng rng(8);
+  AttachmentDataset ds = MakeAttachmentDataset(20, 10, 10, rng);
+  EXPECT_EQ(ds.images.shape(), (std::vector<int64_t>{40, 3, 32, 32}));
+  EXPECT_EQ(ds.concepts.size(), 40u);
+  EXPECT_EQ(ds.filenames.size(), 40u);
+  int photos = 0, receipts = 0, logos = 0;
+  for (Concept c : ds.concepts) {
+    if (IsPhotograph(c)) ++photos;
+    if (IsReceipt(c)) ++receipts;
+    if (IsLogo(c)) ++logos;
+  }
+  EXPECT_EQ(photos, 20);
+  EXPECT_EQ(receipts, 10);
+  EXPECT_EQ(logos, 10);
+}
+
+TEST(DocumentsTest, ValuesInRangeAndTimestampsUnique) {
+  Rng rng(9);
+  DocumentDataset ds = MakeDocumentDataset(30, rng);
+  EXPECT_EQ(ds.images.shape(),
+            (std::vector<int64_t>{30, 1, kDocHeight, kDocWidth}));
+  std::set<std::string> stamps(ds.timestamps.begin(), ds.timestamps.end());
+  EXPECT_EQ(stamps.size(), 30u);
+  EXPECT_GE(MinAll(ds.values).item<float>(), 1.0f);
+  EXPECT_LE(MaxAll(ds.values).item<float>(), 9.9f);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace tdp

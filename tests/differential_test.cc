@@ -1,0 +1,188 @@
+// Differential testing: TDP's tensor query processor and BaselineDB (an
+// independent row-interpreted engine sharing only the parser) must agree
+// on randomized relational queries. This is the main correctness oracle
+// for the compiled tensor operators.
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "src/baseline/baseline_db.h"
+#include "src/common/rng.h"
+#include "src/runtime/session.h"
+
+namespace tdp {
+namespace {
+
+struct Engines {
+  Session tdp;
+  baseline::BaselineDb base;
+};
+
+// Registers the same random table in both engines.
+void MakeRandomTable(Engines& engines, Rng& rng, int64_t rows) {
+  std::vector<int64_t> ints;
+  std::vector<double> floats;
+  std::vector<std::string> strings;
+  std::vector<std::string> vocab = {"red", "green", "blue", "cyan", "gold"};
+  baseline::BaselineTable bt;
+  bt.column_names = {"k", "v", "tag"};
+  for (int64_t i = 0; i < rows; ++i) {
+    ints.push_back(rng.UniformInt(0, 9));
+    // One-decimal values avoid float32-vs-double aggregation divergence.
+    floats.push_back(static_cast<double>(rng.UniformInt(-50, 50)) / 2.0);
+    strings.push_back(vocab[static_cast<size_t>(rng.UniformInt(0, 4))]);
+    bt.rows.push_back({ints.back(), floats.back(), strings.back()});
+  }
+  auto table = TableBuilder("t")
+                   .AddInt64("k", ints)
+                   .AddFloat64("v", floats)
+                   .AddStrings("tag", strings)
+                   .Build();
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(engines.tdp.RegisterTable("t", table.value()).ok());
+  ASSERT_TRUE(engines.base.RegisterTable("t", std::move(bt)).ok());
+}
+
+std::string NormalizeCell(double v) {
+  // Round to 1e-4 so float32 vs double arithmetic agrees textually.
+  std::ostringstream os;
+  os.precision(10);
+  os << std::round(v * 1e4) / 1e4;
+  return os.str();
+}
+
+// Renders both engines' results as sorted multisets of row strings.
+std::vector<std::string> TdpRows(const Table& table) {
+  std::vector<std::string> rows;
+  std::vector<std::vector<std::string>> decoded(
+      static_cast<size_t>(table.num_columns()));
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).encoding() == Encoding::kDictionary) {
+      decoded[static_cast<size_t>(c)] = table.column(c).DecodeStrings();
+    }
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    std::string row;
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.encoding() == Encoding::kDictionary) {
+        row += decoded[static_cast<size_t>(c)][static_cast<size_t>(r)];
+      } else {
+        row += NormalizeCell(col.data().At({r}));
+      }
+      row += "|";
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::string> BaselineRows(const baseline::BaselineTable& table) {
+  std::vector<std::string> rows;
+  for (const auto& in_row : table.rows) {
+    std::string row;
+    for (const auto& v : in_row) {
+      if (std::holds_alternative<std::string>(v)) {
+        row += std::get<std::string>(v);
+      } else if (std::holds_alternative<int64_t>(v)) {
+        row += NormalizeCell(static_cast<double>(std::get<int64_t>(v)));
+      } else if (std::holds_alternative<bool>(v)) {
+        row += NormalizeCell(std::get<bool>(v) ? 1 : 0);
+      } else {
+        row += NormalizeCell(std::get<double>(v));
+      }
+      row += "|";
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+void ExpectAgree(Engines& engines, const std::string& sql) {
+  auto tdp_result = engines.tdp.Sql(sql);
+  auto base_result = engines.base.Sql(sql);
+  ASSERT_TRUE(tdp_result.ok()) << sql << "\n" << tdp_result.status().ToString();
+  ASSERT_TRUE(base_result.ok()) << sql << "\n"
+                                << base_result.status().ToString();
+  EXPECT_EQ(TdpRows(**tdp_result), BaselineRows(*base_result)) << sql;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, RandomQueriesAgree) {
+  Rng rng(GetParam());
+  Engines engines;
+  MakeRandomTable(engines, rng, 40 + GetParam() * 7 % 60);
+
+  const int64_t a = rng.UniformInt(0, 9);
+  const int64_t b = rng.UniformInt(-20, 20);
+  const std::string tag =
+      std::vector<std::string>{"red", "green", "blue",
+                               "missing"}[rng.UniformInt(0, 3)];
+
+  ExpectAgree(engines, "SELECT k, v FROM t WHERE k > " + std::to_string(a));
+  ExpectAgree(engines, "SELECT k + 1, v * 2 FROM t WHERE v <= " +
+                           std::to_string(b));
+  ExpectAgree(engines, "SELECT tag FROM t WHERE tag = '" + tag + "'");
+  ExpectAgree(engines, "SELECT tag FROM t WHERE tag >= '" + tag + "'");
+  ExpectAgree(engines,
+              "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k ORDER BY k");
+  ExpectAgree(engines,
+              "SELECT tag, AVG(v), MIN(v), MAX(v) FROM t GROUP BY tag "
+              "ORDER BY tag");
+  ExpectAgree(engines,
+              "SELECT tag, COUNT(*) FROM t WHERE k BETWEEN 2 AND 7 GROUP BY "
+              "tag HAVING COUNT(*) > 1 ORDER BY tag");
+  ExpectAgree(engines, "SELECT DISTINCT tag FROM t");
+  ExpectAgree(engines, "SELECT k, v FROM t ORDER BY v DESC, k ASC LIMIT 5");
+  ExpectAgree(engines,
+              "SELECT COUNT(DISTINCT k), COUNT(*) FROM t WHERE v > 0");
+  ExpectAgree(engines,
+              "SELECT x FROM (SELECT k + 1 AS x FROM t WHERE v > 0) s "
+              "WHERE x < 8 ORDER BY x");
+  ExpectAgree(engines,
+              "SELECT CASE WHEN v > 0 THEN 1 ELSE 0 END AS pos, COUNT(*) "
+              "FROM t GROUP BY CASE WHEN v > 0 THEN 1 ELSE 0 END ORDER BY "
+              "pos");
+  ExpectAgree(engines, "SELECT k FROM t WHERE tag IN ('red', 'blue') "
+                       "ORDER BY k LIMIT 10");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(DifferentialJoinTest, JoinAgrees) {
+  Rng rng(99);
+  Engines engines;
+  MakeRandomTable(engines, rng, 30);
+  // Second table keyed by the same small int domain.
+  std::vector<int64_t> keys;
+  std::vector<double> weights;
+  baseline::BaselineTable bt;
+  bt.column_names = {"k2", "w"};
+  for (int64_t i = 0; i < 12; ++i) {
+    keys.push_back(rng.UniformInt(0, 9));
+    weights.push_back(static_cast<double>(rng.UniformInt(0, 100)));
+    bt.rows.push_back({keys.back(), weights.back()});
+  }
+  auto table = TableBuilder("u")
+                   .AddInt64("k2", keys)
+                   .AddFloat64("w", weights)
+                   .Build();
+  ASSERT_TRUE(engines.tdp.RegisterTable("u", table.value()).ok());
+  ASSERT_TRUE(engines.base.RegisterTable("u", std::move(bt)).ok());
+
+  ExpectAgree(engines,
+              "SELECT t.k, u.w FROM t JOIN u ON t.k = u.k2 WHERE u.w > 20 "
+              "ORDER BY t.k, u.w");
+  ExpectAgree(engines,
+              "SELECT t.tag, COUNT(*) FROM t JOIN u ON t.k = u.k2 GROUP BY "
+              "t.tag ORDER BY t.tag");
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,166 @@
+// Edge-case coverage for the tensor query executor: empty inputs, empty
+// results, tensor-column passthrough, PE columns in relational context,
+// pathological limits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/runtime/session.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace {
+
+class ExecEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = TableBuilder("t")
+                 .AddInt64("k", {1, 2, 3})
+                 .AddFloat32("v", {1.5f, -2.5f, 0.0f})
+                 .AddStrings("s", {"a", "b", "a"})
+                 .AddTensor("vecs", Tensor::FromVector(
+                                        std::vector<float>{1, 2, 3, 4, 5, 6},
+                                        {3, 2}))
+                 .Build();
+    ASSERT_TRUE(session_.RegisterTable("t", t.value()).ok());
+  }
+  Session session_;
+};
+
+TEST_F(ExecEdgeTest, FilterSelectingNothing) {
+  auto r = session_.Sql("SELECT k FROM t WHERE v > 100");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 0);
+}
+
+TEST_F(ExecEdgeTest, AggregateOverEmptyInput) {
+  auto r = session_.Sql("SELECT COUNT(*), SUM(v) FROM t WHERE k > 99");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 1);
+  EXPECT_EQ((*r)->column(0).data().At({0}), 0.0);
+  EXPECT_EQ((*r)->column(1).data().At({0}), 0.0);
+}
+
+TEST_F(ExecEdgeTest, GroupByOverEmptyInputYieldsNoGroups) {
+  auto r = session_.Sql(
+      "SELECT s, COUNT(*) FROM t WHERE k > 99 GROUP BY s");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 0);
+}
+
+TEST_F(ExecEdgeTest, OrderByOnEmptyResult) {
+  auto r = session_.Sql("SELECT k FROM t WHERE v > 100 ORDER BY k DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 0);
+}
+
+TEST_F(ExecEdgeTest, LimitBeyondRowCount) {
+  auto r = session_.Sql("SELECT k FROM t LIMIT 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 3);
+  auto zero = session_.Sql("SELECT k FROM t LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ((*zero)->num_rows(), 0);
+  auto off = session_.Sql("SELECT k FROM t ORDER BY k LIMIT 5 OFFSET 10");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ((*off)->num_rows(), 0);
+}
+
+TEST_F(ExecEdgeTest, TensorColumnsPassThroughProjectionAndFilter) {
+  auto r = session_.Sql("SELECT vecs, k FROM t WHERE k >= 2 ORDER BY k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 2);
+  const Column& vecs = (*r)->column(0);
+  EXPECT_TRUE(vecs.IsTensorColumn());
+  EXPECT_EQ(vecs.data().shape(), (std::vector<int64_t>{2, 2}));
+  // Row for k=2 is the second original row [3, 4].
+  EXPECT_EQ(vecs.data().At({0, 0}), 3.0);
+  EXPECT_EQ(vecs.data().At({0, 1}), 4.0);
+}
+
+TEST_F(ExecEdgeTest, TensorColumnCannotBeGroupKey) {
+  auto r = session_.Sql("SELECT vecs, COUNT(*) FROM t GROUP BY vecs");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecEdgeTest, StringAggregationLimits) {
+  // MIN/MAX/SUM over strings is a type error; COUNT works.
+  EXPECT_FALSE(session_.Sql("SELECT SUM(s) FROM t").ok());
+  EXPECT_FALSE(session_.Sql("SELECT MAX(s) FROM t").ok());
+  auto r = session_.Sql("SELECT COUNT(s) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->column(0).data().At({0}), 3.0);
+}
+
+TEST_F(ExecEdgeTest, DivisionByZeroColumnProducesInf) {
+  // Tensor semantics (like the paper's runtime): elementwise division by
+  // a zero value yields inf, not an engine error.
+  auto r = session_.Sql("SELECT k / v FROM t WHERE k = 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(std::isinf((*r)->column(0).data().At({0})));
+}
+
+TEST_F(ExecEdgeTest, SingleRowTable) {
+  auto one = TableBuilder("one").AddInt64("x", {42}).Build();
+  ASSERT_TRUE(session_.RegisterTable("one", one.value()).ok());
+  auto r = session_.Sql(
+      "SELECT x, COUNT(*) FROM one GROUP BY x HAVING COUNT(*) >= 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 1);
+}
+
+TEST_F(ExecEdgeTest, DuplicateAggregatesComputedOnce) {
+  auto r = session_.Sql(
+      "SELECT COUNT(*), COUNT(*) + 1, COUNT(*) * 2 FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->column(0).data().At({0}), 3.0);
+  EXPECT_EQ((*r)->column(1).data().At({0}), 4.0);
+  EXPECT_EQ((*r)->column(2).data().At({0}), 6.0);
+}
+
+TEST_F(ExecEdgeTest, NestedSubqueries) {
+  auto r = session_.Sql(
+      "SELECT m FROM (SELECT MAX(v) AS m FROM (SELECT k, v FROM t WHERE k "
+      "< 3) inner1) outer1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FLOAT_EQ(static_cast<float>((*r)->column(0).data().At({0})), 1.5f);
+}
+
+TEST_F(ExecEdgeTest, OrderByExpressionNotInSelect) {
+  auto r = session_.Sql("SELECT k FROM t ORDER BY v * -1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // v*-1 ascending: v descending: 1.5, 0.0, -2.5 -> k = 1, 3, 2.
+  EXPECT_EQ((*r)->column(0).data().At({0}), 1.0);
+  EXPECT_EQ((*r)->column(0).data().At({1}), 3.0);
+  EXPECT_EQ((*r)->column(0).data().At({2}), 2.0);
+  EXPECT_EQ((*r)->num_columns(), 1) << "hidden sort column must be dropped";
+}
+
+TEST_F(ExecEdgeTest, OrderByAggregateNotInSelect) {
+  auto r = session_.Sql(
+      "SELECT s FROM t GROUP BY s ORDER BY COUNT(*) DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->column(0).DecodeStrings()[0], "a");
+  EXPECT_EQ((*r)->num_columns(), 1);
+}
+
+TEST_F(ExecEdgeTest, ProbabilityColumnsGroupExactlyWhenNotTrainable) {
+  // A PE column used by a non-trainable query is hard-decoded.
+  Tensor probs = Tensor::FromVector(
+      std::vector<float>{0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f}, {3, 2});
+  auto table = Table::Create(
+      "pe", {"cls"}, {Column::Probability(probs, {10.0, 20.0})});
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session_.RegisterTable("pe", table.value()).ok());
+  auto r = session_.Sql(
+      "SELECT cls, COUNT(*) FROM pe GROUP BY cls ORDER BY cls");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 2);
+  EXPECT_EQ((*r)->column(0).data().At({0}), 10.0);
+  EXPECT_EQ((*r)->column(1).data().At({0}), 2.0);  // rows 0 and 2
+  EXPECT_EQ((*r)->column(1).data().At({1}), 1.0);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,149 @@
+#include "src/index/ivf_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace index {
+namespace {
+
+// Clustered unit vectors: `clusters` directions with small perturbations.
+Tensor MakeClusteredData(int64_t n, int64_t dim, int64_t clusters,
+                         Rng& rng) {
+  Tensor centers = L2Normalize(RandNormal({clusters, dim}, 0, 1, rng), 1);
+  Tensor data = Tensor::Zeros({n, dim});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = rng.UniformInt(0, clusters - 1);
+    Tensor noisy = Add(Slice(centers, 0, c, 1),
+                       RandNormal({1, dim}, 0, 0.08, rng));
+    Tensor row = L2Normalize(noisy, 1);
+    for (int64_t d = 0; d < dim; ++d) data.SetAt({i, d}, row.At({0, d}));
+  }
+  return data;
+}
+
+// Exact brute-force top-k for recall computation.
+std::set<int64_t> BruteForceTopK(const Tensor& data, const Tensor& query,
+                                 int64_t k) {
+  const Tensor scores =
+      Squeeze(MatMul(data, Reshape(query, {query.numel(), 1})), 1);
+  const Tensor order = ArgSort(scores, /*descending=*/true);
+  std::set<int64_t> out;
+  for (int64_t i = 0; i < k; ++i) {
+    out.insert(static_cast<int64_t>(order.At({i})));
+  }
+  return out;
+}
+
+TEST(IvfIndexTest, BuildValidatesInput) {
+  Rng rng(1);
+  IvfIndex::Options options;
+  EXPECT_FALSE(IvfIndex::Build(Tensor(), options, rng).ok());
+  EXPECT_FALSE(IvfIndex::Build(Tensor::Ones({4}), options, rng).ok());
+  EXPECT_FALSE(
+      IvfIndex::Build(Tensor::Ones({4, 2}, DType::kInt64), options, rng)
+          .ok());
+}
+
+TEST(IvfIndexTest, FullProbeSearchIsExact) {
+  Rng rng(2);
+  Tensor data = MakeClusteredData(200, 16, 8, rng);
+  IvfIndex::Options options;
+  options.num_lists = 8;
+  auto built = IvfIndex::Build(data, options, rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  Tensor query = L2Normalize(RandNormal({1, 16}, 0, 1, rng), 1).Squeeze(0);
+  auto result = built->Search(query, 10, /*num_probes=*/8);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->indices.numel(), 10);
+
+  const std::set<int64_t> exact = BruteForceTopK(data, query, 10);
+  int hits = 0;
+  for (int64_t i = 0; i < 10; ++i) {
+    if (exact.contains(static_cast<int64_t>(result->indices.At({i})))) {
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, 10) << "probing every cell must recover the exact top-k";
+}
+
+TEST(IvfIndexTest, ScoresAreSortedDescending) {
+  Rng rng(3);
+  Tensor data = MakeClusteredData(150, 8, 6, rng);
+  IvfIndex::Options options;
+  options.num_lists = 6;
+  auto built = IvfIndex::Build(data, options, rng);
+  ASSERT_TRUE(built.ok());
+  Tensor query = L2Normalize(RandNormal({1, 8}, 0, 1, rng), 1).Squeeze(0);
+  auto result = built->Search(query, 20, 3);
+  ASSERT_TRUE(result.ok());
+  for (int64_t i = 1; i < result->scores.numel(); ++i) {
+    EXPECT_GE(result->scores.At({i - 1}), result->scores.At({i}));
+  }
+}
+
+TEST(IvfIndexTest, PartialProbesHaveHighRecallOnClusteredData) {
+  Rng rng(4);
+  Tensor data = MakeClusteredData(600, 16, 12, rng);
+  IvfIndex::Options options;
+  options.num_lists = 12;
+  auto built = IvfIndex::Build(data, options, rng);
+  ASSERT_TRUE(built.ok());
+
+  double recall = 0;
+  const int kQueries = 10;
+  Rng qrng(99);
+  for (int q = 0; q < kQueries; ++q) {
+    // Query near a data point so the answer is concentrated in one cell.
+    const int64_t anchor = qrng.UniformInt(0, 599);
+    Tensor query =
+        L2Normalize(Add(Slice(data, 0, anchor, 1),
+                        RandNormal({1, 16}, 0, 0.02, qrng)),
+                    1)
+            .Squeeze(0)
+            .Contiguous();
+    auto result = built->Search(query, 10, /*num_probes=*/3);
+    ASSERT_TRUE(result.ok());
+    const std::set<int64_t> exact = BruteForceTopK(data, query, 10);
+    for (int64_t i = 0; i < result->indices.numel(); ++i) {
+      if (exact.contains(static_cast<int64_t>(result->indices.At({i})))) {
+        recall += 1;
+      }
+    }
+  }
+  recall /= kQueries * 10;
+  EXPECT_GT(recall, 0.8) << "IVF recall@10 with 3/12 probes";
+}
+
+TEST(IvfIndexTest, ScanFractionShrinksWithFewerProbes) {
+  Rng rng(5);
+  Tensor data = MakeClusteredData(400, 8, 10, rng);
+  IvfIndex::Options options;
+  options.num_lists = 10;
+  auto built = IvfIndex::Build(data, options, rng);
+  ASSERT_TRUE(built.ok());
+  EXPECT_LT(built->ScanFraction(2), built->ScanFraction(10));
+  EXPECT_DOUBLE_EQ(built->ScanFraction(10), 1.0);
+}
+
+TEST(IvfIndexTest, KLargerThanCandidatesIsClamped) {
+  Rng rng(6);
+  Tensor data = MakeClusteredData(20, 4, 4, rng);
+  IvfIndex::Options options;
+  options.num_lists = 4;
+  auto built = IvfIndex::Build(data, options, rng);
+  ASSERT_TRUE(built.ok());
+  Tensor query = L2Normalize(RandNormal({1, 4}, 0, 1, rng), 1).Squeeze(0);
+  auto result = built->Search(query, 100, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->indices.numel(), 20);
+  EXPECT_GT(result->indices.numel(), 0);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace tdp

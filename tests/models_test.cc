@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/data/attachments.h"
+#include "src/data/documents.h"
+#include "src/models/clip.h"
+#include "src/models/cnn.h"
+#include "src/models/ocr.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace models {
+namespace {
+
+TEST(SimClipTest, EmbeddingsAreUnitNorm) {
+  Rng rng(1);
+  SimClip clip;
+  Tensor images = Cat({Unsqueeze(data::RenderConceptImage(
+                           data::Concept::kDog, rng), 0),
+                       Unsqueeze(data::RenderConceptImage(
+                           data::Concept::kBeach, rng), 0)},
+                      0);
+  Tensor e = clip.EncodeImages(images);
+  EXPECT_EQ(e.shape(), (std::vector<int64_t>{2, SimClip::kEmbeddingDim}));
+  Tensor norms = Sqrt(Sum(Mul(e, e), 1, false));
+  EXPECT_TRUE(AllClose(norms, Tensor::Ones({2}), 1e-3, 1e-3));
+}
+
+TEST(SimClipTest, MatchingConceptsScoreHigherThanNonMatching) {
+  Rng rng(2);
+  SimClip clip;
+  std::vector<Tensor> receipts, dogs;
+  for (int i = 0; i < 10; ++i) {
+    receipts.push_back(Unsqueeze(
+        data::RenderConceptImage(data::Concept::kStoreReceipt, rng), 0));
+    dogs.push_back(
+        Unsqueeze(data::RenderConceptImage(data::Concept::kDog, rng), 0));
+  }
+  Tensor receipt_batch = Cat(receipts, 0);
+  Tensor dog_batch = Cat(dogs, 0);
+
+  auto receipt_scores = clip.Similarity("receipt", receipt_batch);
+  auto cross_scores = clip.Similarity("receipt", dog_batch);
+  ASSERT_TRUE(receipt_scores.ok());
+  ASSERT_TRUE(cross_scores.ok());
+  const float match = Mean(*receipt_scores).item<float>();
+  const float cross = Mean(*cross_scores).item<float>();
+  EXPECT_GT(match, 0.85f);
+  EXPECT_LT(cross, 0.6f);
+}
+
+TEST(SimClipTest, ThresholdSeparatesAtPointEight) {
+  // The paper's queries use `similarity > 0.80`; verify per-image
+  // separation, not just means.
+  Rng rng(3);
+  SimClip clip;
+  int receipts_above = 0, dogs_above = 0;
+  constexpr int kTrials = 25;
+  for (int i = 0; i < kTrials; ++i) {
+    Tensor receipt = Unsqueeze(
+        data::RenderConceptImage(data::Concept::kKfcReceipt, rng), 0);
+    Tensor dog =
+        Unsqueeze(data::RenderConceptImage(data::Concept::kDog, rng), 0);
+    if (clip.Similarity("receipt", receipt)->item<float>() > 0.8f) {
+      ++receipts_above;
+    }
+    if (clip.Similarity("receipt", dog)->item<float>() > 0.8f) {
+      ++dogs_above;
+    }
+  }
+  EXPECT_GE(receipts_above, kTrials - 2);
+  EXPECT_LE(dogs_above, 1);
+}
+
+TEST(SimClipTest, SpecificBeatsCoarseConcept) {
+  Rng rng(4);
+  SimClip clip;
+  Tensor kfc = Unsqueeze(
+      data::RenderConceptImage(data::Concept::kKfcReceipt, rng), 0);
+  Tensor store = Unsqueeze(
+      data::RenderConceptImage(data::Concept::kStoreReceipt, rng), 0);
+  // "KFC Receipt" should rank the KFC receipt above the store receipt.
+  const float kfc_score =
+      clip.Similarity("KFC Receipt", kfc)->item<float>();
+  const float store_score =
+      clip.Similarity("KFC Receipt", store)->item<float>();
+  EXPECT_GT(kfc_score, store_score);
+}
+
+TEST(SimClipTest, UnknownConceptIsNotFound) {
+  SimClip clip;
+  EXPECT_EQ(clip.EncodeText("quantum chromodynamics").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SimClipTest, DeviceParity) {
+  Rng rng(5);
+  SimClip clip;
+  Tensor image =
+      Unsqueeze(data::RenderConceptImage(data::Concept::kBeach, rng), 0);
+  auto cpu = clip.Similarity("beach", image);
+  auto accel = clip.Similarity("beach", image.To(Device::kAccel));
+  ASSERT_TRUE(cpu.ok() && accel.ok());
+  EXPECT_NEAR(cpu->item<float>(), accel->item<float>(), 1e-4);
+}
+
+TEST(TileClassifierTest, ShapesAndParameterCounts) {
+  Rng rng(6);
+  auto model = MakeTileClassifier(10, rng);
+  Tensor logits = model->Forward(
+      Tensor::Zeros({4, 1, 12, 12}, DType::kFloat32, Device::kAccel));
+  EXPECT_EQ(logits.shape(), (std::vector<int64_t>{4, 10}));
+  EXPECT_GT(model->NumParameters(), 1000);
+
+  auto cnn_small = MakeCnnSmallRegressor(rng);
+  Tensor counts = cnn_small->Forward(
+      Tensor::Zeros({2, 1, 36, 36}, DType::kFloat32, Device::kAccel));
+  EXPECT_EQ(counts.shape(), (std::vector<int64_t>{2, 20}));
+
+  auto resnet = MakeMiniResNetRegressor(rng);
+  Tensor counts2 = resnet->Forward(
+      Tensor::Zeros({2, 1, 36, 36}, DType::kFloat32, Device::kAccel));
+  EXPECT_EQ(counts2.shape(), (std::vector<int64_t>{2, 20}));
+  EXPECT_GT(resnet->NumParameters(), cnn_small->NumParameters() / 2);
+}
+
+TEST(TableOcrTest, ExtractsExactValuesFromCleanDocuments) {
+  Rng rng(7);
+  data::DocumentDataset docs = data::MakeDocumentDataset(5, rng);
+  TableOcr ocr;
+  int64_t correct = 0, total = 0;
+  for (int64_t d = 0; d < 5; ++d) {
+    auto values = ocr.ExtractTable(
+        Slice(docs.images, 0, d, 1).Squeeze(0));
+    ASSERT_TRUE(values.ok()) << values.status().ToString();
+    for (int64_t r = 0; r < data::kDocRows; ++r) {
+      for (int64_t c = 0; c < data::kDocCols; ++c) {
+        ++total;
+        if (std::abs(values->At({r, c}) - docs.values.At({d, r, c})) < 1e-4) {
+          ++correct;
+        }
+      }
+    }
+  }
+  EXPECT_GE(correct, total * 95 / 100)
+      << "OCR accuracy too low: " << correct << "/" << total;
+}
+
+TEST(TableOcrTest, RejectsBlankImage) {
+  TableOcr ocr;
+  auto result = ocr.ExtractTable(
+      Tensor::Zeros({1, data::kDocHeight, data::kDocWidth}));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace tdp

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/nn/layers.h"
+#include "src/nn/loss.h"
+#include "src/nn/optim.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace nn {
+namespace {
+
+TEST(NnTest, LinearShapesAndParams) {
+  Rng rng(1);
+  Linear linear(4, 3, rng);
+  Tensor y = linear.Forward(Tensor::Ones({2, 4}, DType::kFloat32,
+                                         Device::kAccel));
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(linear.Parameters().size(), 2u);
+  EXPECT_EQ(linear.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(NnTest, SequentialComposesAndCollectsParams) {
+  Rng rng(2);
+  auto model = std::make_shared<Sequential>(
+      std::vector<std::shared_ptr<Module>>{
+          std::make_shared<Linear>(4, 8, rng),
+          std::make_shared<ReluLayer>(),
+          std::make_shared<Linear>(8, 2, rng)});
+  Tensor y = model->Forward(
+      Tensor::Ones({3, 4}, DType::kFloat32, Device::kAccel));
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(model->Parameters().size(), 4u);
+  const auto named = model->NamedParameters();
+  EXPECT_EQ(named[0].first, "0.weight");
+}
+
+TEST(NnTest, Conv2dLayerOutputShape) {
+  Rng rng(3);
+  Conv2dLayer conv(1, 4, 3, 1, 1, rng);
+  Tensor y = conv.Forward(
+      Tensor::Ones({2, 1, 8, 8}, DType::kFloat32, Device::kAccel));
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 4, 8, 8}));
+}
+
+TEST(NnTest, MSELossValue) {
+  Tensor pred = Tensor::FromVector(std::vector<float>{1, 2});
+  Tensor target = Tensor::FromVector(std::vector<float>{3, 2});
+  EXPECT_FLOAT_EQ(MSELoss(pred, target).item<float>(), 2.0f);
+}
+
+TEST(NnTest, CrossEntropyIsLowForCorrectConfidentLogits) {
+  Tensor logits =
+      Tensor::FromVector(std::vector<float>{10, 0, 0, 0, 10, 0}, {2, 3});
+  Tensor targets = Tensor::FromVector(std::vector<int64_t>{0, 1});
+  EXPECT_LT(SoftmaxCrossEntropyLoss(logits, targets).item<float>(), 1e-3f);
+  Tensor wrong = Tensor::FromVector(std::vector<int64_t>{2, 2});
+  EXPECT_GT(SoftmaxCrossEntropyLoss(logits, wrong).item<float>(), 5.0f);
+}
+
+TEST(NnTest, SgdReducesQuadraticLoss) {
+  Tensor w = Tensor::FromVector(std::vector<float>{5, -3}).set_requires_grad(true);
+  SGD sgd({w}, /*lr=*/0.1);
+  for (int i = 0; i < 100; ++i) {
+    sgd.ZeroGrad();
+    Sum(Mul(w, w)).Backward();
+    sgd.Step();
+  }
+  EXPECT_LT(std::abs(w.At({0})), 1e-3);
+  EXPECT_LT(std::abs(w.At({1})), 1e-3);
+}
+
+TEST(NnTest, AdamFitsLinearRegression) {
+  Rng rng(4);
+  // y = 2x - 1 with noise; fit a 1-d linear model.
+  const int64_t n = 64;
+  Tensor x = RandUniform({n, 1}, -1, 1, rng, DType::kFloat32, Device::kAccel);
+  Tensor y = AddScalar(MulScalar(x, 2.0), -1.0);
+  Linear model(1, 1, rng, true, Device::kAccel);
+  Adam adam(model.Parameters(), 0.05);
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 200; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = MSELoss(model.Forward(x), y);
+    if (step == 0) first_loss = loss.item<float>();
+    last_loss = loss.item<float>();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01f);
+  EXPECT_NEAR(model.weight().At({0, 0}), 2.0, 0.1);
+  EXPECT_NEAR(model.bias().At({0}), -1.0, 0.1);
+}
+
+TEST(NnTest, SgdMomentumConverges) {
+  Tensor w = Tensor::FromVector(std::vector<float>{4}).set_requires_grad(true);
+  SGD sgd({w}, 0.05, 0.9);
+  for (int i = 0; i < 120; ++i) {
+    sgd.ZeroGrad();
+    Sum(Mul(w, w)).Backward();
+    sgd.Step();
+  }
+  EXPECT_LT(std::abs(w.At({0})), 1e-2);
+}
+
+TEST(NnTest, ZeroGradClearsAllParams) {
+  Rng rng(5);
+  Linear model(2, 2, rng);
+  Sum(model.Forward(Tensor::Ones({1, 2}, DType::kFloat32, Device::kAccel)))
+      .Backward();
+  EXPECT_TRUE(model.Parameters()[0].grad().defined());
+  model.ZeroGrad();
+  EXPECT_FALSE(model.Parameters()[0].grad().defined());
+}
+
+// A tiny CNN learns to classify a linearly-inseparable toy image task.
+TEST(NnTest, CnnLearnsToyClassification) {
+  Rng rng(6);
+  const int64_t n = 40;
+  Tensor images = Tensor::Zeros({n, 1, 6, 6}, DType::kFloat32,
+                                Device::kAccel);
+  Tensor labels = Tensor::Empty({n}, DType::kInt64);
+  float* ip = images.data<float>();
+  int64_t* lp = labels.data<int64_t>();
+  for (int64_t i = 0; i < n; ++i) {
+    const bool vertical = rng.Bernoulli(0.5);
+    lp[i] = vertical ? 1 : 0;
+    // vertical or horizontal bar + noise
+    for (int64_t k = 0; k < 6; ++k) {
+      if (vertical) {
+        ip[i * 36 + k * 6 + 2] = 1.0f;
+      } else {
+        ip[i * 36 + 2 * 6 + k] = 1.0f;
+      }
+    }
+    for (int64_t p = 0; p < 36; ++p) {
+      ip[i * 36 + p] += static_cast<float>(rng.Normal(0, 0.05));
+    }
+  }
+  std::vector<std::shared_ptr<Module>> layers;
+  layers.push_back(std::make_shared<Conv2dLayer>(1, 4, 3, 1, 1, rng));
+  layers.push_back(std::make_shared<ReluLayer>());
+  layers.push_back(std::make_shared<MaxPool2dLayer>(2, 2));
+  layers.push_back(std::make_shared<FlattenLayer>());
+  layers.push_back(std::make_shared<Linear>(4 * 9, 2, rng));
+  Sequential model(std::move(layers));
+  Adam adam(model.Parameters(), 0.01);
+  for (int step = 0; step < 60; ++step) {
+    adam.ZeroGrad();
+    SoftmaxCrossEntropyLoss(model.Forward(images), labels).Backward();
+    adam.Step();
+  }
+  const Tensor pred = ArgMax(model.Forward(images), 1, false);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (pred.At({i}) == labels.At({i})) ++correct;
+  }
+  EXPECT_GE(correct, n * 9 / 10);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace tdp

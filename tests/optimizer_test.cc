@@ -1,0 +1,87 @@
+#include "src/plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/session.h"
+#include "src/sql/binder.h"
+#include "src/sql/parser.h"
+
+namespace tdp {
+namespace plan {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = TableBuilder("t")
+                 .AddInt64("k", {1, 2, 3})
+                 .AddFloat32("v", {1, 2, 3})
+                 .AddTensor("img", Tensor::Zeros({3, 1, 4, 4}))
+                 .Build();
+    ASSERT_TRUE(session_.RegisterTable("t", t.value()).ok());
+    auto u = TableBuilder("u")
+                 .AddInt64("k2", {1, 2})
+                 .AddFloat32("w", {5, 6})
+                 .Build();
+    ASSERT_TRUE(session_.RegisterTable("u", u.value()).ok());
+  }
+
+  std::string Plan(const std::string& sql) {
+    auto result = session_.Explain(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result.value() : "";
+  }
+
+  Session session_;
+};
+
+TEST_F(OptimizerTest, LimitFusesIntoSort) {
+  const std::string plan = Plan("SELECT k FROM t ORDER BY v LIMIT 2");
+  EXPECT_NE(plan.find("topk=2"), std::string::npos) << plan;
+  // The standalone Limit node is gone (offset = 0).
+  EXPECT_EQ(plan.find("Limit("), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, LimitWithOffsetKeepsLimitNode) {
+  const std::string plan =
+      Plan("SELECT k FROM t ORDER BY v LIMIT 2 OFFSET 1");
+  EXPECT_NE(plan.find("topk=3"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Limit(2, offset=1)"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerTest, FilterPushesThroughJoin) {
+  const std::string plan = Plan(
+      "SELECT t.k FROM t JOIN u ON t.k = u.k2 WHERE t.v > 1 AND u.w > 5");
+  // Both conjuncts moved below the join: Filter appears under Join sides.
+  const size_t join_pos = plan.find("Join");
+  ASSERT_NE(join_pos, std::string::npos);
+  EXPECT_NE(plan.find("Filter", join_pos), std::string::npos)
+      << "expected pushed-down filters below the join:\n" << plan;
+  // No filter remains above the join.
+  EXPECT_EQ(plan.substr(0, join_pos).find("Filter"), std::string::npos)
+      << plan;
+}
+
+TEST_F(OptimizerTest, ScanPruningDropsUnusedTensorColumn) {
+  const std::string plan = Plan("SELECT k FROM t WHERE v > 1");
+  EXPECT_NE(plan.find("cols=2"), std::string::npos)
+      << "scan should read only k and v, not the image column:\n" << plan;
+}
+
+TEST_F(OptimizerTest, PruningPreservesResults) {
+  auto full = session_.Sql("SELECT k, v FROM t WHERE v > 1 ORDER BY k");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ((*full)->num_rows(), 2);
+  EXPECT_EQ((*full)->column(0).data().At({0}), 2.0);
+  EXPECT_FLOAT_EQ(static_cast<float>((*full)->column(1).data().At({1})),
+                  3.0f);
+}
+
+TEST_F(OptimizerTest, SelectStarIsNotPruned) {
+  const std::string plan = Plan("SELECT * FROM t");
+  EXPECT_EQ(plan.find("cols="), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace tdp

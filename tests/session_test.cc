@@ -1,0 +1,144 @@
+#include "src/runtime/session.h"
+
+#include <gtest/gtest.h>
+
+#include "src/models/tvfs.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace {
+
+TEST(SessionTest, RegisterTensorCreatesSingleColumnTable) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums",
+                                  Tensor::FromVector(
+                                      std::vector<float>{3, 1, 2}))
+                  .ok());
+  auto r = session.Sql("SELECT value FROM nums ORDER BY value");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->column(0).data().At({0}), 1.0);
+  EXPECT_FALSE(session.RegisterTensor("bad", Tensor()).ok());
+}
+
+TEST(SessionTest, RegisterTensorSupportsMultiDim) {
+  Session session;
+  ASSERT_TRUE(
+      session.RegisterTensor("grids", Tensor::Zeros({4, 1, 6, 6})).ok());
+  auto r = session.Sql("SELECT COUNT(*) FROM grids");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->column(0).data().At({0}), 4.0);
+}
+
+TEST(SessionTest, QueryOptionsSelectDevice) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("t", Tensor::FromVector(
+                                           std::vector<float>{1, 2}))
+                  .ok());
+  QueryOptions cpu;
+  cpu.device = Device::kCpu;
+  auto query = session.Query("SELECT value + 1 FROM t", cpu);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ((*query)->device(), Device::kCpu);
+  auto chunk = (*query)->RunChunk();
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->columns[0].data().device(), Device::kCpu);
+}
+
+TEST(SessionTest, NonTrainableQueryHasNoParameters) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("t", Tensor::FromVector(
+                                           std::vector<float>{1, 2}))
+                  .ok());
+  auto query = session.Query("SELECT value FROM t");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE((*query)->trainable());
+  EXPECT_TRUE((*query)->Parameters().empty());
+  EXPECT_TRUE((*query)->Modules().empty());
+}
+
+TEST(SessionTest, TrainableQuerySurfacesTvfModules) {
+  Session session;
+  Rng rng(1);
+  auto tvf = models::RegisterClassifyIncomesTvf(session.functions(), 6, rng);
+  ASSERT_TRUE(tvf.ok());
+  ASSERT_TRUE(
+      session.RegisterTensor("bags", Tensor::Zeros({8, 6})).ok());
+  QueryOptions options;
+  options.trainable = true;
+  auto query = session.Query(
+      "SELECT Income, COUNT(*) FROM classify_incomes(bags) GROUP BY Income",
+      options);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ((*query)->Modules().size(), 1u);
+  // Linear(6 -> 2) with bias: 14 scalars.
+  int64_t total = 0;
+  for (const Tensor& p : (*query)->Parameters()) total += p.numel();
+  EXPECT_EQ(total, 14);
+}
+
+TEST(SessionTest, ExplainMentionsTvfAndAggregate) {
+  Session session;
+  Rng rng(2);
+  auto tvf = models::RegisterClassifyIncomesTvf(session.functions(), 6, rng);
+  ASSERT_TRUE(tvf.ok());
+  ASSERT_TRUE(session.RegisterTensor("bags", Tensor::Zeros({8, 6})).ok());
+  auto plan = session.Explain(
+      "SELECT Income, COUNT(*) FROM classify_incomes(bags) GROUP BY Income");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("TvfScan(classify_incomes)"), std::string::npos)
+      << *plan;
+  EXPECT_NE(plan->find("Aggregate"), std::string::npos);
+}
+
+TEST(SessionTest, TvfOverMissingTableIsBindError) {
+  Session session;
+  Rng rng(3);
+  auto tvf = models::RegisterClassifyIncomesTvf(session.functions(), 6, rng);
+  ASSERT_TRUE(tvf.ok());
+  auto r = session.Sql("SELECT Income FROM classify_incomes(missing)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionTest, UnknownTvfIsBindError) {
+  Session session;
+  ASSERT_TRUE(session.RegisterTensor("t", Tensor::Zeros({2})).ok());
+  auto r = session.Sql("SELECT x FROM not_a_tvf(t)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(SessionTest, CompiledQueriesSurviveTableDrop) {
+  Session session;
+  ASSERT_TRUE(session.RegisterTensor("t", Tensor::Zeros({2})).ok());
+  auto query = session.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(session.catalog().DropTable("t").ok());
+  // Run after drop: a clean execution error, not a crash.
+  auto r = (*query)->Run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  // Re-register and the query works again.
+  ASSERT_TRUE(session.RegisterTensor("t", Tensor::Zeros({5})).ok());
+  auto again = (*query)->Run();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->column(0).data().At({0}), 5.0);
+}
+
+TEST(SessionTest, ConvBackendParity) {
+  // Conv2d must agree across kernel backends (direct vs im2col+GEMM).
+  Rng rng(4);
+  Tensor input = RandNormal({2, 3, 9, 9}, 0, 1, rng);
+  Tensor weight = RandNormal({4, 3, 3, 3}, 0, 0.3, rng);
+  Tensor bias = RandNormal({4}, 0, 0.1, rng);
+  Tensor cpu = Conv2d(input, weight, bias, 1, 1);
+  Tensor accel = Conv2d(input.To(Device::kAccel), weight.To(Device::kAccel),
+                        bias.To(Device::kAccel), 1, 1);
+  EXPECT_TRUE(AllClose(cpu, accel.To(Device::kCpu), 1e-4, 1e-4));
+}
+
+}  // namespace
+}  // namespace tdp

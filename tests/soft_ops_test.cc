@@ -1,0 +1,89 @@
+#include "src/exec/soft_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace exec {
+namespace {
+
+TEST(SoftOpsTest, SoftCountOfHardDistributionsIsExactCount) {
+  // One-hot rows: soft count == exact count.
+  Tensor idx = Tensor::FromVector(std::vector<int64_t>{0, 1, 1, 2, 1});
+  Tensor probs = OneHot(idx, 3);
+  Tensor counts = SoftCount(probs);
+  EXPECT_EQ(counts.ToVector<float>(), (std::vector<float>{1, 3, 1}));
+}
+
+TEST(SoftOpsTest, SoftCountIsExpectedCount) {
+  Tensor probs = Tensor::FromVector(
+      std::vector<float>{0.9f, 0.1f, 0.4f, 0.6f, 0.5f, 0.5f}, {3, 2});
+  Tensor counts = SoftCount(probs);
+  EXPECT_NEAR(counts.At({0}), 1.8, 1e-5);
+  EXPECT_NEAR(counts.At({1}), 1.2, 1e-5);
+}
+
+TEST(SoftOpsTest, SoftGroupByMatchesExactOnHardInputs) {
+  // digits in {0,1,2}, sizes in {0,1}; hard one-hot PE columns.
+  Tensor digits = Tensor::FromVector(std::vector<int64_t>{0, 2, 2, 1});
+  Tensor sizes = Tensor::FromVector(std::vector<int64_t>{1, 0, 1, 1});
+  Column d = Column::Probability(OneHot(digits, 3), {0, 1, 2});
+  Column s = Column::Probability(OneHot(sizes, 2), {0, 1});
+  auto result = SoftGroupByCount({d, s});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 6 combos, row-major (digit slowest): (0,0)(0,1)(1,0)(1,1)(2,0)(2,1).
+  EXPECT_EQ(result->counts.ToVector<float>(),
+            (std::vector<float>{0, 1, 0, 1, 1, 1}));
+  EXPECT_EQ(result->key_values[0].ToVector<float>(),
+            (std::vector<float>{0, 0, 1, 1, 2, 2}));
+  EXPECT_EQ(result->key_values[1].ToVector<float>(),
+            (std::vector<float>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(SoftOpsTest, SoftGroupByCountsSumToRowCount) {
+  Rng rng(1);
+  Tensor d = Softmax(RandNormal({20, 10}, 0, 1, rng), 1);
+  Tensor s = Softmax(RandNormal({20, 2}, 0, 1, rng), 1);
+  std::vector<double> digit_domain;
+  for (int i = 0; i < 10; ++i) digit_domain.push_back(i);
+  auto result = SoftGroupByCount(
+      {Column::Probability(d, digit_domain), Column::Probability(s, {0, 1})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts.numel(), 20);
+  EXPECT_NEAR(Sum(result->counts).item<float>(), 20.0f, 1e-3);
+}
+
+TEST(SoftOpsTest, SoftGroupByIsDifferentiable) {
+  Rng rng(2);
+  Tensor logits = RandNormal({6, 4}, 0, 1, rng).set_requires_grad(true);
+  Tensor probs = Softmax(logits, 1);
+  auto result = SoftGroupByCount({Column::Probability(probs, {0, 1, 2, 3})});
+  ASSERT_TRUE(result.ok());
+  Tensor target = Tensor::FromVector(std::vector<float>{2, 2, 1, 1});
+  Tensor diff = Sub(result->counts, target);
+  Mean(Mul(diff, diff)).Backward();
+  ASSERT_TRUE(logits.grad().defined());
+  // Gradient must be non-trivial.
+  EXPECT_GT(Sum(Abs(logits.grad())).item<float>(), 0.0f);
+}
+
+TEST(SoftOpsTest, SoftGroupByRejectsNonPeKeys) {
+  Column plain = Column::Plain(Tensor::Ones({4}));
+  auto result = SoftGroupByCount({plain});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(SoftOpsTest, WeightedCountAppliesFilterWeights) {
+  Tensor probs = OneHot(Tensor::FromVector(std::vector<int64_t>{0, 1, 0}), 2);
+  Tensor weights = Tensor::FromVector(std::vector<float>{1.0f, 0.5f, 0.0f});
+  Tensor counts = SoftWeightedCount(probs, SoftFilterWeights(weights));
+  EXPECT_NEAR(counts.At({0}), 1.0, 1e-6);
+  EXPECT_NEAR(counts.At({1}), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace tdp

@@ -1,0 +1,104 @@
+#include "src/udf/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/session.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace {
+
+udf::ScalarFunction MakeDoubler() {
+  udf::ScalarFunction fn;
+  fn.name = "double_it";
+  fn.return_type = udf::DeclaredType::kFloat;
+  fn.fn = [](const std::vector<udf::Argument>& args, int64_t num_rows,
+             Device device) -> StatusOr<Column> {
+    (void)num_rows;
+    (void)device;
+    if (args.size() != 1 || args[0].is_scalar) {
+      return Status::InvalidArgument("double_it(column)");
+    }
+    return Column::Plain(MulScalar(args[0].column.DecodeValues(), 2.0));
+  };
+  return fn;
+}
+
+TEST(UdfRegistryTest, RegisterAndLookup) {
+  udf::FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterScalar(MakeDoubler()).ok());
+  EXPECT_NE(registry.FindScalar("double_it"), nullptr);
+  EXPECT_NE(registry.FindScalar("DOUBLE_IT"), nullptr);
+  EXPECT_EQ(registry.FindScalar("missing"), nullptr);
+  EXPECT_EQ(registry.FindTable("double_it"), nullptr);
+  // Duplicate names rejected.
+  EXPECT_EQ(registry.RegisterScalar(MakeDoubler()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(UdfRegistryTest, TvfRequiresSchema) {
+  udf::FunctionRegistry registry;
+  udf::TableFunction fn;
+  fn.name = "bad";
+  fn.fn = [](const exec::Chunk&, const std::vector<exec::ScalarValue>&,
+             Device) -> StatusOr<exec::Chunk> {
+    return exec::Chunk{};
+  };
+  EXPECT_FALSE(registry.RegisterTable(std::move(fn)).ok());
+}
+
+TEST(UdfInQueryTest, ScalarUdfInProjectionAndFilter) {
+  Session session;
+  ASSERT_TRUE(session.functions().RegisterScalar(MakeDoubler()).ok());
+  auto t = TableBuilder("t").AddFloat32("x", {1, 2, 3}).Build();
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+
+  auto r = session.Sql("SELECT double_it(x) AS dx FROM t WHERE "
+                       "double_it(x) > 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 2);
+  EXPECT_FLOAT_EQ(static_cast<float>((*r)->column(0).data().At({0})), 4.0f);
+}
+
+TEST(UdfInQueryTest, UdfOverAggregateResult) {
+  Session session;
+  ASSERT_TRUE(session.functions().RegisterScalar(MakeDoubler()).ok());
+  auto t = TableBuilder("t")
+               .AddInt64("g", {1, 1, 2})
+               .AddFloat32("x", {1, 2, 3})
+               .Build();
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+  auto r = session.Sql(
+      "SELECT g, double_it(SUM(x)) FROM t GROUP BY g ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FLOAT_EQ(static_cast<float>((*r)->column(1).data().At({0})), 6.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>((*r)->column(1).data().At({1})), 6.0f);
+}
+
+TEST(UdfInQueryTest, UnknownFunctionIsBindError) {
+  Session session;
+  auto t = TableBuilder("t").AddFloat32("x", {1}).Build();
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+  auto r = session.Sql("SELECT nope(x) FROM t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(UdfInQueryTest, UdfRowCountMismatchIsExecutionError) {
+  Session session;
+  udf::ScalarFunction bad;
+  bad.name = "bad_rows";
+  bad.fn = [](const std::vector<udf::Argument>&, int64_t,
+              Device) -> StatusOr<Column> {
+    return Column::Plain(Tensor::Ones({1}));
+  };
+  ASSERT_TRUE(session.functions().RegisterScalar(std::move(bad)).ok());
+  auto t = TableBuilder("t").AddFloat32("x", {1, 2, 3}).Build();
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+  auto r = session.Sql("SELECT bad_rows(x) FROM t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace tdp
