@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/exec/soft_ops.h"
 #include "src/runtime/session.h"
 #include "src/tensor/ops.h"
@@ -107,6 +108,25 @@ void BM_JoinQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JoinQuery)->Arg(0)->Arg(1);
+
+// Whole-query thread scaling: the morsel-parallel operator loop at 1 vs N
+// threads over a larger table (results are identical across thread counts).
+void BM_GroupByQueryThreads(benchmark::State& state) {
+  ScopedNumThreads guard(static_cast<int>(state.range(0)));
+  QueryBench bench(1 << 17);
+  QueryOptions options;
+  options.device = Device::kAccel;
+  auto query = bench.session.Query(
+      "SELECT k, COUNT(*), SUM(v), AVG(v) FROM t GROUP BY k", options);
+  TDP_CHECK(query.ok());
+  for (auto _ : state) {
+    auto result = (*query)->RunChunk();
+    TDP_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_GroupByQueryThreads)->Arg(1)->Arg(2)->Arg(4);
 
 // Soft vs exact group-by/count: the price of differentiability.
 void BM_SoftVsExactGroupBy(benchmark::State& state) {

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace tdp {
@@ -97,6 +98,62 @@ void BM_AutogradMatMulBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AutogradMatMulBackward);
+
+// ---- Thread scaling ---------------------------------------------------------
+//
+// The morsel-parallel kernels at 1 vs N threads (same accelerated backend,
+// same inputs — results are bit-identical, only wall clock changes). On a
+// 4-core runner BM_MatMulThreads/4 should be ≥2x the items/s of /1.
+
+void BM_MatMulThreads(benchmark::State& state) {
+  ScopedNumThreads guard(static_cast<int>(state.range(0)));
+  Rng rng(11);
+  const int64_t n = 256;
+  Tensor a = RandNormal({n, n}, 0, 1, rng).To(Device::kAccel);
+  Tensor b = RandNormal({n, n}, 0, 1, rng).To(Device::kAccel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ElementwiseAddThreads(benchmark::State& state) {
+  ScopedNumThreads guard(static_cast<int>(state.range(0)));
+  Rng rng(12);
+  Tensor a = RandNormal({1 << 20}, 0, 1, rng).To(Device::kAccel);
+  Tensor b = RandNormal({1 << 20}, 0, 1, rng).To(Device::kAccel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, b).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ElementwiseAddThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SumThreads(benchmark::State& state) {
+  ScopedNumThreads guard(static_cast<int>(state.range(0)));
+  Rng rng(13);
+  Tensor a = RandNormal({1 << 21}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sum(a).impl().get());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 21));
+}
+BENCHMARK(BM_SumThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dThreads(benchmark::State& state) {
+  ScopedNumThreads guard(static_cast<int>(state.range(0)));
+  Rng rng(14);
+  Tensor input = RandNormal({16, 8, 28, 28}, 0, 1, rng).To(Device::kAccel);
+  Tensor weight = RandNormal({16, 8, 3, 3}, 0, 0.1, rng).To(Device::kAccel);
+  Tensor bias = RandNormal({16}, 0, 0.1, rng).To(Device::kAccel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv2d(input, weight, bias, 1, 1).impl().get());
+  }
+  // Output elements per iteration: N=16, outC=16, 28x28 (stride 1, pad 1).
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * 28 * 28);
+}
+BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace tdp

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/exec/bound_expr.h"
 #include "src/exec/soft_ops.h"
 #include "src/tensor/ops.h"
@@ -219,18 +220,27 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
       node.group_exprs.empty() ? 1 : next_id;
   std::vector<int64_t> representative(
       static_cast<size_t>(std::max<int64_t>(num_groups, 1)), -1);
-  for (int64_t r = 0; r < rows; ++r) {
-    int64_t gid = 0;
-    if (!node.group_exprs.empty()) {
-      for (size_t k = 0; k < key_codes.size(); ++k) {
-        key[k] = key_codes[k][static_cast<size_t>(r)];
+  // Group-id lookups are read-only on the finished map, so the per-row
+  // assignment shards across the pool; the representative (first row of
+  // each group) is recovered serially afterwards.
+  const auto& frozen_group_ids = group_ids;
+  ParallelFor(0, rows, GrainForCost(8), [&](int64_t row_begin,
+                                            int64_t row_end) {
+    std::vector<int64_t> local_key(key_codes.size());
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      int64_t gid = 0;
+      if (!node.group_exprs.empty()) {
+        for (size_t k = 0; k < key_codes.size(); ++k) {
+          local_key[k] = key_codes[k][static_cast<size_t>(r)];
+        }
+        gid = frozen_group_ids.at(local_key);
       }
-      gid = group_ids[key];
+      row_group[static_cast<size_t>(r)] = gid;
     }
-    row_group[static_cast<size_t>(r)] = gid;
-    if (representative[static_cast<size_t>(gid)] < 0) {
-      representative[static_cast<size_t>(gid)] = r;
-    }
+  });
+  for (int64_t r = 0; r < rows; ++r) {
+    const size_t gid = static_cast<size_t>(row_group[static_cast<size_t>(r)]);
+    if (representative[gid] < 0) representative[gid] = r;
   }
 
   Chunk out;
@@ -257,7 +267,6 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
   for (const AggDef& def : node.aggregates) {
     std::vector<double> acc(static_cast<size_t>(num_groups), 0.0);
     std::vector<int64_t> counts(static_cast<size_t>(num_groups), 0);
-    std::vector<bool> has_value(static_cast<size_t>(num_groups), false);
 
     std::vector<double> arg_values;
     std::vector<int64_t> arg_codes;  // for DISTINCT
@@ -285,33 +294,100 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
       distinct_seen.resize(static_cast<size_t>(num_groups));
     }
 
-    for (int64_t r = 0; r < rows; ++r) {
-      const size_t g = static_cast<size_t>(row_group[static_cast<size_t>(r)]);
-      if (def.distinct && def.arg) {
-        if (!distinct_seen[g].insert(arg_codes[static_cast<size_t>(r)])
-                 .second) {
-          continue;
+    // Chunk-at-a-time accumulation. Rows are folded into fixed-size blocks
+    // (block partials are combined in block order), so the floating-point
+    // reduction tree depends only on the row count — results are identical
+    // for every TDP_NUM_THREADS. DISTINCT keeps per-group ordered sets and
+    // stays serial; high-cardinality group-bys fall back to the serial loop
+    // rather than materializing huge partial tables.
+    constexpr int64_t kAggBlock = 4096;
+    const int64_t num_blocks = (rows + kAggBlock - 1) / kAggBlock;
+    // Parallelize only when the block merge (num_blocks * num_groups
+    // entries) costs no more than the row accumulation it speeds up.
+    const bool parallel_ok =
+        !def.distinct && num_blocks > 1 && num_blocks * num_groups <= rows;
+    auto accumulate_rows = [&](int64_t row_begin, int64_t row_end,
+                               double* block_acc, int64_t* block_counts,
+                               unsigned char* block_has) {
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        const size_t g =
+            static_cast<size_t>(row_group[static_cast<size_t>(r)]);
+        if (def.distinct && def.arg) {
+          if (!distinct_seen[g].insert(arg_codes[static_cast<size_t>(r)])
+                   .second) {
+            continue;
+          }
+        }
+        const double v =
+            def.arg ? arg_values[static_cast<size_t>(r)] : 0.0;
+        switch (def.kind) {
+          case AggKind::kCountStar:
+          case AggKind::kCount:
+            break;
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            block_acc[g] += v;
+            break;
+          case AggKind::kMin:
+            block_acc[g] = block_has[g] ? std::min(block_acc[g], v) : v;
+            break;
+          case AggKind::kMax:
+            block_acc[g] = block_has[g] ? std::max(block_acc[g], v) : v;
+            break;
+        }
+        block_has[g] = 1;
+        ++block_counts[g];
+      }
+    };
+
+    std::vector<unsigned char> has_flags(static_cast<size_t>(num_groups), 0);
+    if (parallel_ok) {
+      std::vector<double> blk_acc(
+          static_cast<size_t>(num_blocks * num_groups), 0.0);
+      std::vector<int64_t> blk_counts(
+          static_cast<size_t>(num_blocks * num_groups), 0);
+      std::vector<unsigned char> blk_has(
+          static_cast<size_t>(num_blocks * num_groups), 0);
+      ParallelFor(0, num_blocks, GrainForCost(kAggBlock),
+                  [&](int64_t block_begin, int64_t block_end) {
+                    for (int64_t blk = block_begin; blk < block_end; ++blk) {
+                      const int64_t lo = blk * kAggBlock;
+                      const int64_t hi = std::min(rows, lo + kAggBlock);
+                      const size_t base =
+                          static_cast<size_t>(blk * num_groups);
+                      accumulate_rows(lo, hi, blk_acc.data() + base,
+                                      blk_counts.data() + base,
+                                      blk_has.data() + base);
+                    }
+                  });
+      for (int64_t blk = 0; blk < num_blocks; ++blk) {
+        const size_t base = static_cast<size_t>(blk * num_groups);
+        for (int64_t g = 0; g < num_groups; ++g) {
+          const size_t ug = static_cast<size_t>(g);
+          if (!blk_has[base + ug]) continue;
+          switch (def.kind) {
+            case AggKind::kCountStar:
+            case AggKind::kCount:
+              break;
+            case AggKind::kSum:
+            case AggKind::kAvg:
+              acc[ug] += blk_acc[base + ug];
+              break;
+            case AggKind::kMin:
+              acc[ug] = has_flags[ug] ? std::min(acc[ug], blk_acc[base + ug])
+                                      : blk_acc[base + ug];
+              break;
+            case AggKind::kMax:
+              acc[ug] = has_flags[ug] ? std::max(acc[ug], blk_acc[base + ug])
+                                      : blk_acc[base + ug];
+              break;
+          }
+          has_flags[ug] = 1;
+          counts[ug] += blk_counts[base + ug];
         }
       }
-      const double v =
-          def.arg ? arg_values[static_cast<size_t>(r)] : 0.0;
-      switch (def.kind) {
-        case AggKind::kCountStar:
-        case AggKind::kCount:
-          break;
-        case AggKind::kSum:
-        case AggKind::kAvg:
-          acc[g] += v;
-          break;
-        case AggKind::kMin:
-          acc[g] = has_value[g] ? std::min(acc[g], v) : v;
-          break;
-        case AggKind::kMax:
-          acc[g] = has_value[g] ? std::max(acc[g], v) : v;
-          break;
-      }
-      has_value[g] = true;
-      ++counts[g];
+    } else {
+      accumulate_rows(0, rows, acc.data(), counts.data(), has_flags.data());
     }
 
     // Materialize the aggregate output column with the schema's dtype.
@@ -375,14 +451,18 @@ StatusOr<Chunk> ExecuteJoin(const JoinNode& node, const Chunk& left,
           // only through hash equality — collisions are astronomically
           // unlikely with FNV-1a 64 over short strings; acceptable here).
           const std::vector<std::string> strs = c.DecodeStrings();
-          for (size_t r = 0; r < strs.size(); ++r) {
-            uint64_t h = 0xcbf29ce484222325ull;
-            for (char ch : strs[r]) {
-              h ^= static_cast<unsigned char>(ch);
-              h *= 0x100000001b3ull;
-            }
-            keys[r][k] = static_cast<int64_t>(h);
-          }
+          ParallelFor(0, static_cast<int64_t>(strs.size()), GrainForCost(16),
+                      [&keys, &strs, k](int64_t row_begin, int64_t row_end) {
+                        for (int64_t r = row_begin; r < row_end; ++r) {
+                          uint64_t h = 0xcbf29ce484222325ull;
+                          for (char ch : strs[static_cast<size_t>(r)]) {
+                            h ^= static_cast<unsigned char>(ch);
+                            h *= 0x100000001b3ull;
+                          }
+                          keys[static_cast<size_t>(r)][k] =
+                              static_cast<int64_t>(h);
+                        }
+                      });
         } else {
           const Tensor vals = c.DecodeValues();
           if (vals.dim() != 1) {
@@ -390,13 +470,19 @@ StatusOr<Chunk> ExecuteJoin(const JoinNode& node, const Chunk& left,
           }
           const std::vector<double> d =
               vals.To(DType::kFloat64).ToVector<double>();
-          for (size_t r = 0; r < d.size(); ++r) {
-            int64_t bits;
-            const double dv = d[r] == 0.0 ? 0.0 : d[r];  // normalize -0
-            static_assert(sizeof(bits) == sizeof(dv));
-            std::memcpy(&bits, &dv, sizeof(bits));
-            keys[r][k] = bits;
-          }
+          ParallelFor(0, static_cast<int64_t>(d.size()), GrainForCost(2),
+                      [&keys, &d, k](int64_t row_begin, int64_t row_end) {
+                        for (int64_t r = row_begin; r < row_end; ++r) {
+                          int64_t bits;
+                          const double dv =
+                              d[static_cast<size_t>(r)] == 0.0
+                                  ? 0.0
+                                  : d[static_cast<size_t>(r)];  // normalize -0
+                          static_assert(sizeof(bits) == sizeof(dv));
+                          std::memcpy(&bits, &dv, sizeof(bits));
+                          keys[static_cast<size_t>(r)][k] = bits;
+                        }
+                      });
         }
       }
       return keys;

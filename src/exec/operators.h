@@ -9,18 +9,39 @@
 namespace tdp {
 namespace exec {
 
-/// Per-run execution context.
+/// Per-run execution context, threaded through every operator of one
+/// `CompiledQuery::Run()`. The plan itself is immutable after compilation;
+/// everything that may differ between runs lives here.
 struct ExecContext {
+  /// Catalog tables are re-resolved at each run (training loops
+  /// re-register their inputs between iterations), so scans read through
+  /// this pointer rather than caching table data at compile time.
   const Catalog* catalog = nullptr;
+  /// Device every operator lowers its tensor program onto: `kCpu` is the
+  /// interpretive reference backend, `kAccel` the vectorized one. Input
+  /// columns living elsewhere are moved here by the scan.
   Device device = Device::kCpu;
   /// True when a TRAINABLE-compiled query runs in training mode: group-by/
-  /// count over PE keys execute as soft (differentiable) operators.
+  /// count over PE keys execute as soft (differentiable) operators, so
+  /// gradients flow from the result back into UDF parameters (§4). At
+  /// inference the exact operators are swapped back in.
   bool soft_mode = false;
 };
 
 /// Executes a bound plan subtree, materializing its result chunk. Each
 /// node lowers to a tensor program on `ctx.device` (TQP-style compiled
-/// operators).
+/// operators): filters become boolean-mask kernels, aggregates become
+/// grouped reductions, joins hash tensor-encoded keys, and so on.
+///
+/// Execution is chunk-at-a-time (one materialized `Chunk` per node, no
+/// row-at-a-time iteration) and morsel-parallel: the per-row loops inside
+/// an operator shard across the process-wide `ThreadPool`, gated by the
+/// `TDP_NUM_THREADS` environment variable. Results are deterministic for
+/// every thread count — floating-point aggregate accumulation folds
+/// fixed-size row blocks whose boundaries depend only on the row count.
+///
+/// Errors (missing tables, schema drift since compilation, type
+/// mismatches) surface as failed Status, never as crashes.
 StatusOr<Chunk> ExecuteNode(const plan::LogicalNode& node,
                             const ExecContext& ctx);
 

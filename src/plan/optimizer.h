@@ -8,12 +8,24 @@ namespace tdp {
 namespace plan {
 
 /// Rule-based plan rewriter (the role Spark/Substrait play for the paper's
-/// prototype). Applied rules:
-///   1. limit-into-sort fusion (top-k sort; ORDER BY ... LIMIT k queries,
-///      e.g. the paper's top-k image search, avoid full materialization),
-///   2. filter pushdown through join (single-side conjuncts move below),
-///   3. scan projection pruning (only referenced columns are read —
-///      important when unreferenced columns are image tensors).
+/// prototype). Runs after binding, before the plan is wrapped in a
+/// `CompiledQuery`. Applied rules, in order:
+///
+///   1. **Limit-into-sort fusion** — `ORDER BY ... LIMIT k` becomes a
+///      top-k sort (`SortNode::fused_limit`), so queries like the paper's
+///      top-k image search never materialize the full sorted relation.
+///   2. **Filter pushdown through join** — conjuncts referencing only one
+///      join side move below the join, shrinking the hashed/probed inputs;
+///      cross-side conjuncts stay as the join's residual predicate.
+///   3. **Scan projection pruning** — scans read only the columns the rest
+///      of the plan references. This matters most when unreferenced
+///      columns are image tensors: pruning them skips whole tensor
+///      transfers to the execution device.
+///
+/// All rules are semantics-preserving for both exact and TRAINABLE
+/// (soft-operator) execution, so the same optimized plan serves training
+/// and inference.
+///
 /// Rewrites in place; returns the (possibly replaced) root.
 LogicalNodePtr Optimize(LogicalNodePtr root);
 

@@ -2,6 +2,7 @@
 #include <functional>
 
 #include "src/autograd/node.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/ops_internal.h"
@@ -109,17 +110,29 @@ void AccelLoop(const Tensor& a, const Tensor& b, Tensor& out,
   if (fast) {
     const T* ap = a.data<T>();
     const T* bp = b.data<T>();
-    for (int64_t i = 0; i < n; ++i) op[i] = f(ap[i], bp[i]);
+    ParallelFor(0, n, GrainForCost(1),
+                [op, ap, bp, &f](int64_t shard_begin, int64_t shard_end) {
+                  for (int64_t i = shard_begin; i < shard_end; ++i) {
+                    op[i] = f(ap[i], bp[i]);
+                  }
+                });
     return;
   }
   const T* abase = a.data<T>();
   const T* bbase = b.data<T>();
-  OffsetIterator it(out_shape,
-                    {BroadcastStrides(a.shape(), a.strides(), out_shape),
-                     BroadcastStrides(b.shape(), b.strides(), out_shape)});
-  for (int64_t i = 0; i < n; ++i, it.Next()) {
-    op[i] = f(abase[it.offset(0)], bbase[it.offset(1)]);
-  }
+  const std::vector<std::vector<int64_t>> strides = {
+      BroadcastStrides(a.shape(), a.strides(), out_shape),
+      BroadcastStrides(b.shape(), b.strides(), out_shape)};
+  // Each shard walks its own odometer, seeked to the shard's first element.
+  ParallelFor(0, n, GrainForCost(2),
+              [op, abase, bbase, &f, &out_shape, &strides](
+                  int64_t shard_begin, int64_t shard_end) {
+                OffsetIterator it(out_shape, strides);
+                it.Seek(shard_begin);
+                for (int64_t i = shard_begin; i < shard_end; ++i, it.Next()) {
+                  op[i] = f(abase[it.offset(0)], bbase[it.offset(1)]);
+                }
+              });
 }
 
 // Reference backend: per-element dispatch through std::function on doubles,
@@ -128,20 +141,27 @@ void ReferenceLoop(const Tensor& a, const Tensor& b, Tensor& out,
                    const std::vector<int64_t>& out_shape,
                    const std::function<double(double, double)>& f) {
   const int64_t n = out.numel();
-  OffsetIterator it(out_shape,
-                    {BroadcastStrides(a.shape(), a.strides(), out_shape),
-                     BroadcastStrides(b.shape(), b.strides(), out_shape)});
+  const std::vector<std::vector<int64_t>> strides = {
+      BroadcastStrides(a.shape(), a.strides(), out_shape),
+      BroadcastStrides(b.shape(), b.strides(), out_shape)};
   TDP_DISPATCH_ALL(out.dtype(), {
     using out_t = scalar_t;
     out_t* op = out.data<out_t>();
     TDP_DISPATCH_ALL(a.dtype(), {
       const scalar_t* ap = a.data<scalar_t>();
       const scalar_t* bp = b.data<scalar_t>();
-      for (int64_t i = 0; i < n; ++i, it.Next()) {
-        op[i] = static_cast<out_t>(
-            f(static_cast<double>(ap[it.offset(0)]),
-              static_cast<double>(bp[it.offset(1)])));
-      }
+      ParallelFor(0, n, GrainForCost(4),
+                  [op, ap, bp, &f, &out_shape, &strides](
+                      int64_t shard_begin, int64_t shard_end) {
+                    OffsetIterator it(out_shape, strides);
+                    it.Seek(shard_begin);
+                    for (int64_t i = shard_begin; i < shard_end;
+                         ++i, it.Next()) {
+                      op[i] = static_cast<out_t>(
+                          f(static_cast<double>(ap[it.offset(0)]),
+                            static_cast<double>(bp[it.offset(1)])));
+                    }
+                  });
     });
   });
 }

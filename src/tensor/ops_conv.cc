@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/autograd/node.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
 
@@ -131,51 +132,59 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     std::vector<scalar_t> bias_copy;
     if (bias.defined()) bias_copy = bias.Detach().ToVector<scalar_t>();
     const scalar_t* bp = bias.defined() ? bias_copy.data() : nullptr;
-    std::vector<scalar_t> cols(
-        static_cast<size_t>(cols_rows * cols_cols));
-    for (int64_t n = 0; n < g.batch; ++n) {
-      const scalar_t* img = ip + n * g.in_channels * g.height * g.width;
-      scalar_t* dst = op + n * g.out_channels * cols_cols;
-      if (accel) {
-        // im2col + GEMM: the accelerated path.
-        Im2Col(img, g, cols.data());
-        GemmRowMajor(wp, cols.data(), dst, g.out_channels, cols_rows,
-                     cols_cols, /*accumulate=*/false);
-      } else {
-        // Direct convolution with nested bounds checks: the reference path.
-        for (int64_t o = 0; o < g.out_channels; ++o) {
-          for (int64_t oy = 0; oy < g.out_h; ++oy) {
-            for (int64_t ox = 0; ox < g.out_w; ++ox) {
-              double acc = 0;
-              for (int64_t c = 0; c < g.in_channels; ++c) {
-                for (int64_t ky = 0; ky < g.kernel; ++ky) {
-                  const int64_t iy = oy * g.stride + ky - g.padding;
-                  if (iy < 0 || iy >= g.height) continue;
-                  for (int64_t kx = 0; kx < g.kernel; ++kx) {
-                    const int64_t ix = ox * g.stride + kx - g.padding;
-                    if (ix < 0 || ix >= g.width) continue;
-                    acc += static_cast<double>(
-                               img[(c * g.height + iy) * g.width + ix]) *
-                           static_cast<double>(
-                               wp[((o * g.in_channels + c) * g.kernel + ky) *
-                                      g.kernel +
-                                  kx]);
+    // Samples are independent; shard the batch. Each shard owns a scratch
+    // im2col buffer so the accelerated path stays allocation-light.
+    const int64_t sample_cost =
+        g.out_channels * cols_rows * cols_cols;
+    ParallelFor(0, g.batch, GrainForCost(sample_cost), [&, ip, wp, op, bp](
+                    int64_t batch_begin, int64_t batch_end) {
+      std::vector<scalar_t> cols(
+          accel ? static_cast<size_t>(cols_rows * cols_cols) : size_t{0});
+      for (int64_t n = batch_begin; n < batch_end; ++n) {
+        const scalar_t* img = ip + n * g.in_channels * g.height * g.width;
+        scalar_t* dst = op + n * g.out_channels * cols_cols;
+        if (accel) {
+          // im2col + GEMM: the accelerated path.
+          Im2Col(img, g, cols.data());
+          GemmRowMajor(wp, cols.data(), dst, g.out_channels, cols_rows,
+                       cols_cols, /*accumulate=*/false);
+        } else {
+          // Direct convolution with nested bounds checks: the reference path.
+          for (int64_t o = 0; o < g.out_channels; ++o) {
+            for (int64_t oy = 0; oy < g.out_h; ++oy) {
+              for (int64_t ox = 0; ox < g.out_w; ++ox) {
+                double acc = 0;
+                for (int64_t c = 0; c < g.in_channels; ++c) {
+                  for (int64_t ky = 0; ky < g.kernel; ++ky) {
+                    const int64_t iy = oy * g.stride + ky - g.padding;
+                    if (iy < 0 || iy >= g.height) continue;
+                    for (int64_t kx = 0; kx < g.kernel; ++kx) {
+                      const int64_t ix = ox * g.stride + kx - g.padding;
+                      if (ix < 0 || ix >= g.width) continue;
+                      acc += static_cast<double>(
+                                 img[(c * g.height + iy) * g.width + ix]) *
+                             static_cast<double>(
+                                 wp[((o * g.in_channels + c) * g.kernel +
+                                     ky) *
+                                        g.kernel +
+                                    kx]);
+                    }
                   }
                 }
+                dst[(o * g.out_h + oy) * g.out_w + ox] =
+                    static_cast<scalar_t>(acc);
               }
-              dst[(o * g.out_h + oy) * g.out_w + ox] =
-                  static_cast<scalar_t>(acc);
             }
           }
         }
-      }
-      if (bp != nullptr) {
-        for (int64_t o = 0; o < g.out_channels; ++o) {
-          scalar_t* row = dst + o * cols_cols;
-          for (int64_t i = 0; i < cols_cols; ++i) row[i] += bp[o];
+        if (bp != nullptr) {
+          for (int64_t o = 0; o < g.out_channels; ++o) {
+            scalar_t* row = dst + o * cols_cols;
+            for (int64_t i = 0; i < cols_cols; ++i) row[i] += bp[o];
+          }
         }
       }
-    }
+    });
   });
 
   autograd::RecordOp(
@@ -288,39 +297,44 @@ Tensor Pool2dImpl(const Tensor& input, int64_t kernel, int64_t stride,
     const scalar_t* ip = ic.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
     int64_t* amp = is_max ? argmax.data<int64_t>() : nullptr;
-    for (int64_t nc = 0; nc < batch * channels; ++nc) {
-      const scalar_t* plane = ip + nc * height * width;
-      for (int64_t oy = 0; oy < out_h; ++oy) {
-        for (int64_t ox = 0; ox < out_w; ++ox) {
-          const int64_t iy0 = oy * stride, ix0 = ox * stride;
-          if (is_max) {
-            scalar_t best = plane[iy0 * width + ix0];
-            int64_t best_idx = iy0 * width + ix0;
-            for (int64_t ky = 0; ky < kernel; ++ky) {
-              for (int64_t kx = 0; kx < kernel; ++kx) {
-                const int64_t idx = (iy0 + ky) * width + (ix0 + kx);
-                if (plane[idx] > best) {
-                  best = plane[idx];
-                  best_idx = idx;
+    // Planes ([N*C] slices) write disjoint output windows; shard them.
+    ParallelFor(
+        0, batch * channels, GrainForCost(out_h * out_w * kernel * kernel),
+        [&, ip, op, amp](int64_t plane_begin, int64_t plane_end) {
+          for (int64_t nc = plane_begin; nc < plane_end; ++nc) {
+            const scalar_t* plane = ip + nc * height * width;
+            for (int64_t oy = 0; oy < out_h; ++oy) {
+              for (int64_t ox = 0; ox < out_w; ++ox) {
+                const int64_t iy0 = oy * stride, ix0 = ox * stride;
+                if (is_max) {
+                  scalar_t best = plane[iy0 * width + ix0];
+                  int64_t best_idx = iy0 * width + ix0;
+                  for (int64_t ky = 0; ky < kernel; ++ky) {
+                    for (int64_t kx = 0; kx < kernel; ++kx) {
+                      const int64_t idx = (iy0 + ky) * width + (ix0 + kx);
+                      if (plane[idx] > best) {
+                        best = plane[idx];
+                        best_idx = idx;
+                      }
+                    }
+                  }
+                  op[(nc * out_h + oy) * out_w + ox] = best;
+                  amp[(nc * out_h + oy) * out_w + ox] = best_idx;
+                } else {
+                  double acc = 0;
+                  for (int64_t ky = 0; ky < kernel; ++ky) {
+                    for (int64_t kx = 0; kx < kernel; ++kx) {
+                      acc += static_cast<double>(
+                          plane[(iy0 + ky) * width + (ix0 + kx)]);
+                    }
+                  }
+                  op[(nc * out_h + oy) * out_w + ox] =
+                      static_cast<scalar_t>(acc / (kernel * kernel));
                 }
               }
             }
-            op[(nc * out_h + oy) * out_w + ox] = best;
-            amp[(nc * out_h + oy) * out_w + ox] = best_idx;
-          } else {
-            double acc = 0;
-            for (int64_t ky = 0; ky < kernel; ++ky) {
-              for (int64_t kx = 0; kx < kernel; ++kx) {
-                acc += static_cast<double>(
-                    plane[(iy0 + ky) * width + (ix0 + kx)]);
-              }
-            }
-            op[(nc * out_h + oy) * out_w + ox] =
-                static_cast<scalar_t>(acc / (kernel * kernel));
           }
-        }
-      }
-    }
+        });
   });
 
   const int64_t hw = height * width;

@@ -45,6 +45,24 @@ class OffsetIterator {
 
   int64_t offset(size_t operand) const { return offsets_[operand]; }
 
+  /// Positions the iterator at linear index `flat` of the index space, as
+  /// if Next() had been called `flat` times. Lets parallel kernels hand
+  /// each shard its own iterator seeked to the shard's first element.
+  void Seek(int64_t flat) {
+    for (int64_t d = static_cast<int64_t>(shape_.size()) - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      index_[ud] = shape_[ud] > 0 ? flat % shape_[ud] : 0;
+      flat = shape_[ud] > 0 ? flat / shape_[ud] : flat;
+    }
+    for (size_t k = 0; k < strides_.size(); ++k) {
+      int64_t off = 0;
+      for (size_t d = 0; d < shape_.size(); ++d) {
+        off += index_[d] * strides_[k][d];
+      }
+      offsets_[k] = off;
+    }
+  }
+
   void Next() {
     for (int64_t d = static_cast<int64_t>(shape_.size()) - 1; d >= 0; --d) {
       const size_t ud = static_cast<size_t>(d);

@@ -1,6 +1,7 @@
 #include <cstring>
 
 #include "src/autograd/node.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
 
@@ -14,21 +15,27 @@ double ReferenceFma(double acc, double x, double y) { return acc + x * y; }
 // per-value indirection of an interpreted engine (and it keeps the
 // compiler from auto-vectorizing the reference path, which would erase
 // the backend contrast the device axis models).
+// Rows of the output are independent, so both backends shard the i loop
+// across the pool. Each output element's accumulation order is unchanged,
+// making results bit-for-bit identical for every TDP_NUM_THREADS.
 template <typename T>
 void MatMulReference(const T* a, int64_t ras, int64_t cas, const T* b,
                      int64_t rbs, int64_t cbs, T* c, int64_t m, int64_t k,
                      int64_t n) {
-  double (*volatile fma)(double, double, double) = &ReferenceFma;
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      double acc = 0;
-      for (int64_t p = 0; p < k; ++p) {
-        acc = fma(acc, static_cast<double>(a[i * ras + p * cas]),
-                  static_cast<double>(b[p * rbs + j * cbs]));
+  ParallelFor(0, m, GrainForCost(k * n), [=](int64_t row_begin,
+                                             int64_t row_end) {
+    double (*volatile fma)(double, double, double) = &ReferenceFma;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc = fma(acc, static_cast<double>(a[i * ras + p * cas]),
+                    static_cast<double>(b[p * rbs + j * cbs]));
+        }
+        c[i * n + j] = static_cast<T>(acc);
       }
-      c[i * n + j] = static_cast<T>(acc);
     }
-  }
+  });
 }
 
 // Accelerated backend: i-k-j ordering with contiguous rows; the inner loop
@@ -36,17 +43,21 @@ void MatMulReference(const T* a, int64_t ras, int64_t cas, const T* b,
 template <typename T>
 void MatMulAccel(const T* a, const T* b, T* c, int64_t m, int64_t k,
                  int64_t n) {
-  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(T));
-  for (int64_t i = 0; i < m; ++i) {
-    const T* arow = a + i * k;
-    T* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const T av = arow[p];
-      if (av == static_cast<T>(0)) continue;
-      const T* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  ParallelFor(0, m, GrainForCost(k * n), [=](int64_t row_begin,
+                                             int64_t row_end) {
+    std::memset(c + row_begin * n, 0,
+                static_cast<size_t>((row_end - row_begin) * n) * sizeof(T));
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const T* arow = a + i * k;
+      T* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const T av = arow[p];
+        if (av == static_cast<T>(0)) continue;
+        const T* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 Tensor MatMulEval(const Tensor& a, const Tensor& b) {
@@ -119,15 +130,22 @@ Tensor BMM(const Tensor& a, const Tensor& b) {
     const scalar_t* ap = ac.data<scalar_t>();
     const scalar_t* bp = bc.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
-    for (int64_t bi = 0; bi < batch; ++bi) {
-      if (a.device() == Device::kCpu) {
-        MatMulReference(ap + bi * m * k, k, int64_t{1}, bp + bi * k * n, n,
-                        int64_t{1}, op + bi * m * n, m, k, n);
-      } else {
-        MatMulAccel(ap + bi * m * k, bp + bi * k * n, op + bi * m * n, m, k,
-                    n);
-      }
-    }
+    // Shard over the batch; the per-matrix kernels run inline inside the
+    // shard (nested ParallelFor calls do not re-enter the pool).
+    const bool reference = a.device() == Device::kCpu;
+    ParallelFor(0, batch, GrainForCost(m * k * n),
+                [=](int64_t batch_begin, int64_t batch_end) {
+                  for (int64_t bi = batch_begin; bi < batch_end; ++bi) {
+                    if (reference) {
+                      MatMulReference(ap + bi * m * k, k, int64_t{1},
+                                      bp + bi * k * n, n, int64_t{1},
+                                      op + bi * m * n, m, k, n);
+                    } else {
+                      MatMulAccel(ap + bi * m * k, bp + bi * k * n,
+                                  op + bi * m * n, m, k, n);
+                    }
+                  }
+                });
   });
 
   autograd::RecordOp("BMM", {a, b}, out, [a, b](const Tensor& g) {

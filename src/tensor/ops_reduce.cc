@@ -1,7 +1,10 @@
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "src/autograd/node.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/ops_internal.h"
@@ -49,11 +52,31 @@ Tensor Sum(const Tensor& t) {
   const Tensor tc = t.Contiguous();
   Tensor out = Tensor::Zeros({}, t.dtype(), t.device());
   const int64_t n = tc.numel();
+  // Fixed-size blocks summed independently, partials combined in block
+  // order: a deterministic reduction tree whose shape depends only on `n`,
+  // never on the thread count, so results are identical for every
+  // TDP_NUM_THREADS (each block still uses the double accumulator that
+  // avoids catastrophic float32 error on long columns).
+  constexpr int64_t kSumBlock = 4096;
+  const int64_t num_blocks = n == 0 ? 0 : (n + kSumBlock - 1) / kSumBlock;
   TDP_DISPATCH_NUMERIC(t.dtype(), {
     const scalar_t* sp = tc.data<scalar_t>();
-    // double accumulator avoids catastrophic float32 error on long columns.
+    std::vector<double> partials(static_cast<size_t>(num_blocks), 0.0);
+    double* pp = partials.data();
+    ParallelFor(0, num_blocks, GrainForCost(kSumBlock),
+                [sp, pp, n](int64_t block_begin, int64_t block_end) {
+                  for (int64_t blk = block_begin; blk < block_end; ++blk) {
+                    const int64_t lo = blk * kSumBlock;
+                    const int64_t hi = std::min(n, lo + kSumBlock);
+                    double acc = 0;
+                    for (int64_t i = lo; i < hi; ++i) {
+                      acc += static_cast<double>(sp[i]);
+                    }
+                    pp[blk] = acc;
+                  }
+                });
     double acc = 0;
-    for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(sp[i]);
+    for (int64_t blk = 0; blk < num_blocks; ++blk) acc += pp[blk];
     *out.data<scalar_t>() = static_cast<scalar_t>(acc);
   });
   autograd::RecordOp("Sum", {t}, out, [t](const Tensor& g) {
@@ -72,19 +95,25 @@ Tensor Sum(const Tensor& t, int64_t dim, bool keepdim) {
   Tensor out =
       Tensor::Zeros(ReducedShape(t.shape(), dim, keepdim), t.dtype(),
                     t.device());
+  // Each output element owns its own accumulation; sharding the outer loop
+  // leaves every element's summation order untouched.
   TDP_DISPATCH_NUMERIC(t.dtype(), {
     const scalar_t* sp = tc.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
-    for (int64_t o = 0; o < geo.outer; ++o) {
-      for (int64_t i = 0; i < geo.inner; ++i) {
-        double acc = 0;
-        const scalar_t* base = sp + (o * geo.reduced) * geo.inner + i;
-        for (int64_t r = 0; r < geo.reduced; ++r) {
-          acc += static_cast<double>(base[r * geo.inner]);
-        }
-        op[o * geo.inner + i] = static_cast<scalar_t>(acc);
-      }
-    }
+    ParallelFor(0, geo.outer, GrainForCost(geo.reduced * geo.inner),
+                [sp, op, geo](int64_t outer_begin, int64_t outer_end) {
+                  for (int64_t o = outer_begin; o < outer_end; ++o) {
+                    for (int64_t i = 0; i < geo.inner; ++i) {
+                      double acc = 0;
+                      const scalar_t* base =
+                          sp + (o * geo.reduced) * geo.inner + i;
+                      for (int64_t r = 0; r < geo.reduced; ++r) {
+                        acc += static_cast<double>(base[r * geo.inner]);
+                      }
+                      op[o * geo.inner + i] = static_cast<scalar_t>(acc);
+                    }
+                  }
+                });
   });
   autograd::RecordOp("SumDim", {t}, out, [t, dim, keepdim](const Tensor& g) {
     Tensor gx = keepdim ? g : Unsqueeze(g, dim);
@@ -127,22 +156,27 @@ MinMaxResult MinMaxImpl(const Tensor& t, int64_t dim, bool keepdim,
     const scalar_t* sp = tc.data<scalar_t>();
     scalar_t* vp = values.data<scalar_t>();
     int64_t* ip = indices.data<int64_t>();
-    for (int64_t o = 0; o < geo.outer; ++o) {
-      for (int64_t i = 0; i < geo.inner; ++i) {
-        const scalar_t* base = sp + (o * geo.reduced) * geo.inner + i;
-        scalar_t best = base[0];
-        int64_t best_idx = 0;
-        for (int64_t r = 1; r < geo.reduced; ++r) {
-          const scalar_t v = base[r * geo.inner];
-          if (is_max ? (v > best) : (v < best)) {
-            best = v;
-            best_idx = r;
-          }
-        }
-        vp[o * geo.inner + i] = best;
-        ip[o * geo.inner + i] = best_idx;
-      }
-    }
+    ParallelFor(0, geo.outer, GrainForCost(geo.reduced * geo.inner),
+                [sp, vp, ip, geo, is_max](int64_t outer_begin,
+                                          int64_t outer_end) {
+                  for (int64_t o = outer_begin; o < outer_end; ++o) {
+                    for (int64_t i = 0; i < geo.inner; ++i) {
+                      const scalar_t* base =
+                          sp + (o * geo.reduced) * geo.inner + i;
+                      scalar_t best = base[0];
+                      int64_t best_idx = 0;
+                      for (int64_t r = 1; r < geo.reduced; ++r) {
+                        const scalar_t v = base[r * geo.inner];
+                        if (is_max ? (v > best) : (v < best)) {
+                          best = v;
+                          best_idx = r;
+                        }
+                      }
+                      vp[o * geo.inner + i] = best;
+                      ip[o * geo.inner + i] = best_idx;
+                    }
+                  }
+                });
   });
   // Backward scatters the output gradient to the winning positions.
   Tensor indices_saved = indices;
@@ -204,16 +238,20 @@ Tensor CumSum(const Tensor& t, int64_t dim) {
   TDP_DISPATCH_NUMERIC(t.dtype(), {
     const scalar_t* sp = tc.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
-    for (int64_t o = 0; o < geo.outer; ++o) {
-      for (int64_t i = 0; i < geo.inner; ++i) {
-        const int64_t base = (o * geo.reduced) * geo.inner + i;
-        scalar_t acc = 0;
-        for (int64_t r = 0; r < geo.reduced; ++r) {
-          acc = static_cast<scalar_t>(acc + sp[base + r * geo.inner]);
-          op[base + r * geo.inner] = acc;
-        }
-      }
-    }
+    ParallelFor(0, geo.outer, GrainForCost(geo.reduced * geo.inner),
+                [sp, op, geo](int64_t outer_begin, int64_t outer_end) {
+                  for (int64_t o = outer_begin; o < outer_end; ++o) {
+                    for (int64_t i = 0; i < geo.inner; ++i) {
+                      const int64_t base = (o * geo.reduced) * geo.inner + i;
+                      scalar_t acc = 0;
+                      for (int64_t r = 0; r < geo.reduced; ++r) {
+                        acc = static_cast<scalar_t>(
+                            acc + sp[base + r * geo.inner]);
+                        op[base + r * geo.inner] = acc;
+                      }
+                    }
+                  }
+                });
   });
   autograd::RecordOp("CumSum", {t}, out, [t, geo, d](const Tensor& g) {
     (void)d;
@@ -242,15 +280,22 @@ Tensor CumSum(const Tensor& t, int64_t dim) {
 Tensor CountNonzero(const Tensor& t) {
   TDP_CHECK(t.defined());
   const Tensor tc = t.Contiguous();
-  int64_t count = 0;
+  std::atomic<int64_t> count{0};
   const int64_t n = tc.numel();
+  // Integer addition commutes, so shard-local subtotals folded through an
+  // atomic stay exact regardless of thread count or shard order.
   TDP_DISPATCH_ALL(t.dtype(), {
     const scalar_t* sp = tc.data<scalar_t>();
-    for (int64_t i = 0; i < n; ++i) {
-      if (sp[i] != static_cast<scalar_t>(0)) ++count;
-    }
+    ParallelFor(0, n, GrainForCost(1),
+                [sp, &count](int64_t shard_begin, int64_t shard_end) {
+                  int64_t local = 0;
+                  for (int64_t i = shard_begin; i < shard_end; ++i) {
+                    if (sp[i] != static_cast<scalar_t>(0)) ++local;
+                  }
+                  count.fetch_add(local, std::memory_order_relaxed);
+                });
   });
-  Tensor out = Tensor::Scalar(static_cast<double>(count), DType::kInt64,
+  Tensor out = Tensor::Scalar(static_cast<double>(count.load()), DType::kInt64,
                               t.device());
   return out;
 }

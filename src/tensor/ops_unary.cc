@@ -2,6 +2,7 @@
 #include <functional>
 
 #include "src/autograd/node.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/ops_internal.h"
@@ -81,13 +82,22 @@ Tensor UnaryEval(UnKind kind, const Tensor& t0) {
     const std::function<double(double)> f = [kind](double x) {
       return ApplyUnary(kind, x);
     };
-    OffsetIterator it(t.shape(), {t.strides()});
+    const std::vector<std::vector<int64_t>> strides = {t.strides()};
+    const std::vector<int64_t>& shape = t.shape();
     TDP_DISPATCH_NUMERIC(dtype, {
       const scalar_t* sp = t.data<scalar_t>();
       scalar_t* op = out.data<scalar_t>();
-      for (int64_t i = 0; i < n; ++i, it.Next()) {
-        op[i] = static_cast<scalar_t>(f(static_cast<double>(sp[it.offset(0)])));
-      }
+      ParallelFor(0, n, GrainForCost(4),
+                  [sp, op, &f, &shape, &strides](int64_t shard_begin,
+                                                 int64_t shard_end) {
+                    OffsetIterator it(shape, strides);
+                    it.Seek(shard_begin);
+                    for (int64_t i = shard_begin; i < shard_end;
+                         ++i, it.Next()) {
+                      op[i] = static_cast<scalar_t>(
+                          f(static_cast<double>(sp[it.offset(0)])));
+                    }
+                  });
     });
     return out;
   }
@@ -97,54 +107,59 @@ Tensor UnaryEval(UnKind kind, const Tensor& t0) {
   TDP_DISPATCH_NUMERIC(dtype, {
     const scalar_t* sp = tc.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
-    switch (kind) {
-      case UnKind::kNeg:
-        for (int64_t i = 0; i < n; ++i) op[i] = -sp[i];
-        break;
-      case UnKind::kExp:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(std::exp(sp[i]));
-        break;
-      case UnKind::kLog:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(std::log(sp[i]));
-        break;
-      case UnKind::kSqrt:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(std::sqrt(sp[i]));
-        break;
-      case UnKind::kAbs:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = sp[i] < 0 ? static_cast<scalar_t>(-sp[i]) : sp[i];
-        break;
-      case UnKind::kSign:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(sp[i] > 0   ? 1
-                                        : sp[i] < 0 ? -1
-                                                    : 0);
-        break;
-      case UnKind::kRelu:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = sp[i] > 0 ? sp[i] : static_cast<scalar_t>(0);
-        break;
-      case UnKind::kSigmoid:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(1.0 / (1.0 + std::exp(-sp[i])));
-        break;
-      case UnKind::kTanh:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(std::tanh(sp[i]));
-        break;
-      case UnKind::kFloor:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(std::floor(static_cast<double>(sp[i])));
-        break;
-      case UnKind::kRound:
-        for (int64_t i = 0; i < n; ++i)
-          op[i] = static_cast<scalar_t>(
-              std::nearbyint(static_cast<double>(sp[i])));
-        break;
-    }
+    ParallelFor(0, n, GrainForCost(1), [sp, op, kind](int64_t shard_begin,
+                                                      int64_t shard_end) {
+      const int64_t b = shard_begin, e = shard_end;
+      switch (kind) {
+        case UnKind::kNeg:
+          for (int64_t i = b; i < e; ++i) op[i] = -sp[i];
+          break;
+        case UnKind::kExp:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(std::exp(sp[i]));
+          break;
+        case UnKind::kLog:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(std::log(sp[i]));
+          break;
+        case UnKind::kSqrt:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(std::sqrt(sp[i]));
+          break;
+        case UnKind::kAbs:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = sp[i] < 0 ? static_cast<scalar_t>(-sp[i]) : sp[i];
+          break;
+        case UnKind::kSign:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(sp[i] > 0   ? 1
+                                          : sp[i] < 0 ? -1
+                                                      : 0);
+          break;
+        case UnKind::kRelu:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = sp[i] > 0 ? sp[i] : static_cast<scalar_t>(0);
+          break;
+        case UnKind::kSigmoid:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(1.0 / (1.0 + std::exp(-sp[i])));
+          break;
+        case UnKind::kTanh:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(std::tanh(sp[i]));
+          break;
+        case UnKind::kFloor:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(
+                std::floor(static_cast<double>(sp[i])));
+          break;
+        case UnKind::kRound:
+          for (int64_t i = b; i < e; ++i)
+            op[i] = static_cast<scalar_t>(
+                std::nearbyint(static_cast<double>(sp[i])));
+          break;
+      }
+    });
   });
   return out;
 }
@@ -241,10 +256,13 @@ Tensor PowScalar(const Tensor& t, double exponent) {
   TDP_DISPATCH_FLOAT(dtype, {
     const scalar_t* sp = tc.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
-    for (int64_t i = 0; i < n; ++i) {
-      op[i] = static_cast<scalar_t>(
-          std::pow(static_cast<double>(sp[i]), exponent));
-    }
+    ParallelFor(0, n, GrainForCost(2),
+                [sp, op, exponent](int64_t shard_begin, int64_t shard_end) {
+                  for (int64_t i = shard_begin; i < shard_end; ++i) {
+                    op[i] = static_cast<scalar_t>(
+                        std::pow(static_cast<double>(sp[i]), exponent));
+                  }
+                });
   });
   autograd::RecordOp("PowScalar", {t}, out, [t, exponent](const Tensor& g) {
     // d/dx x^p = p * x^(p-1)

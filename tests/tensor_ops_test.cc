@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/ops.h"
 
 namespace tdp {
@@ -249,6 +252,63 @@ TEST(OpsTest, BMMBatches) {
 TEST(OpsTest, CountNonzero) {
   Tensor t = Tensor::FromVector(std::vector<float>{0, 1, 0, 2});
   EXPECT_EQ(CountNonzero(t).item<int64_t>(), 2);
+}
+
+// Parallel kernels must be bit-for-bit identical to the serial ones: matmul
+// rows own their accumulators, and fp32 sums run through a fixed-block
+// deterministic tree whose shape is independent of the thread count.
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  template <typename Fn>
+  void ExpectBitIdentical(Fn compute) {
+    std::vector<float> expected;
+    {
+      ScopedNumThreads serial(1);
+      const Tensor result = compute();
+      expected = result.ToVector<float>();
+    }
+    for (int threads : {2, 4, 7}) {
+      ScopedNumThreads parallel(threads);
+      const Tensor result = compute();
+      const std::vector<float> got = result.ToVector<float>();
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        // EXPECT_EQ, not NEAR: bit-for-bit, not approximately.
+        EXPECT_EQ(got[i], expected[i])
+            << "threads=" << threads << " index=" << i;
+      }
+    }
+  }
+};
+
+TEST_F(ParallelDeterminismTest, MatMulBitIdenticalAcrossThreadCounts) {
+  Rng rng(101);
+  const Tensor a = RandNormal({37, 53}, 0, 1, rng);
+  const Tensor b = RandNormal({53, 29}, 0, 1, rng);
+  ExpectBitIdentical([&] { return MatMul(a, b); });
+  ExpectBitIdentical(
+      [&] { return MatMul(a.To(Device::kAccel), b.To(Device::kAccel))
+                .To(Device::kCpu); });
+}
+
+TEST_F(ParallelDeterminismTest, SumBitIdenticalAcrossThreadCounts) {
+  Rng rng(102);
+  // Large enough to span many fixed 4096-element blocks.
+  const Tensor t = RandNormal({100001}, 0, 1, rng);
+  ExpectBitIdentical([&] { return Sum(t); });
+  const Tensor m = RandNormal({61, 513}, 0, 1, rng);
+  ExpectBitIdentical([&] { return Sum(m, 1, false); });
+  ExpectBitIdentical([&] { return Sum(m, 0, false); });
+}
+
+TEST_F(ParallelDeterminismTest, ElementwiseAndReduceOpsBitIdentical) {
+  Rng rng(103);
+  const Tensor a = RandNormal({33, 257}, 0, 1, rng);
+  const Tensor b = RandNormal({33, 1}, 0, 1, rng);  // broadcast path
+  ExpectBitIdentical([&] { return Mul(a, b); });
+  ExpectBitIdentical([&] { return Exp(a); });
+  ExpectBitIdentical([&] { return CumSum(a, 1); });
+  ExpectBitIdentical([&] { return Max(a, 1, false).values; });
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tdp {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> calls{0};
+  pool.ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(0, kN, 7, [&](int64_t begin, int64_t end) {
+    ASSERT_LE(begin, end);
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 200, 1, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum += local;
+  });
+  int64_t expected = 0;
+  for (int64_t i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 10, 1000, [&](int64_t begin, int64_t end) {
+    ++calls;
+    covered += end - begin;
+  });
+  // One shard spanning the whole range, executed by the calling thread.
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 10);
+}
+
+TEST(ThreadPoolTest, ShardsAreAtLeastGrainSized) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> calls{0};
+  pool.ParallelFor(0, 100, 50, [&](int64_t begin, int64_t end) {
+    EXPECT_GE(end - begin, 25);  // never split below ceil(range/shards)
+    ++calls;
+  });
+  EXPECT_LE(calls.load(), 2);  // 100/50 = at most 2 shards
+}
+
+TEST(ThreadPoolTest, NoDegenerateShardsWhenRangeBarelyExceedsChunking) {
+  // 8 items over 7 threads: chunk=2 leaves only 4 real shards; the pool
+  // must never invoke fn with an empty or inverted range (a negative
+  // length would wrap in size_t arithmetic inside kernels).
+  ThreadPool pool(7);
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t begin, int64_t end) {
+    EXPECT_LT(begin, end);
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelismSurvivesACaughtException) {
+  // A throwing shard must not leak the in-parallel thread-local flag: if
+  // it did, the next ParallelFor on this thread would collapse into one
+  // inline shard instead of fanning out.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 4, 1,
+                                [](int64_t, int64_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  std::atomic<int64_t> shards{0};
+  pool.ParallelFor(0, 4, 1, [&](int64_t, int64_t) { ++shards; });
+  EXPECT_EQ(shards.load(), 4);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 1,
+                       [&](int64_t begin, int64_t) {
+                         if (begin == 0) {
+                           throw std::runtime_error("shard failed");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool survives the exception and remains usable.
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 100, 1,
+                   [&](int64_t begin, int64_t end) { covered += end - begin; });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionFromWorkerShardPropagates) {
+  ThreadPool pool(4);
+  // Throw from every shard so at least one non-caller shard (if any) throws.
+  EXPECT_THROW(pool.ParallelFor(0, 1000, 1,
+                                [](int64_t, int64_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.ParallelFor(0, 64, 1, [&](int64_t, int64_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_FALSE(seen.empty());
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      // The nested call must not re-enter the pool (deadlock-free) and must
+      // still cover its range.
+      pool.ParallelFor(0, 10, 1,
+                       [&](int64_t b, int64_t e) { total += e - b; });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersBothComplete) {
+  // Two threads hammer one pool; each caller's wait must see all of its
+  // own shards finish (the help-loop only drains own-call tasks).
+  ThreadPool pool(4);
+  std::atomic<int64_t> a{0};
+  std::atomic<int64_t> b{0};
+  std::thread other([&] {
+    for (int i = 0; i < 50; ++i) {
+      pool.ParallelFor(0, 1000, 1,
+                       [&](int64_t lo, int64_t hi) { a += hi - lo; });
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.ParallelFor(0, 1000, 1,
+                     [&](int64_t lo, int64_t hi) { b += hi - lo; });
+  }
+  other.join();
+  EXPECT_EQ(a.load(), 50000);
+  EXPECT_EQ(b.load(), 50000);
+}
+
+TEST(ThreadPoolTest, GlobalHonorsTdpNumThreads) {
+  // The ctest harness runs every test with TDP_NUM_THREADS=1: the global
+  // pool must come up single-threaded and therefore fully deterministic.
+  const char* env = std::getenv("TDP_NUM_THREADS");
+  if (env != nullptr && std::string(env) == "1") {
+    EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+  } else {
+    EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SetGlobalNumThreadsRebuildsPool) {
+  ThreadPool::SetGlobalNumThreads(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  std::atomic<int64_t> covered{0};
+  ParallelFor(0, 1000, 1,
+              [&](int64_t begin, int64_t end) { covered += end - begin; });
+  EXPECT_EQ(covered.load(), 1000);
+  ThreadPool::SetGlobalNumThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SameResultAcrossThreadCounts) {
+  // A deterministic fixed-block reduction (the discipline the kernels use)
+  // must produce bit-identical results for any pool size.
+  constexpr int64_t kN = 100000;
+  constexpr int64_t kBlock = 4096;
+  std::vector<float> data(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    data[static_cast<size_t>(i)] = 1.0f / static_cast<float>(i + 1);
+  }
+  auto block_sum = [&](ThreadPool& pool) {
+    const int64_t blocks = (kN + kBlock - 1) / kBlock;
+    std::vector<double> partials(static_cast<size_t>(blocks), 0.0);
+    pool.ParallelFor(0, blocks, 1, [&](int64_t begin, int64_t end) {
+      for (int64_t blk = begin; blk < end; ++blk) {
+        const int64_t lo = blk * kBlock;
+        const int64_t hi = std::min(kN, lo + kBlock);
+        double acc = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          acc += static_cast<double>(data[static_cast<size_t>(i)]);
+        }
+        partials[static_cast<size_t>(blk)] = acc;
+      }
+    });
+    double total = 0;
+    for (double p : partials) total += p;
+    return total;
+  };
+  ThreadPool serial(1);
+  ThreadPool quad(4);
+  const double expected = block_sum(serial);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_EQ(block_sum(quad), expected);
+  }
+}
+
+}  // namespace
+}  // namespace tdp
