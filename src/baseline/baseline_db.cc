@@ -293,6 +293,9 @@ StatusOr<Value> Executor::Eval(const Expr& e, const RowScope& scope,
           "BaselineDB has no scalar functions (by design)");
     case ExprKind::kStar:
       return Status::BindError("'*' outside SELECT list");
+    case ExprKind::kParameter:
+      return Status::Unimplemented(
+          "BaselineDB does not support prepared-statement parameters");
   }
   return Status::Internal("bad expr");
 }

@@ -215,10 +215,12 @@ StatusOr<Column> TensorBinary(BinaryOp op, const Tensor& a, const Tensor& b) {
 }
 
 StatusOr<EvalResult> EvaluateBinary(const BoundBinary& expr,
-                                    const Chunk& input, Device device) {
-  TDP_ASSIGN_OR_RETURN(EvalResult lhs, EvaluateExpr(*expr.left, input, device));
+                                    const Chunk& input, Device device,
+                                    const std::vector<ScalarValue>* params) {
+  TDP_ASSIGN_OR_RETURN(EvalResult lhs,
+                       EvaluateExpr(*expr.left, input, device, params));
   TDP_ASSIGN_OR_RETURN(EvalResult rhs,
-                       EvaluateExpr(*expr.right, input, device));
+                       EvaluateExpr(*expr.right, input, device, params));
 
   // Constant folding at runtime (both sides scalar).
   if (lhs.is_scalar && rhs.is_scalar) {
@@ -285,7 +287,8 @@ StatusOr<EvalResult> EvaluateBinary(const BoundBinary& expr,
 }
 
 StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
-                                  Device device) {
+                                  Device device,
+                                  const std::vector<ScalarValue>* params) {
   // Lower to nested Where(cond, then, else) — differentiable in the
   // then/else values.
   Tensor result;
@@ -293,15 +296,17 @@ StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
   // Build from the last branch backwards.
   Tensor else_tensor;
   if (expr.else_expr) {
-    TDP_ASSIGN_OR_RETURN(Column c,
-                         EvaluateExprToColumn(*expr.else_expr, input, device));
+    TDP_ASSIGN_OR_RETURN(
+        Column c,
+        EvaluateExprToColumn(*expr.else_expr, input, device, params));
     else_tensor = NumericPayload(c);
   }
   for (auto it = expr.branches.rbegin(); it != expr.branches.rend(); ++it) {
-    TDP_ASSIGN_OR_RETURN(Tensor cond,
-                         EvaluatePredicate(*it->first, input, device));
-    TDP_ASSIGN_OR_RETURN(Column then_col,
-                         EvaluateExprToColumn(*it->second, input, device));
+    TDP_ASSIGN_OR_RETURN(
+        Tensor cond, EvaluatePredicate(*it->first, input, device, params));
+    TDP_ASSIGN_OR_RETURN(
+        Column then_col,
+        EvaluateExprToColumn(*it->second, input, device, params));
     Tensor then_tensor = NumericPayload(then_col);
     if (!have_result) {
       result = else_tensor.defined()
@@ -319,12 +324,13 @@ StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
 }
 
 StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
-                                 Device device) {
+                                 Device device,
+                                 const std::vector<ScalarValue>* params) {
   std::vector<udf::Argument> args;
   args.reserve(expr.args.size());
   for (const BoundExprPtr& arg_expr : expr.args) {
     TDP_ASSIGN_OR_RETURN(EvalResult r,
-                         EvaluateExpr(*arg_expr, input, device));
+                         EvaluateExpr(*arg_expr, input, device, params));
     udf::Argument arg;
     if (r.is_scalar) {
       arg.is_scalar = true;
@@ -348,7 +354,8 @@ StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
 }  // namespace
 
 StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
-                                  Device device) {
+                                  Device device,
+                                  const std::vector<ScalarValue>* params) {
   switch (expr.kind) {
     case BoundExprKind::kColumnRef: {
       const auto& ref = static_cast<const BoundColumnRef&>(expr);
@@ -364,11 +371,11 @@ StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
     }
     case BoundExprKind::kBinary:
       return EvaluateBinary(static_cast<const BoundBinary&>(expr), input,
-                            device);
+                            device, params);
     case BoundExprKind::kUnary: {
       const auto& un = static_cast<const BoundUnary&>(expr);
       TDP_ASSIGN_OR_RETURN(EvalResult operand,
-                           EvaluateExpr(*un.operand, input, device));
+                           EvaluateExpr(*un.operand, input, device, params));
       if (operand.is_scalar) {
         if (un.op == UnaryOp::kNeg) {
           if (operand.scalar.is_int()) {
@@ -399,16 +406,34 @@ StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
     }
     case BoundExprKind::kUdfCall:
       return EvaluateUdf(static_cast<const BoundUdfCall&>(expr), input,
-                         device);
+                         device, params);
     case BoundExprKind::kCase:
-      return EvaluateCase(static_cast<const BoundCase&>(expr), input, device);
+      return EvaluateCase(static_cast<const BoundCase&>(expr), input, device,
+                          params);
+    case BoundExprKind::kParameter: {
+      const auto& p = static_cast<const BoundParameter&>(expr);
+      if (params == nullptr ||
+          p.ordinal >= static_cast<int64_t>(params->size())) {
+        return Status::ExecutionError(
+            "query expects at least " + std::to_string(p.ordinal + 1) +
+            " parameter(s); " +
+            std::to_string(params ? params->size() : 0) + " bound");
+      }
+      const ScalarValue& v = (*params)[static_cast<size_t>(p.ordinal)];
+      if (v.is_null()) {
+        return Status::ExecutionError(
+            "parameter " + std::to_string(p.ordinal) + " is unbound (NULL)");
+      }
+      return EvalResult{true, v, {}};
+    }
   }
   return Status::Internal("unknown bound expression kind");
 }
 
 StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
-                                      const Chunk& input, Device device) {
-  TDP_ASSIGN_OR_RETURN(EvalResult r, EvaluateExpr(expr, input, device));
+                                      const Chunk& input, Device device,
+                                      const std::vector<ScalarValue>* params) {
+  TDP_ASSIGN_OR_RETURN(EvalResult r, EvaluateExpr(expr, input, device, params));
   if (!r.is_scalar) return r.column;
   const int64_t rows = std::max<int64_t>(input.num_rows(), 1);
   if (r.scalar.is_string()) {
@@ -422,8 +447,10 @@ StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
 }
 
 StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
-                                   Device device) {
-  TDP_ASSIGN_OR_RETURN(Column c, EvaluateExprToColumn(expr, input, device));
+                                   Device device,
+                                   const std::vector<ScalarValue>* params) {
+  TDP_ASSIGN_OR_RETURN(Column c,
+                       EvaluateExprToColumn(expr, input, device, params));
   if (c.data().dtype() != DType::kBool || c.data().dim() != 1) {
     return Status::TypeError("predicate did not evaluate to a boolean column");
   }

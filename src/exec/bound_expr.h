@@ -25,6 +25,7 @@ enum class BoundExprKind {
   kUnary,
   kUdfCall,
   kCase,
+  kParameter,
 };
 
 struct BoundExpr {
@@ -80,6 +81,16 @@ struct BoundCase : BoundExpr {
   BoundExprPtr else_expr;  // may be null -> 0
 };
 
+/// A `?` placeholder: evaluates to the `ordinal`-th value of the parameter
+/// vector supplied at Run() time. The plan stays immutable across runs —
+/// different bindings flow through the per-run evaluation context, so one
+/// compiled query serves many concurrent executions.
+struct BoundParameter : BoundExpr {
+  explicit BoundParameter(int64_t ordinal)
+      : BoundExpr(BoundExprKind::kParameter), ordinal(ordinal) {}
+  int64_t ordinal;
+};
+
 /// Result of evaluating an expression: either a per-row column or a
 /// constant scalar (broadcast lazily by consumers).
 struct EvalResult {
@@ -90,16 +101,25 @@ struct EvalResult {
 
 /// Evaluates `expr` over `input` on `device`. All column math runs as
 /// tensor ops, so gradients flow through results whose inputs require grad.
+/// `params` supplies values for BoundParameter placeholders (may be null
+/// when the expression has none); it is read-only and per-run, so the same
+/// expression tree can be evaluated concurrently with different bindings.
 StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
-                                  Device device);
+                                  Device device,
+                                  const std::vector<ScalarValue>* params =
+                                      nullptr);
 
 /// EvaluateExpr + broadcast scalars to `num_rows` and wrap as a column.
 StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
-                                      const Chunk& input, Device device);
+                                      const Chunk& input, Device device,
+                                      const std::vector<ScalarValue>* params =
+                                          nullptr);
 
 /// Evaluates a predicate to a 1-d bool mask of input.num_rows().
 StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
-                                   Device device);
+                                   Device device,
+                                   const std::vector<ScalarValue>* params =
+                                       nullptr);
 
 }  // namespace exec
 }  // namespace tdp

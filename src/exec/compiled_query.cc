@@ -1,5 +1,6 @@
 #include "src/exec/compiled_query.h"
 
+#include <algorithm>
 #include <set>
 
 #include "src/exec/bound_expr.h"
@@ -41,47 +42,68 @@ void CollectExprModules(
   }
 }
 
+// Highest `?` ordinal in the expression tree, or -1 when none. The switch
+// is exhaustive (no default) so a future BoundExprKind with children
+// triggers -Wswitch here instead of silently undercounting parameters.
+int64_t MaxParamOrdinal(const BoundExpr& e) {
+  switch (e.kind) {
+    case BoundExprKind::kParameter:
+      return static_cast<const BoundParameter&>(e).ordinal;
+    case BoundExprKind::kUdfCall: {
+      int64_t max_ordinal = -1;
+      for (const auto& a : static_cast<const BoundUdfCall&>(e).args) {
+        max_ordinal = std::max(max_ordinal, MaxParamOrdinal(*a));
+      }
+      return max_ordinal;
+    }
+    case BoundExprKind::kBinary: {
+      const auto& b = static_cast<const BoundBinary&>(e);
+      return std::max(MaxParamOrdinal(*b.left), MaxParamOrdinal(*b.right));
+    }
+    case BoundExprKind::kUnary:
+      return MaxParamOrdinal(*static_cast<const BoundUnary&>(e).operand);
+    case BoundExprKind::kCase: {
+      const auto& c = static_cast<const BoundCase&>(e);
+      int64_t max_ordinal = -1;
+      for (const auto& [when, then] : c.branches) {
+        max_ordinal = std::max(max_ordinal, MaxParamOrdinal(*when));
+        max_ordinal = std::max(max_ordinal, MaxParamOrdinal(*then));
+      }
+      if (c.else_expr) {
+        max_ordinal = std::max(max_ordinal, MaxParamOrdinal(*c.else_expr));
+      }
+      return max_ordinal;
+    }
+    case BoundExprKind::kColumnRef:
+    case BoundExprKind::kLiteral:
+      return -1;
+  }
+  return -1;
+}
+
+int64_t MaxPlanParamOrdinal(const plan::LogicalNode& node) {
+  int64_t max_ordinal = -1;
+  plan::ForEachExpr(node, [&max_ordinal](const BoundExpr& e) {
+    max_ordinal = std::max(max_ordinal, MaxParamOrdinal(e));
+  });
+  for (const auto& child : node.children) {
+    max_ordinal = std::max(max_ordinal, MaxPlanParamOrdinal(*child));
+  }
+  return max_ordinal;
+}
+
 void CollectPlanModules(
     const plan::LogicalNode& node,
     std::vector<std::shared_ptr<nn::Module>>& modules) {
-  switch (node.kind) {
-    case plan::NodeKind::kTvfScan: {
-      const auto& tvf = static_cast<const plan::TvfScanNode&>(node);
-      for (const auto& m : tvf.fn->modules) modules.push_back(m);
-      break;
-    }
-    case plan::NodeKind::kFilter:
-      CollectExprModules(
-          *static_cast<const plan::FilterNode&>(node).predicate, modules);
-      break;
-    case plan::NodeKind::kProject:
-      for (const auto& e :
-           static_cast<const plan::ProjectNode&>(node).exprs) {
-        CollectExprModules(*e, modules);
-      }
-      break;
-    case plan::NodeKind::kAggregate: {
-      const auto& agg = static_cast<const plan::AggregateNode&>(node);
-      for (const auto& e : agg.group_exprs) CollectExprModules(*e, modules);
-      for (const auto& d : agg.aggregates) {
-        if (d.arg) CollectExprModules(*d.arg, modules);
-      }
-      break;
-    }
-    case plan::NodeKind::kJoin: {
-      const auto& join = static_cast<const plan::JoinNode&>(node);
-      if (join.residual) CollectExprModules(*join.residual, modules);
-      break;
-    }
-    case plan::NodeKind::kSort:
-      for (const auto& item :
-           static_cast<const plan::SortNode&>(node).items) {
-        CollectExprModules(*item.expr, modules);
-      }
-      break;
-    default:
-      break;
+  // TVF modules hang off the node itself, not an expression slot; every
+  // expression-borne module is reached through the shared plan walker.
+  if (node.kind == plan::NodeKind::kTvfScan) {
+    const auto& tvf = static_cast<const plan::TvfScanNode&>(node);
+    for (const auto& m : tvf.fn->modules) modules.push_back(m);
   }
+  plan::ForEachExpr(node, [&modules](const BoundExpr& e) {
+    CollectExprModules(e, modules);
+  });
   for (const auto& child : node.children) {
     CollectPlanModules(*child, modules);
   }
@@ -90,13 +112,14 @@ void CollectPlanModules(
 }  // namespace
 
 CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
-                             std::shared_ptr<const Catalog> catalog,
+                             std::shared_ptr<const SharedCatalog> catalog,
                              Device device, bool trainable)
     : plan_(std::move(plan)),
       catalog_(std::move(catalog)),
       device_(device),
       trainable_(trainable),
-      training_mode_(trainable) {
+      training_mode_(trainable),
+      num_params_(MaxPlanParamOrdinal(*plan_) + 1) {
   std::vector<std::shared_ptr<nn::Module>> raw;
   CollectPlanModules(*plan_, raw);
   std::set<nn::Module*> seen;
@@ -105,16 +128,28 @@ CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
   }
 }
 
-StatusOr<Chunk> CompiledQuery::RunChunk() const {
+StatusOr<Chunk> CompiledQuery::RunChunk(
+    const std::vector<ScalarValue>& params) const {
+  if (static_cast<int64_t>(params.size()) != num_params_) {
+    return Status::InvalidArgument(
+        "query expects " + std::to_string(num_params_) + " parameter(s), " +
+        std::to_string(params.size()) + " bound");
+  }
+  // One consistent catalog snapshot per run: concurrent RegisterTable
+  // calls never tear a multi-table query, and the snapshot stays alive
+  // (shared_ptr) for the whole execution.
+  const std::shared_ptr<const Catalog> snapshot = catalog_->Snapshot();
   ExecContext ctx;
-  ctx.catalog = catalog_.get();
+  ctx.catalog = snapshot.get();
   ctx.device = device_;
   ctx.soft_mode = trainable_ && training_mode_;
+  ctx.params = params.empty() ? nullptr : &params;
   return ExecuteNode(*plan_, ctx);
 }
 
-StatusOr<std::shared_ptr<Table>> CompiledQuery::Run() const {
-  TDP_ASSIGN_OR_RETURN(Chunk chunk, RunChunk());
+StatusOr<std::shared_ptr<Table>> CompiledQuery::Run(
+    const std::vector<ScalarValue>& params) const {
+  TDP_ASSIGN_OR_RETURN(Chunk chunk, RunChunk(params));
   return chunk.ToTable("result");
 }
 

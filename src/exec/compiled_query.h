@@ -17,29 +17,42 @@ namespace exec {
 /// A SQL statement compiled to a tensor program — TDP's analogue of the
 /// PyTorch model object returned by `tdp.sql.spark.query(...)` (§2 of the
 /// paper). Like a model, it can be:
-///   - executed (`Run()`), on whichever device it was compiled for;
+///   - executed (`Run()`), on whichever device it was compiled for, with
+///     per-run values for any `?` placeholders (prepared statements);
 ///   - embedded in a training loop: `Parameters()` exposes every trainable
 ///     tensor reachable through the UDFs/TVFs in the plan, and when
 ///     compiled TRAINABLE the plan uses differentiable soft operators so
 ///     gradients flow from the result back into those parameters;
 ///   - inspected (`Explain()`).
 ///
-/// Tables are re-resolved from the catalog at each Run(), so re-registering
-/// an input table re-runs the same compiled query on fresh data.
+/// Tables are re-resolved from a fresh catalog snapshot at each Run(), so
+/// re-registering an input table re-runs the same compiled query on fresh
+/// data.
+///
+/// Thread safety: the plan is immutable after compilation and every run
+/// carries its own ExecContext (catalog snapshot + parameter bindings), so
+/// a single CompiledQuery may be executed by many threads concurrently.
+/// The exception is `set_training_mode`, which must not race with runs.
 class CompiledQuery {
  public:
   CompiledQuery(plan::LogicalNodePtr plan,
-                std::shared_ptr<const Catalog> catalog, Device device,
+                std::shared_ptr<const SharedCatalog> catalog, Device device,
                 bool trainable);
 
   CompiledQuery(const CompiledQuery&) = delete;
   CompiledQuery& operator=(const CompiledQuery&) = delete;
 
-  /// Executes the plan and materializes the result.
-  StatusOr<std::shared_ptr<Table>> Run() const;
+  /// Executes the plan and materializes the result. `params` binds the
+  /// statement's `?` placeholders in lexical order and must match
+  /// `num_params()` exactly.
+  StatusOr<std::shared_ptr<Table>> Run(
+      const std::vector<ScalarValue>& params = {}) const;
   /// Executes the plan, returning the raw column chunk (tensor access —
   /// training loops read the differentiable count column from here).
-  StatusOr<Chunk> RunChunk() const;
+  StatusOr<Chunk> RunChunk(const std::vector<ScalarValue>& params = {}) const;
+
+  /// Number of `?` placeholders in the statement.
+  int64_t num_params() const { return num_params_; }
 
   /// All trainable parameters of modules referenced by the plan's
   /// UDFs/TVFs — pass to an optimizer, per Listing 5 of the paper.
@@ -69,10 +82,11 @@ class CompiledQuery {
 
  private:
   plan::LogicalNodePtr plan_;
-  std::shared_ptr<const Catalog> catalog_;
+  std::shared_ptr<const SharedCatalog> catalog_;
   Device device_;
   bool trainable_;
   bool training_mode_;
+  int64_t num_params_ = 0;
   std::vector<std::shared_ptr<nn::Module>> modules_;
 };
 

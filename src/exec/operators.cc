@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/exec/bound_expr.h"
 #include "src/exec/soft_ops.h"
@@ -79,25 +80,43 @@ StatusOr<Chunk> ExecuteScan(const ScanNode& node, const ExecContext& ctx) {
                        ctx.catalog->GetTable(node.table_name));
   // The catalog may hold a newer registration of this table (training
   // loops re-register inputs); validate it still matches the bound schema.
-  const size_t expected =
-      node.projected_columns.empty()
-          ? node.schema.size()
-          : node.projected_columns.size();
-  if (node.projected_columns.empty() &&
-      static_cast<size_t>(table->num_columns()) != expected) {
-    return Status::ExecutionError(
-        "table " + node.table_name +
-        " changed shape since compilation; re-compile the query");
-  }
+  // Downstream expressions read columns by position, so both the count and
+  // the per-position names must still agree — a reordered/renamed
+  // re-registration has to fail loudly, never silently read wrong data.
   Chunk chunk;
   if (node.projected_columns.empty()) {
+    if (static_cast<size_t>(table->num_columns()) != node.schema.size()) {
+      return Status::ExecutionError(
+          "table " + node.table_name +
+          " changed shape since compilation; re-compile the query");
+    }
+    for (size_t i = 0; i < node.schema.size(); ++i) {
+      if (!EqualsIgnoreCase(table->column_names()[i], node.schema[i].name)) {
+        return Status::ExecutionError(
+            "table " + node.table_name + " column " + std::to_string(i) +
+            " is now '" + table->column_names()[i] +
+            "' (compiled against '" + node.schema[i].name +
+            "'); re-compile the query");
+      }
+    }
     chunk = Chunk::FromTable(*table);
   } else {
-    for (int64_t i : node.projected_columns) {
+    for (size_t k = 0; k < node.projected_columns.size(); ++k) {
+      const int64_t i = node.projected_columns[k];
       if (i >= table->num_columns()) {
-        return Status::ExecutionError("projected column out of range");
+        return Status::ExecutionError(
+            "table " + node.table_name +
+            " changed shape since compilation; re-compile the query");
       }
-      chunk.names.push_back(table->column_names()[static_cast<size_t>(i)]);
+      const std::string& name =
+          table->column_names()[static_cast<size_t>(i)];
+      if (!EqualsIgnoreCase(name, node.schema[k].name)) {
+        return Status::ExecutionError(
+            "table " + node.table_name + " column " + std::to_string(i) +
+            " is now '" + name + "' (compiled against '" +
+            node.schema[k].name + "'); re-compile the query");
+      }
+      chunk.names.push_back(name);
       chunk.columns.push_back(table->column(i));
     }
   }
@@ -127,8 +146,9 @@ StatusOr<Chunk> ExecuteTvfScan(const TvfScanNode& node, Chunk input,
 
 StatusOr<Chunk> ExecuteFilter(const FilterNode& node, const Chunk& input,
                               const ExecContext& ctx) {
-  TDP_ASSIGN_OR_RETURN(Tensor mask,
-                       EvaluatePredicate(*node.predicate, input, ctx.device));
+  TDP_ASSIGN_OR_RETURN(
+      Tensor mask,
+      EvaluatePredicate(*node.predicate, input, ctx.device, ctx.params));
   if (mask.numel() != input.num_rows()) {
     return Status::ExecutionError("predicate mask length mismatch");
   }
@@ -139,9 +159,9 @@ StatusOr<Chunk> ExecuteProject(const ProjectNode& node, const Chunk& input,
                                const ExecContext& ctx) {
   Chunk out;
   for (size_t i = 0; i < node.exprs.size(); ++i) {
-    TDP_ASSIGN_OR_RETURN(Column c,
-                         EvaluateExprToColumn(*node.exprs[i], input,
-                                              ctx.device));
+    TDP_ASSIGN_OR_RETURN(
+        Column c,
+        EvaluateExprToColumn(*node.exprs[i], input, ctx.device, ctx.params));
     out.names.push_back(node.schema[i].name);
     out.columns.push_back(std::move(c));
   }
@@ -162,8 +182,9 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
     bool keys_are_pe = true;
     std::vector<Column> probe;
     for (const auto& expr : node.group_exprs) {
-      TDP_ASSIGN_OR_RETURN(Column key,
-                           EvaluateExprToColumn(*expr, input, ctx.device));
+      TDP_ASSIGN_OR_RETURN(
+          Column key,
+          EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
       if (key.encoding() != Encoding::kProbability) keys_are_pe = false;
       probe.push_back(std::move(key));
     }
@@ -193,8 +214,9 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
   std::vector<Column> key_columns;
   std::vector<std::vector<int64_t>> key_codes;
   for (const auto& expr : node.group_exprs) {
-    TDP_ASSIGN_OR_RETURN(Column key,
-                         EvaluateExprToColumn(*expr, input, ctx.device));
+    TDP_ASSIGN_OR_RETURN(
+        Column key,
+        EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
     TDP_ASSIGN_OR_RETURN(std::vector<int64_t> codes, ColumnToCodes(key));
     key_columns.push_back(std::move(key));
     key_codes.push_back(std::move(codes));
@@ -271,8 +293,9 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
     std::vector<double> arg_values;
     std::vector<int64_t> arg_codes;  // for DISTINCT
     if (def.arg) {
-      TDP_ASSIGN_OR_RETURN(Column arg_col,
-                           EvaluateExprToColumn(*def.arg, input, ctx.device));
+      TDP_ASSIGN_OR_RETURN(
+          Column arg_col,
+          EvaluateExprToColumn(*def.arg, input, ctx.device, ctx.params));
       if (arg_col.encoding() == Encoding::kDictionary &&
           def.kind != AggKind::kCount) {
         return Status::TypeError("cannot " +
@@ -538,7 +561,8 @@ StatusOr<Chunk> ExecuteJoin(const JoinNode& node, const Chunk& left,
 
   if (node.residual) {
     TDP_ASSIGN_OR_RETURN(
-        Tensor mask, EvaluatePredicate(*node.residual, joined, ctx.device));
+        Tensor mask,
+        EvaluatePredicate(*node.residual, joined, ctx.device, ctx.params));
     joined = joined.Select(NonZero(mask));
   }
   return joined;
@@ -552,8 +576,9 @@ StatusOr<Chunk> ExecuteSort(const SortNode& node, const Chunk& input,
   Tensor perm = Tensor::Arange(rows, DType::kInt64, ctx.device);
   // Stable multi-key sort: apply keys from last to first.
   for (auto it = node.items.rbegin(); it != node.items.rend(); ++it) {
-    TDP_ASSIGN_OR_RETURN(Column key_col,
-                         EvaluateExprToColumn(*it->expr, input, ctx.device));
+    TDP_ASSIGN_OR_RETURN(
+        Column key_col,
+        EvaluateExprToColumn(*it->expr, input, ctx.device, ctx.params));
     Tensor keys = key_col.DecodeValues();
     if (keys.dim() != 1) {
       return Status::TypeError("ORDER BY key must be a scalar column");

@@ -1,8 +1,11 @@
 #ifndef TDP_EXEC_OPERATORS_H_
 #define TDP_EXEC_OPERATORS_H_
 
+#include <vector>
+
 #include "src/common/statusor.h"
 #include "src/exec/chunk.h"
+#include "src/exec/value.h"
 #include "src/plan/logical_plan.h"
 #include "src/storage/catalog.h"
 
@@ -26,6 +29,11 @@ struct ExecContext {
   /// gradients flow from the result back into UDF parameters (§4). At
   /// inference the exact operators are swapped back in.
   bool soft_mode = false;
+  /// Values for the statement's `?` placeholders, owned by the caller for
+  /// the duration of the run. Null when the query has none. Keeping the
+  /// bindings here (rather than on the plan) is what lets one CompiledQuery
+  /// execute on many threads with different parameters simultaneously.
+  const std::vector<ScalarValue>* params = nullptr;
 };
 
 /// Executes a bound plan subtree, materializing its result chunk. Each

@@ -117,5 +117,52 @@ std::string LimitNode::Describe() const {
 
 std::string DistinctNode::Describe() const { return "Distinct"; }
 
+void ForEachExpr(const LogicalNode& node,
+                 const std::function<void(const exec::BoundExpr&)>& fn) {
+  switch (node.kind) {
+    case NodeKind::kFilter:
+      fn(*static_cast<const FilterNode&>(node).predicate);
+      return;
+    case NodeKind::kProject:
+      for (const auto& e : static_cast<const ProjectNode&>(node).exprs) {
+        fn(*e);
+      }
+      return;
+    case NodeKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      for (const auto& e : agg.group_exprs) fn(*e);
+      for (const auto& d : agg.aggregates) {
+        if (d.arg) fn(*d.arg);
+      }
+      return;
+    }
+    case NodeKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      if (join.residual) fn(*join.residual);
+      return;
+    }
+    case NodeKind::kSort:
+      for (const auto& item : static_cast<const SortNode&>(node).items) {
+        fn(*item.expr);
+      }
+      return;
+    case NodeKind::kScan:
+    case NodeKind::kTvfScan:
+    case NodeKind::kLimit:
+    case NodeKind::kDistinct:
+      return;
+  }
+}
+
+void ForEachExpr(LogicalNode& node,
+                 const std::function<void(exec::BoundExpr&)>& fn) {
+  // The expression slots of a mutable node are themselves mutable; reuse
+  // the const traversal rather than maintaining the switch twice.
+  ForEachExpr(static_cast<const LogicalNode&>(node),
+              [&fn](const exec::BoundExpr& e) {
+                fn(const_cast<exec::BoundExpr&>(e));
+              });
+}
+
 }  // namespace plan
 }  // namespace tdp

@@ -1,6 +1,7 @@
 #ifndef TDP_PLAN_LOGICAL_PLAN_H_
 #define TDP_PLAN_LOGICAL_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -145,6 +146,16 @@ struct DistinctNode : LogicalNode {
   DistinctNode() : LogicalNode(NodeKind::kDistinct) {}
   std::string Describe() const override;
 };
+
+/// Invokes `fn` on every bound expression attached to `node` itself (not
+/// its children): filter predicates, project/group/aggregate expressions,
+/// join residuals, sort keys. The single authority for "which expressions
+/// hang off which node kind" — optimizer rewrites and plan analyses
+/// (module collection, parameter counting) all go through it.
+void ForEachExpr(const LogicalNode& node,
+                 const std::function<void(const exec::BoundExpr&)>& fn);
+void ForEachExpr(LogicalNode& node,
+                 const std::function<void(exec::BoundExpr&)>& fn);
 
 }  // namespace plan
 }  // namespace tdp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <set>
 
 namespace tdp {
@@ -47,6 +48,7 @@ void CollectColumnRefs(const BoundExpr& e, std::set<int64_t>& out) {
       return;
     }
     case exec::BoundExprKind::kLiteral:
+    case exec::BoundExprKind::kParameter:
       return;
   }
 }
@@ -82,37 +84,7 @@ void RemapColumnRefs(BoundExpr& e, const std::vector<int64_t>& old_to_new) {
       return;
     }
     case exec::BoundExprKind::kLiteral:
-      return;
-  }
-}
-
-// Walks all bound expressions attached to `node` (not children).
-void ForEachExpr(LogicalNode& node,
-                 const std::function<void(BoundExpr&)>& fn) {
-  switch (node.kind) {
-    case NodeKind::kFilter:
-      fn(*static_cast<FilterNode&>(node).predicate);
-      return;
-    case NodeKind::kProject:
-      for (auto& e : static_cast<ProjectNode&>(node).exprs) fn(*e);
-      return;
-    case NodeKind::kAggregate: {
-      auto& agg = static_cast<AggregateNode&>(node);
-      for (auto& e : agg.group_exprs) fn(*e);
-      for (auto& d : agg.aggregates) {
-        if (d.arg) fn(*d.arg);
-      }
-      return;
-    }
-    case NodeKind::kJoin: {
-      auto& join = static_cast<JoinNode&>(node);
-      if (join.residual) fn(*join.residual);
-      return;
-    }
-    case NodeKind::kSort:
-      for (auto& item : static_cast<SortNode&>(node).items) fn(*item.expr);
-      return;
-    default:
+    case exec::BoundExprKind::kParameter:
       return;
   }
 }
@@ -128,22 +100,17 @@ LogicalNodePtr FuseLimitIntoSort(LogicalNodePtr node) {
   if (limit.limit < 0) return node;
   // Look through the hidden-sort-column cleanup Project, if present.
   LogicalNode* below = limit.children[0].get();
-  bool through_project = false;
   if (below->kind == NodeKind::kProject && !below->children.empty() &&
       below->children[0]->kind == NodeKind::kSort) {
     below = below->children[0].get();
-    through_project = true;
   }
   if (below->kind != NodeKind::kSort) return node;
   auto& sort = static_cast<SortNode&>(*below);
   // The sort keeps offset+limit rows; the Limit then applies the offset.
   sort.fused_limit = limit.offset + limit.limit;
-  if (limit.offset == 0 && !through_project) {
-    return std::move(node->children[0]);
-  }
   if (limit.offset == 0) {
-    // Row count already exact after the top-k sort; drop the Limit but
-    // keep the cleanup projection.
+    // The top-k sort already yields exactly `limit` rows, so the Limit node
+    // is redundant — drop it (keeping the cleanup projection when present).
     return std::move(node->children[0]);
   }
   return node;
@@ -273,6 +240,26 @@ LogicalNodePtr PruneScanColumns(LogicalNodePtr node) {
   ForEachExpr(*node, [&](BoundExpr& e) { CollectColumnRefs(e, used); });
   for (LogicalNode* f : chain) {
     ForEachExpr(*f, [&](BoundExpr& e) { CollectColumnRefs(e, used); });
+  }
+  if (used.empty()) {
+    // Literal-only projections (`SELECT 1 FROM t`) reference no columns,
+    // but the scan must still produce the table's row count — a zero-column
+    // chunk reports 0 rows. Keep the cheapest column: any non-tensor
+    // column beats any tensor column (per-row widths are unknown at plan
+    // time, so among tensors only the element size can break ties).
+    int64_t keep = 0;
+    int64_t best_cost = std::numeric_limits<int64_t>::max();
+    constexpr int64_t kTensorPenalty = int64_t{1} << 32;
+    for (size_t i = 0; i < scan.schema.size(); ++i) {
+      const ColumnMeta& meta = scan.schema[i];
+      const int64_t cost =
+          (meta.is_tensor ? kTensorPenalty : 0) + DTypeSize(meta.dtype);
+      if (cost < best_cost) {
+        best_cost = cost;
+        keep = static_cast<int64_t>(i);
+      }
+    }
+    used.insert(keep);
   }
   if (used.size() == scan.schema.size()) return node;  // nothing to prune
 

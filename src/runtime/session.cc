@@ -1,13 +1,66 @@
 #include "src/runtime/session.h"
 
+#include <cctype>
+
 #include "src/plan/optimizer.h"
 #include "src/sql/binder.h"
 #include "src/sql/parser.h"
 
 namespace tdp {
+namespace {
+
+/// Normalizes SQL text for plan-cache keying: outside quoted literals,
+/// whitespace runs (and `--` line comments) collapse to a single space and
+/// letters fold to lowercase; quoted literals are preserved byte-for-byte.
+/// Statements differing only in case or layout share one cache entry.
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (c == '\'' || c == '"') {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      const char quote = c;
+      out += c;
+      ++i;
+      while (i < n && sql[i] != quote) out += sql[i++];
+      if (i < n) out += sql[i++];  // closing quote
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      pending_space = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    ++i;
+  }
+  return out;
+}
+
+std::string CacheKey(const std::string& sql, const QueryOptions& options) {
+  std::string key = NormalizeSql(sql);
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(options.device));
+  key += options.trainable ? "/t" : "/e";
+  return key;
+}
+
+}  // namespace
 
 Session::Session()
-    : catalog_(std::make_shared<Catalog>()),
+    : catalog_(std::make_shared<SharedCatalog>()),
       registry_(std::make_unique<udf::FunctionRegistry>()) {}
 
 Status Session::RegisterTable(const std::string& name,
@@ -16,6 +69,9 @@ Status Session::RegisterTable(const std::string& name,
     return Status::InvalidArgument("cannot register a null table");
   }
   if (device != Device::kCpu) table = table->To(device);
+  // The catalog version bump implicitly invalidates every cached plan
+  // (entries are version-checked on lookup), so plans bound against the
+  // old schema are never served after a re-registration.
   return catalog_->RegisterTable(name, std::move(table), /*replace=*/true);
 }
 
@@ -33,7 +89,10 @@ Status Session::RegisterTensor(const std::string& name, Tensor tensor,
 StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
     const std::string& sql, const QueryOptions& options) {
   TDP_ASSIGN_OR_RETURN(auto statement, sql::Parse(sql));
-  sql::Binder binder(*catalog_, *registry_);
+  // Bind against one immutable snapshot; the compiled query re-resolves
+  // tables from the live catalog at each Run().
+  const std::shared_ptr<const Catalog> snapshot = catalog_->Snapshot();
+  sql::Binder binder(*snapshot, *registry_);
   TDP_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical_plan,
                        binder.Bind(*statement));
   logical_plan = plan::Optimize(std::move(logical_plan));
@@ -41,16 +100,90 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
       std::move(logical_plan), catalog_, options.device, options.trainable);
 }
 
-StatusOr<std::shared_ptr<Table>> Session::Sql(const std::string& sql,
-                                              const QueryOptions& options) {
-  TDP_ASSIGN_OR_RETURN(auto query, Query(sql, options));
-  return query->Run();
+StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
+    const std::string& sql, const QueryOptions& options) {
+  // Trainable queries carry mutable module state (training_mode, module
+  // parameters) and must not be shared behind the caller's back.
+  if (!options.use_plan_cache || options.trainable) {
+    return Query(sql, options);
+  }
+  const std::string key = CacheKey(sql, options);
+  // Read the version BEFORE compiling: if a registration lands between the
+  // read and the bind, the entry is tagged stale and merely recompiled on
+  // the next lookup — never served against a vanished schema.
+  const uint64_t version = catalog_->version();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (capacity_ == 0) {
+      lock.unlock();  // compile outside the lock, like the miss path
+      return Query(sql, options);
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      if (it->second->catalog_version == version) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+        return it->second->query;
+      }
+      ++stats_.invalidations;
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    ++stats_.misses;
+  }
+
+  // Compile outside the lock: one slow bind must not serialize the other
+  // clients. Two threads racing on the same cold key both compile; the
+  // later insert wins (both plans are equivalent).
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<exec::CompiledQuery> query,
+                       Query(sql, options));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(CacheEntry{key, query, version});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    ++stats_.evictions;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return query;
+}
+
+StatusOr<std::shared_ptr<Table>> Session::Sql(
+    const std::string& sql, const QueryOptions& options,
+    const std::vector<exec::ScalarValue>& params) {
+  TDP_ASSIGN_OR_RETURN(auto query, Prepare(sql, options));
+  return query->Run(params);
 }
 
 StatusOr<std::string> Session::Explain(const std::string& sql,
                                        const QueryOptions& options) {
-  TDP_ASSIGN_OR_RETURN(auto query, Query(sql, options));
+  TDP_ASSIGN_OR_RETURN(auto query, Prepare(sql, options));
   return query->Explain();
+}
+
+PlanCacheStats Session::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats stats = stats_;
+  stats.size = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+void Session::set_plan_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (lru_.size() > capacity_) {
+    ++stats_.evictions;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
 }
 
 }  // namespace tdp

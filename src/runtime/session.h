@@ -1,8 +1,12 @@
 #ifndef TDP_RUNTIME_SESSION_H_
 #define TDP_RUNTIME_SESSION_H_
 
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "src/common/statusor.h"
 #include "src/exec/compiled_query.h"
@@ -18,11 +22,39 @@ struct QueryOptions {
   /// Compile an end-to-end differentiable plan (soft operators over PE
   /// columns); enables training the query with gradient descent.
   bool trainable = false;
+  /// When false, `Prepare`/`Sql` always compile fresh instead of consulting
+  /// the session plan cache. (Trainable queries are never cached: they
+  /// carry mutable module state.)
+  bool use_plan_cache = true;
+};
+
+/// Cumulative plan-cache counters (see `Session::plan_cache_stats`).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;     // compile because no (fresh) entry existed
+  uint64_t evictions = 0;  // LRU capacity evictions
+  uint64_t invalidations = 0;  // entries dropped as catalog-version stale
+  size_t size = 0;
+  size_t capacity = 0;
 };
 
 /// Top-level TDP handle — the C++ analogue of the paper's `tdp` module:
 /// registration APIs (`tdp.sql.register_df` et al.), the UDF/TVF
 /// annotation registry, and query compilation (`tdp.sql.spark.query`).
+///
+/// Thread safety (the serving contract):
+///   - `Sql`, `Prepare`, `Query`, `Explain`, and `RegisterTable`/
+///     `RegisterTensor` may be called from any number of threads
+///     concurrently. Queries bind against an immutable catalog snapshot;
+///     registrations swap in a new snapshot (copy-on-write) and are
+///     observed by subsequent runs, never by runs already in flight.
+///   - `Prepare` returns shared `CompiledQuery` instances from an LRU plan
+///     cache keyed on normalized SQL text + compilation options, skipping
+///     lex/parse/bind/optimize on repeat statements. Entries are
+///     invalidated automatically when the catalog version moves (any
+///     register/drop).
+///   - UDFs/TVFs must be registered via `functions()` before concurrent
+///     serving starts; the function registry itself is not synchronized.
 class Session {
  public:
   Session();
@@ -50,23 +82,53 @@ class Session {
   // ---- Queries ----------------------------------------------------------
 
   /// Parses, binds, optimizes and compiles `sql` into a tensor program.
+  /// Always compiles fresh (no cache); use `Prepare` on hot serving paths.
   StatusOr<std::shared_ptr<exec::CompiledQuery>> Query(
       const std::string& sql, const QueryOptions& options = {});
 
-  /// One-shot convenience: compile + run.
-  StatusOr<std::shared_ptr<Table>> Sql(const std::string& sql,
-                                       const QueryOptions& options = {});
+  /// Cached compilation: returns the shared `CompiledQuery` for `sql` from
+  /// the plan cache, compiling (and inserting) on miss. The returned query
+  /// may be `Run(params)` by many threads concurrently. `?` placeholders
+  /// make one cached plan serve a whole family of point queries.
+  StatusOr<std::shared_ptr<exec::CompiledQuery>> Prepare(
+      const std::string& sql, const QueryOptions& options = {});
+
+  /// One-shot convenience: compile (through the plan cache) + run.
+  StatusOr<std::shared_ptr<Table>> Sql(
+      const std::string& sql, const QueryOptions& options = {},
+      const std::vector<exec::ScalarValue>& params = {});
 
   /// EXPLAIN: the optimized plan for `sql`.
   StatusOr<std::string> Explain(const std::string& sql,
                                 const QueryOptions& options = {});
 
-  const Catalog& catalog() const { return *catalog_; }
-  Catalog& catalog() { return *catalog_; }
+  // ---- Catalog / cache introspection ------------------------------------
+
+  SharedCatalog& catalog() { return *catalog_; }
+  const SharedCatalog& catalog() const { return *catalog_; }
+
+  PlanCacheStats plan_cache_stats() const;
+
+  /// Resizes the plan cache (default 128 plans); 0 disables caching.
+  void set_plan_cache_capacity(size_t capacity);
 
  private:
-  std::shared_ptr<Catalog> catalog_;
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<exec::CompiledQuery> query;
+    uint64_t catalog_version = 0;
+  };
+
+  std::shared_ptr<SharedCatalog> catalog_;
   std::unique_ptr<udf::FunctionRegistry> registry_;
+
+  // LRU plan cache: most-recently-used at the front of the list; the map
+  // indexes entries by cache key. All cache state is guarded by mu_.
+  mutable std::mutex mu_;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
+  size_t capacity_ = 128;
+  PlanCacheStats stats_;
 };
 
 }  // namespace tdp

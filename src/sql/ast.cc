@@ -136,6 +136,9 @@ ExprPtr CloneExpr(const Expr& e) {
       if (c.else_expr) out->else_expr = CloneExpr(*c.else_expr);
       return out;
     }
+    case ExprKind::kParameter:
+      return std::make_unique<ParameterExpr>(
+          static_cast<const ParameterExpr&>(e).ordinal);
   }
   return nullptr;
 }

@@ -23,6 +23,7 @@ enum class ExprKind {
   kFunctionCall,
   kStar,  // COUNT(*) argument / SELECT *
   kCase,
+  kParameter,  // '?' prepared-statement placeholder
 };
 
 struct Expr {
@@ -121,6 +122,15 @@ struct CaseExpr : Expr {
   std::vector<std::pair<ExprPtr, ExprPtr>> branches;
   ExprPtr else_expr;  // may be null -> NULL/0
   std::string ToString() const override;
+};
+
+/// A `?` placeholder. Ordinals are assigned left-to-right by the parser;
+/// values are supplied per execution via `CompiledQuery::Run(params)`.
+struct ParameterExpr : Expr {
+  explicit ParameterExpr(int64_t ordinal)
+      : Expr(ExprKind::kParameter), ordinal(ordinal) {}
+  int64_t ordinal;  // 0-based position among the statement's placeholders
+  std::string ToString() const override { return "?"; }
 };
 
 // ---- Table references ------------------------------------------------------

@@ -448,6 +448,12 @@ StatusOr<BoundExprPtr> BinderImpl::BindExpr(const Expr& e,
       bound->display_name = c.ToString();
       return BoundExprPtr(std::move(bound));
     }
+    case ExprKind::kParameter: {
+      const auto& p = static_cast<const ParameterExpr&>(e);
+      auto bound = std::make_unique<exec::BoundParameter>(p.ordinal);
+      bound->display_name = "?";
+      return BoundExprPtr(std::move(bound));
+    }
     case ExprKind::kStar:
       return Status::BindError("'*' is only valid in SELECT * or COUNT(*)");
   }
@@ -524,6 +530,13 @@ ColumnMeta BinderImpl::InferMeta(const BoundExpr& e, const Scope& scope,
       meta.name = name;
       return meta;
     }
+    case exec::BoundExprKind::kParameter:
+      // Parameter values are typed at Run() time, so assume the widest
+      // numeric type here: float64 keeps int64 bindings exact (up to
+      // 2^53) when this meta decides an aggregate's output column dtype.
+      // Comparisons and arithmetic adapt to the actual bound value.
+      meta.dtype = DType::kFloat64;
+      return meta;
   }
   return meta;
 }
@@ -612,6 +625,7 @@ StatusOr<BoundExprPtr> BinderImpl::BindPostAgg(
       return BoundExprPtr(std::move(bound));
     }
     case ExprKind::kLiteral:
+    case ExprKind::kParameter:
       return BindExpr(e, agg_scope);
     case ExprKind::kColumnRef:
       return Status::BindError("column " + repr +

@@ -132,6 +132,11 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
           token.text = "*";
           ++i;
           break;
+        case '?':
+          token.type = TokenType::kParameter;
+          token.text = "?";
+          ++i;
+          break;
         case '+':
         case '-':
         case '/':

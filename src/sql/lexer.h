@@ -20,6 +20,7 @@ enum class TokenType {
   kLeftParen,
   kRightParen,
   kStar,         // '*' when used as SELECT *; otherwise kOperator
+  kParameter,    // '?' prepared-statement placeholder
   kEnd,
 };
 

@@ -373,6 +373,10 @@ class Parser {
         lit->string_value = token.text;
         return ExprPtr(std::move(lit));
       }
+      case TokenType::kParameter: {
+        Advance();
+        return ExprPtr(std::make_unique<ParameterExpr>(num_parameters_++));
+      }
       case TokenType::kLeftParen: {
         Advance();
         TDP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
@@ -464,6 +468,9 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // '?' placeholders are numbered left-to-right across the whole statement
+  // (including subqueries), matching the order of values passed to Run().
+  int64_t num_parameters_ = 0;
 };
 
 ExprPtr Parser::CloneForBetween(const ExprPtr& e) { return CloneExpr(*e); }

@@ -43,4 +43,43 @@ std::vector<std::string> Catalog::ListTables() const {
   return names;
 }
 
+std::shared_ptr<Catalog> Catalog::Clone() const {
+  auto copy = std::make_shared<Catalog>();
+  copy->tables_ = tables_;
+  return copy;
+}
+
+std::shared_ptr<const Catalog> SharedCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SharedCatalog::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+Status SharedCatalog::RegisterTable(const std::string& name,
+                                    std::shared_ptr<Table> table,
+                                    bool replace) {
+  // The whole read-modify-write runs under the mutex so concurrent writers
+  // cannot lose each other's registrations. Registration is rare relative
+  // to query traffic; readers only contend for the pointer copy.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Catalog> next = current_->Clone();
+  TDP_RETURN_NOT_OK(next->RegisterTable(name, std::move(table), replace));
+  current_ = std::move(next);
+  ++version_;
+  return Status::OK();
+}
+
+Status SharedCatalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Catalog> next = current_->Clone();
+  TDP_RETURN_NOT_OK(next->DropTable(name));
+  current_ = std::move(next);
+  ++version_;
+  return Status::OK();
+}
+
 }  // namespace tdp

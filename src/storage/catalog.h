@@ -1,8 +1,10 @@
 #ifndef TDP_STORAGE_CATALOG_H_
 #define TDP_STORAGE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,10 @@ namespace tdp {
 
 /// Name -> table registry backing a TDP session (the paper's
 /// `tdp.sql.register_df` target). Names are case-insensitive.
+///
+/// A Catalog instance is a plain single-threaded map; concurrent serving
+/// goes through `SharedCatalog`, which hands out immutable Catalog
+/// snapshots.
 class Catalog {
  public:
   Catalog() = default;
@@ -32,8 +38,52 @@ class Catalog {
 
   std::vector<std::string> ListTables() const;
 
+  /// Copies the registry map into a fresh Catalog (tables are immutable
+  /// and shared, so this is O(#tables) pointer copies).
+  std::shared_ptr<Catalog> Clone() const;
+
  private:
   std::map<std::string, std::shared_ptr<Table>> tables_;  // lowercased keys
+};
+
+/// Thread-safe copy-on-write catalog: readers take an immutable snapshot
+/// (`shared_ptr<const Catalog>`) and never block or observe a half-applied
+/// registration; writers clone the current snapshot, mutate the clone, and
+/// swap it in under a mutex. One query run binds to exactly one snapshot,
+/// so a table re-registered mid-run is picked up by the *next* run — the
+/// serving-layer analogue of the paper's re-register-per-iteration loop.
+class SharedCatalog {
+ public:
+  SharedCatalog() : current_(std::make_shared<const Catalog>()) {}
+
+  SharedCatalog(const SharedCatalog&) = delete;
+  SharedCatalog& operator=(const SharedCatalog&) = delete;
+
+  /// The current immutable snapshot. Cheap (one locked pointer copy); the
+  /// caller keeps the snapshot alive for as long as it reads from it.
+  std::shared_ptr<const Catalog> Snapshot() const;
+
+  /// Monotonic counter, bumped on every successful mutation. The plan
+  /// cache records it at compile time to detect stale entries.
+  uint64_t version() const;
+
+  // Mutations: clone-and-swap. Serialized against each other; concurrent
+  // readers keep their old snapshots.
+  Status RegisterTable(const std::string& name, std::shared_ptr<Table> table,
+                       bool replace = true);
+  Status DropTable(const std::string& name);
+
+  StatusOr<std::shared_ptr<Table>> GetTable(const std::string& name) const {
+    return Snapshot()->GetTable(name);
+  }
+  std::vector<std::string> ListTables() const {
+    return Snapshot()->ListTables();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Catalog> current_;  // guarded by mu_
+  uint64_t version_ = 0;                    // guarded by mu_
 };
 
 }  // namespace tdp

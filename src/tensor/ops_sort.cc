@@ -1,11 +1,37 @@
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <type_traits>
 
 #include "src/autograd/node.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
 
 namespace tdp {
+namespace {
+
+// Floating-point comparisons with NaN violate strict weak ordering, which
+// is undefined behavior in std::stable_sort. Give floats a total order:
+// NaN sorts after every real value (in both directions, like SQL NULLS
+// LAST), and all NaNs compare equivalent to each other.
+template <typename T>
+bool IsNan(T v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return std::isnan(v);
+  } else {
+    (void)v;
+    return false;
+  }
+}
+
+// True when `a` and `b` belong to the same equivalence class of the total
+// order (equal values, or both NaN).
+template <typename T>
+bool SameValue(T a, T b) {
+  return a == b || (IsNan(a) && IsNan(b));
+}
+
+}  // namespace
 
 Tensor ArgSort(const Tensor& t, bool descending) {
   TDP_CHECK(t.defined());
@@ -20,10 +46,14 @@ Tensor ArgSort(const Tensor& t, bool descending) {
     const scalar_t* sp = tc.data<scalar_t>();
     if (descending) {
       std::stable_sort(op, op + n, [sp](int64_t a, int64_t b) {
+        if (IsNan(sp[a])) return false;  // NaN last
+        if (IsNan(sp[b])) return true;
         return sp[a] > sp[b];
       });
     } else {
       std::stable_sort(op, op + n, [sp](int64_t a, int64_t b) {
+        if (IsNan(sp[a])) return false;  // NaN last
+        if (IsNan(sp[b])) return true;
         return sp[a] < sp[b];
       });
     }
@@ -55,7 +85,10 @@ UniqueResult Unique(const Tensor& t) {
     std::vector<int64_t> counts;
     for (int64_t i = 0; i < n; ++i) {
       const scalar_t v = sp[op[i]];
-      if (values.empty() || values.back() != v) {
+      // NaN != NaN, so a plain comparison would open one group per NaN
+      // row; SameValue collapses them into a single trailing group (the
+      // ascending sort above places every NaN at the end).
+      if (values.empty() || !SameValue(values.back(), v)) {
         values.push_back(v);
         counts.push_back(0);
       }

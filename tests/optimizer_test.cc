@@ -82,6 +82,53 @@ TEST_F(OptimizerTest, SelectStarIsNotPruned) {
   EXPECT_EQ(plan.find("cols="), std::string::npos) << plan;
 }
 
+TEST_F(OptimizerTest, LiteralOnlyProjectionKeepsOneNarrowColumn) {
+  // Regression: pruning `SELECT 1 FROM t` down to zero scan columns made
+  // the chunk report zero rows. The scan must keep one (narrow, non-
+  // tensor) column purely for the row count.
+  const std::string plan = Plan("SELECT 1 FROM t");
+  EXPECT_NE(plan.find("cols=1"), std::string::npos) << plan;
+
+  auto r = session_.Sql("SELECT 1 FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 3);
+  EXPECT_EQ((*r)->column(0).data().At({2}), 1.0);
+
+  auto filtered = session_.Sql("SELECT 1 + 1 FROM t WHERE k > 1");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_EQ((*filtered)->num_rows(), 2);
+}
+
+TEST_F(OptimizerTest, LimitOffsetAboveHiddenSortCleanupProject) {
+  // ORDER BY key not in the select list -> hidden sort column + cleanup
+  // Project between the Limit and the Sort. The fused top-k must keep
+  // offset+limit rows and the Limit node must survive to apply the offset.
+  const std::string plan =
+      Plan("SELECT k FROM t ORDER BY v DESC LIMIT 2 OFFSET 1");
+  EXPECT_NE(plan.find("topk=3"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Limit(2, offset=1)"), std::string::npos) << plan;
+
+  auto r = session_.Sql("SELECT k FROM t ORDER BY v DESC LIMIT 2 OFFSET 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 2);
+  EXPECT_EQ((*r)->num_columns(), 1);  // hidden sort column dropped
+  // v desc orders k as 3, 2, 1; offset 1 limit 2 -> 2, 1.
+  EXPECT_EQ((*r)->column(0).data().At({0}), 2.0);
+  EXPECT_EQ((*r)->column(0).data().At({1}), 1.0);
+}
+
+TEST_F(OptimizerTest, ZeroOffsetLimitDropsLimitNodeThroughCleanupProject) {
+  const std::string plan = Plan("SELECT k FROM t ORDER BY v DESC LIMIT 2");
+  EXPECT_NE(plan.find("topk=2"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Limit("), std::string::npos) << plan;
+
+  auto r = session_.Sql("SELECT k FROM t ORDER BY v DESC LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 2);
+  EXPECT_EQ((*r)->column(0).data().At({0}), 3.0);
+  EXPECT_EQ((*r)->column(0).data().At({1}), 2.0);
+}
+
 }  // namespace
 }  // namespace plan
 }  // namespace tdp

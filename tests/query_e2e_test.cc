@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -311,6 +312,55 @@ TEST(LargeAggregateTest, BlockedAccumulationDeterministicAcrossThreads) {
   for (int threads : {2, 4, 7}) {
     EXPECT_EQ(run(threads), serial) << "threads=" << threads;
   }
+}
+
+TEST(QueryNanTest, OrderBySortsNanLast) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Session session;
+  auto t = TableBuilder("t")
+               .AddInt64("id", {1, 2, 3, 4, 5})
+               .AddFloat32("v", {2.0f, nan, 1.0f, nan, 3.0f})
+               .Build();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+
+  auto asc = session.Sql("SELECT id, v FROM t ORDER BY v");
+  ASSERT_TRUE(asc.ok()) << asc.status().ToString();
+  ASSERT_EQ((*asc)->num_rows(), 5);
+  // Reals ascending (ids 3, 1, 5), then the NaN rows (stable: 2 before 4).
+  EXPECT_EQ((*asc)->column(0).data().At({0}), 3.0);
+  EXPECT_EQ((*asc)->column(0).data().At({1}), 1.0);
+  EXPECT_EQ((*asc)->column(0).data().At({2}), 5.0);
+  EXPECT_EQ((*asc)->column(0).data().At({3}), 2.0);
+  EXPECT_EQ((*asc)->column(0).data().At({4}), 4.0);
+  EXPECT_TRUE(std::isnan((*asc)->column(1).data().At({4})));
+
+  auto desc = session.Sql("SELECT id FROM t ORDER BY v DESC");
+  ASSERT_TRUE(desc.ok()) << desc.status().ToString();
+  // Reals descending (ids 5, 1, 3), NaNs still last.
+  EXPECT_EQ((*desc)->column(0).data().At({0}), 5.0);
+  EXPECT_EQ((*desc)->column(0).data().At({1}), 1.0);
+  EXPECT_EQ((*desc)->column(0).data().At({2}), 3.0);
+  EXPECT_EQ((*desc)->column(0).data().At({3}), 2.0);
+  EXPECT_EQ((*desc)->column(0).data().At({4}), 4.0);
+}
+
+TEST(QueryNanTest, GroupByCollapsesNanKeysIntoOneGroup) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Session session;
+  auto t = TableBuilder("t")
+               .AddFloat32("v", {1.0f, nan, 1.0f, nan, nan})
+               .Build();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+  auto r = session.Sql("SELECT v, COUNT(*) AS n FROM t GROUP BY v");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Two groups: {1.0 x2} and one collapsed NaN group x3.
+  ASSERT_EQ((*r)->num_rows(), 2);
+  EXPECT_EQ((*r)->column(0).data().At({0}), 1.0);
+  EXPECT_EQ((*r)->column(1).data().At({0}), 2.0);
+  EXPECT_TRUE(std::isnan((*r)->column(0).data().At({1})));
+  EXPECT_EQ((*r)->column(1).data().At({1}), 3.0);
 }
 
 }  // namespace

@@ -128,6 +128,185 @@ TEST(SessionTest, CompiledQueriesSurviveTableDrop) {
   EXPECT_EQ((*again)->column(0).data().At({0}), 5.0);
 }
 
+TEST(SessionTest, ParameterizedQueryMatchesFreshCompiles) {
+  Session session;
+  auto sales = TableBuilder("sales")
+                   .AddInt64("id", {1, 2, 3, 4})
+                   .AddFloat32("amount", {10, 20, 30, 40})
+                   .Build();
+  ASSERT_TRUE(session.RegisterTable("sales", sales.value()).ok());
+
+  auto prepared =
+      session.Prepare("SELECT SUM(amount) FROM sales WHERE id >= ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ((*prepared)->num_params(), 1);
+
+  // The same plan, re-run with different bindings, must agree with a
+  // fresh compile of the literal-inlined statement.
+  for (int64_t cut = 1; cut <= 5; ++cut) {
+    auto with_param = (*prepared)->Run({exec::ScalarValue::Int(cut)});
+    ASSERT_TRUE(with_param.ok()) << with_param.status().ToString();
+    auto fresh = session.Query("SELECT SUM(amount) FROM sales WHERE id >= " +
+                               std::to_string(cut));
+    ASSERT_TRUE(fresh.ok());
+    auto fresh_result = (*fresh)->Run();
+    ASSERT_TRUE(fresh_result.ok());
+    EXPECT_EQ((*with_param)->column(0).data().At({0}),
+              (*fresh_result)->column(0).data().At({0}))
+        << "cut=" << cut;
+  }
+}
+
+TEST(SessionTest, ParametersWorkInSelectListAndCompoundPredicates) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums", Tensor::FromVector(
+                                              std::vector<float>{1, 2, 3}))
+                  .ok());
+  auto q = session.Prepare(
+      "SELECT value * ? FROM nums WHERE value BETWEEN ? AND ?");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->num_params(), 3);
+  auto r = (*q)->Run({exec::ScalarValue::Float(10.0),
+                      exec::ScalarValue::Int(2), exec::ScalarValue::Int(3)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 2);
+  EXPECT_FLOAT_EQ(static_cast<float>((*r)->column(0).data().At({0})), 20.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>((*r)->column(0).data().At({1})), 30.0f);
+}
+
+TEST(SessionTest, IntegerParametersInAggregatesKeepPrecision) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums", Tensor::FromVector(
+                                              std::vector<float>{1, 2, 3}))
+                  .ok());
+  // 2^24 + 1 is not representable in float32; the parameter's column must
+  // be wide enough that the prepared run matches the literal-inlined one.
+  const int64_t big = (int64_t{1} << 24) + 1;
+  auto q = session.Prepare("SELECT MAX(?) FROM nums");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto prepared = (*q)->Run({exec::ScalarValue::Int(big)});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto fresh = session.Sql("SELECT MAX(" + std::to_string(big) +
+                           ") FROM nums");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*prepared)->column(0).data().At({0}),
+            (*fresh)->column(0).data().At({0}));
+  EXPECT_EQ((*prepared)->column(0).data().At({0}),
+            static_cast<double>(big));
+}
+
+TEST(SessionTest, ParameterCountMismatchIsAnError) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums",
+                                  Tensor::FromVector(std::vector<float>{1}))
+                  .ok());
+  auto q = session.Prepare("SELECT value FROM nums WHERE value > ?");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE((*q)->Run().ok());                             // 0 of 1
+  EXPECT_FALSE((*q)->Run({exec::ScalarValue::Int(1),
+                          exec::ScalarValue::Int(2)}).ok());  // 2 of 1
+  auto no_params = session.Prepare("SELECT value FROM nums");
+  ASSERT_TRUE(no_params.ok());
+  EXPECT_EQ((*no_params)->num_params(), 0);
+  EXPECT_FALSE((*no_params)->Run({exec::ScalarValue::Int(1)}).ok());
+}
+
+TEST(SessionTest, PlanCacheHitsOnRepeatAndNormalizedText) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums", Tensor::FromVector(
+                                              std::vector<float>{1, 2, 3}))
+                  .ok());
+  auto first = session.Prepare("SELECT COUNT(*) FROM nums");
+  ASSERT_TRUE(first.ok());
+  // Identical modulo case/whitespace: one plan, shared instance.
+  auto second = session.Prepare("select   count(*)\n FROM  nums");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  // String literals stay case-sensitive in the cache key.
+  auto third = session.Prepare("SELECT COUNT(*) FROM nums WHERE 'a' = 'a'");
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(first->get(), third->get());
+
+  const PlanCacheStats stats = session.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(SessionTest, PlanCacheEvictsLeastRecentlyUsed) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums", Tensor::FromVector(
+                                              std::vector<float>{1, 2, 3}))
+                  .ok());
+  session.set_plan_cache_capacity(2);
+  ASSERT_TRUE(session.Prepare("SELECT value FROM nums").ok());        // A
+  ASSERT_TRUE(session.Prepare("SELECT value + 1 FROM nums").ok());    // B
+  ASSERT_TRUE(session.Prepare("SELECT value FROM nums").ok());        // hit A
+  ASSERT_TRUE(session.Prepare("SELECT value + 2 FROM nums").ok());    // evict B
+  const PlanCacheStats stats = session.plan_cache_stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Device is part of the key: same text, different target, new plan.
+  QueryOptions cpu;
+  cpu.device = Device::kCpu;
+  auto accel = session.Prepare("SELECT value FROM nums");
+  auto on_cpu = session.Prepare("SELECT value FROM nums", cpu);
+  ASSERT_TRUE(accel.ok());
+  ASSERT_TRUE(on_cpu.ok());
+  EXPECT_NE(accel->get(), on_cpu->get());
+}
+
+TEST(SessionTest, HeldQueryFailsLoudlyWhenTableColumnsReorder) {
+  Session session;
+  auto t = TableBuilder("t")
+               .AddInt64("a", {1, 2, 3})
+               .AddInt64("b", {10, 20, 30})
+               .Build();
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+  auto query = session.Prepare("SELECT a, b FROM t");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE((*query)->Run().ok());
+
+  // Re-register with columns swapped: the held plan reads by position and
+  // must fail with a re-compile error instead of returning b's data as a.
+  auto swapped = TableBuilder("t")
+                     .AddInt64("b", {10, 20, 30})
+                     .AddInt64("a", {1, 2, 3})
+                     .Build();
+  ASSERT_TRUE(session.RegisterTable("t", swapped.value()).ok());
+  auto stale = (*query)->Run();
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kExecutionError);
+  // A fresh Prepare (catalog version moved, cache invalidated) is correct.
+  auto fresh = session.Sql("SELECT a, b FROM t");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ((*fresh)->column(0).data().At({0}), 1.0);
+  EXPECT_EQ((*fresh)->column(1).data().At({0}), 10.0);
+}
+
+TEST(SessionTest, TrainableQueriesBypassThePlanCache) {
+  Session session;
+  Rng rng(5);
+  auto tvf = models::RegisterClassifyIncomesTvf(session.functions(), 6, rng);
+  ASSERT_TRUE(tvf.ok());
+  ASSERT_TRUE(session.RegisterTensor("bags", Tensor::Zeros({8, 6})).ok());
+  QueryOptions options;
+  options.trainable = true;
+  const std::string sql =
+      "SELECT Income, COUNT(*) FROM classify_incomes(bags) GROUP BY Income";
+  auto a = session.Prepare(sql, options);
+  auto b = session.Prepare(sql, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());  // each trainable compile is private
+}
+
 TEST(SessionTest, ConvBackendParity) {
   // Conv2d must agree across kernel backends (direct vs im2col+GEMM).
   Rng rng(4);

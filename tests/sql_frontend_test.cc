@@ -165,6 +165,45 @@ TEST(ParserTest, CloneExprDeepCopies) {
   EXPECT_NE(copy.get(), &original);
 }
 
+TEST(LexerTest, QuestionMarkIsAParameterToken) {
+  auto tokens = Tokenize("WHERE x = ?");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[3].type, TokenType::kParameter);
+  EXPECT_EQ((*tokens)[3].text, "?");
+}
+
+TEST(ParserTest, ParametersNumberedLeftToRight) {
+  auto stmt = Parse("SELECT ? + a FROM t WHERE a > ? AND b < ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = static_cast<const BinaryExpr&>(
+      *(*stmt)->select_list[0].expr);
+  ASSERT_EQ(select.left->kind, ExprKind::kParameter);
+  EXPECT_EQ(static_cast<const ParameterExpr&>(*select.left).ordinal, 0);
+  // WHERE is (a > ?#1) AND (b < ?#2).
+  const auto& where = static_cast<const BinaryExpr&>(*(*stmt)->where);
+  const auto& gt = static_cast<const BinaryExpr&>(*where.left);
+  const auto& lt = static_cast<const BinaryExpr&>(*where.right);
+  ASSERT_EQ(gt.right->kind, ExprKind::kParameter);
+  ASSERT_EQ(lt.right->kind, ExprKind::kParameter);
+  EXPECT_EQ(static_cast<const ParameterExpr&>(*gt.right).ordinal, 1);
+  EXPECT_EQ(static_cast<const ParameterExpr&>(*lt.right).ordinal, 2);
+  EXPECT_EQ((*stmt)->where->ToString(), "((a > ?) AND (b < ?))");
+}
+
+TEST(ParserTest, BetweenWithParameterReusesOrdinalInDesugaredClone) {
+  // `x BETWEEN ? AND 5` desugars to (x >= ?) AND (x <= 5); the clone of
+  // the left side must not mint a fresh ordinal.
+  auto stmt = Parse("SELECT a FROM t WHERE ? BETWEEN a AND b");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& conj = static_cast<const BinaryExpr&>(*(*stmt)->where);
+  const auto& ge = static_cast<const BinaryExpr&>(*conj.left);
+  const auto& le = static_cast<const BinaryExpr&>(*conj.right);
+  ASSERT_EQ(ge.left->kind, ExprKind::kParameter);
+  ASSERT_EQ(le.left->kind, ExprKind::kParameter);
+  EXPECT_EQ(static_cast<const ParameterExpr&>(*ge.left).ordinal, 0);
+  EXPECT_EQ(static_cast<const ParameterExpr&>(*le.left).ordinal, 0);
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace tdp

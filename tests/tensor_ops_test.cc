@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <numeric>
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
@@ -202,6 +205,46 @@ TEST(OpsTest, UniqueWithInverseAndCounts) {
   EXPECT_EQ(u.counts.ToVector<int64_t>(), (std::vector<int64_t>{3, 2, 1}));
   EXPECT_EQ(u.inverse.ToVector<int64_t>(),
             (std::vector<int64_t>{1, 0, 1, 0, 0, 2}));
+}
+
+TEST(OpsTest, ArgSortPutsNanLastInBothDirections) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor t = Tensor::FromVector(std::vector<float>{2, nan, 1, nan, 3});
+  // Ascending: reals in order, NaNs last (stable: index 1 before 3).
+  EXPECT_EQ(ArgSort(t).ToVector<int64_t>(),
+            (std::vector<int64_t>{2, 0, 4, 1, 3}));
+  // Descending: reals in reverse order, NaNs still last (SQL NULLS LAST).
+  EXPECT_EQ(ArgSort(t, /*descending=*/true).ToVector<int64_t>(),
+            (std::vector<int64_t>{4, 0, 2, 1, 3}));
+  const std::vector<float> asc = Sort(t).values.ToVector<float>();
+  EXPECT_EQ(asc[0], 1.0f);
+  EXPECT_EQ(asc[2], 3.0f);
+  EXPECT_TRUE(std::isnan(asc[3]));
+  EXPECT_TRUE(std::isnan(asc[4]));
+}
+
+TEST(OpsTest, ArgSortAllNanDoesNotCrash) {
+  // All-NaN input exercised the old comparator's undefined behavior.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor t = Tensor::FromVector(std::vector<float>(64, nan));
+  // Stable + all-equivalent: identity permutation.
+  std::vector<int64_t> expect(64);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(ArgSort(t).ToVector<int64_t>(), expect);
+}
+
+TEST(OpsTest, UniqueCollapsesNansIntoOneGroup) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor t = Tensor::FromVector(std::vector<float>{1, nan, 2, nan, 1});
+  UniqueResult u = Unique(t);
+  const std::vector<float> values = u.values.ToVector<float>();
+  ASSERT_EQ(values.size(), 3u);  // {1, 2, NaN}, not one group per NaN
+  EXPECT_EQ(values[0], 1.0f);
+  EXPECT_EQ(values[1], 2.0f);
+  EXPECT_TRUE(std::isnan(values[2]));
+  EXPECT_EQ(u.counts.ToVector<int64_t>(), (std::vector<int64_t>{2, 1, 2}));
+  EXPECT_EQ(u.inverse.ToVector<int64_t>(),
+            (std::vector<int64_t>{0, 2, 1, 2, 0}));
 }
 
 TEST(OpsTest, CatAndStack) {
