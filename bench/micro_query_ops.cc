@@ -128,6 +128,66 @@ void BM_GroupByQueryThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupByQueryThreads)->Arg(1)->Arg(2)->Arg(4);
 
+// Streaming (morsel-driven pipelines) vs legacy (whole-relation
+// materializing) executor on a filter-heavy query: the streaming path
+// skips the full intermediate materialization between scan/filter/project.
+void BM_ExecutorFilterProject(benchmark::State& state) {
+  const bool streaming = state.range(0) == 1;
+  QueryBench bench(1 << 17);
+  QueryOptions options;
+  options.device = Device::kAccel;
+  options.exec.streaming = streaming;
+  auto query = bench.session.Query(
+      "SELECT k + 1, v * 2 FROM t WHERE v > 0 AND k < 32", options);
+  TDP_CHECK(query.ok());
+  for (auto _ : state) {
+    auto result = (*query)->RunChunk();
+    TDP_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_ExecutorFilterProject)->Arg(0)->Arg(1);
+
+// Streaming vs legacy on a group-by: per-morsel aggregate-input evaluation
+// merged at the breaker vs whole-relation evaluation.
+void BM_ExecutorGroupBy(benchmark::State& state) {
+  const bool streaming = state.range(0) == 1;
+  QueryBench bench(1 << 17);
+  QueryOptions options;
+  options.device = Device::kAccel;
+  options.exec.streaming = streaming;
+  auto query = bench.session.Query(
+      "SELECT k, COUNT(*), SUM(v) FROM t WHERE v > -50 GROUP BY k", options);
+  TDP_CHECK(query.ok());
+  for (auto _ : state) {
+    auto result = (*query)->RunChunk();
+    TDP_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_ExecutorGroupBy)->Arg(0)->Arg(1);
+
+// Morsel-size sweep at a fixed thread count: the scheduling-granularity
+// knob (results are identical at every size; only throughput moves).
+void BM_MorselRows(benchmark::State& state) {
+  QueryBench bench(1 << 17);
+  QueryOptions options;
+  options.device = Device::kAccel;
+  options.exec.morsel_rows = state.range(0);
+  auto query = bench.session.Query(
+      "SELECT k, v FROM t WHERE v > 0", options);
+  TDP_CHECK(query.ok());
+  for (auto _ : state) {
+    auto result = (*query)->RunChunk();
+    TDP_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_MorselRows)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 20);
+
 // Soft vs exact group-by/count: the price of differentiability.
 void BM_SoftVsExactGroupBy(benchmark::State& state) {
   const bool soft = state.range(0) == 1;

@@ -43,5 +43,32 @@ Chunk Chunk::Select(const Tensor& indices) const {
   return out;
 }
 
+Chunk Chunk::SliceRows(int64_t start, int64_t count) const {
+  Chunk out;
+  out.names = names;
+  out.columns.reserve(columns.size());
+  for (const Column& c : columns) {
+    out.columns.push_back(c.SliceRows(start, count));
+  }
+  return out;
+}
+
+Chunk Chunk::Concat(const std::vector<Chunk>& parts) {
+  TDP_CHECK(!parts.empty());
+  if (parts.size() == 1) return parts[0];
+  Chunk out;
+  out.names = parts[0].names;
+  out.columns.reserve(parts[0].columns.size());
+  std::vector<Column> column_parts(parts.size());
+  for (size_t c = 0; c < parts[0].columns.size(); ++c) {
+    for (size_t p = 0; p < parts.size(); ++p) {
+      TDP_CHECK_EQ(parts[p].columns.size(), parts[0].columns.size());
+      column_parts[p] = parts[p].columns[c];
+    }
+    out.columns.push_back(Column::Concat(column_parts));
+  }
+  return out;
+}
+
 }  // namespace exec
 }  // namespace tdp

@@ -11,9 +11,11 @@
 namespace tdp {
 namespace exec {
 
-/// Materialized intermediate result flowing between physical operators:
-/// a set of named encoded-tensor columns of equal length. (TDP executes
-/// whole-column tensor programs, so the "batch" is the full relation.)
+/// Intermediate result flowing between physical operators: a set of named
+/// encoded-tensor columns of equal length. Under the default morsel-driven
+/// streaming executor a chunk is one bounded morsel (a zero-copy row-range
+/// view of the source, target ~64K rows); under the legacy materializing
+/// path (`ExecContext::streaming = false`) the batch is the full relation.
 struct Chunk {
   std::vector<std::string> names;
   std::vector<Column> columns;
@@ -36,6 +38,13 @@ struct Chunk {
 
   /// Applies a row selection (int64 indices) to every column.
   Chunk Select(const Tensor& indices) const;
+
+  /// Zero-copy morsel view of rows [start, start+count) of every column.
+  Chunk SliceRows(int64_t start, int64_t count) const;
+
+  /// Row-wise concatenation of morsel outputs (schema taken from the first
+  /// part; all parts must agree — true for outputs of one pipeline).
+  static Chunk Concat(const std::vector<Chunk>& parts);
 };
 
 }  // namespace exec

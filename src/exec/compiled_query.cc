@@ -115,6 +115,7 @@ CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
                              std::shared_ptr<const SharedCatalog> catalog,
                              Device device, bool trainable)
     : plan_(std::move(plan)),
+      pipelines_(plan::BuildPipelines(*plan_)),
       catalog_(std::move(catalog)),
       device_(device),
       trainable_(trainable),
@@ -144,7 +145,8 @@ StatusOr<Chunk> CompiledQuery::RunChunk(
   ctx.device = device_;
   ctx.soft_mode = trainable_ && training_mode_;
   ctx.params = params.empty() ? nullptr : &params;
-  return ExecuteNode(*plan_, ctx);
+  ctx.exec = exec_options_;
+  return ExecutePlan(*plan_, pipelines_, ctx);
 }
 
 StatusOr<std::shared_ptr<Table>> CompiledQuery::Run(

@@ -9,6 +9,7 @@
 #include "src/exec/operators.h"
 #include "src/nn/module.h"
 #include "src/plan/logical_plan.h"
+#include "src/plan/pipeline.h"
 #include "src/storage/catalog.h"
 
 namespace tdp {
@@ -75,17 +76,32 @@ class CompiledQuery {
 
   Device device() const { return device_; }
 
+  /// Executor selection + morsel sizing for this query's runs. Like
+  /// `set_training_mode`, must not race with concurrent `Run` calls — set
+  /// it right after compilation, before the query is shared. The default
+  /// (streaming, `TDP_MORSEL_ROWS` morsels) is right for serving; tests
+  /// flip `streaming` off to differential-test the two executors.
+  void set_exec_options(const ExecOptions& options) { exec_options_ = options; }
+  const ExecOptions& exec_options() const { return exec_options_; }
+
   /// EXPLAIN-style plan rendering.
   std::string Explain() const { return plan_->ToString(); }
 
+  /// EXPLAIN PIPELINES: how the streaming executor groups this plan into
+  /// morsel pipelines and breakers.
+  std::string ExplainPipelines() const { return pipelines_.ToString(); }
+
   const plan::LogicalNode& plan() const { return *plan_; }
+  const plan::PipelinePlan& pipelines() const { return pipelines_; }
 
  private:
   plan::LogicalNodePtr plan_;
+  plan::PipelinePlan pipelines_;  // built once; references plan_ nodes
   std::shared_ptr<const SharedCatalog> catalog_;
   Device device_;
   bool trainable_;
   bool training_mode_;
+  ExecOptions exec_options_;
   int64_t num_params_ = 0;
   std::vector<std::shared_ptr<nn::Module>> modules_;
 };

@@ -1,0 +1,124 @@
+#ifndef TDP_EXEC_OPERATOR_KERNELS_H_
+#define TDP_EXEC_OPERATOR_KERNELS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/exec/operators.h"
+#include "src/plan/logical_plan.h"
+
+namespace tdp {
+namespace exec {
+
+// Per-operator execution kernels, shared by the two executors in
+// `ExecutePlan`:
+//
+//   - the legacy materializing path (`ExecuteNode`) applies each kernel to
+//     the whole relation, one node at a time;
+//   - the morsel-driven streaming path (`ExecuteStreaming`) applies the
+//     order-preserving kernels (scan/filter/project/join-probe) to bounded
+//     row-range morsels and runs the breaker kernels (aggregate finalize,
+//     sort, distinct, TVF) on deterministically assembled streams.
+//
+// Because both paths execute the *same* kernels over the same row
+// sequences, their results are bit-identical at any thread count and
+// morsel size — the invariant the streaming parity suite asserts.
+
+// ---- Streaming operators (order-preserving, morsel-safe) -------------------
+
+/// Resolves the scan's table from the run's catalog snapshot, validates the
+/// bound schema, and returns the (zero-copy) column handles on the
+/// execution device.
+StatusOr<Chunk> ExecuteScan(const plan::ScanNode& node, const ExecContext& ctx);
+
+StatusOr<Chunk> ExecuteFilter(const plan::FilterNode& node, const Chunk& input,
+                              const ExecContext& ctx);
+
+StatusOr<Chunk> ExecuteProject(const plan::ProjectNode& node,
+                               const Chunk& input, const ExecContext& ctx);
+
+// ---- Hash join: build consumer + streaming probe ---------------------------
+
+/// FNV-1a over a row's normalized key codes.
+struct RowKeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (int64_t v : key) {
+      h ^= static_cast<size_t>(v);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+/// The build side of a hash join, materialized by the build pipeline.
+/// Probe emission order is deterministic by construction: matches for a
+/// probe row are emitted in ascending build-row order (an explicit
+/// `std::vector` per key, not an `unordered_multimap`, whose equal-range
+/// order is implementation-defined).
+struct JoinHashTable {
+  /// The join's materialized build side: the right child by default, the
+  /// left when the optimizer flipped `JoinNode::build_left` (smaller
+  /// estimated input).
+  Chunk build;
+  /// Normalized key -> build row indices, ascending.
+  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, RowKeyHash>
+      rows;
+};
+
+/// Builds the hash table over the join's build child output (see
+/// `JoinNode::build_left`). Pure-residual joins (no equi keys) leave
+/// `rows` empty and probe as a per-morsel cartesian product.
+StatusOr<JoinHashTable> BuildJoinHashTable(const plan::JoinNode& node,
+                                           Chunk build_input,
+                                           const ExecContext& ctx);
+
+/// Probes `probe` (a morsel of the join's probe-child stream) against the
+/// build table: emits matches in probe-row-major order, applies the
+/// residual predicate, and assembles the joined chunk in schema order
+/// (left child's columns first, whichever side was the build) — the same
+/// row order whether `probe` is one morsel or the whole relation.
+StatusOr<Chunk> ProbeJoin(const plan::JoinNode& node, const JoinHashTable& ht,
+                          const Chunk& probe, const ExecContext& ctx);
+
+// ---- Aggregate: per-morsel input evaluation + deterministic finalize -------
+
+/// Per-morsel partial state of the aggregate consumer: the evaluated group
+/// key columns and aggregate argument columns. Evaluation (the tensor-
+/// program part) runs morsel-parallel; the merge concatenates parts in
+/// morsel order, so the reduction tree seen by `FinalizeAggregate` depends
+/// only on the total row sequence — never on morsel size or thread count.
+struct AggInputs {
+  int64_t rows = 0;
+  std::vector<Column> key_columns;  // one per group expr
+  std::vector<Column> arg_columns;  // one per aggregate; undefined if no arg
+};
+
+StatusOr<AggInputs> EvaluateAggInputs(const plan::AggregateNode& node,
+                                      const Chunk& input,
+                                      const ExecContext& ctx);
+
+/// Concatenates per-morsel parts in morsel order (the deterministic merge
+/// at the breaker).
+AggInputs MergeAggInputs(const std::vector<const AggInputs*>& parts);
+
+/// Groups, accumulates (fixed 4096-row blocks, block-order combine) and
+/// materializes the aggregate output columns.
+StatusOr<Chunk> FinalizeAggregate(const plan::AggregateNode& node,
+                                  const AggInputs& inputs,
+                                  const ExecContext& ctx);
+
+// ---- Breakers (whole-relation kernels) -------------------------------------
+
+StatusOr<Chunk> ExecuteTvfScan(const plan::TvfScanNode& node, Chunk input,
+                               const ExecContext& ctx);
+StatusOr<Chunk> ExecuteSort(const plan::SortNode& node, const Chunk& input,
+                            const ExecContext& ctx);
+StatusOr<Chunk> ExecuteLimit(const plan::LimitNode& node, const Chunk& input);
+StatusOr<Chunk> ExecuteDistinct(const Chunk& input);
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_OPERATOR_KERNELS_H_

@@ -1,5 +1,6 @@
 #include "src/exec/operators.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
@@ -9,6 +10,7 @@
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/exec/bound_expr.h"
+#include "src/exec/operator_kernels.h"
 #include "src/exec/soft_ops.h"
 #include "src/tensor/ops.h"
 
@@ -62,16 +64,57 @@ StatusOr<std::vector<int64_t>> ColumnToCodes(const Column& column) {
   return Status::Internal("unknown encoding");
 }
 
-struct RowKeyHash {
-  size_t operator()(const std::vector<int64_t>& key) const {
-    size_t h = 0xcbf29ce484222325ull;
-    for (int64_t v : key) {
-      h ^= static_cast<size_t>(v);
-      h *= 0x100000001b3ull;
+// Normalized per-row join keys for one side: strings hash decoded values
+// (FNV-1a 64 over short strings — collisions astronomically unlikely,
+// accepted here), numerics use value bit patterns via doubles (with -0
+// normalized) so keys are code-compatible across sides. Purely row-local,
+// so morsel-wise evaluation matches whole-relation evaluation exactly.
+StatusOr<std::vector<std::vector<int64_t>>> JoinRowKeys(
+    const Chunk& chunk, const std::vector<int64_t>& cols) {
+  std::vector<std::vector<int64_t>> keys(
+      static_cast<size_t>(chunk.num_rows()),
+      std::vector<int64_t>(cols.size()));
+  for (size_t k = 0; k < cols.size(); ++k) {
+    const Column& c = chunk.columns[static_cast<size_t>(cols[k])];
+    if (c.encoding() == Encoding::kDictionary) {
+      const std::vector<std::string> strs = c.DecodeStrings();
+      ParallelFor(0, static_cast<int64_t>(strs.size()), GrainForCost(16),
+                  [&keys, &strs, k](int64_t row_begin, int64_t row_end) {
+                    for (int64_t r = row_begin; r < row_end; ++r) {
+                      uint64_t h = 0xcbf29ce484222325ull;
+                      for (char ch : strs[static_cast<size_t>(r)]) {
+                        h ^= static_cast<unsigned char>(ch);
+                        h *= 0x100000001b3ull;
+                      }
+                      keys[static_cast<size_t>(r)][k] =
+                          static_cast<int64_t>(h);
+                    }
+                  });
+    } else {
+      const Tensor vals = c.DecodeValues();
+      if (vals.dim() != 1) {
+        return Status::TypeError("join key must be a scalar column");
+      }
+      const std::vector<double> d = vals.To(DType::kFloat64).ToVector<double>();
+      ParallelFor(0, static_cast<int64_t>(d.size()), GrainForCost(2),
+                  [&keys, &d, k](int64_t row_begin, int64_t row_end) {
+                    for (int64_t r = row_begin; r < row_end; ++r) {
+                      int64_t bits;
+                      const double dv =
+                          d[static_cast<size_t>(r)] == 0.0
+                              ? 0.0
+                              : d[static_cast<size_t>(r)];  // normalize -0
+                      static_assert(sizeof(bits) == sizeof(dv));
+                      std::memcpy(&bits, &dv, sizeof(bits));
+                      keys[static_cast<size_t>(r)][k] = bits;
+                    }
+                  });
     }
-    return h;
   }
-};
+  return keys;
+}
+
+}  // namespace
 
 // ---- Scan -------------------------------------------------------------------
 
@@ -170,55 +213,70 @@ StatusOr<Chunk> ExecuteProject(const ProjectNode& node, const Chunk& input,
 
 // ---- Aggregate --------------------------------------------------------------
 
-StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
-                                 const Chunk& input, const ExecContext& ctx) {
-  // Soft path: trainable mode + PE keys + COUNT(*) aggregates only.
-  if (ctx.soft_mode && !node.group_exprs.empty()) {
-    bool all_count_star = true;
-    for (const AggDef& def : node.aggregates) {
-      if (def.kind != AggKind::kCountStar) all_count_star = false;
-    }
-    // Probe the first key's encoding to decide; PE keys require soft.
-    bool keys_are_pe = true;
-    std::vector<Column> probe;
-    for (const auto& expr : node.group_exprs) {
-      TDP_ASSIGN_OR_RETURN(
-          Column key,
-          EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
-      if (key.encoding() != Encoding::kProbability) keys_are_pe = false;
-      probe.push_back(std::move(key));
-    }
-    if (keys_are_pe) {
-      if (!all_count_star) {
-        return Status::Unimplemented(
-            "trainable aggregation over PE keys supports COUNT(*) only");
-      }
-      TDP_ASSIGN_OR_RETURN(SoftGroupByResult soft, SoftGroupByCount(probe));
-      Chunk out;
-      for (size_t g = 0; g < node.group_names.size(); ++g) {
-        out.names.push_back(node.group_names[g]);
-        out.columns.push_back(Column::Plain(soft.key_values[g]));
-      }
-      for (const AggDef& def : node.aggregates) {
-        out.names.push_back(def.name);
-        out.columns.push_back(Column::Plain(soft.counts));
-      }
-      return out;
-    }
-    // Fall through to exact with already-evaluated keys discarded.
-  }
-
-  const int64_t rows = input.num_rows();
-
-  // Evaluate group keys.
-  std::vector<Column> key_columns;
-  std::vector<std::vector<int64_t>> key_codes;
+StatusOr<AggInputs> EvaluateAggInputs(const AggregateNode& node,
+                                      const Chunk& input,
+                                      const ExecContext& ctx) {
+  AggInputs out;
+  out.rows = input.num_rows();
+  out.key_columns.reserve(node.group_exprs.size());
   for (const auto& expr : node.group_exprs) {
     TDP_ASSIGN_OR_RETURN(
         Column key,
         EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
+    out.key_columns.push_back(std::move(key));
+  }
+  out.arg_columns.reserve(node.aggregates.size());
+  for (const AggDef& def : node.aggregates) {
+    if (def.arg) {
+      TDP_ASSIGN_OR_RETURN(
+          Column arg,
+          EvaluateExprToColumn(*def.arg, input, ctx.device, ctx.params));
+      out.arg_columns.push_back(std::move(arg));
+    } else {
+      out.arg_columns.emplace_back();
+    }
+  }
+  return out;
+}
+
+AggInputs MergeAggInputs(const std::vector<const AggInputs*>& parts) {
+  TDP_CHECK(!parts.empty());
+  if (parts.size() == 1) return *parts[0];
+  AggInputs out;
+  std::vector<Column> column_parts(parts.size());
+  const size_t num_keys = parts[0]->key_columns.size();
+  out.key_columns.reserve(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) {
+    for (size_t p = 0; p < parts.size(); ++p) {
+      column_parts[p] = parts[p]->key_columns[k];
+    }
+    out.key_columns.push_back(Column::Concat(column_parts));
+  }
+  const size_t num_args = parts[0]->arg_columns.size();
+  out.arg_columns.reserve(num_args);
+  for (size_t a = 0; a < num_args; ++a) {
+    if (!parts[0]->arg_columns[a].defined()) {
+      out.arg_columns.emplace_back();
+      continue;
+    }
+    for (size_t p = 0; p < parts.size(); ++p) {
+      column_parts[p] = parts[p]->arg_columns[a];
+    }
+    out.arg_columns.push_back(Column::Concat(column_parts));
+  }
+  for (const AggInputs* p : parts) out.rows += p->rows;
+  return out;
+}
+
+StatusOr<Chunk> FinalizeAggregate(const AggregateNode& node,
+                                  const AggInputs& inputs,
+                                  const ExecContext& ctx) {
+  const int64_t rows = inputs.rows;
+
+  std::vector<std::vector<int64_t>> key_codes;
+  key_codes.reserve(inputs.key_columns.size());
+  for (const Column& key : inputs.key_columns) {
     TDP_ASSIGN_OR_RETURN(std::vector<int64_t> codes, ColumnToCodes(key));
-    key_columns.push_back(std::move(key));
     key_codes.push_back(std::move(codes));
   }
 
@@ -275,8 +333,8 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
     for (int64_t g = 0; g < num_groups; ++g) {
       rp[g] = representative[static_cast<size_t>(g)];
     }
-    for (size_t k = 0; k < key_columns.size(); ++k) {
-      Column key_col = key_columns[k];
+    for (size_t k = 0; k < inputs.key_columns.size(); ++k) {
+      Column key_col = inputs.key_columns[k];
       if (key_col.encoding() == Encoding::kProbability) {
         key_col = Column::Plain(key_col.DecodeValues());
       }
@@ -286,16 +344,15 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
   }
 
   // Aggregates.
-  for (const AggDef& def : node.aggregates) {
+  for (size_t def_index = 0; def_index < node.aggregates.size(); ++def_index) {
+    const AggDef& def = node.aggregates[def_index];
     std::vector<double> acc(static_cast<size_t>(num_groups), 0.0);
     std::vector<int64_t> counts(static_cast<size_t>(num_groups), 0);
 
     std::vector<double> arg_values;
     std::vector<int64_t> arg_codes;  // for DISTINCT
     if (def.arg) {
-      TDP_ASSIGN_OR_RETURN(
-          Column arg_col,
-          EvaluateExprToColumn(*def.arg, input, ctx.device, ctx.params));
+      const Column& arg_col = inputs.arg_columns[def_index];
       if (arg_col.encoding() == Encoding::kDictionary &&
           def.kind != AggKind::kCount) {
         return Status::TypeError("cannot " +
@@ -320,9 +377,12 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
     // Chunk-at-a-time accumulation. Rows are folded into fixed-size blocks
     // (block partials are combined in block order), so the floating-point
     // reduction tree depends only on the row count — results are identical
-    // for every TDP_NUM_THREADS. DISTINCT keeps per-group ordered sets and
-    // stays serial; high-cardinality group-bys fall back to the serial loop
-    // rather than materializing huge partial tables.
+    // for every TDP_NUM_THREADS and every morsel size (the streaming
+    // executor merges per-morsel inputs in morsel order before this
+    // accumulation, re-blocking at the same fixed boundaries). DISTINCT
+    // keeps per-group ordered sets and stays serial; high-cardinality
+    // group-bys fall back to the serial loop rather than materializing
+    // huge partial tables.
     constexpr int64_t kAggBlock = 4096;
     const int64_t num_blocks = (rows + kAggBlock - 1) / kAggBlock;
     // Parallelize only when the block merge (num_blocks * num_groups
@@ -415,8 +475,7 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
 
     // Materialize the aggregate output column with the schema's dtype.
     const DType out_dtype =
-        node.schema[node.group_exprs.size() + (&def - node.aggregates.data())]
-            .dtype;
+        node.schema[node.group_exprs.size() + def_index].dtype;
     Tensor result = Tensor::Zeros({num_groups}, out_dtype, ctx.device);
     for (int64_t g = 0; g < num_groups; ++g) {
       const size_t ug = static_cast<size_t>(g);
@@ -445,118 +504,123 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
   return out;
 }
 
+namespace {
+
+StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
+                                 const Chunk& input, const ExecContext& ctx) {
+  // Soft path: trainable mode + PE keys + COUNT(*) aggregates only.
+  if (ctx.soft_mode && !node.group_exprs.empty()) {
+    bool all_count_star = true;
+    for (const AggDef& def : node.aggregates) {
+      if (def.kind != AggKind::kCountStar) all_count_star = false;
+    }
+    // Probe the first key's encoding to decide; PE keys require soft.
+    bool keys_are_pe = true;
+    std::vector<Column> probe;
+    for (const auto& expr : node.group_exprs) {
+      TDP_ASSIGN_OR_RETURN(
+          Column key,
+          EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
+      if (key.encoding() != Encoding::kProbability) keys_are_pe = false;
+      probe.push_back(std::move(key));
+    }
+    if (keys_are_pe) {
+      if (!all_count_star) {
+        return Status::Unimplemented(
+            "trainable aggregation over PE keys supports COUNT(*) only");
+      }
+      TDP_ASSIGN_OR_RETURN(SoftGroupByResult soft, SoftGroupByCount(probe));
+      Chunk out;
+      for (size_t g = 0; g < node.group_names.size(); ++g) {
+        out.names.push_back(node.group_names[g]);
+        out.columns.push_back(Column::Plain(soft.key_values[g]));
+      }
+      for (const AggDef& def : node.aggregates) {
+        out.names.push_back(def.name);
+        out.columns.push_back(Column::Plain(soft.counts));
+      }
+      return out;
+    }
+    // Fall through to exact with already-evaluated keys discarded.
+  }
+
+  TDP_ASSIGN_OR_RETURN(AggInputs inputs, EvaluateAggInputs(node, input, ctx));
+  return FinalizeAggregate(node, inputs, ctx);
+}
+
+}  // namespace
+
 // ---- Join -------------------------------------------------------------------
 
-StatusOr<Chunk> ExecuteJoin(const JoinNode& node, const Chunk& left,
-                            const Chunk& right, const ExecContext& ctx) {
-  const int64_t lrows = left.num_rows();
-  const int64_t rrows = right.num_rows();
-
-  std::vector<int64_t> left_idx;
-  std::vector<int64_t> right_idx;
-
-  if (!node.left_keys.empty()) {
-    // Join keys must be code-compatible across sides. Dictionary and float
-    // columns get side-local codes, so compare decoded values instead:
-    // build per-row key vectors of raw representations.
-    // Build hashable row keys: strings decode to std::string (hashed into
-    // int64 via a dictionary built across both sides); numerics use value
-    // bit patterns via doubles.
-    auto row_keys = [&](const Chunk& chunk, const std::vector<int64_t>& cols)
-        -> StatusOr<std::vector<std::vector<int64_t>>> {
-      std::vector<std::vector<int64_t>> keys(
-          static_cast<size_t>(chunk.num_rows()),
-          std::vector<int64_t>(cols.size()));
-      for (size_t k = 0; k < cols.size(); ++k) {
-        const Column& c = chunk.columns[static_cast<size_t>(cols[k])];
-        if (c.encoding() == Encoding::kDictionary) {
-          // Strings: hash decoded values (exact equality verified later
-          // only through hash equality — collisions are astronomically
-          // unlikely with FNV-1a 64 over short strings; acceptable here).
-          const std::vector<std::string> strs = c.DecodeStrings();
-          ParallelFor(0, static_cast<int64_t>(strs.size()), GrainForCost(16),
-                      [&keys, &strs, k](int64_t row_begin, int64_t row_end) {
-                        for (int64_t r = row_begin; r < row_end; ++r) {
-                          uint64_t h = 0xcbf29ce484222325ull;
-                          for (char ch : strs[static_cast<size_t>(r)]) {
-                            h ^= static_cast<unsigned char>(ch);
-                            h *= 0x100000001b3ull;
-                          }
-                          keys[static_cast<size_t>(r)][k] =
-                              static_cast<int64_t>(h);
-                        }
-                      });
-        } else {
-          const Tensor vals = c.DecodeValues();
-          if (vals.dim() != 1) {
-            return Status::TypeError("join key must be a scalar column");
-          }
-          const std::vector<double> d =
-              vals.To(DType::kFloat64).ToVector<double>();
-          ParallelFor(0, static_cast<int64_t>(d.size()), GrainForCost(2),
-                      [&keys, &d, k](int64_t row_begin, int64_t row_end) {
-                        for (int64_t r = row_begin; r < row_end; ++r) {
-                          int64_t bits;
-                          const double dv =
-                              d[static_cast<size_t>(r)] == 0.0
-                                  ? 0.0
-                                  : d[static_cast<size_t>(r)];  // normalize -0
-                          static_assert(sizeof(bits) == sizeof(dv));
-                          std::memcpy(&bits, &dv, sizeof(bits));
-                          keys[static_cast<size_t>(r)][k] = bits;
-                        }
-                      });
-        }
-      }
-      return keys;
-    };
-
-    TDP_ASSIGN_OR_RETURN(auto lkeys, row_keys(left, node.left_keys));
-    TDP_ASSIGN_OR_RETURN(auto rkeys, row_keys(right, node.right_keys));
-
-    // Hash join: build on the smaller side.
-    const bool build_left = lrows <= rrows;
-    const auto& build_keys = build_left ? lkeys : rkeys;
-    const auto& probe_keys = build_left ? rkeys : lkeys;
-    std::unordered_multimap<std::vector<int64_t>, int64_t, RowKeyHash> ht;
-    ht.reserve(build_keys.size());
+StatusOr<JoinHashTable> BuildJoinHashTable(const JoinNode& node,
+                                           Chunk build_input,
+                                           const ExecContext& ctx) {
+  (void)ctx;
+  JoinHashTable ht;
+  ht.build = std::move(build_input);
+  const auto& build_key_cols =
+      node.build_left ? node.left_keys : node.right_keys;
+  if (!build_key_cols.empty()) {
+    TDP_ASSIGN_OR_RETURN(auto build_keys,
+                         JoinRowKeys(ht.build, build_key_cols));
+    ht.rows.reserve(build_keys.size());
     for (size_t r = 0; r < build_keys.size(); ++r) {
-      ht.emplace(build_keys[r], static_cast<int64_t>(r));
+      ht.rows[build_keys[r]].push_back(static_cast<int64_t>(r));
     }
+  }
+  return ht;
+}
+
+StatusOr<Chunk> ProbeJoin(const JoinNode& node, const JoinHashTable& ht,
+                          const Chunk& probe, const ExecContext& ctx) {
+  const int64_t probe_rows = probe.num_rows();
+  const int64_t build_rows = ht.build.num_rows();
+  const auto& probe_key_cols =
+      node.build_left ? node.right_keys : node.left_keys;
+
+  // Matched row pairs, in probe-row-major order; matches of one probe row
+  // come out in ascending build-row order (deterministic, unlike the
+  // equal_range order of an unordered_multimap).
+  std::vector<int64_t> probe_idx;
+  std::vector<int64_t> build_idx;
+  if (!probe_key_cols.empty()) {
+    TDP_ASSIGN_OR_RETURN(auto probe_keys, JoinRowKeys(probe, probe_key_cols));
     for (size_t r = 0; r < probe_keys.size(); ++r) {
-      auto [lo, hi] = ht.equal_range(probe_keys[r]);
-      for (auto it = lo; it != hi; ++it) {
-        if (build_left) {
-          left_idx.push_back(it->second);
-          right_idx.push_back(static_cast<int64_t>(r));
-        } else {
-          left_idx.push_back(static_cast<int64_t>(r));
-          right_idx.push_back(it->second);
-        }
+      const auto it = ht.rows.find(probe_keys[r]);
+      if (it == ht.rows.end()) continue;
+      for (int64_t b : it->second) {
+        probe_idx.push_back(static_cast<int64_t>(r));
+        build_idx.push_back(b);
       }
     }
   } else {
     // Pure residual join: cartesian pairs filtered below.
-    left_idx.reserve(static_cast<size_t>(lrows * rrows));
-    right_idx.reserve(static_cast<size_t>(lrows * rrows));
-    for (int64_t l = 0; l < lrows; ++l) {
-      for (int64_t r = 0; r < rrows; ++r) {
-        left_idx.push_back(l);
-        right_idx.push_back(r);
+    probe_idx.reserve(static_cast<size_t>(probe_rows * build_rows));
+    build_idx.reserve(static_cast<size_t>(probe_rows * build_rows));
+    for (int64_t l = 0; l < probe_rows; ++l) {
+      for (int64_t r = 0; r < build_rows; ++r) {
+        probe_idx.push_back(l);
+        build_idx.push_back(r);
       }
     }
   }
 
+  // Assemble in schema order (left columns first) regardless of which
+  // side was the build: the build-side flip is invisible downstream.
+  const Chunk& left_chunk = node.build_left ? ht.build : probe;
+  const Chunk& right_chunk = node.build_left ? probe : ht.build;
+  const Tensor psel = Tensor::FromVector(probe_idx, {}, ctx.device);
+  const Tensor bsel = Tensor::FromVector(build_idx, {}, ctx.device);
+  const Tensor& lsel = node.build_left ? bsel : psel;
+  const Tensor& rsel = node.build_left ? psel : bsel;
   Chunk joined;
-  const Tensor lsel = Tensor::FromVector(left_idx, {}, ctx.device);
-  const Tensor rsel = Tensor::FromVector(right_idx, {}, ctx.device);
-  for (size_t i = 0; i < left.columns.size(); ++i) {
+  for (size_t i = 0; i < left_chunk.columns.size(); ++i) {
     joined.names.push_back(node.schema[i].name);
-    joined.columns.push_back(left.columns[i].Select(lsel));
+    joined.columns.push_back(left_chunk.columns[i].Select(lsel));
   }
-  for (size_t i = 0; i < right.columns.size(); ++i) {
-    joined.names.push_back(node.schema[left.columns.size() + i].name);
-    joined.columns.push_back(right.columns[i].Select(rsel));
+  for (size_t i = 0; i < right_chunk.columns.size(); ++i) {
+    joined.names.push_back(node.schema[left_chunk.columns.size() + i].name);
+    joined.columns.push_back(right_chunk.columns[i].Select(rsel));
   }
 
   if (node.residual) {
@@ -596,8 +660,9 @@ StatusOr<Chunk> ExecuteSort(const SortNode& node, const Chunk& input,
 StatusOr<Chunk> ExecuteLimit(const LimitNode& node, const Chunk& input) {
   const int64_t rows = input.num_rows();
   const int64_t start = std::min(node.offset, rows);
-  int64_t count = node.limit < 0 ? rows - start
-                                 : std::min(node.limit, rows - start);
+  const int64_t count = node.limit < 0
+                            ? rows - start
+                            : std::min(node.limit, rows - start);
   Tensor idx = Tensor::Empty({count}, DType::kInt64,
                              input.columns.empty()
                                  ? Device::kCpu
@@ -628,7 +693,7 @@ StatusOr<Chunk> ExecuteDistinct(const Chunk& input) {
   return input.Select(Tensor::FromVector(keep, {}, device));
 }
 
-}  // namespace
+// ---- Legacy whole-relation executor ----------------------------------------
 
 StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
   switch (node.kind) {
@@ -657,10 +722,14 @@ StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
                               ctx);
     }
     case plan::NodeKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
       TDP_ASSIGN_OR_RETURN(Chunk left, ExecuteNode(*node.children[0], ctx));
       TDP_ASSIGN_OR_RETURN(Chunk right, ExecuteNode(*node.children[1], ctx));
-      return ExecuteJoin(static_cast<const JoinNode&>(node), left, right,
-                         ctx);
+      Chunk build = join.build_left ? std::move(left) : std::move(right);
+      const Chunk probe = join.build_left ? std::move(right) : std::move(left);
+      TDP_ASSIGN_OR_RETURN(JoinHashTable ht,
+                           BuildJoinHashTable(join, std::move(build), ctx));
+      return ProbeJoin(join, ht, probe, ctx);
     }
     case plan::NodeKind::kSort: {
       TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
@@ -676,6 +745,22 @@ StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
     }
   }
   return Status::Internal("unknown plan node kind");
+}
+
+int64_t DefaultMorselRows() {
+  static const int64_t cached = [] {
+    constexpr int64_t kDefault = 64 * 1024;
+    const char* env = std::getenv("TDP_MORSEL_ROWS");
+    if (env == nullptr || *env == '\0') return kDefault;
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > (int64_t{1} << 40)) {
+      TDP_LOG(Warning) << "ignoring invalid TDP_MORSEL_ROWS='" << env << "'";
+      return kDefault;
+    }
+    return static_cast<int64_t>(v);
+  }();
+  return cached;
 }
 
 }  // namespace exec

@@ -10,7 +10,32 @@
 #include "src/storage/catalog.h"
 
 namespace tdp {
+namespace plan {
+struct PipelinePlan;
+}  // namespace plan
+
 namespace exec {
+
+/// Executor selection + morsel sizing, settable per compiled query (see
+/// `CompiledQuery::set_exec_options`) and defaulted from the environment.
+struct ExecOptions {
+  /// True (default): morsel-driven streaming pipelines — Scan emits
+  /// bounded row-range morsels that flow through Filter/Project/join-probe
+  /// without materializing intermediate relations, with per-morsel partial
+  /// states merged deterministically at breakers (Sort, aggregate,
+  /// hash-join build, DISTINCT, TVF). False: the legacy whole-relation
+  /// operator-at-a-time path, kept callable for differential testing.
+  /// Both paths are bit-identical by construction.
+  bool streaming = true;
+  /// Morsel size in rows; 0 resolves to `DefaultMorselRows()`
+  /// (`TDP_MORSEL_ROWS` env var, default 65536).
+  int64_t morsel_rows = 0;
+};
+
+/// Default morsel size: the `TDP_MORSEL_ROWS` environment variable,
+/// falling back to 65536 rows (~a few MB of scalar columns per morsel);
+/// invalid values warn and fall back, like `TDP_NUM_THREADS`.
+int64_t DefaultMorselRows();
 
 /// Per-run execution context, threaded through every operator of one
 /// `CompiledQuery::Run()`. The plan itself is immutable after compilation;
@@ -34,6 +59,10 @@ struct ExecContext {
   /// bindings here (rather than on the plan) is what lets one CompiledQuery
   /// execute on many threads with different parameters simultaneously.
   const std::vector<ScalarValue>* params = nullptr;
+  /// Executor selection for this run (see ExecOptions). Soft-mode
+  /// (trainable) runs always take the legacy path: the autograd graph must
+  /// span the whole relation, not per-morsel slices.
+  ExecOptions exec;
 };
 
 /// Executes a bound plan subtree, materializing its result chunk. Each
@@ -51,6 +80,17 @@ struct ExecContext {
 /// Errors (missing tables, schema drift since compilation, type
 /// mismatches) surface as failed Status, never as crashes.
 StatusOr<Chunk> ExecuteNode(const plan::LogicalNode& node,
+                            const ExecContext& ctx);
+
+/// Executes a full optimized plan with the executor selected by
+/// `ctx.exec`: the morsel-driven streaming pipelines of `pipelines`
+/// (default), or the legacy whole-relation recursion (`ExecuteNode`) when
+/// `ctx.exec.streaming` is false or the run is in soft (trainable) mode.
+/// `pipelines` must have been built from `root` (see
+/// `plan::BuildPipelines`); results are bit-identical between the two
+/// executors at any thread count and morsel size.
+StatusOr<Chunk> ExecutePlan(const plan::LogicalNode& root,
+                            const plan::PipelinePlan& pipelines,
                             const ExecContext& ctx);
 
 }  // namespace exec

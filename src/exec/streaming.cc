@@ -1,0 +1,359 @@
+// Morsel-driven streaming executor: runs the pipelines built by
+// `plan::BuildPipelines` in dependency order. Within one pipeline the
+// source relation is cut into bounded row-range morsels (zero-copy views,
+// `ExecOptions::morsel_rows`, default ~64K rows) that flow through the
+// order-preserving operators — Filter, Project, hash-join probe — without
+// ever materializing an intermediate relation; morsels run in parallel on
+// the process-wide ThreadPool and their outputs are assembled in morsel
+// order, so results are identical for every thread count.
+//
+// Determinism contract (asserted by tests/streaming_parity_test.cc): the
+// assembled stream equals the legacy whole-relation chunk row for row,
+// because every streaming operator is order-preserving and per-row local,
+// and every breaker (aggregate, sort, distinct, join build, TVF) consumes
+// the assembled stream with the same kernel the legacy path uses. Morsel
+// size therefore never changes results — only scheduling.
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/exec/operator_kernels.h"
+#include "src/plan/pipeline.h"
+
+namespace tdp {
+namespace exec {
+namespace {
+
+using plan::LogicalNode;
+using plan::NodeKind;
+using plan::Pipeline;
+using plan::PipelinePlan;
+using plan::SinkKind;
+
+/// Materialized state shared between pipelines of one run.
+struct PipelineOutputs {
+  /// Breaker node -> its materialized output chunk.
+  std::unordered_map<const LogicalNode*, Chunk> chunks;
+  /// Join node -> its build-side hash table (built by the kJoinBuild
+  /// pipeline, probed by the streaming side).
+  std::unordered_map<const LogicalNode*, JoinHashTable> joins;
+};
+
+/// Applies the pipeline's streaming operators to one morsel.
+///
+/// `stop_when_empty` (the streaming mode) drops a morsel as soon as it has
+/// no rows: the assembled stream is the concatenation of the survivors, so
+/// a morsel with nothing to contribute must not run further operators —
+/// a Project of a constant over an empty morsel would fabricate a row that
+/// the whole-relation path (which sees one nonempty relation) never sees.
+/// The empty-stream fallback runs with `stop_when_empty=false`, applying
+/// every operator to the empty relation exactly like the legacy path.
+StatusOr<Chunk> ApplyOps(const Pipeline& p, Chunk morsel,
+                         const PipelineOutputs& outs, const ExecContext& ctx,
+                         bool stop_when_empty) {
+  for (const LogicalNode* op : p.ops) {
+    if (stop_when_empty && morsel.num_rows() == 0) return morsel;
+    switch (op->kind) {
+      case NodeKind::kFilter: {
+        TDP_ASSIGN_OR_RETURN(
+            morsel, ExecuteFilter(static_cast<const plan::FilterNode&>(*op),
+                                  morsel, ctx));
+        break;
+      }
+      case NodeKind::kProject: {
+        TDP_ASSIGN_OR_RETURN(
+            morsel, ExecuteProject(static_cast<const plan::ProjectNode&>(*op),
+                                   morsel, ctx));
+        break;
+      }
+      case NodeKind::kJoin: {
+        TDP_ASSIGN_OR_RETURN(
+            morsel, ProbeJoin(static_cast<const plan::JoinNode&>(*op),
+                              outs.joins.at(op), morsel, ctx));
+        break;
+      }
+      default:
+        return Status::Internal("non-streaming operator in pipeline: " +
+                                op->Describe());
+    }
+  }
+  return morsel;
+}
+
+/// Resolves the pipeline's source relation: a table scan, the materialized
+/// output of an upstream breaker pipeline, or a FROM-less Project.
+StatusOr<Chunk> SourceChunk(const Pipeline& p, const PipelineOutputs& outs,
+                            const ExecContext& ctx) {
+  TDP_CHECK(p.source != nullptr);
+  if (p.source_pipeline >= 0) return outs.chunks.at(p.source);
+  if (p.source->kind == NodeKind::kScan) {
+    return ExecuteScan(static_cast<const plan::ScanNode&>(*p.source), ctx);
+  }
+  TDP_CHECK(p.source->kind == NodeKind::kProject &&
+            p.source->children.empty());
+  return ExecuteProject(static_cast<const plan::ProjectNode&>(*p.source),
+                        Chunk{}, ctx);
+}
+
+/// The legacy-identical result of streaming an empty relation: every
+/// operator runs over zero rows (a constant Project still emits its single
+/// row, exactly as the whole-relation path does on an empty input).
+StatusOr<Chunk> EmptyStreamResult(const Pipeline& p, const Chunk& src,
+                                  const PipelineOutputs& outs,
+                                  const ExecContext& ctx) {
+  return ApplyOps(p, src.SliceRows(0, 0), outs, ctx,
+                  /*stop_when_empty=*/false);
+}
+
+/// One past the last row index Limit can emit: offset + limit, saturated
+/// (`LIMIT 9e18 OFFSET 9e18` must not overflow).
+int64_t LimitEnd(const plan::LimitNode& node) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (node.limit < 0) return kMax;
+  if (node.offset > kMax - node.limit) return kMax;
+  return node.offset + node.limit;
+}
+
+/// Assembles the kLimit sink: walks survivors in morsel order and
+/// concatenates only the row range [offset, offset+limit) — the prefix
+/// property of Limit makes this exactly the legacy Select.
+Chunk AssembleLimit(const plan::LimitNode& node, std::vector<Chunk> survivors) {
+  const int64_t end = LimitEnd(node);
+  std::vector<Chunk> taken;
+  int64_t cum = 0;
+  for (Chunk& c : survivors) {
+    const int64_t n = c.num_rows();
+    const int64_t lo = std::max(cum, node.offset);
+    const int64_t hi = std::min(cum + n, end);
+    if (hi > lo) taken.push_back(c.SliceRows(lo - cum, hi - lo));
+    cum += n;
+  }
+  if (taken.empty()) return survivors.front().SliceRows(0, 0);
+  return Chunk::Concat(taken);
+}
+
+/// Runs one pipeline: morselize the source, stream morsels through the
+/// operators in parallel, assemble at the sink. Returns the chunk the
+/// pipeline materializes (for kJoinBuild, the assembled build relation —
+/// the caller hashes it).
+StatusOr<Chunk> RunPipeline(const Pipeline& p, const PipelineOutputs& outs,
+                            const ExecContext& ctx) {
+  TDP_ASSIGN_OR_RETURN(Chunk src, SourceChunk(p, outs, ctx));
+
+  const bool aggregate_sink = p.sink_kind == SinkKind::kAggregate;
+  const plan::AggregateNode* agg_node =
+      aggregate_sink ? static_cast<const plan::AggregateNode*>(p.sink)
+                     : nullptr;
+
+  // Operator-free pipelines are pure pass-throughs: skip morselization.
+  if (p.ops.empty() && !aggregate_sink) {
+    if (p.sink_kind == SinkKind::kLimit) {
+      return ExecuteLimit(static_cast<const plan::LimitNode&>(*p.sink), src);
+    }
+    return src;
+  }
+
+  // Streaming Limit early-exit: when every operator preserves row counts
+  // (Projects only), rows past offset+limit can never be emitted — slice
+  // the source prefix instead of processing morsels that will be thrown
+  // away at assembly.
+  if (p.sink_kind == SinkKind::kLimit) {
+    const auto& ln = static_cast<const plan::LimitNode&>(*p.sink);
+    bool row_preserving = true;
+    for (const LogicalNode* op : p.ops) {
+      if (op->kind != NodeKind::kProject) row_preserving = false;
+    }
+    if (row_preserving && ln.limit >= 0) {
+      src = src.SliceRows(0, std::min(src.num_rows(), LimitEnd(ln)));
+    }
+  }
+
+  const int64_t rows = src.num_rows();
+  const int64_t morsel_rows = std::max<int64_t>(
+      1, ctx.exec.morsel_rows > 0 ? ctx.exec.morsel_rows
+                                  : DefaultMorselRows());
+  const int64_t num_morsels =
+      rows == 0 ? 0 : (rows + morsel_rows - 1) / morsel_rows;
+
+  // Single-morsel (and empty-source) fast path: the morsel IS the whole
+  // relation, so the operator chain runs on it directly — no slicing, no
+  // per-morsel bookkeeping, no empty-morsel drop rule (that rule exists
+  // only to keep partial morsels from fabricating constant-projection
+  // rows; with one batch the legacy semantics apply verbatim). This keeps
+  // point-query serving overhead at the level of the materializing path.
+  if (num_morsels <= 1) {
+    TDP_ASSIGN_OR_RETURN(Chunk out, ApplyOps(p, std::move(src), outs, ctx,
+                                             /*stop_when_empty=*/false));
+    if (aggregate_sink) {
+      TDP_ASSIGN_OR_RETURN(AggInputs inputs,
+                           EvaluateAggInputs(*agg_node, out, ctx));
+      return FinalizeAggregate(*agg_node, inputs, ctx);
+    }
+    if (p.sink_kind == SinkKind::kLimit) {
+      return ExecuteLimit(static_cast<const plan::LimitNode&>(*p.sink), out);
+    }
+    return out;
+  }
+
+  // Morsels run in parallel on the pool (static partition; nested
+  // ParallelFor calls inside the kernels run inline on the worker) and
+  // land in slots indexed by morsel number, so assembly order — and with
+  // it the result — is independent of the thread count.
+  std::vector<Chunk> outputs(static_cast<size_t>(num_morsels));
+  std::vector<AggInputs> agg_parts(
+      aggregate_sink ? static_cast<size_t>(num_morsels) : 0);
+  std::vector<Status> statuses(static_cast<size_t>(num_morsels));
+  ParallelFor(0, num_morsels, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const size_t ui = static_cast<size_t>(i);
+      const int64_t lo = i * morsel_rows;
+      const int64_t hi = std::min(rows, lo + morsel_rows);
+      StatusOr<Chunk> out = ApplyOps(p, src.SliceRows(lo, hi - lo), outs,
+                                     ctx, /*stop_when_empty=*/true);
+      if (!out.ok()) {
+        statuses[ui] = out.status();
+        continue;
+      }
+      if (aggregate_sink) {
+        if (out->num_rows() == 0) continue;  // dropped morsel
+        StatusOr<AggInputs> inputs = EvaluateAggInputs(*agg_node, *out, ctx);
+        if (!inputs.ok()) {
+          statuses[ui] = inputs.status();
+          continue;
+        }
+        agg_parts[ui] = std::move(inputs).value();
+      } else {
+        outputs[ui] = std::move(out).value();
+      }
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  if (aggregate_sink) {
+    std::vector<const AggInputs*> parts;
+    parts.reserve(agg_parts.size());
+    for (const AggInputs& part : agg_parts) {
+      if (part.rows > 0) parts.push_back(&part);
+    }
+    if (parts.empty()) {
+      TDP_ASSIGN_OR_RETURN(Chunk empty, EmptyStreamResult(p, src, outs, ctx));
+      TDP_ASSIGN_OR_RETURN(AggInputs inputs,
+                           EvaluateAggInputs(*agg_node, empty, ctx));
+      return FinalizeAggregate(*agg_node, inputs, ctx);
+    }
+    const AggInputs merged = MergeAggInputs(parts);
+    return FinalizeAggregate(*agg_node, merged, ctx);
+  }
+
+  std::vector<Chunk> survivors;
+  survivors.reserve(outputs.size());
+  for (Chunk& out : outputs) {
+    if (out.num_rows() > 0) survivors.push_back(std::move(out));
+  }
+
+  if (p.sink_kind == SinkKind::kLimit) {
+    const auto& ln = static_cast<const plan::LimitNode&>(*p.sink);
+    if (survivors.empty()) {
+      TDP_ASSIGN_OR_RETURN(Chunk empty, EmptyStreamResult(p, src, outs, ctx));
+      return ExecuteLimit(ln, empty);
+    }
+    return AssembleLimit(ln, std::move(survivors));
+  }
+
+  if (survivors.empty()) return EmptyStreamResult(p, src, outs, ctx);
+  return Chunk::Concat(survivors);
+}
+
+/// Applies the whole-relation breaker kernel a kMaterialize pipeline
+/// feeds: the assembled stream becomes the breaker node's output.
+StatusOr<Chunk> ApplyBreaker(const LogicalNode& sink, Chunk input,
+                             const PipelineOutputs& outs,
+                             const ExecContext& ctx) {
+  switch (sink.kind) {
+    case NodeKind::kSort:
+      return ExecuteSort(static_cast<const plan::SortNode&>(sink), input,
+                         ctx);
+    case NodeKind::kDistinct:
+      return ExecuteDistinct(input);
+    case NodeKind::kTvfScan:
+      return ExecuteTvfScan(static_cast<const plan::TvfScanNode&>(sink),
+                            std::move(input), ctx);
+    // UDF-bearing operators: the UDF body is a whole-batch tensor
+    // program, so it sees the assembled relation, never a morsel. That
+    // holds for filter predicates, projections, aggregate group keys /
+    // arguments, and join residuals alike.
+    case NodeKind::kFilter:
+      return ExecuteFilter(static_cast<const plan::FilterNode&>(sink), input,
+                           ctx);
+    case NodeKind::kProject:
+      return ExecuteProject(static_cast<const plan::ProjectNode&>(sink),
+                            input, ctx);
+    case NodeKind::kAggregate: {
+      const auto& agg = static_cast<const plan::AggregateNode&>(sink);
+      TDP_ASSIGN_OR_RETURN(AggInputs inputs,
+                           EvaluateAggInputs(agg, input, ctx));
+      return FinalizeAggregate(agg, inputs, ctx);
+    }
+    case NodeKind::kJoin:
+      // UDF-bearing residual: probe the whole assembled left relation at
+      // once, exactly like the legacy path.
+      return ProbeJoin(static_cast<const plan::JoinNode&>(sink),
+                       outs.joins.at(&sink), input, ctx);
+    default:
+      return Status::Internal("unexpected breaker kind: " + sink.Describe());
+  }
+}
+
+StatusOr<Chunk> ExecuteStreaming(const PipelinePlan& pplan,
+                                 const ExecContext& ctx) {
+  PipelineOutputs outs;
+  for (const Pipeline& p : pplan.pipelines) {
+    TDP_ASSIGN_OR_RETURN(Chunk produced, RunPipeline(p, outs, ctx));
+    switch (p.sink_kind) {
+      case SinkKind::kResult:
+        return produced;
+      case SinkKind::kJoinBuild: {
+        TDP_ASSIGN_OR_RETURN(
+            JoinHashTable ht,
+            BuildJoinHashTable(static_cast<const plan::JoinNode&>(*p.sink),
+                               std::move(produced), ctx));
+        outs.joins.emplace(p.sink, std::move(ht));
+        break;
+      }
+      case SinkKind::kAggregate:
+      case SinkKind::kLimit:
+        // RunPipeline already produced the breaker's output.
+        outs.chunks.emplace(p.sink, std::move(produced));
+        break;
+      case SinkKind::kMaterialize: {
+        TDP_ASSIGN_OR_RETURN(
+            Chunk result,
+            ApplyBreaker(*p.sink, std::move(produced), outs, ctx));
+        outs.chunks.emplace(p.sink, std::move(result));
+        break;
+      }
+    }
+  }
+  return Status::Internal("pipeline plan has no result pipeline");
+}
+
+}  // namespace
+
+StatusOr<Chunk> ExecutePlan(const plan::LogicalNode& root,
+                            const PipelinePlan& pipelines,
+                            const ExecContext& ctx) {
+  // Soft (trainable) runs take the legacy whole-relation path: the
+  // autograd graph of a soft aggregate must span the full relation, and
+  // training-loop throughput is bounded by the backward pass, not by
+  // operator materialization.
+  if (!ctx.exec.streaming || ctx.soft_mode) return ExecuteNode(root, ctx);
+  return ExecuteStreaming(pipelines, ctx);
+}
+
+}  // namespace exec
+}  // namespace tdp

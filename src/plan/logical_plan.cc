@@ -101,7 +101,8 @@ std::string JoinNode::Describe() const {
   return std::string("Join(") +
          (join_type == sql::JoinType::kInner ? "inner" : "left") +
          ", keys=" + std::to_string(left_keys.size()) +
-         (residual ? ", residual" : "") + ")";
+         (residual ? ", residual" : "") +
+         (build_left ? ", build=left" : "") + ")";
 }
 
 std::string SortNode::Describe() const {

@@ -119,6 +119,12 @@ struct JoinNode : LogicalNode {
   std::vector<int64_t> right_keys;
   // Residual non-equi condition over [left columns ++ right columns].
   exec::BoundExprPtr residual;
+  /// Which child the hash table is built over (the other side streams as
+  /// the probe). Default: right child. The optimizer flips this when the
+  /// left input is estimated smaller (`ChooseJoinBuildSides`), so a tiny
+  /// dimension table on the left is hashed rather than materialized as
+  /// the probe target. Output schema order (left ++ right) is unaffected.
+  bool build_left = false;
   std::string Describe() const override;
 };
 

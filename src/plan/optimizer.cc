@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "src/storage/catalog.h"
+
 namespace tdp {
 namespace plan {
 namespace {
@@ -280,13 +282,66 @@ LogicalNodePtr PruneScanColumns(LogicalNodePtr node) {
   return node;
 }
 
+// ---- Join build-side choice -------------------------------------------------
+
+// Upper-bound cardinality estimate of a subtree: the row count of the
+// base table it scans (filters/limits only shrink it); -1 when unknown
+// (TVFs, joins, aggregates change cardinality unpredictably).
+int64_t EstimateSubtreeRows(const LogicalNode& node, const Catalog& catalog) {
+  switch (node.kind) {
+    case NodeKind::kScan: {
+      auto table =
+          catalog.GetTable(static_cast<const ScanNode&>(node).table_name);
+      return table.ok() ? (*table)->num_rows() : -1;
+    }
+    case NodeKind::kFilter:
+    case NodeKind::kProject:
+    case NodeKind::kSort:
+    case NodeKind::kDistinct:
+      return node.children.empty()
+                 ? -1
+                 : EstimateSubtreeRows(*node.children[0], catalog);
+    case NodeKind::kLimit: {
+      const auto& limit = static_cast<const LimitNode&>(node);
+      const int64_t child =
+          node.children.empty()
+              ? -1
+              : EstimateSubtreeRows(*node.children[0], catalog);
+      if (limit.limit < 0) return child;
+      return child < 0 ? limit.limit : std::min(child, limit.limit);
+    }
+    default:
+      return -1;
+  }
+}
+
+// Hash joins build over their right child by default (a deterministic,
+// compile-time choice — streaming execution must know which side to
+// materialize before any row counts exist). When the left input is
+// estimated smaller from base-table sizes, flip the build side so a tiny
+// dimension table on the left is hashed instead of the big probe stream.
+// Ties and unknowns keep the canonical right build.
+void ChooseJoinBuildSides(LogicalNode& node, const Catalog& catalog) {
+  for (auto& child : node.children) ChooseJoinBuildSides(*child, catalog);
+  if (node.kind != NodeKind::kJoin) return;
+  auto& join = static_cast<JoinNode&>(node);
+  const int64_t left = EstimateSubtreeRows(*node.children[0], catalog);
+  const int64_t right = EstimateSubtreeRows(*node.children[1], catalog);
+  join.build_left = left >= 0 && right >= 0 && left < right;
+}
+
 }  // namespace
 
-LogicalNodePtr Optimize(LogicalNodePtr root) {
+LogicalNodePtr Optimize(LogicalNodePtr root, const Catalog* catalog) {
   root = FuseLimitIntoSort(std::move(root));
   root = PushFilterIntoJoin(std::move(root));
   root = PruneScanColumns(std::move(root));
+  if (catalog != nullptr) ChooseJoinBuildSides(*root, *catalog);
   return root;
+}
+
+LogicalNodePtr Optimize(LogicalNodePtr root) {
+  return Optimize(std::move(root), nullptr);
 }
 
 }  // namespace plan

@@ -5,6 +5,8 @@
 #include "src/plan/logical_plan.h"
 
 namespace tdp {
+class Catalog;
+
 namespace plan {
 
 /// Rule-based plan rewriter (the role Spark/Substrait play for the paper's
@@ -21,12 +23,18 @@ namespace plan {
 ///      of the plan references. This matters most when unreferenced
 ///      columns are image tensors: pruning them skips whole tensor
 ///      transfers to the execution device.
+///   4. **Join build-side choice** (needs `catalog`) — hash joins build
+///      over the side with the smaller base-table estimate
+///      (`JoinNode::build_left`); the other side streams as the probe.
 ///
 /// All rules are semantics-preserving for both exact and TRAINABLE
 /// (soft-operator) execution, so the same optimized plan serves training
 /// and inference.
 ///
-/// Rewrites in place; returns the (possibly replaced) root.
+/// Rewrites in place; returns the (possibly replaced) root. `catalog`
+/// (the binder-time snapshot) supplies table row counts for rule 4; pass
+/// null to skip cardinality-based rules.
+LogicalNodePtr Optimize(LogicalNodePtr root, const Catalog* catalog);
 LogicalNodePtr Optimize(LogicalNodePtr root);
 
 }  // namespace plan

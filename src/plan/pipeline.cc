@@ -1,0 +1,223 @@
+#include "src/plan/pipeline.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace tdp {
+namespace plan {
+namespace {
+
+bool ExprUsesUdf(const exec::BoundExpr& e) {
+  switch (e.kind) {
+    case exec::BoundExprKind::kUdfCall:
+      return true;
+    case exec::BoundExprKind::kBinary: {
+      const auto& b = static_cast<const exec::BoundBinary&>(e);
+      return ExprUsesUdf(*b.left) || ExprUsesUdf(*b.right);
+    }
+    case exec::BoundExprKind::kUnary:
+      return ExprUsesUdf(*static_cast<const exec::BoundUnary&>(e).operand);
+    case exec::BoundExprKind::kCase: {
+      const auto& c = static_cast<const exec::BoundCase&>(e);
+      for (const auto& [when, then] : c.branches) {
+        if (ExprUsesUdf(*when) || ExprUsesUdf(*then)) return true;
+      }
+      return c.else_expr != nullptr && ExprUsesUdf(*c.else_expr);
+    }
+    case exec::BoundExprKind::kColumnRef:
+    case exec::BoundExprKind::kLiteral:
+    case exec::BoundExprKind::kParameter:
+      return false;
+  }
+  return false;
+}
+
+/// Builder state: pipelines are appended depth-first so that every
+/// pipeline's dependencies precede it in the vector.
+struct Builder {
+  std::vector<Pipeline> pipelines;
+
+  int Push(Pipeline p) {
+    p.id = static_cast<int>(pipelines.size());
+    pipelines.push_back(std::move(p));
+    return pipelines.back().id;
+  }
+
+  /// Fills `p.source` / `p.ops` so that `p`'s stream equals `node`'s
+  /// output stream. Appends any breaker pipelines `node`'s subtree needs.
+  void BuildStream(const LogicalNode& node, Pipeline& p) {
+    switch (node.kind) {
+      case NodeKind::kScan:
+        p.source = &node;
+        return;
+      case NodeKind::kFilter:
+      case NodeKind::kProject:
+        if (node.children.empty()) {
+          // FROM-less Project: a one-row source of its own.
+          p.source = &node;
+          return;
+        }
+        if (!NodeUsesUdf(node)) {
+          BuildStream(*node.children[0], p);
+          p.ops.push_back(&node);
+          return;
+        }
+        break;  // UDF-bearing op: breaker below.
+      case NodeKind::kJoin:
+        if (!NodeUsesUdf(node)) {
+          // The build side (right child, or left when the optimizer
+          // flipped JoinNode::build_left) is its own pipeline,
+          // materialized + hashed before this one probes.
+          const int build_id = BuildJoinBuildSide(node);
+          BuildStream(ProbeChild(node), p);
+          p.dependencies.push_back(build_id);
+          p.ops.push_back(&node);
+          return;
+        }
+        // UDF-bearing residual: the UDF body is a whole-batch tensor
+        // program, so the probe must run over the assembled joined
+        // relation, never per morsel — breaker below.
+        break;
+      default:
+        break;
+    }
+    // Breaker: materialize `node`'s output with its own pipeline and use
+    // it as this pipeline's source.
+    const int id = BuildBreaker(node);
+    p.source = &node;
+    p.source_pipeline = id;
+    p.dependencies.push_back(id);
+  }
+
+  static const LogicalNode& BuildChild(const LogicalNode& join) {
+    const bool build_left = static_cast<const JoinNode&>(join).build_left;
+    return *join.children[build_left ? 0 : 1];
+  }
+  static const LogicalNode& ProbeChild(const LogicalNode& join) {
+    const bool build_left = static_cast<const JoinNode&>(join).build_left;
+    return *join.children[build_left ? 1 : 0];
+  }
+
+  /// Appends the pipeline materializing + hashing `node`'s build side.
+  int BuildJoinBuildSide(const LogicalNode& node) {
+    Pipeline build;
+    build.sink = &node;
+    build.sink_kind = SinkKind::kJoinBuild;
+    BuildStream(BuildChild(node), build);
+    return Push(std::move(build));
+  }
+
+  /// Appends the pipeline that produces breaker `node`'s output chunk.
+  int BuildBreaker(const LogicalNode& node) {
+    Pipeline bp;
+    bp.sink = &node;
+    switch (node.kind) {
+      case NodeKind::kAggregate:
+        // A UDF among the group keys / aggregate arguments must be
+        // evaluated over the whole relation (UDF bodies are batch
+        // programs), so the per-morsel input evaluation is off the table:
+        // materialize the stream and evaluate at the breaker.
+        bp.sink_kind = NodeUsesUdf(node) ? SinkKind::kMaterialize
+                                         : SinkKind::kAggregate;
+        break;
+      case NodeKind::kLimit:
+        bp.sink_kind = SinkKind::kLimit;
+        break;
+      case NodeKind::kJoin:
+        // UDF-bearing residual (see BuildStream): stream the probe side
+        // into a materialized relation, probe whole at the breaker.
+        bp.sink_kind = SinkKind::kMaterialize;
+        bp.dependencies.push_back(BuildJoinBuildSide(node));
+        BuildStream(ProbeChild(node), bp);
+        return Push(std::move(bp));
+      case NodeKind::kSort:
+      case NodeKind::kDistinct:
+      case NodeKind::kTvfScan:
+      case NodeKind::kFilter:   // UDF-bearing
+      case NodeKind::kProject:  // UDF-bearing
+        bp.sink_kind = SinkKind::kMaterialize;
+        break;
+      default:
+        TDP_LOG(Fatal) << "node kind cannot be a pipeline breaker: "
+                       << NodeKindName(node.kind);
+    }
+    TDP_CHECK(!node.children.empty());
+    BuildStream(*node.children[0], bp);
+    return Push(std::move(bp));
+  }
+};
+
+}  // namespace
+
+std::string_view SinkKindName(SinkKind kind) {
+  switch (kind) {
+    case SinkKind::kResult:
+      return "result";
+    case SinkKind::kMaterialize:
+      return "materialize";
+    case SinkKind::kAggregate:
+      return "aggregate";
+    case SinkKind::kJoinBuild:
+      return "join-build";
+    case SinkKind::kLimit:
+      return "limit";
+  }
+  return "unknown";
+}
+
+bool NodeUsesUdf(const LogicalNode& node) {
+  bool uses = false;
+  ForEachExpr(node, [&uses](const exec::BoundExpr& e) {
+    if (ExprUsesUdf(e)) uses = true;
+  });
+  return uses;
+}
+
+PipelinePlan BuildPipelines(const LogicalNode& root) {
+  Builder builder;
+  Pipeline result;
+  builder.BuildStream(root, result);
+  result.sink_kind = SinkKind::kResult;
+  result.sink = nullptr;
+  builder.Push(std::move(result));
+  return PipelinePlan{std::move(builder.pipelines)};
+}
+
+std::string PipelinePlan::ToString() const {
+  std::ostringstream os;
+  for (const Pipeline& p : pipelines) {
+    os << "Pipeline " << p.id << " [";
+    if (p.sink_kind == SinkKind::kResult) {
+      os << "result";
+    } else {
+      os << SinkKindName(p.sink_kind) << " for " << p.sink->Describe();
+    }
+    os << "]: ";
+    if (p.source == nullptr) {
+      os << "<none>";
+    } else if (p.source_pipeline >= 0) {
+      os << "Materialized(" << p.source->Describe() << ")";
+    } else {
+      os << p.source->Describe();
+    }
+    for (const LogicalNode* op : p.ops) {
+      os << " -> ";
+      if (op->kind == NodeKind::kJoin) {
+        os << "Probe(" << op->Describe() << ")";
+      } else {
+        os << op->Describe();
+      }
+    }
+    if (!p.dependencies.empty()) {
+      os << "  (deps:";
+      for (int d : p.dependencies) os << " " << d;
+      os << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace plan
+}  // namespace tdp

@@ -1,0 +1,92 @@
+#ifndef TDP_PLAN_PIPELINE_H_
+#define TDP_PLAN_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/plan/logical_plan.h"
+
+namespace tdp {
+namespace plan {
+
+/// What the streaming executor does with a pipeline's assembled stream.
+enum class SinkKind {
+  /// Plan root: the assembled stream is the query result.
+  kResult,
+  /// Feeds a whole-relation breaker: Sort, Distinct, TVF, or any operator
+  /// whose expressions call a UDF (Filter, Project, Aggregate keys/args,
+  /// Join residual) — UDF bodies are batch tensor programs, so they see
+  /// the full relation, never a morsel.
+  kMaterialize,
+  /// Aggregate consumer: group keys and aggregate arguments are evaluated
+  /// per morsel (the partial states), merged in morsel order at the
+  /// breaker, then grouped and accumulated with the fixed-block reduction.
+  kAggregate,
+  /// Build side of a hash join: assembled, then hashed into the join's
+  /// build table before the probe pipeline runs.
+  kJoinBuild,
+  /// LIMIT/OFFSET: morsel outputs are assembled in morsel order with
+  /// offset/limit truncation — only the covered prefix is concatenated.
+  kLimit,
+};
+
+std::string_view SinkKindName(SinkKind kind);
+
+/// One streaming pipeline: a source relation streamed morsel-by-morsel
+/// through order-preserving operators into a sink. All pointers reference
+/// nodes of the (immutable) optimized plan the pipeline was built from.
+struct Pipeline {
+  int id = 0;
+  /// The source relation: a ScanNode, a breaker node whose materialized
+  /// output (produced by `source_pipeline`) seeds this stream, or a
+  /// FROM-less Project (a one-row source).
+  const LogicalNode* source = nullptr;
+  /// Id of the pipeline that materializes `source`'s output; -1 when the
+  /// source is a Scan or FROM-less Project (no upstream pipeline).
+  int source_pipeline = -1;
+  /// Order-preserving streaming operators applied to every morsel, in
+  /// execution (bottom-up) order: Filter, Project, and Join — a Join entry
+  /// means "probe this morsel against the join's build table", with the
+  /// build side produced by a dependency pipeline.
+  std::vector<const LogicalNode*> ops;
+  /// The breaker consuming this stream (it "owns" the pipeline's output:
+  /// running the pipeline produces `sink`'s output chunk, or the join
+  /// build table for kJoinBuild). Null for kResult.
+  const LogicalNode* sink = nullptr;
+  SinkKind sink_kind = SinkKind::kResult;
+  /// Pipelines that must complete first: the source pipeline and the build
+  /// pipelines of any joins probed by `ops`.
+  std::vector<int> dependencies;
+};
+
+/// A plan's pipelines in dependency order: executing front to back always
+/// finds every dependency already materialized. The last pipeline is the
+/// kResult one.
+struct PipelinePlan {
+  std::vector<Pipeline> pipelines;
+
+  /// EXPLAIN PIPELINES-style rendering, e.g. for the two pipelines of a
+  /// join query:
+  ///
+  ///   Pipeline 0 [join-build for Join]: Scan(u) -> Filter
+  ///   Pipeline 1 [result]: Scan(t) -> Join(probe) -> Project  (deps: 0)
+  std::string ToString() const;
+};
+
+/// Groups the optimized plan into streaming pipelines separated by
+/// breakers. Breakers are the operators that need (all of) their input
+/// before emitting anything: Sort, Aggregate, Distinct, Limit, the build
+/// side of a hash join, TVFs, and any Filter/Project whose expressions
+/// call a scalar UDF (UDF bodies are whole-batch tensor programs).
+/// Everything else — Scan, Filter, Project, join probe — streams.
+PipelinePlan BuildPipelines(const LogicalNode& root);
+
+/// True when any expression hanging off `node` contains a scalar UDF call
+/// (recursing through binary/unary/CASE/call argument subtrees).
+bool NodeUsesUdf(const LogicalNode& node);
+
+}  // namespace plan
+}  // namespace tdp
+
+#endif  // TDP_PLAN_PIPELINE_H_

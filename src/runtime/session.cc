@@ -54,6 +54,10 @@ std::string CacheKey(const std::string& sql, const QueryOptions& options) {
   key += '\x1f';
   key += std::to_string(static_cast<int>(options.device));
   key += options.trainable ? "/t" : "/e";
+  // Exec options are mutable per-CompiledQuery state; keying on them keeps
+  // clients with different executors/morsel sizes on separate shared plans.
+  key += options.exec.streaming ? "/s" : "/w";
+  key += std::to_string(options.exec.morsel_rows);
   return key;
 }
 
@@ -95,9 +99,11 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
   sql::Binder binder(*snapshot, *registry_);
   TDP_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical_plan,
                        binder.Bind(*statement));
-  logical_plan = plan::Optimize(std::move(logical_plan));
-  return std::make_shared<exec::CompiledQuery>(
+  logical_plan = plan::Optimize(std::move(logical_plan), snapshot.get());
+  auto query = std::make_shared<exec::CompiledQuery>(
       std::move(logical_plan), catalog_, options.device, options.trainable);
+  query->set_exec_options(options.exec);
+  return query;
 }
 
 StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(

@@ -26,6 +26,11 @@ struct QueryOptions {
   /// the session plan cache. (Trainable queries are never cached: they
   /// carry mutable module state.)
   bool use_plan_cache = true;
+  /// Executor selection + morsel sizing applied to the compiled query
+  /// (`CompiledQuery::set_exec_options`). Part of the plan-cache key, so
+  /// clients requesting different executors or morsel sizes never share a
+  /// cached plan object whose options would race.
+  exec::ExecOptions exec;
 };
 
 /// Cumulative plan-cache counters (see `Session::plan_cache_stats`).

@@ -1,5 +1,6 @@
 #include "src/sql/parser.h"
 
+#include <limits>
 #include <utility>
 
 #include "src/common/string_util.h"
@@ -8,6 +9,16 @@
 namespace tdp {
 namespace sql {
 namespace {
+
+/// Lexer numbers are doubles; casting a double >= 2^63 to int64 is UB, so
+/// pathological `LIMIT 9223372036854775807` must saturate, not wrap to a
+/// negative offset (which then indexed out of bounds).
+int64_t SaturatingRowCount(double value) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (value >= static_cast<double>(kMax)) return kMax;
+  if (value <= 0) return 0;
+  return static_cast<int64_t>(value);
+}
 
 class Parser {
  public:
@@ -139,13 +150,13 @@ class Parser {
       if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
         return Unexpected("integer LIMIT");
       }
-      stmt->limit = static_cast<int64_t>(Advance().number_value);
+      stmt->limit = SaturatingRowCount(Advance().number_value);
     }
     if (MatchKeyword("OFFSET")) {
       if (Peek().type != TokenType::kNumber || !Peek().is_integer) {
         return Unexpected("integer OFFSET");
       }
-      stmt->offset = static_cast<int64_t>(Advance().number_value);
+      stmt->offset = SaturatingRowCount(Advance().number_value);
     }
     return stmt;
   }

@@ -39,7 +39,8 @@ Column Column::Dictionary(Tensor codes, std::vector<std::string> dictionary) {
   Column c;
   c.encoding_ = Encoding::kDictionary;
   c.data_ = std::move(codes);
-  c.dictionary_ = std::move(dictionary);
+  c.dictionary_ =
+      std::make_shared<const std::vector<std::string>>(std::move(dictionary));
   return c;
 }
 
@@ -73,28 +74,28 @@ Column Column::Probability(Tensor probs, std::vector<double> domain) {
   Column c;
   c.encoding_ = Encoding::kProbability;
   c.data_ = std::move(probs);
-  c.domain_ = std::move(domain);
+  c.domain_ = std::make_shared<const std::vector<double>>(std::move(domain));
   return c;
 }
 
 int64_t Column::DictionaryCode(const std::string& value) const {
   TDP_CHECK(encoding_ == Encoding::kDictionary);
-  const auto it =
-      std::lower_bound(dictionary_.begin(), dictionary_.end(), value);
-  if (it == dictionary_.end() || *it != value) return -1;
-  return it - dictionary_.begin();
+  const std::vector<std::string>& dict = dictionary();
+  const auto it = std::lower_bound(dict.begin(), dict.end(), value);
+  if (it == dict.end() || *it != value) return -1;
+  return it - dict.begin();
 }
 
 int64_t Column::LowerBoundCode(const std::string& value) const {
   TDP_CHECK(encoding_ == Encoding::kDictionary);
-  return std::lower_bound(dictionary_.begin(), dictionary_.end(), value) -
-         dictionary_.begin();
+  const std::vector<std::string>& dict = dictionary();
+  return std::lower_bound(dict.begin(), dict.end(), value) - dict.begin();
 }
 
 int64_t Column::UpperBoundCode(const std::string& value) const {
   TDP_CHECK(encoding_ == Encoding::kDictionary);
-  return std::upper_bound(dictionary_.begin(), dictionary_.end(), value) -
-         dictionary_.begin();
+  const std::vector<std::string>& dict = dictionary();
+  return std::upper_bound(dict.begin(), dict.end(), value) - dict.begin();
 }
 
 std::vector<std::string> Column::DecodeStrings() const {
@@ -104,8 +105,8 @@ std::vector<std::string> Column::DecodeStrings() const {
   std::vector<std::string> out;
   out.reserve(codes.size());
   for (int64_t code : codes) {
-    TDP_CHECK(code >= 0 && code < static_cast<int64_t>(dictionary_.size()));
-    out.push_back(dictionary_[static_cast<size_t>(code)]);
+    TDP_CHECK(code >= 0 && code < static_cast<int64_t>(dictionary().size()));
+    out.push_back(dictionary()[static_cast<size_t>(code)]);
   }
   return out;
 }
@@ -119,12 +120,12 @@ Tensor Column::DecodeValues() const {
     case Encoding::kProbability: {
       // Hard decode: domain[argmax(probs)].
       const Tensor arg = ArgMax(data_.Detach(), 1, /*keepdim=*/false);
-      Tensor domain_t = Tensor::Empty(
-          {static_cast<int64_t>(domain_.size())}, DType::kFloat32,
-          data_.device());
+      const std::vector<double>& dom = domain();
+      Tensor domain_t = Tensor::Empty({static_cast<int64_t>(dom.size())},
+                                      DType::kFloat32, data_.device());
       float* dp = domain_t.data<float>();
-      for (size_t i = 0; i < domain_.size(); ++i) {
-        dp[i] = static_cast<float>(domain_[i]);
+      for (size_t i = 0; i < dom.size(); ++i) {
+        dp[i] = static_cast<float>(dom[i]);
       }
       return IndexSelect(domain_t, 0, arg);
     }
@@ -145,14 +146,48 @@ Column Column::Select(const Tensor& indices) const {
   return c;
 }
 
+Column Column::SliceRows(int64_t start, int64_t count) const {
+  TDP_CHECK(start >= 0 && count >= 0 && start + count <= length());
+  Column c = *this;
+  c.data_ = data_.Slice(0, start, count);
+  return c;
+}
+
+Column Column::Concat(const std::vector<Column>& parts) {
+  TDP_CHECK(!parts.empty());
+  if (parts.size() == 1) return parts[0];
+  std::vector<Tensor> tensors;
+  tensors.reserve(parts.size());
+  for (const Column& p : parts) {
+    TDP_CHECK(p.encoding_ == parts[0].encoding_)
+        << "cannot concatenate columns of different encodings";
+    TDP_DCHECK(p.dictionary().size() == parts[0].dictionary().size());
+    TDP_DCHECK(p.domain().size() == parts[0].domain().size());
+    tensors.push_back(p.data_);
+  }
+  Column c = parts[0];
+  c.data_ = Cat(tensors, 0);
+  return c;
+}
+
+const std::vector<std::string>& Column::EmptyDictionary() {
+  static const std::vector<std::string>* empty = new std::vector<std::string>();
+  return *empty;
+}
+
+const std::vector<double>& Column::EmptyDomain() {
+  static const std::vector<double>* empty = new std::vector<double>();
+  return *empty;
+}
+
 std::string Column::ToString() const {
   std::ostringstream os;
   os << "Column(" << EncodingName(encoding_) << ", " << data_.ToString();
   if (encoding_ == Encoding::kDictionary) {
-    os << ", dict_size=" << dictionary_.size();
+    os << ", dict_size=" << dictionary().size();
   }
   if (encoding_ == Encoding::kProbability) {
-    os << ", domain_size=" << domain_.size();
+    os << ", domain_size=" << domain().size();
   }
   os << ")";
   return os.str();

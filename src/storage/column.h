@@ -1,6 +1,7 @@
 #ifndef TDP_STORAGE_COLUMN_H_
 #define TDP_STORAGE_COLUMN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,8 +58,12 @@ class Column {
     return encoding_ == Encoding::kPlain && data_.dim() >= 2;
   }
 
-  const std::vector<std::string>& dictionary() const { return dictionary_; }
-  const std::vector<double>& domain() const { return domain_; }
+  const std::vector<std::string>& dictionary() const {
+    return dictionary_ ? *dictionary_ : EmptyDictionary();
+  }
+  const std::vector<double>& domain() const {
+    return domain_ ? *domain_ : EmptyDomain();
+  }
 
   /// Looks up the code for `value`; -1 if absent. O(log n).
   int64_t DictionaryCode(const std::string& value) const;
@@ -85,13 +90,30 @@ class Column {
   /// Rows at `indices` (int64 1-d), preserving encoding + metadata.
   Column Select(const Tensor& indices) const;
 
+  /// Zero-copy view of rows [start, start+count): the backing tensor is
+  /// sliced along dim 0 (no allocation), dictionary/domain metadata is
+  /// shared. The morsel source for streaming pipelines — a scan hands out
+  /// bounded row-range views instead of copying the relation.
+  Column SliceRows(int64_t start, int64_t count) const;
+
+  /// Row-wise concatenation. All parts must share encoding, dtype, and
+  /// (for dictionary/PE columns) the same dictionary/domain — true by
+  /// construction when the parts are morsel outputs of one evaluation.
+  static Column Concat(const std::vector<Column>& parts);
+
   std::string ToString() const;
 
  private:
+  static const std::vector<std::string>& EmptyDictionary();
+  static const std::vector<double>& EmptyDomain();
+
   Encoding encoding_ = Encoding::kPlain;
   Tensor data_;
-  std::vector<std::string> dictionary_;  // kDictionary only
-  std::vector<double> domain_;           // kProbability only
+  // Dictionary/domain metadata is immutable once built and shared across
+  // every view of the column (copies, `SliceRows` morsels, `Select`
+  // results), so slicing a dictionary column never copies its strings.
+  std::shared_ptr<const std::vector<std::string>> dictionary_;  // kDictionary
+  std::shared_ptr<const std::vector<double>> domain_;  // kProbability
 };
 
 }  // namespace tdp

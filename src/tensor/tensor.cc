@@ -33,7 +33,11 @@ std::vector<int64_t> BroadcastShapes(const std::vector<int64_t>& a,
     TDP_CHECK(da == db || da == 1 || db == 1)
         << "cannot broadcast " << ShapeToString(a) << " with "
         << ShapeToString(b);
-    out[i] = std::max(da, db);
+    // NumPy semantics: a size-1 dim stretches to the other dim — including
+    // 0 (broadcasting against an empty tensor yields an empty result; a
+    // predicate over an empty relation must produce an empty mask, not a
+    // phantom row).
+    out[i] = da == 1 ? db : da;
   }
   return out;
 }
@@ -182,11 +186,16 @@ Tensor Tensor::Contiguous() const {
     return *this;
   }
   if (is_contiguous()) {
-    // A contiguous window into a larger buffer: cheap memcpy.
+    // A contiguous window into a larger buffer: cheap memcpy. Zero-size
+    // views skip it — an empty buffer's data pointer may be null, and
+    // memcpy(null, null, 0) is still UB (the pointers are declared
+    // nonnull).
     Tensor out = Empty(shape(), dtype(), device());
-    std::memcpy(out.impl()->buffer->data(),
-                impl_->buffer->data() + impl_->offset * DTypeSize(dtype()),
-                static_cast<size_t>(numel() * DTypeSize(dtype())));
+    if (numel() > 0) {
+      std::memcpy(out.impl()->buffer->data(),
+                  impl_->buffer->data() + impl_->offset * DTypeSize(dtype()),
+                  static_cast<size_t>(numel() * DTypeSize(dtype())));
+    }
     out.impl()->requires_grad = impl_->requires_grad;
     out.impl()->grad_fn = impl_->grad_fn;
     return out;

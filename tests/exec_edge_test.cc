@@ -145,6 +145,72 @@ TEST_F(ExecEdgeTest, OrderByAggregateNotInSelect) {
   EXPECT_EQ((*r)->num_columns(), 1);
 }
 
+TEST_F(ExecEdgeTest, EmptyRegisteredTable) {
+  // Regression: predicates over a 0-row relation used to produce a
+  // phantom 1-row mask (BroadcastShapes stretched the empty dim against a
+  // scalar's size-1 dim to 1 instead of 0), failing with "predicate mask
+  // length mismatch" on genuinely empty tables.
+  auto empty = TableBuilder("e")
+                   .AddInt64("k", {})
+                   .AddFloat32("v", {})
+                   .Build();
+  ASSERT_TRUE(session_.RegisterTable("e", empty.value()).ok());
+  auto filtered = session_.Sql("SELECT k FROM e WHERE v > 0");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_EQ((*filtered)->num_rows(), 0);
+  auto agg = session_.Sql("SELECT COUNT(*), SUM(v) FROM e WHERE k = 1");
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  EXPECT_EQ((*agg)->column(0).data().At({0}), 0.0);
+  auto sorted = session_.Sql("SELECT k FROM e ORDER BY v DESC LIMIT 2");
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_EQ((*sorted)->num_rows(), 0);
+}
+
+TEST_F(ExecEdgeTest, OffsetFarBeyondInputAndHugeLimits) {
+  auto off = session_.Sql("SELECT k FROM t LIMIT 2 OFFSET 9000000000");
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_EQ((*off)->num_rows(), 0);
+  // offset + limit must not overflow int64 (saturating arithmetic).
+  auto huge = session_.Sql(
+      "SELECT k FROM t LIMIT 9223372036854775807 OFFSET 9223372036854775807");
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_EQ((*huge)->num_rows(), 0);
+  auto all = session_.Sql("SELECT k FROM t LIMIT 9223372036854775807");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ((*all)->num_rows(), 3);
+}
+
+TEST_F(ExecEdgeTest, JoinWithZeroRowBuildSide) {
+  auto empty = TableBuilder("eb").AddInt64("bk", {}).Build();
+  ASSERT_TRUE(session_.RegisterTable("eb", empty.value()).ok());
+  // Build side (right child) empty: every probe misses.
+  auto r = session_.Sql("SELECT t.k FROM t JOIN eb ON t.k = eb.bk");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 0);
+  // Probe side empty against a populated build.
+  auto r2 = session_.Sql("SELECT eb.bk, t.k FROM eb JOIN t ON eb.bk = t.k");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ((*r2)->num_rows(), 0);
+}
+
+TEST_F(ExecEdgeTest, JoinDuplicateBuildKeysEmitInBuildRowOrder) {
+  // Regression: duplicate build-side keys used to be emitted in the
+  // implementation-defined equal_range order of an unordered_multimap
+  // (reverse insertion under libstdc++); the join now guarantees
+  // ascending build-row order for each probe row.
+  auto dup = TableBuilder("dup")
+                 .AddInt64("dk", {2, 2, 2})
+                 .AddFloat32("tagv", {10.0f, 20.0f, 30.0f})
+                 .Build();
+  ASSERT_TRUE(session_.RegisterTable("dup", dup.value()).ok());
+  auto r = session_.Sql("SELECT t.k, dup.tagv FROM t JOIN dup ON t.k = dup.dk");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->num_rows(), 3);
+  EXPECT_EQ((*r)->column(1).data().At({0}), 10.0);
+  EXPECT_EQ((*r)->column(1).data().At({1}), 20.0);
+  EXPECT_EQ((*r)->column(1).data().At({2}), 30.0);
+}
+
 TEST_F(ExecEdgeTest, ProbabilityColumnsGroupExactlyWhenNotTrainable) {
   // A PE column used by a non-trainable query is hard-decoded.
   Tensor probs = Tensor::FromVector(

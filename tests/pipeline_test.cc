@@ -1,0 +1,170 @@
+// Structure tests for the pipeline builder: which operators stream, which
+// break, and how a plan decomposes into dependency-ordered pipelines.
+
+#include "src/plan/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/session.h"
+#include "src/tensor/ops.h"
+
+namespace tdp {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = TableBuilder("t")
+                 .AddInt64("k", {1, 2, 3, 4})
+                 .AddFloat64("v", {0.5, -1.5, 2.5, 3.5})
+                 .Build();
+    ASSERT_TRUE(session_.RegisterTable("t", t.value()).ok());
+    auto u = TableBuilder("u").AddInt64("ku", {1, 3}).Build();
+    ASSERT_TRUE(session_.RegisterTable("u", u.value()).ok());
+  }
+
+  plan::PipelinePlan Pipelines(const std::string& sql) {
+    auto query = session_.Query(sql);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    // The returned pipelines point into the compiled plan; keep it alive
+    // for the duration of the test.
+    keep_alive_.push_back(*query);
+    return plan::BuildPipelines((*query)->plan());
+  }
+
+  Session session_;
+  std::vector<std::shared_ptr<exec::CompiledQuery>> keep_alive_;
+};
+
+TEST_F(PipelineTest, FilterProjectIsOnePipeline) {
+  const plan::PipelinePlan p = Pipelines("SELECT k + 1 FROM t WHERE v > 0");
+  ASSERT_EQ(p.pipelines.size(), 1u);
+  const plan::Pipeline& result = p.pipelines.back();
+  EXPECT_EQ(result.sink_kind, plan::SinkKind::kResult);
+  EXPECT_EQ(result.source->kind, plan::NodeKind::kScan);
+  // Filter and Project stream; nothing breaks.
+  ASSERT_EQ(result.ops.size(), 2u);
+  EXPECT_EQ(result.ops[0]->kind, plan::NodeKind::kFilter);
+  EXPECT_EQ(result.ops[1]->kind, plan::NodeKind::kProject);
+  EXPECT_TRUE(result.dependencies.empty());
+}
+
+TEST_F(PipelineTest, JoinSplitsIntoBuildAndProbePipelines) {
+  const plan::PipelinePlan p =
+      Pipelines("SELECT t.k FROM t JOIN u ON t.k = u.ku WHERE t.v > 0");
+  ASSERT_EQ(p.pipelines.size(), 2u);
+  const plan::Pipeline& build = p.pipelines[0];
+  EXPECT_EQ(build.sink_kind, plan::SinkKind::kJoinBuild);
+  EXPECT_EQ(build.sink->kind, plan::NodeKind::kJoin);
+  EXPECT_EQ(build.source->kind, plan::NodeKind::kScan);
+
+  const plan::Pipeline& probe = p.pipelines[1];
+  EXPECT_EQ(probe.sink_kind, plan::SinkKind::kResult);
+  EXPECT_EQ(probe.source->kind, plan::NodeKind::kScan);
+  ASSERT_EQ(probe.dependencies.size(), 1u);
+  EXPECT_EQ(probe.dependencies[0], build.id);
+  // The probe pipeline streams through the join (and the pushed-down
+  // filter below it) without materializing the joined relation.
+  bool has_join_op = false;
+  for (const plan::LogicalNode* op : probe.ops) {
+    if (op->kind == plan::NodeKind::kJoin) has_join_op = true;
+  }
+  EXPECT_TRUE(has_join_op);
+
+  const std::string rendering = p.ToString();
+  EXPECT_NE(rendering.find("join-build"), std::string::npos) << rendering;
+  EXPECT_NE(rendering.find("Probe("), std::string::npos) << rendering;
+}
+
+TEST_F(PipelineTest, AggregateAndSortBreak) {
+  const plan::PipelinePlan p = Pipelines(
+      "SELECT k, COUNT(*) AS c FROM t WHERE v > 0 GROUP BY k ORDER BY k");
+  // Aggregate breaks the scan/filter stream; Sort breaks the aggregate
+  // output; the result pipeline passes the sorted chunk through.
+  ASSERT_GE(p.pipelines.size(), 3u);
+  EXPECT_EQ(p.pipelines[0].sink_kind, plan::SinkKind::kAggregate);
+  EXPECT_EQ(p.pipelines[0].source->kind, plan::NodeKind::kScan);
+  ASSERT_EQ(p.pipelines[0].ops.size(), 1u);
+  EXPECT_EQ(p.pipelines[0].ops[0]->kind, plan::NodeKind::kFilter);
+  bool has_sort_breaker = false;
+  for (const plan::Pipeline& pipe : p.pipelines) {
+    if (pipe.sink != nullptr && pipe.sink->kind == plan::NodeKind::kSort) {
+      has_sort_breaker = true;
+      EXPECT_EQ(pipe.sink_kind, plan::SinkKind::kMaterialize);
+    }
+  }
+  EXPECT_TRUE(has_sort_breaker);
+  EXPECT_EQ(p.pipelines.back().sink_kind, plan::SinkKind::kResult);
+}
+
+TEST_F(PipelineTest, UdfBearingProjectBecomesBreaker) {
+  udf::ScalarFunction fn;
+  fn.name = "twice";
+  fn.return_type = udf::DeclaredType::kFloat;
+  fn.fn = [](const std::vector<udf::Argument>& args, int64_t,
+             Device) -> StatusOr<Column> {
+    return Column::Plain(MulScalar(args[0].column.DecodeValues(), 2.0));
+  };
+  ASSERT_TRUE(session_.functions().RegisterScalar(std::move(fn)).ok());
+
+  const plan::PipelinePlan p = Pipelines("SELECT twice(v) FROM t");
+  // The UDF-bearing Project materializes its input: UDF bodies are batch
+  // tensor programs and must see the whole relation, not morsels.
+  ASSERT_EQ(p.pipelines.size(), 2u);
+  EXPECT_EQ(p.pipelines[0].sink_kind, plan::SinkKind::kMaterialize);
+  EXPECT_EQ(p.pipelines[0].sink->kind, plan::NodeKind::kProject);
+  EXPECT_TRUE(plan::NodeUsesUdf(*p.pipelines[0].sink));
+
+  // Same for UDFs among aggregate arguments: no per-morsel input
+  // evaluation, the aggregate becomes a kMaterialize breaker.
+  const plan::PipelinePlan agg =
+      Pipelines("SELECT k, SUM(twice(v)) FROM t GROUP BY k");
+  bool agg_materializes = false;
+  for (const plan::Pipeline& pipe : agg.pipelines) {
+    if (pipe.sink != nullptr &&
+        pipe.sink->kind == plan::NodeKind::kAggregate) {
+      EXPECT_EQ(pipe.sink_kind, plan::SinkKind::kMaterialize);
+      agg_materializes = true;
+    }
+  }
+  EXPECT_TRUE(agg_materializes);
+}
+
+TEST_F(PipelineTest, SmallerLeftSideBecomesTheBuild) {
+  // u (2 rows) on the left of t (4 rows): the optimizer flips the build
+  // side, so the build pipeline scans u and the probe pipeline streams t.
+  const plan::PipelinePlan p =
+      Pipelines("SELECT u.ku FROM u JOIN t ON u.ku = t.k");
+  ASSERT_EQ(p.pipelines.size(), 2u);
+  ASSERT_EQ(p.pipelines[0].sink_kind, plan::SinkKind::kJoinBuild);
+  ASSERT_EQ(p.pipelines[0].source->kind, plan::NodeKind::kScan);
+  EXPECT_EQ(
+      static_cast<const plan::ScanNode*>(p.pipelines[0].source)->table_name,
+      "u");
+  ASSERT_EQ(p.pipelines[1].source->kind, plan::NodeKind::kScan);
+  EXPECT_EQ(
+      static_cast<const plan::ScanNode*>(p.pipelines[1].source)->table_name,
+      "t");
+}
+
+TEST_F(PipelineTest, LimitIsItsOwnSink) {
+  const plan::PipelinePlan p = Pipelines("SELECT k FROM t LIMIT 2 OFFSET 1");
+  ASSERT_GE(p.pipelines.size(), 2u);
+  bool has_limit_sink = false;
+  for (const plan::Pipeline& pipe : p.pipelines) {
+    if (pipe.sink_kind == plan::SinkKind::kLimit) has_limit_sink = true;
+  }
+  EXPECT_TRUE(has_limit_sink);
+}
+
+TEST_F(PipelineTest, ExplainPipelinesRendersThroughCompiledQuery) {
+  auto query =
+      session_.Query("SELECT t.k FROM t JOIN u ON t.k = u.ku");
+  ASSERT_TRUE(query.ok());
+  const std::string rendering = (*query)->ExplainPipelines();
+  EXPECT_NE(rendering.find("Pipeline 0"), std::string::npos) << rendering;
+  EXPECT_NE(rendering.find("result"), std::string::npos) << rendering;
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory tooling: merge google-benchmark JSON runs into a
+single BENCH_prN.json trajectory file, and gate a current run against a
+checked-in baseline.
+
+Merge the per-suite JSON outputs of one run:
+
+    tools/bench_compare.py merge --label pr3 --out BENCH_pr3.json \
+        serve_concurrent=serve.json micro_query_ops=micro.json
+
+Compare a run against a baseline (exit 1 on regression):
+
+    tools/bench_compare.py compare BENCH_pr2.json BENCH_pr3.json \
+        --threshold 0.25
+
+A benchmark regresses when its metric worsens by more than --threshold
+relative to the baseline: `items_per_second` (higher is better) when both
+sides report it, `real_time` (lower is better) otherwise. Benchmarks
+present on only one side are reported but never gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def merged_entries(doc):
+    """Entries of a merged trajectory file or a raw google-benchmark file.
+
+    When the run used --benchmark_repetitions, only the median aggregates
+    are kept (under the base benchmark name): medians are what make a
+    checked-in baseline stable enough to gate against on noisy runners.
+    """
+    raw = doc.get("benchmarks", [])
+    have_medians = any(b.get("aggregate_name") == "median" for b in raw)
+    entries = []
+    for b in raw:
+        if have_medians:
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b.get("run_name", b["name"].removesuffix("_median"))
+        else:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+        entries.append(
+            {
+                "suite": b.get("suite", ""),
+                "name": name,
+                "real_time": b["real_time"],
+                "cpu_time": b.get("cpu_time"),
+                "time_unit": b.get("time_unit", "ns"),
+                **(
+                    {"items_per_second": b["items_per_second"]}
+                    if "items_per_second" in b
+                    else {}
+                ),
+            }
+        )
+    return entries
+
+
+def cmd_merge(args):
+    out = {"label": args.label, "benchmarks": []}
+    for spec in args.inputs:
+        suite, _, path = spec.partition("=")
+        if not path:
+            sys.exit(f"merge input must be suite=path, got '{spec}'")
+        doc = load(path)
+        if "context" not in out:
+            ctx = doc.get("context", {})
+            out["context"] = {
+                k: ctx[k]
+                for k in ("num_cpus", "mhz_per_cpu", "library_version")
+                if k in ctx
+            }
+        for e in merged_entries(doc):
+            e["suite"] = suite
+            out["benchmarks"].append(e)
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=1)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(out['benchmarks'])} benchmarks")
+    return 0
+
+
+def key(entry):
+    return (entry["suite"], entry["name"])
+
+
+def cmd_compare(args):
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    base = {key(e): e for e in merged_entries(base_doc)}
+    cur = {key(e): e for e in merged_entries(cur_doc)}
+
+    base_cpus = base_doc.get("context", {}).get("num_cpus")
+    cur_cpus = cur_doc.get("context", {}).get("num_cpus")
+    hardware_mismatch = (
+        base_cpus is not None and cur_cpus is not None and base_cpus != cur_cpus
+    )
+    if hardware_mismatch:
+        print(
+            f"WARNING: baseline ran on {base_cpus} cpus, current on "
+            f"{cur_cpus}; absolute numbers are not comparable apples-to-"
+            "apples — expect deltas beyond the threshold on hardware changes."
+        )
+
+    regressions = []
+    rows = []
+    for k in sorted(base.keys() | cur.keys()):
+        b, c = base.get(k), cur.get(k)
+        if b is None or c is None:
+            rows.append((k, "-", "-", "only in " + ("current" if b is None else "baseline")))
+            continue
+        # `delta` is displayed with + = better, - = worse; `worsening` is
+        # measured relative to the BASELINE for both metric kinds, so the
+        # threshold fires at the same relative slowdown whether the
+        # benchmark reports throughput or time (a 30% slowdown gates at
+        # 25% either way).
+        if "items_per_second" in b and "items_per_second" in c:
+            # Higher is better.
+            ratio = c["items_per_second"] / b["items_per_second"]
+            worsening = 1.0 - ratio
+            delta = ratio - 1.0
+            shown = (f"{b['items_per_second']:.0f}/s", f"{c['items_per_second']:.0f}/s")
+        else:
+            # Lower is better.
+            ratio = c["real_time"] / max(b["real_time"], 1e-12)
+            worsening = ratio - 1.0
+            delta = -worsening
+            shown = (
+                f"{b['real_time']:.0f}{b['time_unit']}",
+                f"{c['real_time']:.0f}{c['time_unit']}",
+            )
+        verdict = f"{delta:+.1%}"
+        if worsening > args.threshold:
+            verdict += "  REGRESSION"
+            regressions.append((k, delta))
+        rows.append((k, shown[0], shown[1], verdict))
+
+    name_w = max(len(f"{s}:{n}") for s, n in (k for k, *_ in rows)) if rows else 10
+    print(f"{'benchmark'.ljust(name_w)}  {'baseline':>14}  {'current':>14}  delta")
+    for (s, n), b, c, verdict in rows:
+        print(f"{(s + ':' + n).ljust(name_w)}  {b:>14}  {c:>14}  {verdict}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}:"
+        )
+        for (s, n), delta in regressions:
+            print(f"  {s}:{n}  {delta:+.1%}")
+        if hardware_mismatch and args.hardware_mismatch == "warn":
+            print(
+                "WARN-ONLY: hardware differs from the baseline "
+                "(--hardware-mismatch=warn); not failing. Re-record the "
+                "baseline on this runner class to re-arm the gate."
+            )
+            return 0
+        print("FAIL")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="merge suite runs into a trajectory file")
+    merge.add_argument("--label", required=True, help="trajectory label, e.g. pr3")
+    merge.add_argument("--out", required=True, help="output JSON path")
+    merge.add_argument("inputs", nargs="+", help="suite=path pairs")
+    merge.set_defaults(fn=cmd_merge)
+
+    compare = sub.add_parser("compare", help="gate current vs baseline")
+    compare.add_argument("baseline")
+    compare.add_argument("current")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated relative regression (default 0.25 = 25%%)",
+    )
+    compare.add_argument(
+        "--hardware-mismatch",
+        choices=["gate", "warn"],
+        default="gate",
+        help="when the baseline's context.num_cpus differs from the current "
+        "run's: 'gate' (default) still fails on regressions, 'warn' reports "
+        "them but exits 0 (for CI runners that differ from the machine the "
+        "checked-in baseline was recorded on)",
+    )
+    compare.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()
