@@ -132,16 +132,16 @@ BENCHMARK(BM_GroupByQueryThreads)->Arg(1)->Arg(2)->Arg(4);
 // materializing) executor on a filter-heavy query: the streaming path
 // skips the full intermediate materialization between scan/filter/project.
 void BM_ExecutorFilterProject(benchmark::State& state) {
-  const bool streaming = state.range(0) == 1;
   QueryBench bench(1 << 17);
   QueryOptions options;
   options.device = Device::kAccel;
-  options.exec.streaming = streaming;
+  exec::RunOptions run;
+  run.exec.streaming = state.range(0) == 1;
   auto query = bench.session.Query(
       "SELECT k + 1, v * 2 FROM t WHERE v > 0 AND k < 32", options);
   TDP_CHECK(query.ok());
   for (auto _ : state) {
-    auto result = (*query)->RunChunk();
+    auto result = (*query)->RunChunk(run);
     TDP_CHECK(result.ok());
     benchmark::DoNotOptimize(result->num_rows());
   }
@@ -152,16 +152,16 @@ BENCHMARK(BM_ExecutorFilterProject)->Arg(0)->Arg(1);
 // Streaming vs legacy on a group-by: per-morsel aggregate-input evaluation
 // merged at the breaker vs whole-relation evaluation.
 void BM_ExecutorGroupBy(benchmark::State& state) {
-  const bool streaming = state.range(0) == 1;
   QueryBench bench(1 << 17);
   QueryOptions options;
   options.device = Device::kAccel;
-  options.exec.streaming = streaming;
+  exec::RunOptions run;
+  run.exec.streaming = state.range(0) == 1;
   auto query = bench.session.Query(
       "SELECT k, COUNT(*), SUM(v) FROM t WHERE v > -50 GROUP BY k", options);
   TDP_CHECK(query.ok());
   for (auto _ : state) {
-    auto result = (*query)->RunChunk();
+    auto result = (*query)->RunChunk(run);
     TDP_CHECK(result.ok());
     benchmark::DoNotOptimize(result->num_rows());
   }
@@ -175,12 +175,13 @@ void BM_MorselRows(benchmark::State& state) {
   QueryBench bench(1 << 17);
   QueryOptions options;
   options.device = Device::kAccel;
-  options.exec.morsel_rows = state.range(0);
+  exec::RunOptions run;
+  run.exec.morsel_rows = state.range(0);
   auto query = bench.session.Query(
       "SELECT k, v FROM t WHERE v > 0", options);
   TDP_CHECK(query.ok());
   for (auto _ : state) {
-    auto result = (*query)->RunChunk();
+    auto result = (*query)->RunChunk(run);
     TDP_CHECK(result.ok());
     benchmark::DoNotOptimize(result->num_rows());
   }

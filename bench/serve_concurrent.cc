@@ -171,6 +171,112 @@ BENCHMARK(BM_CachedMultiGet)
     ->Threads(8)
     ->UseRealTime();
 
+// ---- Cursor-native serving (PR 4) ------------------------------------------
+//
+// The scenarios behind the streaming API's acceptance criteria, all over
+// the same large scan+filter statement sliced into ~64 chunks:
+//   - BM_CursorFirstChunk vs BM_CursorFullDrain: time-to-first-chunk must
+//     sit measurably below full-drain latency (the first chunk costs one
+//     wave of morsels, not the whole relation);
+//   - BM_CursorEarlyClose: a client that abandons after two chunks (LIMIT
+//     satisfied downstream / disconnect) — the chunks_produced counter
+//     shows production stopping at ~queue-capacity chunks, not ~64.
+
+constexpr const char* kScanFilterQuery =
+    "SELECT ev, score FROM events WHERE score > 0.0";
+
+int64_t EventRows() { return bench::Scaled(1 << 16, 1 << 22); }
+
+/// Morsel size yielding ~64 chunks on the events scan at either scale.
+int64_t EventMorselRows() { return EventRows() / 64; }
+
+/// Lazily registers the larger cursor-bench table on the shared session.
+void EnsureEventsTable() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const int64_t n = EventRows();
+    std::vector<int64_t> ev;
+    std::vector<float> scores;
+    ev.reserve(n);
+    scores.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      ev.push_back(i);
+      scores.push_back(static_cast<float>((i % 997) - 498) / 499.0f);
+    }
+    auto table = TableBuilder("events")
+                     .AddInt64("ev", ev)
+                     .AddFloat32("score", scores)
+                     .Build();
+    TDP_CHECK(table.ok()) << table.status().ToString();
+    TDP_CHECK(SharedSession().RegisterTable("events", table.value()).ok());
+  });
+}
+
+/// Drains `count` chunks (all of them when count < 0); returns how many
+/// chunks the producer pushed by the time the cursor is closed.
+int64_t ConsumeChunks(Session& session, int64_t count) {
+  exec::RunOptions run;
+  run.exec.morsel_rows = EventMorselRows();
+  auto cursor = session.Execute(kScanFilterQuery, {}, std::move(run));
+  TDP_CHECK(cursor.ok()) << cursor.status().ToString();
+  int64_t seen = 0;
+  while (count < 0 || seen < count) {
+    auto chunk = (*cursor)->Next();
+    TDP_CHECK(chunk.ok()) << chunk.status().ToString();
+    if (!chunk->has_value()) break;
+    benchmark::DoNotOptimize((**chunk).num_rows());
+    ++seen;
+  }
+  (*cursor)->Close();
+  return (*cursor)->chunks_produced();
+}
+
+/// Time-to-first-chunk: open a streaming cursor, consume ONE chunk, close.
+/// Compare against BM_CursorFullDrain — the gap is the win for clients
+/// that act on early rows (paginated UIs, top-k consumers, disconnects).
+void BM_CursorFirstChunk(benchmark::State& state) {
+  Session& session = SharedSession();
+  EnsureEventsTable();
+  int64_t produced = 0;
+  for (auto _ : state) {
+    produced += ConsumeChunks(session, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["chunks_produced"] = benchmark::Counter(
+      static_cast<double>(produced), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CursorFirstChunk)->Threads(1)->Threads(4)->UseRealTime();
+
+/// Full drain through the cursor: the denominator for time-to-first-chunk.
+void BM_CursorFullDrain(benchmark::State& state) {
+  Session& session = SharedSession();
+  EnsureEventsTable();
+  int64_t produced = 0;
+  for (auto _ : state) {
+    produced += ConsumeChunks(session, -1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["chunks_produced"] = benchmark::Counter(
+      static_cast<double>(produced), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CursorFullDrain)->Threads(1)->Threads(4)->UseRealTime();
+
+/// LIMIT-abandon: the client stops after two chunks. Backpressure +
+/// cooperative cancellation keep chunks_produced at ~(consumed + queue
+/// capacity + one wave) — the rows never read are never produced.
+void BM_CursorEarlyClose(benchmark::State& state) {
+  Session& session = SharedSession();
+  EnsureEventsTable();
+  int64_t produced = 0;
+  for (auto _ : state) {
+    produced += ConsumeChunks(session, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["chunks_produced"] = benchmark::Counter(
+      static_cast<double>(produced), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CursorEarlyClose)->Threads(1)->Threads(4)->UseRealTime();
+
 /// Heavier per-query work: grouped aggregation, cached plan. Shows how
 /// aggregate QPS scales when execution (not compilation) dominates.
 void BM_CachedAggregate(benchmark::State& state) {

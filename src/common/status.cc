@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "BindError";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -119,7 +119,6 @@ CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
       catalog_(std::move(catalog)),
       device_(device),
       trainable_(trainable),
-      training_mode_(trainable),
       num_params_(MaxPlanParamOrdinal(*plan_) + 1) {
   std::vector<std::shared_ptr<nn::Module>> raw;
   CollectPlanModules(*plan_, raw);
@@ -129,30 +128,83 @@ CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
   }
 }
 
-StatusOr<Chunk> CompiledQuery::RunChunk(
+Status CompiledQuery::ValidateParams(
     const std::vector<ScalarValue>& params) const {
   if (static_cast<int64_t>(params.size()) != num_params_) {
     return Status::InvalidArgument(
         "query expects " + std::to_string(num_params_) + " parameter(s), " +
         std::to_string(params.size()) + " bound");
   }
+  return Status::OK();
+}
+
+ExecContext CompiledQuery::MakeContext(const RunOptions& options,
+                                       const Catalog* snapshot,
+                                       const CancellationToken* cancel) const {
+  ExecContext ctx;
+  ctx.catalog = snapshot;
+  ctx.device = device_;
+  // TRAINABLE queries default to the soft (differentiable) operators;
+  // `RunOptions::training_mode = false` swaps in the exact ones for
+  // inference. Non-trainable queries ignore the override.
+  ctx.soft_mode = trainable_ && options.training_mode.value_or(true);
+  ctx.params = options.params.empty() ? nullptr : &options.params;
+  ctx.exec = options.exec;
+  ctx.cancel = cancel;
+  ctx.morsel_fault =
+      options.inject_morsel_fault ? &options.inject_morsel_fault : nullptr;
+  return ctx;
+}
+
+StatusOr<Chunk> CompiledQuery::RunChunkInternal(
+    const std::vector<ScalarValue>& params, const RunOptions& options) const {
+  TDP_RETURN_NOT_OK(ValidateParams(params));
   // One consistent catalog snapshot per run: concurrent RegisterTable
   // calls never tear a multi-table query, and the snapshot stays alive
   // (shared_ptr) for the whole execution.
   const std::shared_ptr<const Catalog> snapshot = catalog_->Snapshot();
-  ExecContext ctx;
-  ctx.catalog = snapshot.get();
-  ctx.device = device_;
-  ctx.soft_mode = trainable_ && training_mode_;
+  ExecContext ctx = MakeContext(options, snapshot.get(), options.cancel.get());
   ctx.params = params.empty() ? nullptr : &params;
-  ctx.exec = exec_options_;
   return ExecutePlan(*plan_, pipelines_, ctx);
+}
+
+StatusOr<Chunk> CompiledQuery::RunChunk(const RunOptions& options) const {
+  return RunChunkInternal(options.params, options);
+}
+
+StatusOr<Chunk> CompiledQuery::RunChunk(
+    const std::vector<ScalarValue>& params) const {
+  return RunChunkInternal(params, RunOptions{});
+}
+
+StatusOr<std::shared_ptr<Table>> CompiledQuery::Run(
+    const RunOptions& options) const {
+  TDP_ASSIGN_OR_RETURN(Chunk chunk, RunChunk(options));
+  return chunk.ToTable("result");
 }
 
 StatusOr<std::shared_ptr<Table>> CompiledQuery::Run(
     const std::vector<ScalarValue>& params) const {
   TDP_ASSIGN_OR_RETURN(Chunk chunk, RunChunk(params));
   return chunk.ToTable("result");
+}
+
+StatusOr<std::unique_ptr<ResultCursor>> CompiledQuery::Open(
+    RunOptions options) const {
+  TDP_RETURN_NOT_OK(ValidateParams(options.params));
+  std::shared_ptr<const CompiledQuery> self = weak_from_this().lock();
+  if (self == nullptr) {
+    return Status::InvalidArgument(
+        "Open() requires the CompiledQuery to be owned by a shared_ptr "
+        "(Session::Query/Prepare return one): the cursor must keep the "
+        "plan alive for its producer");
+  }
+  // The snapshot is taken at Open — the cursor's whole stream reads one
+  // consistent catalog state, same as a single Run().
+  std::unique_ptr<ResultCursor> cursor(new ResultCursor(
+      std::move(self), std::move(options), catalog_->Snapshot()));
+  cursor->Start();
+  return cursor;
 }
 
 std::vector<Tensor> CompiledQuery::Parameters() const {

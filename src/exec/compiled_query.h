@@ -7,6 +7,8 @@
 
 #include "src/common/statusor.h"
 #include "src/exec/operators.h"
+#include "src/exec/result_cursor.h"
+#include "src/exec/run_options.h"
 #include "src/nn/module.h"
 #include "src/plan/logical_plan.h"
 #include "src/plan/pipeline.h"
@@ -18,23 +20,26 @@ namespace exec {
 /// A SQL statement compiled to a tensor program — TDP's analogue of the
 /// PyTorch model object returned by `tdp.sql.spark.query(...)` (§2 of the
 /// paper). Like a model, it can be:
-///   - executed (`Run()`), on whichever device it was compiled for, with
-///     per-run values for any `?` placeholders (prepared statements);
+///   - executed (`Run()` materializes, `Open()` streams), on whichever
+///     device it was compiled for, with all per-run state — `?` parameter
+///     bindings, executor/morsel selection, training-mode override,
+///     cancellation — carried by a `RunOptions` value per call;
 ///   - embedded in a training loop: `Parameters()` exposes every trainable
 ///     tensor reachable through the UDFs/TVFs in the plan, and when
 ///     compiled TRAINABLE the plan uses differentiable soft operators so
 ///     gradients flow from the result back into those parameters;
 ///   - inspected (`Explain()`).
 ///
-/// Tables are re-resolved from a fresh catalog snapshot at each Run(), so
+/// Tables are re-resolved from a fresh catalog snapshot at each run, so
 /// re-registering an input table re-runs the same compiled query on fresh
 /// data.
 ///
-/// Thread safety: the plan is immutable after compilation and every run
-/// carries its own ExecContext (catalog snapshot + parameter bindings), so
-/// a single CompiledQuery may be executed by many threads concurrently.
-/// The exception is `set_training_mode`, which must not race with runs.
-class CompiledQuery {
+/// Thread safety: a CompiledQuery is fully immutable after compilation —
+/// there are no post-compilation setters — and every run carries its own
+/// `RunOptions` + catalog snapshot, so one shared instance (e.g. from the
+/// session plan cache) may be executed by any number of threads with
+/// conflicting per-run options simultaneously.
+class CompiledQuery : public std::enable_shared_from_this<CompiledQuery> {
  public:
   CompiledQuery(plan::LogicalNodePtr plan,
                 std::shared_ptr<const SharedCatalog> catalog, Device device,
@@ -43,14 +48,27 @@ class CompiledQuery {
   CompiledQuery(const CompiledQuery&) = delete;
   CompiledQuery& operator=(const CompiledQuery&) = delete;
 
-  /// Executes the plan and materializes the result. `params` binds the
-  /// statement's `?` placeholders in lexical order and must match
-  /// `num_params()` exactly.
+  /// Executes the plan and materializes the result — a thin drain of the
+  /// same streaming executor `Open()` exposes incrementally.
+  StatusOr<std::shared_ptr<Table>> Run(const RunOptions& options) const;
+  /// Convenience overload: default options with `params` bound.
   StatusOr<std::shared_ptr<Table>> Run(
       const std::vector<ScalarValue>& params = {}) const;
+
   /// Executes the plan, returning the raw column chunk (tensor access —
   /// training loops read the differentiable count column from here).
+  StatusOr<Chunk> RunChunk(const RunOptions& options) const;
   StatusOr<Chunk> RunChunk(const std::vector<ScalarValue>& params = {}) const;
+
+  /// Opens a pull-based streaming cursor over this run's result: the
+  /// final pipeline's chunks arrive through `ResultCursor::Next()` as
+  /// they are produced (bounded queue, backpressure), while upstream
+  /// breaker pipelines materialize exactly as under `Run()`. Closing or
+  /// dropping the cursor cancels production at the next morsel boundary.
+  /// Fails fast on a parameter-count mismatch. Requires the query to be
+  /// owned by `std::shared_ptr` (Session::Query/Prepare return one): the
+  /// cursor keeps the plan alive for the producer's lifetime.
+  StatusOr<std::unique_ptr<ResultCursor>> Open(RunOptions options = {}) const;
 
   /// Number of `?` placeholders in the statement.
   int64_t num_params() const { return num_params_; }
@@ -67,22 +85,7 @@ class CompiledQuery {
 
   bool trainable() const { return trainable_; }
 
-  /// For TRAINABLE queries: true (default) runs soft differentiable
-  /// operators; set false to swap in the exact operators for inference
-  /// ("at inference time, we swap the approximate differentiable operators
-  /// with exact implementations", §4).
-  void set_training_mode(bool training) { training_mode_ = training; }
-  bool training_mode() const { return training_mode_; }
-
   Device device() const { return device_; }
-
-  /// Executor selection + morsel sizing for this query's runs. Like
-  /// `set_training_mode`, must not race with concurrent `Run` calls — set
-  /// it right after compilation, before the query is shared. The default
-  /// (streaming, `TDP_MORSEL_ROWS` morsels) is right for serving; tests
-  /// flip `streaming` off to differential-test the two executors.
-  void set_exec_options(const ExecOptions& options) { exec_options_ = options; }
-  const ExecOptions& exec_options() const { return exec_options_; }
 
   /// EXPLAIN-style plan rendering.
   std::string Explain() const { return plan_->ToString(); }
@@ -95,13 +98,24 @@ class CompiledQuery {
   const plan::PipelinePlan& pipelines() const { return pipelines_; }
 
  private:
+  friend class ResultCursor;
+
+  /// `params.size() == num_params()` or an InvalidArgument status.
+  Status ValidateParams(const std::vector<ScalarValue>& params) const;
+
+  /// Builds the per-run ExecContext over `options` and `snapshot`; the
+  /// referenced storage (options, snapshot, cancel) must outlive the run.
+  ExecContext MakeContext(const RunOptions& options, const Catalog* snapshot,
+                          const CancellationToken* cancel) const;
+
+  StatusOr<Chunk> RunChunkInternal(const std::vector<ScalarValue>& params,
+                                   const RunOptions& options) const;
+
   plan::LogicalNodePtr plan_;
   plan::PipelinePlan pipelines_;  // built once; references plan_ nodes
   std::shared_ptr<const SharedCatalog> catalog_;
   Device device_;
   bool trainable_;
-  bool training_mode_;
-  ExecOptions exec_options_;
   int64_t num_params_ = 0;
   std::vector<std::shared_ptr<nn::Module>> modules_;
 };

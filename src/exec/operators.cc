@@ -696,6 +696,9 @@ StatusOr<Chunk> ExecuteDistinct(const Chunk& input) {
 // ---- Legacy whole-relation executor ----------------------------------------
 
 StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
+  // The legacy path has no morsel boundaries; poll the cancellation token
+  // between operators instead.
+  TDP_RETURN_NOT_OK(CheckCancel(ctx));
   switch (node.kind) {
     case plan::NodeKind::kScan:
       return ExecuteScan(static_cast<const ScanNode&>(node), ctx);

@@ -1,10 +1,12 @@
 #ifndef TDP_EXEC_OPERATORS_H_
 #define TDP_EXEC_OPERATORS_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/common/statusor.h"
 #include "src/exec/chunk.h"
+#include "src/exec/run_options.h"
 #include "src/exec/value.h"
 #include "src/plan/logical_plan.h"
 #include "src/storage/catalog.h"
@@ -15,22 +17,6 @@ struct PipelinePlan;
 }  // namespace plan
 
 namespace exec {
-
-/// Executor selection + morsel sizing, settable per compiled query (see
-/// `CompiledQuery::set_exec_options`) and defaulted from the environment.
-struct ExecOptions {
-  /// True (default): morsel-driven streaming pipelines — Scan emits
-  /// bounded row-range morsels that flow through Filter/Project/join-probe
-  /// without materializing intermediate relations, with per-morsel partial
-  /// states merged deterministically at breakers (Sort, aggregate,
-  /// hash-join build, DISTINCT, TVF). False: the legacy whole-relation
-  /// operator-at-a-time path, kept callable for differential testing.
-  /// Both paths are bit-identical by construction.
-  bool streaming = true;
-  /// Morsel size in rows; 0 resolves to `DefaultMorselRows()`
-  /// (`TDP_MORSEL_ROWS` env var, default 65536).
-  int64_t morsel_rows = 0;
-};
 
 /// Default morsel size: the `TDP_MORSEL_ROWS` environment variable,
 /// falling back to 65536 rows (~a few MB of scalar columns per morsel);
@@ -63,7 +49,25 @@ struct ExecContext {
   /// (trainable) runs always take the legacy path: the autograd graph must
   /// span the whole relation, not per-morsel slices.
   ExecOptions exec;
+  /// Cooperative cancellation: when set, workers poll it at morsel
+  /// boundaries (and the legacy executor at node boundaries) and abandon
+  /// the run with `kCancelled`. Null when the run is not cancellable.
+  const CancellationToken* cancel = nullptr;
+  /// Test-only morsel fault hook (see `RunOptions::inject_morsel_fault`);
+  /// points at storage owned by the caller for the duration of the run.
+  const std::function<Status(int64_t)>* morsel_fault = nullptr;
 };
+
+/// OK while `ctx`'s run is live; `kCancelled` once its token has been
+/// cancelled (client disconnect, cursor close, timeout). Polled at morsel
+/// boundaries by the streaming executor and at node boundaries by the
+/// legacy one.
+inline Status CheckCancel(const ExecContext& ctx) {
+  if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+    return Status::Cancelled("query run cancelled");
+  }
+  return Status::OK();
+}
 
 /// Executes a bound plan subtree, materializing its result chunk. Each
 /// node lowers to a tensor program on `ctx.device` (TQP-style compiled

@@ -1,0 +1,105 @@
+#ifndef TDP_EXEC_RUN_OPTIONS_H_
+#define TDP_EXEC_RUN_OPTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/value.h"
+
+namespace tdp {
+namespace exec {
+
+/// Executor selection + morsel sizing. Purely per-run state (part of
+/// `RunOptions`): two clients may run the same shared `CompiledQuery` with
+/// different executors or morsel sizes simultaneously, and the session
+/// plan cache hands them one plan object regardless of these knobs.
+struct ExecOptions {
+  /// True (default): morsel-driven streaming pipelines — Scan emits
+  /// bounded row-range morsels that flow through Filter/Project/join-probe
+  /// without materializing intermediate relations, with per-morsel partial
+  /// states merged deterministically at breakers (Sort, aggregate,
+  /// hash-join build, DISTINCT, TVF). False: the legacy whole-relation
+  /// operator-at-a-time path, kept callable for differential testing.
+  /// Both paths are bit-identical by construction.
+  bool streaming = true;
+  /// Morsel size in rows; 0 resolves to `DefaultMorselRows()`
+  /// (`TDP_MORSEL_ROWS` env var, default 65536).
+  int64_t morsel_rows = 0;
+};
+
+/// Cooperative cancellation flag shared between a client and a running
+/// query. The client calls `Cancel()` (any thread, any time); executor
+/// workers poll `cancelled()` at morsel boundaries and abandon the run
+/// with a `kCancelled` status instead of racing to materialize the full
+/// result. One token may be shared by several runs (e.g. every query of
+/// one client request) to cancel them all on disconnect.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A token linked to `parent`: reports cancelled when either this token
+  /// or the parent is. `ResultCursor` links its internal close-token to
+  /// the caller's `RunOptions::cancel` this way, so closing the cursor
+  /// stops workers without cancelling the caller's (possibly shared)
+  /// token.
+  explicit CancellationToken(std::shared_ptr<const CancellationToken> parent)
+      : parent_(std::move(parent)) {}
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::shared_ptr<const CancellationToken> parent_;
+};
+
+/// Everything that may vary between two runs of one (immutable, shared)
+/// `CompiledQuery`, gathered into a single value object passed to
+/// `Run`/`RunChunk`/`Open`. Plans carry no per-run state, so a cached
+/// plan can serve clients with conflicting options concurrently.
+struct RunOptions {
+  /// Values for the statement's `?` placeholders, in lexical order; must
+  /// match `CompiledQuery::num_params()` exactly.
+  std::vector<ScalarValue> params;
+
+  /// Executor selection + morsel sizing for this run.
+  ExecOptions exec;
+
+  /// For TRAINABLE-compiled queries only: `true` (the default when unset)
+  /// runs the soft differentiable operators, `false` swaps in the exact
+  /// operators for inference ("at inference time, we swap the approximate
+  /// differentiable operators with exact implementations", §4 of the
+  /// paper). Ignored for non-trainable queries.
+  std::optional<bool> training_mode;
+
+  /// Optional cooperative-cancellation token. Workers poll it at morsel
+  /// boundaries; a cancelled run fails with `StatusCode::kCancelled`.
+  std::shared_ptr<CancellationToken> cancel;
+
+  /// Capacity (in chunks) of a `ResultCursor`'s bounded hand-off queue;
+  /// 0 resolves to max(2, pool threads). The producer blocks once the
+  /// queue is full (backpressure), so an abandoned or slow consumer
+  /// bounds the run's buffered memory instead of materializing the
+  /// whole result.
+  size_t cursor_queue_chunks = 0;
+
+  /// Test-only fault injection: when set, the streaming executor invokes
+  /// this with each result-pipeline morsel index before processing it and
+  /// fails the run with any non-OK status returned. Lets tests prove that
+  /// a mid-stream executor error surfaces identically through
+  /// `ResultCursor::Next()` and `Run()` (no silent truncation).
+  std::function<Status(int64_t)> inject_morsel_fault;
+};
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_RUN_OPTIONS_H_

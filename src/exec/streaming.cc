@@ -7,6 +7,14 @@
 // the process-wide ThreadPool and their outputs are assembled in morsel
 // order, so results are identical for every thread count.
 //
+// The executor is push-based at the top: breaker pipelines materialize,
+// then the final (result) pipeline's chunks are handed to a ChunkSink in
+// morsel order (`ExecuteStreamingToSink`). `ResultCursor` feeds that sink
+// into a bounded queue for incremental consumption; `Run()`/`ExecutePlan`
+// drain it synchronously and concatenate — one code path, two delivery
+// modes, bit-identical results. Workers poll `ExecContext::cancel` at
+// morsel boundaries so closed cursors / cancelled runs stop producing.
+//
 // Determinism contract (asserted by tests/streaming_parity_test.cc): the
 // assembled stream equals the legacy whole-relation chunk row for row,
 // because every streaming operator is order-preserving and per-row local,
@@ -14,9 +22,12 @@
 // the assembled stream with the same kernel the legacy path uses. Morsel
 // size therefore never changes results — only scheduling.
 
+#include "src/exec/streaming.h"
+
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -108,6 +119,29 @@ StatusOr<Chunk> EmptyStreamResult(const Pipeline& p, const Chunk& src,
                   /*stop_when_empty=*/false);
 }
 
+/// Morsel partition of a pipeline source — the single definition both the
+/// materializing path (`RunPipeline`) and the sink path
+/// (`StreamResultPipeline`) slice by, so the two can never disagree on
+/// morsel boundaries (the parity suite holds them bit-identical).
+struct MorselPartition {
+  int64_t rows = 0;
+  int64_t morsel_rows = 1;
+  int64_t num_morsels = 0;  // 0 for an empty source
+};
+
+MorselPartition PartitionMorsels(const Chunk& src, const ExecContext& ctx) {
+  MorselPartition part;
+  part.rows = src.num_rows();
+  part.morsel_rows = std::max<int64_t>(
+      1, ctx.exec.morsel_rows > 0 ? ctx.exec.morsel_rows
+                                  : DefaultMorselRows());
+  part.num_morsels =
+      part.rows == 0
+          ? 0
+          : (part.rows + part.morsel_rows - 1) / part.morsel_rows;
+  return part;
+}
+
 /// One past the last row index Limit can emit: offset + limit, saturated
 /// (`LIMIT 9e18 OFFSET 9e18` must not overflow).
 int64_t LimitEnd(const plan::LimitNode& node) {
@@ -141,6 +175,7 @@ Chunk AssembleLimit(const plan::LimitNode& node, std::vector<Chunk> survivors) {
 /// the caller hashes it).
 StatusOr<Chunk> RunPipeline(const Pipeline& p, const PipelineOutputs& outs,
                             const ExecContext& ctx) {
+  TDP_RETURN_NOT_OK(CheckCancel(ctx));
   TDP_ASSIGN_OR_RETURN(Chunk src, SourceChunk(p, outs, ctx));
 
   const bool aggregate_sink = p.sink_kind == SinkKind::kAggregate;
@@ -171,12 +206,7 @@ StatusOr<Chunk> RunPipeline(const Pipeline& p, const PipelineOutputs& outs,
     }
   }
 
-  const int64_t rows = src.num_rows();
-  const int64_t morsel_rows = std::max<int64_t>(
-      1, ctx.exec.morsel_rows > 0 ? ctx.exec.morsel_rows
-                                  : DefaultMorselRows());
-  const int64_t num_morsels =
-      rows == 0 ? 0 : (rows + morsel_rows - 1) / morsel_rows;
+  const auto [rows, morsel_rows, num_morsels] = PartitionMorsels(src, ctx);
 
   // Single-morsel (and empty-source) fast path: the morsel IS the whole
   // relation, so the operator chain runs on it directly — no slicing, no
@@ -209,6 +239,13 @@ StatusOr<Chunk> RunPipeline(const Pipeline& p, const PipelineOutputs& outs,
   ParallelFor(0, num_morsels, 1, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       const size_t ui = static_cast<size_t>(i);
+      // Cooperative cancellation at the morsel boundary: a cancelled run
+      // skips every remaining morsel instead of racing to materialize.
+      Status cancel = CheckCancel(ctx);
+      if (!cancel.ok()) {
+        statuses[ui] = std::move(cancel);
+        continue;
+      }
       const int64_t lo = i * morsel_rows;
       const int64_t hi = std::min(rows, lo + morsel_rows);
       StatusOr<Chunk> out = ApplyOps(p, src.SliceRows(lo, hi - lo), outs,
@@ -309,14 +346,109 @@ StatusOr<Chunk> ApplyBreaker(const LogicalNode& sink, Chunk input,
   }
 }
 
-StatusOr<Chunk> ExecuteStreaming(const PipelinePlan& pplan,
-                                 const ExecContext& ctx) {
+/// Streams the result pipeline into `sink`, chunk by chunk in morsel
+/// order, instead of materializing it: morsels are processed in waves of
+/// pool-width parallelism and each wave's surviving outputs are sunk as
+/// soon as the wave completes, so the first chunk reaches the consumer
+/// after ~one morsel's work rather than after the whole relation
+/// (time-to-first-chunk << full-drain). The concatenation of the sunk
+/// chunks is exactly what `RunPipeline` would have assembled — waves only
+/// add barriers, never reorder — and a sink refusal (cursor closed) or a
+/// cancelled token stops production at the next morsel boundary.
+Status StreamResultPipeline(const Pipeline& p, const PipelineOutputs& outs,
+                            const ExecContext& ctx, const ChunkSink& sink) {
+  TDP_RETURN_NOT_OK(CheckCancel(ctx));
+  TDP_ASSIGN_OR_RETURN(Chunk src, SourceChunk(p, outs, ctx));
+
+  const auto fault = [&ctx](int64_t morsel_index) -> Status {
+    if (ctx.morsel_fault != nullptr && *ctx.morsel_fault) {
+      return (*ctx.morsel_fault)(morsel_index);
+    }
+    return Status::OK();
+  };
+
+  // Operator-free result pipelines (pure pass-throughs, e.g. the output
+  // of a Sort/Limit breaker) yield their single assembled chunk.
+  if (p.ops.empty()) {
+    TDP_RETURN_NOT_OK(fault(0));
+    return sink(std::move(src));
+  }
+
+  const auto [rows, morsel_rows, num_morsels] = PartitionMorsels(src, ctx);
+
+  // Single-morsel (and empty-source) fast path, identical to RunPipeline's.
+  if (num_morsels <= 1) {
+    TDP_RETURN_NOT_OK(fault(0));
+    TDP_ASSIGN_OR_RETURN(Chunk out, ApplyOps(p, std::move(src), outs, ctx,
+                                             /*stop_when_empty=*/false));
+    return sink(std::move(out));
+  }
+
+  // Wave width = pool width: every worker gets one morsel per wave, so a
+  // wave costs ~one morsel of wall clock and the sink sees the first
+  // chunk that early, while total parallelism matches the drain-all path.
+  const int64_t wave =
+      std::max<int64_t>(1, ThreadPool::Global().num_threads());
+  std::vector<Chunk> outputs;
+  std::vector<Status> statuses;
+  bool sunk_any = false;
+  for (int64_t wave_begin = 0; wave_begin < num_morsels;
+       wave_begin += wave) {
+    const int64_t wave_end = std::min(num_morsels, wave_begin + wave);
+    const size_t wave_size = static_cast<size_t>(wave_end - wave_begin);
+    TDP_RETURN_NOT_OK(CheckCancel(ctx));
+    outputs.assign(wave_size, Chunk{});
+    statuses.assign(wave_size, Status::OK());
+    ParallelFor(wave_begin, wave_end, 1, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        const size_t ui = static_cast<size_t>(i - wave_begin);
+        Status st = CheckCancel(ctx);
+        if (st.ok()) st = fault(i);
+        if (!st.ok()) {
+          statuses[ui] = std::move(st);
+          continue;
+        }
+        const int64_t lo = i * morsel_rows;
+        const int64_t hi = std::min(rows, lo + morsel_rows);
+        StatusOr<Chunk> out = ApplyOps(p, src.SliceRows(lo, hi - lo), outs,
+                                       ctx, /*stop_when_empty=*/true);
+        if (!out.ok()) {
+          statuses[ui] = out.status();
+          continue;
+        }
+        outputs[ui] = std::move(out).value();
+      }
+    });
+    for (const Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+    for (Chunk& out : outputs) {
+      if (out.num_rows() == 0) continue;  // dropped morsel
+      TDP_RETURN_NOT_OK(sink(std::move(out)));
+      sunk_any = true;
+    }
+  }
+
+  if (!sunk_any) {
+    // Every morsel filtered away: reproduce the legacy empty-relation
+    // result (a constant Project still emits its single row).
+    TDP_ASSIGN_OR_RETURN(Chunk empty, EmptyStreamResult(p, src, outs, ctx));
+    return sink(std::move(empty));
+  }
+  return Status::OK();
+}
+
+Status ExecuteStreamingImpl(const PipelinePlan& pplan, const ExecContext& ctx,
+                            const ChunkSink& sink) {
   PipelineOutputs outs;
   for (const Pipeline& p : pplan.pipelines) {
+    if (p.sink_kind == SinkKind::kResult) {
+      return StreamResultPipeline(p, outs, ctx, sink);
+    }
     TDP_ASSIGN_OR_RETURN(Chunk produced, RunPipeline(p, outs, ctx));
     switch (p.sink_kind) {
       case SinkKind::kResult:
-        return produced;
+        break;  // handled above
       case SinkKind::kJoinBuild: {
         TDP_ASSIGN_OR_RETURN(
             JoinHashTable ht,
@@ -344,6 +476,11 @@ StatusOr<Chunk> ExecuteStreaming(const PipelinePlan& pplan,
 
 }  // namespace
 
+Status ExecuteStreamingToSink(const PipelinePlan& pplan,
+                              const ExecContext& ctx, const ChunkSink& sink) {
+  return ExecuteStreamingImpl(pplan, ctx, sink);
+}
+
 StatusOr<Chunk> ExecutePlan(const plan::LogicalNode& root,
                             const PipelinePlan& pipelines,
                             const ExecContext& ctx) {
@@ -352,7 +489,18 @@ StatusOr<Chunk> ExecutePlan(const plan::LogicalNode& root,
   // training-loop throughput is bounded by the backward pass, not by
   // operator materialization.
   if (!ctx.exec.streaming || ctx.soft_mode) return ExecuteNode(root, ctx);
-  return ExecuteStreaming(pipelines, ctx);
+  // Run() is a thin drain of the same sink-based streaming executor the
+  // cursor uses: collect the result pipeline's chunks and concatenate
+  // them, which is bit-identical to the pre-cursor assembly.
+  std::vector<Chunk> parts;
+  TDP_RETURN_NOT_OK(ExecuteStreamingToSink(
+      pipelines, ctx, [&parts](Chunk chunk) {
+        parts.push_back(std::move(chunk));
+        return Status::OK();
+      }));
+  TDP_CHECK(!parts.empty()) << "streaming executor sank no chunks";
+  if (parts.size() == 1) return std::move(parts[0]);
+  return Chunk::Concat(parts);
 }
 
 }  // namespace exec

@@ -54,10 +54,9 @@ std::string CacheKey(const std::string& sql, const QueryOptions& options) {
   key += '\x1f';
   key += std::to_string(static_cast<int>(options.device));
   key += options.trainable ? "/t" : "/e";
-  // Exec options are mutable per-CompiledQuery state; keying on them keeps
-  // clients with different executors/morsel sizes on separate shared plans.
-  key += options.exec.streaming ? "/s" : "/w";
-  key += std::to_string(options.exec.morsel_rows);
+  // Executor selection / morsel sizing are per-run state (exec::RunOptions),
+  // not plan state, so they are deliberately NOT part of the key: clients
+  // running with different morsel sizes share one cached plan.
   return key;
 }
 
@@ -100,10 +99,8 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
   TDP_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical_plan,
                        binder.Bind(*statement));
   logical_plan = plan::Optimize(std::move(logical_plan), snapshot.get());
-  auto query = std::make_shared<exec::CompiledQuery>(
+  return std::make_shared<exec::CompiledQuery>(
       std::move(logical_plan), catalog_, options.device, options.trainable);
-  query->set_exec_options(options.exec);
-  return query;
 }
 
 StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
@@ -168,9 +165,42 @@ StatusOr<std::shared_ptr<Table>> Session::Sql(
   return query->Run(params);
 }
 
+StatusOr<std::shared_ptr<Table>> Session::Sql(const std::string& sql,
+                                              const QueryOptions& options,
+                                              const exec::RunOptions& run) {
+  TDP_ASSIGN_OR_RETURN(auto query, Prepare(sql, options));
+  return query->Run(run);
+}
+
+StatusOr<std::unique_ptr<exec::ResultCursor>> Session::Execute(
+    const std::string& sql, const QueryOptions& options,
+    exec::RunOptions run) {
+  TDP_ASSIGN_OR_RETURN(auto query, Prepare(sql, options));
+  return query->Open(std::move(run));
+}
+
 StatusOr<std::string> Session::Explain(const std::string& sql,
                                        const QueryOptions& options) {
-  TDP_ASSIGN_OR_RETURN(auto query, Prepare(sql, options));
+  // Non-inserting peek: serve the plan from the cache when a fresh entry
+  // exists, but without touching LRU order or stats; on miss, compile
+  // outside the cache entirely. EXPLAIN is an inspection tool — a burst of
+  // ad-hoc EXPLAINs must not evict the hot serving plans.
+  if (options.use_plan_cache && !options.trainable) {
+    const std::string key = CacheKey(sql, options);
+    const uint64_t version = catalog_->version();
+    std::shared_ptr<exec::CompiledQuery> cached;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = index_.find(key);
+      if (it != index_.end() && it->second->catalog_version == version) {
+        cached = it->second->query;
+      }
+    }
+    // Render outside the lock: plan-tree stringification must not stall
+    // concurrent Prepare() cache hits on the serving path.
+    if (cached != nullptr) return cached->Explain();
+  }
+  TDP_ASSIGN_OR_RETURN(auto query, Query(sql, options));
   return query->Explain();
 }
 

@@ -16,7 +16,10 @@
 namespace tdp {
 
 /// Compilation options — the paper's `extra_config` (Listing 6) plus the
-/// target device (Listing 2).
+/// target device (Listing 2). Everything here is plan state (part of the
+/// plan-cache key); per-run knobs — parameters, executor/morsel selection,
+/// training-mode override, cancellation — live in `exec::RunOptions`
+/// instead, so clients with conflicting run options share one cached plan.
 struct QueryOptions {
   Device device = Device::kAccel;
   /// Compile an end-to-end differentiable plan (soft operators over PE
@@ -26,11 +29,6 @@ struct QueryOptions {
   /// the session plan cache. (Trainable queries are never cached: they
   /// carry mutable module state.)
   bool use_plan_cache = true;
-  /// Executor selection + morsel sizing applied to the compiled query
-  /// (`CompiledQuery::set_exec_options`). Part of the plan-cache key, so
-  /// clients requesting different executors or morsel sizes never share a
-  /// cached plan object whose options would race.
-  exec::ExecOptions exec;
 };
 
 /// Cumulative plan-cache counters (see `Session::plan_cache_stats`).
@@ -103,7 +101,23 @@ class Session {
       const std::string& sql, const QueryOptions& options = {},
       const std::vector<exec::ScalarValue>& params = {});
 
-  /// EXPLAIN: the optimized plan for `sql`.
+  /// One-shot with full per-run control (executor selection, cancellation,
+  /// training-mode override): compile through the plan cache + run.
+  StatusOr<std::shared_ptr<Table>> Sql(const std::string& sql,
+                                       const QueryOptions& options,
+                                       const exec::RunOptions& run);
+
+  /// Streaming execution: compile `sql` through the plan cache and open a
+  /// `ResultCursor` whose `Next()` yields result chunks incrementally
+  /// (bounded queue, backpressure, cooperative cancellation on close) —
+  /// time-to-first-chunk is ~one morsel of work, not the full result.
+  StatusOr<std::unique_ptr<exec::ResultCursor>> Execute(
+      const std::string& sql, const QueryOptions& options = {},
+      exec::RunOptions run = {});
+
+  /// EXPLAIN: the optimized plan for `sql`. Reads through the plan cache
+  /// without perturbing it (no insert, no LRU reorder, no stats change):
+  /// ad-hoc EXPLAINs must never evict hot serving plans.
   StatusOr<std::string> Explain(const std::string& sql,
                                 const QueryOptions& options = {});
 

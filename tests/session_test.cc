@@ -237,6 +237,82 @@ TEST(SessionTest, PlanCacheHitsOnRepeatAndNormalizedText) {
   EXPECT_EQ(stats.size, 2u);
 }
 
+// Per-run executor/morsel options are not plan state, so they are not in
+// the cache key: clients with different morsel sizes (or executors) share
+// ONE cached plan and run it concurrently with their own RunOptions.
+TEST(SessionTest, OneCachedPlanServesAllRunOptions) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums", Tensor::FromVector(
+                                              std::vector<float>{1, 2, 3}))
+                  .ok());
+  const std::string sql = "SELECT value FROM nums WHERE value > 0";
+  auto first = session.Prepare(sql);
+  ASSERT_TRUE(first.ok());
+  auto second = session.Prepare(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(session.plan_cache_stats().hits, 1u);
+  EXPECT_EQ(session.plan_cache_stats().size, 1u);
+
+  exec::RunOptions tiny;
+  tiny.exec.morsel_rows = 1;
+  exec::RunOptions legacy;
+  legacy.exec.streaming = false;
+  auto a = (*first)->Run(tiny);
+  auto b = (*second)->Run(legacy);
+  auto c = (*second)->Run();  // defaults
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*a)->num_rows(), 3);
+  EXPECT_EQ((*b)->num_rows(), 3);
+  EXPECT_EQ((*c)->num_rows(), 3);
+  // Still one plan, no extra compilation happened for the option spread.
+  EXPECT_EQ(session.plan_cache_stats().size, 1u);
+  EXPECT_EQ(session.plan_cache_stats().misses, 1u);
+}
+
+// EXPLAIN is an inspection tool: it must read through the plan cache
+// without perturbing it — no insert (ad-hoc EXPLAINs would evict hot
+// serving plans), no LRU reorder, no stats movement.
+TEST(SessionTest, ExplainDoesNotTouchThePlanCache) {
+  Session session;
+  ASSERT_TRUE(session
+                  .RegisterTensor("nums", Tensor::FromVector(
+                                              std::vector<float>{1, 2, 3}))
+                  .ok());
+  session.set_plan_cache_capacity(2);
+  ASSERT_TRUE(session.Prepare("SELECT value FROM nums").ok());      // A
+  ASSERT_TRUE(session.Prepare("SELECT value + 1 FROM nums").ok());  // B
+  const PlanCacheStats before = session.plan_cache_stats();
+
+  // EXPLAINs of uncached statements: compiled outside the cache, no
+  // insert, no eviction of A/B.
+  for (int i = 2; i < 6; ++i) {
+    auto plan = session.Explain("SELECT value + " + std::to_string(i) +
+                                " FROM nums");
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_NE(plan->find("Project"), std::string::npos);
+  }
+  // EXPLAIN of a cached statement: served from the cache, still no stats
+  // movement and no LRU reorder.
+  ASSERT_TRUE(session.Explain("SELECT value FROM nums").ok());
+
+  const PlanCacheStats after = session.plan_cache_stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.evictions, before.evictions);
+  EXPECT_EQ(after.invalidations, before.invalidations);
+  EXPECT_EQ(after.size, before.size);
+
+  // A and B are both still cached (the EXPLAIN burst evicted nothing).
+  ASSERT_TRUE(session.Prepare("SELECT value FROM nums").ok());
+  ASSERT_TRUE(session.Prepare("SELECT value + 1 FROM nums").ok());
+  EXPECT_EQ(session.plan_cache_stats().hits, before.hits + 2);
+  EXPECT_EQ(session.plan_cache_stats().evictions, 0u);
+}
+
 TEST(SessionTest, PlanCacheEvictsLeastRecentlyUsed) {
   Session session;
   ASSERT_TRUE(session

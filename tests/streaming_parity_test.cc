@@ -4,10 +4,17 @@
 // for every morsel size and thread count — including degenerate morsels
 // (1 row), morsels that straddle the aggregate's 4096-row accumulation
 // blocks, empty/single-row tables, and empty build/probe join sides.
+// The pull-based ResultCursor is swept alongside: the concatenation of a
+// drained cursor's chunks must equal the legacy Run() bit for bit at
+// every (morsel, thread) combination, and abandoning/sharing cursors
+// across threads must be race-free (this suite runs under TSan in CI).
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -91,10 +98,43 @@ class StreamingParityTest : public ::testing::Test {
                                            int64_t morsel_rows) {
     QueryOptions options;
     options.use_plan_cache = false;
-    options.exec.streaming = streaming;
-    options.exec.morsel_rows = morsel_rows;
+    exec::RunOptions run;
+    run.exec.streaming = streaming;
+    run.exec.morsel_rows = morsel_rows;
     TDP_ASSIGN_OR_RETURN(auto query, session_.Query(sql, options));
-    return query->Run();
+    return query->Run(run);
+  }
+
+  /// Opens a cursor with the given run options, drains it, and returns
+  /// the concatenation of the yielded chunks as a table.
+  static StatusOr<std::shared_ptr<Table>> DrainCursor(
+      const std::shared_ptr<exec::CompiledQuery>& query,
+      exec::RunOptions run) {
+    TDP_ASSIGN_OR_RETURN(std::unique_ptr<exec::ResultCursor> cursor,
+                         query->Open(std::move(run)));
+    std::vector<exec::Chunk> chunks;
+    while (true) {
+      TDP_ASSIGN_OR_RETURN(std::optional<exec::Chunk> chunk, cursor->Next());
+      if (!chunk.has_value()) break;
+      chunks.push_back(std::move(*chunk));
+    }
+    // A successful stream always yields at least one (possibly zero-row)
+    // chunk — an empty stream would be a silent-truncation bug.
+    if (chunks.empty()) {
+      return Status::Internal("cursor yielded no chunks");
+    }
+    const exec::Chunk result = exec::Chunk::Concat(chunks);
+    return result.ToTable("result");
+  }
+
+  StatusOr<std::shared_ptr<Table>> CursorWith(const std::string& sql,
+                                              int64_t morsel_rows) {
+    QueryOptions options;
+    options.use_plan_cache = false;
+    exec::RunOptions run;
+    run.exec.morsel_rows = morsel_rows;
+    TDP_ASSIGN_OR_RETURN(auto query, session_.Query(sql, options));
+    return DrainCursor(query, std::move(run));
   }
 
   void ExpectBitIdentical(const Table& a, const Table& b) {
@@ -115,10 +155,11 @@ class StreamingParityTest : public ::testing::Test {
     }
   }
 
-  /// Runs `sql` on the legacy path once, then on the streaming path for
-  /// every (morsel size, thread count) combination, asserting bit
-  /// identity. Thread counts apply to both paths — the legacy path's
-  /// intra-operator loops are also thread-deterministic.
+  /// Runs `sql` on the legacy path once, then on the streaming path —
+  /// both the materializing Run() and a drained ResultCursor — for every
+  /// (morsel size, thread count) combination, asserting bit identity.
+  /// Thread counts apply to both paths — the legacy path's intra-operator
+  /// loops are also thread-deterministic.
   void ExpectParity(const std::string& sql) {
     SCOPED_TRACE(sql);
     auto reference = RunWith(sql, /*streaming=*/false, 0);
@@ -131,6 +172,9 @@ class StreamingParityTest : public ::testing::Test {
         auto streamed = RunWith(sql, /*streaming=*/true, morsel);
         ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
         ExpectBitIdentical(**reference, **streamed);
+        auto drained = CursorWith(sql, morsel);
+        ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+        ExpectBitIdentical(**reference, **drained);
       }
     }
   }
@@ -243,17 +287,102 @@ TEST_F(StreamingParityTest, BatchDependentUdfsBreakPipelines) {
 }
 
 // The whole-table streaming default must also match when driven through
-// the normal Session::Sql path (plan cache on, default exec options).
+// the normal Session::Sql path (plan cache on, default run options) —
+// the legacy executor is now selected per run, through the same cached
+// plan.
 TEST_F(StreamingParityTest, DefaultPathMatchesLegacy) {
   const std::string sql =
       "SELECT tag, COUNT(*), SUM(v) FROM big GROUP BY tag ORDER BY tag";
   auto streamed = session_.Sql(sql);
   ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
-  QueryOptions legacy;
+  exec::RunOptions legacy;
   legacy.exec.streaming = false;
-  auto reference = session_.Sql(sql, legacy);
+  auto reference = session_.Sql(sql, QueryOptions{}, legacy);
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
   ExpectBitIdentical(**reference, **streamed);
+}
+
+// Session::Execute end to end: the cursor stream through the plan cache
+// equals Sql()'s materialized table.
+TEST_F(StreamingParityTest, SessionExecuteMatchesSql) {
+  const std::string sql = "SELECT k, v FROM big WHERE v > 0";
+  auto reference = session_.Sql(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  exec::RunOptions run;
+  run.exec.morsel_rows = 512;
+  auto cursor = session_.Execute(sql, QueryOptions{}, std::move(run));
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  std::vector<exec::Chunk> chunks;
+  while (true) {
+    auto chunk = (*cursor)->Next();
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (!chunk->has_value()) break;
+    chunks.push_back(std::move(**chunk));
+  }
+  ASSERT_GT(chunks.size(), 1u);  // genuinely streamed, not one blob
+  auto table = exec::Chunk::Concat(chunks).ToTable("result");
+  ASSERT_TRUE(table.ok());
+  ExpectBitIdentical(**reference, **table);
+}
+
+// Mid-stream abandonment under concurrency: many threads open cursors on
+// tiny morsels, consume one chunk, and drop the cursor. The destructor's
+// cooperative cancellation (close flag + token checked at morsel
+// boundaries, producer joined) must be race-free — this suite runs under
+// TSan in CI.
+TEST_F(StreamingParityTest, ConcurrentCursorAbandonment) {
+  QueryOptions options;
+  auto query = session_.Prepare("SELECT k, v FROM big WHERE v > -200",
+                                options);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<int64_t> produced(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      exec::RunOptions run;
+      run.exec.morsel_rows = 16;  // ~625 potential chunks
+      auto cursor = (*query)->Open(std::move(run));
+      if (!cursor.ok()) return;
+      auto first = (*cursor)->Next();
+      if (first.ok()) produced[static_cast<size_t>(c)] = 1;
+      // Abandon mid-stream: ~ResultCursor cancels and joins the producer.
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(produced[static_cast<size_t>(c)], 1) << "client " << c;
+  }
+}
+
+// Concurrent cursors over ONE shared prepared plan, each with different
+// per-run morsel sizes: the plan is immutable, so streams must neither
+// race nor cross-contaminate; every drained stream equals the reference.
+TEST_F(StreamingParityTest, ConcurrentCursorsShareOnePreparedPlan) {
+  const std::string sql =
+      "SELECT k, v FROM big WHERE k < 48 AND v > -150";
+  auto reference = RunWith(sql, /*streaming=*/false, 0);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  auto query = session_.Prepare(sql);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const int64_t kMorsels[] = {16, 127, 4096, 1 << 20};
+  std::vector<std::thread> clients;
+  std::vector<StatusOr<std::shared_ptr<Table>>> results(
+      4, Status::Internal("unset"));
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      exec::RunOptions run;
+      run.exec.morsel_rows = kMorsels[c];
+      results[static_cast<size_t>(c)] = DrainCursor(*query, std::move(run));
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < 4; ++c) {
+    SCOPED_TRACE("client " + std::to_string(c));
+    ASSERT_TRUE(results[static_cast<size_t>(c)].ok())
+        << results[static_cast<size_t>(c)].status().ToString();
+    ExpectBitIdentical(**reference, *results[static_cast<size_t>(c)].value());
+  }
 }
 
 }  // namespace

@@ -179,9 +179,11 @@ TEST_F(TrainableQueryTest, InferenceModeSwapsToExactOperators) {
   ASSERT_TRUE(soft.ok());
   EXPECT_EQ(soft->num_rows(), 20);
 
-  // Inference mode: exact operators — integer counts, observed groups only.
-  (*query)->set_training_mode(false);
-  auto exact = (*query)->RunChunk();
+  // Inference mode (per-run override, the plan itself stays immutable):
+  // exact operators — integer counts, observed groups only.
+  exec::RunOptions inference;
+  inference.training_mode = false;
+  auto exact = (*query)->RunChunk(inference);
   ASSERT_TRUE(exact.ok()) << exact.status().ToString();
   EXPECT_LE(exact->num_rows(), 20);
   const Tensor counts = exact->columns[2].data();
