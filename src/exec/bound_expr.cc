@@ -351,6 +351,51 @@ StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
   return EvalResult{false, {}, std::move(out)};
 }
 
+StatusOr<EvalResult> EvaluateVectorSim(const BoundVectorSim& expr,
+                                       const Chunk& input, Device device,
+                                       const std::vector<ScalarValue>* params) {
+  TDP_ASSIGN_OR_RETURN(EvalResult col,
+                       EvaluateExpr(*expr.column, input, device, params));
+  if (col.is_scalar || col.column.encoding() != Encoding::kPlain ||
+      col.column.data().dim() != 2) {
+    return Status::TypeError(
+        "first argument of dot/cosine_sim must be a rank-2 tensor column "
+        "(one embedding per row)");
+  }
+  TDP_ASSIGN_OR_RETURN(EvalResult qr,
+                       EvaluateExpr(*expr.query, input, device, params));
+  if (!qr.is_scalar || !qr.scalar.is_tensor()) {
+    return Status::TypeError(
+        "second argument of dot/cosine_sim must be a constant query vector "
+        "(bind a tensor via ScalarValue::FromTensor)");
+  }
+  const Tensor rows = col.column.data().Detach().To(DType::kFloat32);
+  const Tensor& qraw = qr.scalar.tensor_value();
+  if (!qraw.defined() || qraw.numel() != rows.size(1)) {
+    return Status::InvalidArgument(
+        "query vector dimension mismatch: column has d=" +
+        std::to_string(rows.size(1)) + ", query has " +
+        std::to_string(qraw.defined() ? qraw.numel() : 0) + " element(s)");
+  }
+  const Tensor q = Reshape(qraw.Detach().To(DType::kFloat32).To(device),
+                           {rows.size(1), 1});
+  // Per-row inner product: each output element's reduction runs over d in
+  // a fixed order regardless of the row count, so subset evaluation is
+  // bit-identical to full-relation evaluation (see BoundVectorSim).
+  Tensor scores = Squeeze(MatMul(rows, q), 1);
+  if (expr.sim_kind == BoundVectorSim::SimKind::kCosine) {
+    const Tensor row_norms =
+        Sqrt(Sum(Mul(rows, rows), /*dim=*/1, /*keepdim=*/false));
+    const Tensor q_norm = Sqrt(Sum(Mul(q, q)));
+    const Tensor denom = Mul(row_norms, Reshape(q_norm, {1}));
+    constexpr double kEps = 1e-12;
+    scores = Div(scores, Maximum(denom, Tensor::Full({1}, kEps,
+                                                     DType::kFloat32,
+                                                     scores.device())));
+  }
+  return EvalResult{false, {}, Column::Plain(std::move(scores))};
+}
+
 }  // namespace
 
 StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
@@ -410,6 +455,9 @@ StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
     case BoundExprKind::kCase:
       return EvaluateCase(static_cast<const BoundCase&>(expr), input, device,
                           params);
+    case BoundExprKind::kVectorSim:
+      return EvaluateVectorSim(static_cast<const BoundVectorSim&>(expr),
+                               input, device, params);
     case BoundExprKind::kParameter: {
       const auto& p = static_cast<const BoundParameter&>(expr);
       if (params == nullptr ||

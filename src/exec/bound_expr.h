@@ -26,6 +26,7 @@ enum class BoundExprKind {
   kUdfCall,
   kCase,
   kParameter,
+  kVectorSim,
 };
 
 struct BoundExpr {
@@ -89,6 +90,28 @@ struct BoundParameter : BoundExpr {
   explicit BoundParameter(int64_t ordinal)
       : BoundExpr(BoundExprKind::kParameter), ordinal(ordinal) {}
   int64_t ordinal;
+};
+
+/// Built-in vector similarity over an embedding column: `dot(col, q)` /
+/// `cosine_sim(col, q)` yield one float32 score per row. `column` must
+/// evaluate to a rank-2 tensor column [n, d]; `query` to a constant
+/// d-element tensor (a literal is impossible in SQL text, so in practice a
+/// `?` parameter bound with `ScalarValue::FromTensor`). Scores are
+/// row-local — row i's score depends only on row i and the query — so the
+/// expression is morsel-safe AND candidate-subset-safe: evaluating it over
+/// any subset of rows produces bit-identical values to the full relation,
+/// which is what lets the IndexTopK operator re-rank index candidates with
+/// this very expression and stay exact at full probe count.
+struct BoundVectorSim : BoundExpr {
+  enum class SimKind { kDot, kCosine };
+  BoundVectorSim(SimKind sim_kind, BoundExprPtr column, BoundExprPtr query)
+      : BoundExpr(BoundExprKind::kVectorSim),
+        sim_kind(sim_kind),
+        column(std::move(column)),
+        query(std::move(query)) {}
+  SimKind sim_kind;
+  BoundExprPtr column;
+  BoundExprPtr query;
 };
 
 /// Result of evaluating an expression: either a per-row column or a

@@ -11,6 +11,9 @@ std::string ScalarValue::ToString() const {
   if (is_int()) return std::to_string(int_value());
   if (is_float()) return std::to_string(float_value());
   if (is_bool()) return bool_value() ? "TRUE" : "FALSE";
+  if (is_tensor()) {
+    return "tensor(" + std::to_string(tensor_value().numel()) + " values)";
+  }
   return "'" + string_value() + "'";
 }
 

@@ -37,6 +37,12 @@ void CollectExprModules(
       if (c.else_expr) CollectExprModules(*c.else_expr, modules);
       return;
     }
+    case BoundExprKind::kVectorSim: {
+      const auto& v = static_cast<const BoundVectorSim&>(e);
+      CollectExprModules(*v.column, modules);
+      CollectExprModules(*v.query, modules);
+      return;
+    }
     default:
       return;
   }
@@ -73,6 +79,10 @@ int64_t MaxParamOrdinal(const BoundExpr& e) {
         max_ordinal = std::max(max_ordinal, MaxParamOrdinal(*c.else_expr));
       }
       return max_ordinal;
+    }
+    case BoundExprKind::kVectorSim: {
+      const auto& v = static_cast<const BoundVectorSim&>(e);
+      return std::max(MaxParamOrdinal(*v.column), MaxParamOrdinal(*v.query));
     }
     case BoundExprKind::kColumnRef:
     case BoundExprKind::kLiteral:
@@ -138,6 +148,20 @@ Status CompiledQuery::ValidateParams(
   return Status::OK();
 }
 
+// Run-entry validation of RunOptions fields with a documented error
+// contract, so e.g. a negative probe budget fails every run identically —
+// whether or not the plan contains an IndexTopK node or its index is
+// currently valid (a latent bad value must not start failing only after
+// an unrelated CREATE/DROP INDEX changes the plan shape).
+static Status ValidateRunOptions(const RunOptions& options) {
+  if (options.num_probes < 0) {
+    return Status::InvalidArgument(
+        "RunOptions::num_probes must be non-negative, got " +
+        std::to_string(options.num_probes));
+  }
+  return Status::OK();
+}
+
 ExecContext CompiledQuery::MakeContext(const RunOptions& options,
                                        const Catalog* snapshot,
                                        const CancellationToken* cancel) const {
@@ -150,6 +174,7 @@ ExecContext CompiledQuery::MakeContext(const RunOptions& options,
   ctx.soft_mode = trainable_ && options.training_mode.value_or(true);
   ctx.params = options.params.empty() ? nullptr : &options.params;
   ctx.exec = options.exec;
+  ctx.index_probes = options.num_probes;
   ctx.cancel = cancel;
   ctx.morsel_fault =
       options.inject_morsel_fault ? &options.inject_morsel_fault : nullptr;
@@ -159,6 +184,7 @@ ExecContext CompiledQuery::MakeContext(const RunOptions& options,
 StatusOr<Chunk> CompiledQuery::RunChunkInternal(
     const std::vector<ScalarValue>& params, const RunOptions& options) const {
   TDP_RETURN_NOT_OK(ValidateParams(params));
+  TDP_RETURN_NOT_OK(ValidateRunOptions(options));
   // One consistent catalog snapshot per run: concurrent RegisterTable
   // calls never tear a multi-table query, and the snapshot stays alive
   // (shared_ptr) for the whole execution.
@@ -192,6 +218,7 @@ StatusOr<std::shared_ptr<Table>> CompiledQuery::Run(
 StatusOr<std::unique_ptr<ResultCursor>> CompiledQuery::Open(
     RunOptions options) const {
   TDP_RETURN_NOT_OK(ValidateParams(options.params));
+  TDP_RETURN_NOT_OK(ValidateRunOptions(options));
   std::shared_ptr<const CompiledQuery> self = weak_from_this().lock();
   if (self == nullptr) {
     return Status::InvalidArgument(

@@ -118,6 +118,16 @@ StatusOr<Chunk> ExecuteSort(const plan::SortNode& node, const Chunk& input,
 StatusOr<Chunk> ExecuteLimit(const plan::LimitNode& node, const Chunk& input);
 StatusOr<Chunk> ExecuteDistinct(const Chunk& input);
 
+/// Index-accelerated top-k similarity (see `plan::IndexTopKNode`): probes
+/// the run snapshot's vector index for candidate rows
+/// (`ExecContext::index_probes` cells; 0 = all), re-ranks them exactly
+/// with the plan's own similarity expression (stable descending sort, so
+/// full-probe results are bit-identical to the Sort+Limit plan the node
+/// replaced), and projects the winners. Falls back to that exact
+/// computation when the snapshot no longer holds a valid index.
+StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
+                                 const Chunk& input, const ExecContext& ctx);
+
 }  // namespace exec
 }  // namespace tdp
 

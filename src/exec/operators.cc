@@ -693,6 +693,135 @@ StatusOr<Chunk> ExecuteDistinct(const Chunk& input) {
   return input.Select(Tensor::FromVector(keep, {}, device));
 }
 
+// ---- IndexTopK --------------------------------------------------------------
+
+namespace {
+
+// Evaluates the node's absorbed projection over `rows` (already reduced to
+// the winning top-k rows) into the output chunk. Every expression here is
+// row-local (the rewrite rejects UDF-bearing projections), so evaluating
+// over the k winners yields the same bytes as evaluating over the full
+// relation and then selecting — the property the exactness guarantee
+// rests on.
+StatusOr<Chunk> ProjectIndexTopK(const plan::IndexTopKNode& node,
+                                 const Chunk& rows, const ExecContext& ctx) {
+  Chunk out;
+  for (size_t i = 0; i < node.exprs.size(); ++i) {
+    TDP_ASSIGN_OR_RETURN(
+        Column c,
+        EvaluateExprToColumn(*node.exprs[i], rows, ctx.device, ctx.params));
+    out.names.push_back(node.schema[i].name);
+    out.columns.push_back(std::move(c));
+  }
+  return out;
+}
+
+// The exact plan shape IndexTopK replaced — Project over the full input,
+// stable descending sort on the sim column, first k rows — used whenever
+// the index cannot serve this run (re-registered table, row-count drift,
+// or a degenerate zero-row selection where per-subset projection of
+// constants would diverge from whole-relation semantics).
+StatusOr<Chunk> IndexTopKExact(const plan::IndexTopKNode& node,
+                               const Chunk& input, const ExecContext& ctx) {
+  TDP_ASSIGN_OR_RETURN(Chunk projected, ProjectIndexTopK(node, input, ctx));
+  const Tensor keys =
+      projected.columns[static_cast<size_t>(node.sim_ordinal)].DecodeValues();
+  if (keys.dim() != 1) {
+    return Status::TypeError("similarity key must be a scalar column");
+  }
+  Tensor perm = ArgSort(keys, /*descending=*/true);
+  const int64_t out_k = std::min<int64_t>(node.k, keys.numel());
+  perm = Slice(perm, 0, 0, out_k).Contiguous();
+  return projected.Select(perm);
+}
+
+}  // namespace
+
+StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
+                                 const Chunk& input, const ExecContext& ctx) {
+  // Re-resolve the index from THIS run's catalog snapshot: plans are
+  // immutable and shared, so index validity — like table resolution — is
+  // per-run state. A vanished/stale index (the table was re-registered
+  // after compilation) degrades to the exact Sort+Limit computation
+  // rather than failing; the next compile drops the IndexTopK node
+  // entirely (the catalog version moved).
+  // LIMIT 0 emits nothing: take the exact path straight away (its
+  // zero-row Select keeps mixed literal/column chunks consistent) rather
+  // than probing an index whose candidates would be discarded.
+  if (node.k <= 0) return IndexTopKExact(node, input, ctx);
+
+  const std::shared_ptr<const VectorIndexEntry> entry =
+      ctx.catalog->FindVectorIndex(node.table_name, node.column_name);
+  if (entry == nullptr || entry->index.num_rows() != input.num_rows()) {
+    return IndexTopKExact(node, input, ctx);
+  }
+
+  const auto& sim = static_cast<const exec::BoundVectorSim&>(
+      *node.exprs[static_cast<size_t>(node.sim_ordinal)]);
+  TDP_ASSIGN_OR_RETURN(EvalResult query,
+                       EvaluateExpr(*sim.query, input, ctx.device,
+                                    ctx.params));
+  if (!query.is_scalar || !query.scalar.is_tensor()) {
+    return Status::TypeError(
+        "IndexTopK query must be a constant tensor (bind the vector with "
+        "ScalarValue::FromTensor)");
+  }
+
+  // Negative budgets were rejected at run entry (ValidateRunOptions);
+  // here 0 means "probe every cell".
+  const int64_t num_lists = entry->index.num_lists();
+  // Cosine ranking only trusts the dot-ordered cell probe on unit-norm
+  // rows (see IvfIndex::rows_unit_norm); otherwise probe every cell so
+  // partial-probe recall can never silently collapse — results stay
+  // exact, only the scan-fraction saving is lost.
+  const bool trust_partial_probe =
+      sim.sim_kind == exec::BoundVectorSim::SimKind::kDot ||
+      entry->index.rows_unit_norm();
+  const int64_t probes =
+      (ctx.index_probes == 0 || !trust_partial_probe)
+          ? num_lists
+          : std::min(ctx.index_probes, num_lists);
+  // The probe budget is a floor: cells are probed past it until k
+  // candidate rows exist, so a LIMIT k never shrinks below min(k, n)
+  // just because the best cell is small — recall absorbs the
+  // approximation, row count never does.
+  TDP_ASSIGN_OR_RETURN(
+      std::vector<int64_t> candidates,
+      entry->index.ProbeCandidates(query.scalar.tensor_value(), probes,
+                                   /*min_candidates=*/node.k));
+  if (candidates.empty()) {
+    return IndexTopKExact(node, input, ctx);
+  }
+
+  // Candidates arrive in ascending row order; scoring them with the
+  // plan's own similarity expression and stable-sorting descending
+  // reproduces the exact plan's ranking over the candidate subset — with
+  // full probes (every cell) the subset IS the relation, making the
+  // result bit-identical to Sort+Limit, tie-breaks included. In that
+  // all-rows case the gather is skipped (candidate ids are exactly
+  // [0, n) ascending, so `input` IS the candidate chunk): the default
+  // probe budget must not pay a full-table copy the brute plan never
+  // pays. Scores are row-local, so skipping the identity gather cannot
+  // change a byte.
+  const bool all_rows =
+      static_cast<int64_t>(candidates.size()) == input.num_rows();
+  const Tensor cand_ids = Tensor::FromVector(candidates, {}, ctx.device);
+  const Chunk cand_rows = all_rows ? input : input.Select(cand_ids);
+  TDP_ASSIGN_OR_RETURN(
+      Column sim_col,
+      EvaluateExprToColumn(*node.exprs[static_cast<size_t>(node.sim_ordinal)],
+                           cand_rows, ctx.device, ctx.params));
+  const Tensor scores = sim_col.DecodeValues();
+  if (scores.dim() != 1) {
+    return Status::TypeError("similarity key must be a scalar column");
+  }
+  const Tensor order = ArgSort(scores, /*descending=*/true);
+  const int64_t out_k = std::min<int64_t>(node.k, scores.numel());
+  const Tensor top = Slice(order, 0, 0, out_k).Contiguous();
+  const Tensor row_ids = IndexSelect(cand_ids, 0, top);
+  return ProjectIndexTopK(node, input.Select(row_ids), ctx);
+}
+
 // ---- Legacy whole-relation executor ----------------------------------------
 
 StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
@@ -745,6 +874,11 @@ StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
     case plan::NodeKind::kDistinct: {
       TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
       return ExecuteDistinct(input);
+    }
+    case plan::NodeKind::kIndexTopK: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteIndexTopK(static_cast<const plan::IndexTopKNode&>(node),
+                              input, ctx);
     }
   }
   return Status::Internal("unknown plan node kind");

@@ -341,6 +341,13 @@ StatusOr<Chunk> ApplyBreaker(const LogicalNode& sink, Chunk input,
       // once, exactly like the legacy path.
       return ProbeJoin(static_cast<const plan::JoinNode&>(sink),
                        outs.joins.at(&sink), input, ctx);
+    case NodeKind::kIndexTopK:
+      // Candidate ids address rows of the materialized scan; the ordered
+      // k-row output then streams onward in morsel order like any other
+      // breaker product, so cursor drains and streaming parity hold by
+      // construction.
+      return ExecuteIndexTopK(static_cast<const plan::IndexTopKNode&>(sink),
+                              input, ctx);
     default:
       return Status::Internal("unexpected breaker kind: " + sink.Describe());
   }

@@ -6,11 +6,15 @@
 #include <variant>
 
 #include "src/common/logging.h"
+#include "src/tensor/tensor.h"
 
 namespace tdp {
 namespace exec {
 
 /// A constant scalar appearing in a query (literal or bound parameter).
+/// Besides the SQL literal types, a value may carry a whole `Tensor` — the
+/// binding for a `?` placeholder inside `dot(col, ?)` / `cosine_sim(col,
+/// ?)`, where the "constant" of the statement is a query embedding vector.
 class ScalarValue {
  public:
   ScalarValue() : value_(std::monostate{}) {}
@@ -20,6 +24,7 @@ class ScalarValue {
     return ScalarValue(std::move(v));
   }
   static ScalarValue Bool(bool v) { return ScalarValue(v); }
+  static ScalarValue FromTensor(Tensor v) { return ScalarValue(std::move(v)); }
   static ScalarValue Null() { return ScalarValue(); }
 
   bool is_null() const {
@@ -31,6 +36,7 @@ class ScalarValue {
     return std::holds_alternative<std::string>(value_);
   }
   bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_tensor() const { return std::holds_alternative<Tensor>(value_); }
   bool is_numeric() const { return is_int() || is_float(); }
 
   int64_t int_value() const { return std::get<int64_t>(value_); }
@@ -39,6 +45,7 @@ class ScalarValue {
     return std::get<std::string>(value_);
   }
   bool bool_value() const { return std::get<bool>(value_); }
+  const Tensor& tensor_value() const { return std::get<Tensor>(value_); }
 
   /// Numeric value as double (int or float).
   double AsDouble() const {
@@ -53,7 +60,8 @@ class ScalarValue {
   template <typename T>
   explicit ScalarValue(T v) : value_(std::move(v)) {}
 
-  std::variant<std::monostate, int64_t, double, std::string, bool> value_;
+  std::variant<std::monostate, int64_t, double, std::string, bool, Tensor>
+      value_;
 };
 
 }  // namespace exec

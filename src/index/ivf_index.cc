@@ -27,6 +27,15 @@ StatusOr<IvfIndex> IvfIndex::Build(const Tensor& embeddings,
   index.data_ =
       embeddings.Detach().Contiguous().To(DType::kFloat32);
 
+  // Record whether rows are unit-norm (see rows_unit_norm()): cosine
+  // queries may only probe a SUBSET of cells when they are.
+  const Tensor norms = Sqrt(
+      Sum(Mul(index.data_, index.data_), /*dim=*/1, /*keepdim=*/false));
+  const Tensor ones = Tensor::Full({1}, 1.0f, DType::kFloat32,
+                                   index.data_.device());
+  index.rows_unit_norm_ =
+      MaxAll(Abs(Sub(norms, ones))).item<float>() < 1e-3f;
+
   // k-means++ -lite init: random distinct rows as seed centroids.
   const std::vector<int64_t> perm = rng.Permutation(n);
   std::vector<int64_t> seeds(perm.begin(), perm.begin() + lists);
@@ -71,34 +80,78 @@ StatusOr<IvfIndex> IvfIndex::Build(const Tensor& embeddings,
   return index;
 }
 
-StatusOr<IvfIndex::SearchResult> IvfIndex::Search(const Tensor& query,
-                                                  int64_t k,
-                                                  int64_t num_probes) const {
+StatusOr<Tensor> IvfIndex::PrepareQuery(const Tensor& query) const {
   if (!query.defined() || query.numel() != data_.size(1)) {
-    return Status::InvalidArgument("query dimension mismatch");
+    return Status::InvalidArgument(
+        "query dimension mismatch: index has d=" +
+        std::to_string(data_.size(1)) + ", query has " +
+        std::to_string(query.defined() ? query.numel() : 0) + " element(s)");
   }
-  if (k <= 0) return Status::InvalidArgument("k must be positive");
-  num_probes = std::clamp<int64_t>(num_probes, 1, num_lists());
+  return Reshape(query.Detach().To(DType::kFloat32).To(data_.device()),
+                 {data_.size(1), 1});
+}
 
-  const Tensor q =
-      Reshape(query.Detach().To(DType::kFloat32).To(data_.device()),
-              {data_.size(1), 1});
-
-  // Rank cells by centroid score; visit the top `num_probes`.
+std::vector<int64_t> IvfIndex::ProbePrepared(const Tensor& q,
+                                             int64_t num_probes,
+                                             int64_t min_candidates) const {
+  // Rank cells by centroid score; visit the top `num_probes` non-empty
+  // ones (empty cells left over from k-means are skipped, never counted
+  // against the probe budget), then keep probing — best cell first —
+  // while fewer than `min_candidates` rows were collected: the budget
+  // dials recall, never the result's row count.
   const Tensor cell_scores = Squeeze(MatMul(centroids_, q), 1);
   const Tensor cell_order = ArgSort(cell_scores, /*descending=*/true);
   std::vector<int64_t> candidates;
-  for (int64_t p = 0; p < num_probes; ++p) {
+  int64_t probed = 0;
+  for (int64_t p = 0; p < num_lists(); ++p) {
+    if (probed >= num_probes &&
+        static_cast<int64_t>(candidates.size()) >= min_candidates) {
+      break;
+    }
     const int64_t cell = static_cast<int64_t>(cell_order.At({p}));
     const auto& members = lists_[static_cast<size_t>(cell)];
+    if (members.empty()) continue;
     candidates.insert(candidates.end(), members.begin(), members.end());
+    ++probed;
   }
-  if (candidates.empty()) {
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+StatusOr<std::vector<int64_t>> IvfIndex::ProbeCandidates(
+    const Tensor& query, int64_t num_probes, int64_t min_candidates) const {
+  if (num_probes <= 0) {
+    return Status::InvalidArgument("num_probes must be positive, got " +
+                                   std::to_string(num_probes));
+  }
+  TDP_ASSIGN_OR_RETURN(Tensor q, PrepareQuery(query));
+  return ProbePrepared(q, std::min(num_probes, num_lists()),
+                       min_candidates);
+}
+
+StatusOr<IvfIndex::SearchResult> IvfIndex::Search(const Tensor& query,
+                                                  int64_t k,
+                                                  int64_t num_probes) const {
+  if (k < 0) {
+    return Status::InvalidArgument("k must be non-negative, got " +
+                                   std::to_string(k));
+  }
+  if (num_probes <= 0) {
+    return Status::InvalidArgument("num_probes must be positive, got " +
+                                   std::to_string(num_probes));
+  }
+  TDP_ASSIGN_OR_RETURN(Tensor q, PrepareQuery(query));
+  const std::vector<int64_t> candidates =
+      ProbePrepared(q, std::min(num_probes, num_lists()),
+                    /*min_candidates=*/k);
+  if (k == 0 || candidates.empty()) {
     return SearchResult{Tensor::Empty({0}, DType::kInt64),
                         Tensor::Empty({0}, DType::kFloat32)};
   }
 
-  // Exact scoring of the candidate set.
+  // Exact scoring of the candidate set; candidates are in ascending row
+  // order, so the stable descending sort breaks ties toward lower row ids
+  // — the same tie order a stable ORDER BY over the full relation yields.
   const Tensor cand_ids =
       Tensor::FromVector(candidates, {}, data_.device());
   const Tensor cand_rows = IndexSelect(data_, 0, cand_ids);

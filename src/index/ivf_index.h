@@ -38,12 +38,41 @@ class IvfIndex {
     Tensor scores;   // [k] float32 inner products
   };
 
-  /// Approximate top-k by inner product with `query` [d].
+  /// Approximate top-k by inner product with `query` (any shape with
+  /// exactly d elements). `k == 0` yields an empty result; `k < 0` and
+  /// `num_probes <= 0` are InvalidArgument; `k > num_rows()` and
+  /// `num_probes > num_lists()` clamp. Ties break toward lower row ids
+  /// (candidates are scored in ascending row order under a stable sort),
+  /// matching the engine's stable ORDER BY.
   StatusOr<SearchResult> Search(const Tensor& query, int64_t k,
                                 int64_t num_probes) const;
 
+  /// Candidate generation for the SQL `IndexTopK` operator: the member
+  /// rows of the `num_probes` highest-scoring NON-EMPTY cells (k-means can
+  /// leave cells empty; probing those would waste the probe budget and, at
+  /// full probe count, break the all-rows guarantee). The budget is a
+  /// FLOOR, not a cap on the result: when the probed cells hold fewer than
+  /// `min_candidates` rows, further cells are probed (best first) until
+  /// enough exist or every cell is visited — so a top-k over a tiny cell
+  /// still returns k rows, with recall (not row count) absorbing the
+  /// approximation. Returned ascending. With `num_probes >= num_lists`
+  /// this is exactly [0, num_rows) — the caller's exact re-rank then
+  /// degenerates to brute force, which is what makes full-probe index
+  /// plans bit-identical to the Sort+Limit plan.
+  StatusOr<std::vector<int64_t>> ProbeCandidates(
+      const Tensor& query, int64_t num_probes,
+      int64_t min_candidates = 0) const;
+
   int64_t num_lists() const { return centroids_.size(0); }
   int64_t num_rows() const { return data_.size(0); }
+
+  /// True when every indexed row is (approximately) L2-normalized.
+  /// Probing ranks cells by raw inner product against the centroids; for
+  /// COSINE queries that ordering is only trustworthy on unit-norm rows
+  /// (a small-norm row can be the true cosine top-1 yet live in a cell
+  /// the dot-ordered probe never reaches), so the IndexTopK operator
+  /// probes every cell — exact results — when this is false.
+  bool rows_unit_norm() const { return rows_unit_norm_; }
 
   /// Fraction of rows scanned for a given probe count (cost model).
   double ScanFraction(int64_t num_probes) const;
@@ -51,9 +80,19 @@ class IvfIndex {
  private:
   IvfIndex() = default;
 
+  /// Validates the query's element count and converts it once to the
+  /// [d, 1] float32 column matrix both probing and scoring multiply by.
+  StatusOr<Tensor> PrepareQuery(const Tensor& query) const;
+
+  /// ProbeCandidates over an already-prepared query (no re-validation or
+  /// re-conversion; `num_probes` must be in [1, num_lists]).
+  std::vector<int64_t> ProbePrepared(const Tensor& q, int64_t num_probes,
+                                     int64_t min_candidates) const;
+
   Tensor data_;       // [n, d] snapshot
   Tensor centroids_;  // [lists, d]
   std::vector<std::vector<int64_t>> lists_;  // row ids per cell
+  bool rows_unit_norm_ = false;
 };
 
 }  // namespace index

@@ -36,6 +36,8 @@ std::string_view NodeKindName(NodeKind kind) {
       return "Limit";
     case NodeKind::kDistinct:
       return "Distinct";
+    case NodeKind::kIndexTopK:
+      return "IndexTopK";
   }
   return "Unknown";
 }
@@ -118,6 +120,13 @@ std::string LimitNode::Describe() const {
 
 std::string DistinctNode::Describe() const { return "Distinct"; }
 
+std::string IndexTopKNode::Describe() const {
+  return "IndexTopK(" + table_name + "." + column_name +
+         ", k=" + std::to_string(k) +
+         ", sim=" + exprs[static_cast<size_t>(sim_ordinal)]->display_name +
+         ")";
+}
+
 void ForEachExpr(const LogicalNode& node,
                  const std::function<void(const exec::BoundExpr&)>& fn) {
   switch (node.kind) {
@@ -145,6 +154,11 @@ void ForEachExpr(const LogicalNode& node,
     case NodeKind::kSort:
       for (const auto& item : static_cast<const SortNode&>(node).items) {
         fn(*item.expr);
+      }
+      return;
+    case NodeKind::kIndexTopK:
+      for (const auto& e : static_cast<const IndexTopKNode&>(node).exprs) {
+        fn(*e);
       }
       return;
     case NodeKind::kScan:

@@ -35,6 +35,7 @@ enum class NodeKind {
   kSort,
   kLimit,
   kDistinct,
+  kIndexTopK,
 };
 
 std::string_view NodeKindName(NodeKind kind);
@@ -150,6 +151,29 @@ struct LimitNode : LogicalNode {
 
 struct DistinctNode : LogicalNode {
   DistinctNode() : LogicalNode(NodeKind::kDistinct) {}
+  std::string Describe() const override;
+};
+
+/// Index-accelerated top-k similarity search: replaces a
+/// `Sort(sim DESC, fused k) <- Project(..., sim, ...) <- Scan(t)` subtree
+/// when the catalog holds a vector index on the scanned embedding column
+/// (see `plan::Optimize` rule 5). The absorbed projection lives in
+/// `exprs`; `exprs[sim_ordinal]` is the similarity expression the Sort
+/// keyed on. Execution probes the index for candidate rows, re-ranks them
+/// EXACTLY with `exprs[sim_ordinal]` (row-local, so candidate-subset
+/// scores match full-relation scores bit for bit), and projects the
+/// winners — at full probe count the candidate set is every row and the
+/// result is bit-identical to the Sort+Limit plan it replaced. When the
+/// run's catalog snapshot no longer holds a valid index (the table was
+/// re-registered after compilation), the operator falls back to that
+/// exact plan shape instead of failing.
+struct IndexTopKNode : LogicalNode {
+  IndexTopKNode() : LogicalNode(NodeKind::kIndexTopK) {}
+  std::string table_name;          // scanned table (index lookup key)
+  std::string column_name;         // indexed embedding column
+  int64_t k = 0;                   // rows to emit (the sort's fused limit)
+  int64_t sim_ordinal = 0;         // index of the sim expr in `exprs`
+  std::vector<exec::BoundExprPtr> exprs;  // absorbed projection
   std::string Describe() const override;
 };
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "src/plan/pipeline.h"
 #include "src/storage/catalog.h"
 
 namespace tdp {
@@ -49,6 +50,12 @@ void CollectColumnRefs(const BoundExpr& e, std::set<int64_t>& out) {
       if (c.else_expr) CollectColumnRefs(*c.else_expr, out);
       return;
     }
+    case exec::BoundExprKind::kVectorSim: {
+      const auto& v = static_cast<const exec::BoundVectorSim&>(e);
+      CollectColumnRefs(*v.column, out);
+      CollectColumnRefs(*v.query, out);
+      return;
+    }
     case exec::BoundExprKind::kLiteral:
     case exec::BoundExprKind::kParameter:
       return;
@@ -83,6 +90,12 @@ void RemapColumnRefs(BoundExpr& e, const std::vector<int64_t>& old_to_new) {
         RemapColumnRefs(*then, old_to_new);
       }
       if (c.else_expr) RemapColumnRefs(*c.else_expr, old_to_new);
+      return;
+    }
+    case exec::BoundExprKind::kVectorSim: {
+      auto& v = static_cast<exec::BoundVectorSim&>(e);
+      RemapColumnRefs(*v.column, old_to_new);
+      RemapColumnRefs(*v.query, old_to_new);
       return;
     }
     case exec::BoundExprKind::kLiteral:
@@ -311,6 +324,8 @@ int64_t EstimateSubtreeRows(const LogicalNode& node, const Catalog& catalog) {
       return child < 0 ? limit.limit : std::min(child, limit.limit);
     }
     default:
+      // kIndexTopK never appears here: RewriteIndexTopK runs AFTER
+      // ChooseJoinBuildSides (this function's only caller) in Optimize.
       return -1;
   }
 }
@@ -330,13 +345,98 @@ void ChooseJoinBuildSides(LogicalNode& node, const Catalog& catalog) {
   join.build_left = left >= 0 && right >= 0 && left < right;
 }
 
+// ---- Rule 5: index-accelerated top-k similarity -----------------------------
+//
+// Rewrites `Sort(sim DESC, fused_limit=k) <- Project(..., sim, ...) <-
+// Scan(t)` into an IndexTopKNode when the catalog holds a (still-valid)
+// vector index on the similarity's embedding column. Preconditions, each
+// of which keeps the rewrite semantics-preserving:
+//   - the Sort has exactly one key, descending, with a fused LIMIT — a
+//     full sort (no LIMIT) or an ascending/multi-key order is not a top-k
+//     search;
+//   - the key is a column ref into the Project, and that projected
+//     expression is dot()/cosine_sim() over a Scan column with a constant
+//     (column-free) query — the index can only prune by a per-row score
+//     against one fixed vector;
+//   - the Project sits DIRECTLY on the Scan (no Filter: a predicate could
+//     eliminate candidate rows the index pruned in, and keep rows it
+//     pruned out);
+//   - no project expression calls a scalar UDF — UDF bodies are
+//     whole-batch programs, and IndexTopK evaluates the projection over
+//     the k winners only.
+// Anything above the Sort (OFFSET Limit, hidden-sort-column cleanup
+// Project) is untouched: IndexTopK emits exactly the rows the fused Sort
+// would have.
+bool ExprIsConstant(const BoundExpr& e) {
+  std::set<int64_t> refs;
+  CollectColumnRefs(e, refs);
+  return refs.empty();
+}
+
+LogicalNodePtr RewriteIndexTopK(LogicalNodePtr node, const Catalog& catalog) {
+  for (auto& child : node->children) {
+    child = RewriteIndexTopK(std::move(child), catalog);
+  }
+  if (node->kind != NodeKind::kSort) return node;
+  auto& sort = static_cast<SortNode&>(*node);
+  if (sort.fused_limit < 0 || sort.items.size() != 1 ||
+      !sort.items[0].descending ||
+      sort.items[0].expr->kind != exec::BoundExprKind::kColumnRef) {
+    return node;
+  }
+  if (sort.children[0]->kind != NodeKind::kProject) return node;
+  auto& project = static_cast<ProjectNode&>(*sort.children[0]);
+  if (project.children.empty() ||
+      project.children[0]->kind != NodeKind::kScan || NodeUsesUdf(project)) {
+    return node;
+  }
+  const auto& scan = static_cast<const ScanNode&>(*project.children[0]);
+  const int64_t sim_ordinal =
+      static_cast<const BoundColumnRef&>(*sort.items[0].expr).column_index;
+  if (sim_ordinal < 0 ||
+      sim_ordinal >= static_cast<int64_t>(project.exprs.size())) {
+    return node;
+  }
+  const BoundExpr& key = *project.exprs[static_cast<size_t>(sim_ordinal)];
+  if (key.kind != exec::BoundExprKind::kVectorSim) return node;
+  const auto& sim = static_cast<const exec::BoundVectorSim&>(key);
+  if (sim.column->kind != exec::BoundExprKind::kColumnRef ||
+      !ExprIsConstant(*sim.query)) {
+    return node;
+  }
+  const int64_t scan_col =
+      static_cast<const BoundColumnRef&>(*sim.column).column_index;
+  if (scan_col < 0 ||
+      scan_col >= static_cast<int64_t>(scan.schema.size())) {
+    return node;
+  }
+  const std::string& column_name =
+      scan.schema[static_cast<size_t>(scan_col)].name;
+  if (catalog.FindVectorIndex(scan.table_name, column_name) == nullptr) {
+    return node;  // no (valid) index: keep the exact Sort+Limit plan
+  }
+
+  auto topk = std::make_unique<IndexTopKNode>();
+  topk->schema = sort.schema;
+  topk->table_name = scan.table_name;
+  topk->column_name = column_name;
+  topk->k = sort.fused_limit;
+  topk->sim_ordinal = sim_ordinal;
+  topk->exprs = std::move(project.exprs);
+  topk->children.push_back(std::move(project.children[0]));  // the Scan
+  return topk;
+}
+
 }  // namespace
 
 LogicalNodePtr Optimize(LogicalNodePtr root, const Catalog* catalog) {
   root = FuseLimitIntoSort(std::move(root));
   root = PushFilterIntoJoin(std::move(root));
   root = PruneScanColumns(std::move(root));
-  if (catalog != nullptr) ChooseJoinBuildSides(*root, *catalog);
+  if (catalog != nullptr) {
+    ChooseJoinBuildSides(*root, *catalog);
+    root = RewriteIndexTopK(std::move(root), *catalog);
+  }
   return root;
 }
 

@@ -26,6 +26,13 @@ namespace plan {
 ///   4. **Join build-side choice** (needs `catalog`) — hash joins build
 ///      over the side with the smaller base-table estimate
 ///      (`JoinNode::build_left`); the other side streams as the probe.
+///   5. **Index top-k rewrite** (needs `catalog`) — a top-k similarity
+///      sort (`ORDER BY dot(col, ?) DESC LIMIT k` over a bare scan)
+///      becomes an `IndexTopKNode` when the catalog holds a valid vector
+///      index on `col`. Preconditions and exactness guarantees are
+///      documented at the rule; with no usable index (or after the table
+///      is re-registered, which invalidates it) the plan keeps the exact
+///      Sort+Limit shape.
 ///
 /// All rules are semantics-preserving for both exact and TRAINABLE
 /// (soft-operator) execution, so the same optimized plan serves training

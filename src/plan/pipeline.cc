@@ -25,6 +25,10 @@ bool ExprUsesUdf(const exec::BoundExpr& e) {
       }
       return c.else_expr != nullptr && ExprUsesUdf(*c.else_expr);
     }
+    case exec::BoundExprKind::kVectorSim: {
+      const auto& v = static_cast<const exec::BoundVectorSim&>(e);
+      return ExprUsesUdf(*v.column) || ExprUsesUdf(*v.query);
+    }
     case exec::BoundExprKind::kColumnRef:
     case exec::BoundExprKind::kLiteral:
     case exec::BoundExprKind::kParameter:
@@ -136,6 +140,10 @@ struct Builder {
       case NodeKind::kTvfScan:
       case NodeKind::kFilter:   // UDF-bearing
       case NodeKind::kProject:  // UDF-bearing
+      // IndexTopK needs its whole input materialized (candidate row ids
+      // index into the full scan), and its output is a fresh ordered
+      // relation — a textbook breaker.
+      case NodeKind::kIndexTopK:
         bp.sink_kind = SinkKind::kMaterialize;
         break;
       default:

@@ -76,10 +76,11 @@ struct PipelinePlan {
 
 /// Groups the optimized plan into streaming pipelines separated by
 /// breakers. Breakers are the operators that need (all of) their input
-/// before emitting anything: Sort, Aggregate, Distinct, Limit, the build
-/// side of a hash join, TVFs, and any Filter/Project whose expressions
-/// call a scalar UDF (UDF bodies are whole-batch tensor programs).
-/// Everything else — Scan, Filter, Project, join probe — streams.
+/// before emitting anything: Sort, Aggregate, Distinct, Limit, IndexTopK
+/// (candidate ids index into the full scan), the build side of a hash
+/// join, TVFs, and any Filter/Project whose expressions call a scalar UDF
+/// (UDF bodies are whole-batch tensor programs). Everything else — Scan,
+/// Filter, Project, join probe — streams.
 PipelinePlan BuildPipelines(const LogicalNode& root);
 
 /// True when any expression hanging off `node` contains a scalar UDF call

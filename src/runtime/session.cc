@@ -89,6 +89,21 @@ Status Session::RegisterTensor(const std::string& name, Tensor tensor,
   return RegisterTable(name, std::move(table), device);
 }
 
+Status Session::CreateVectorIndex(const std::string& table,
+                                  const std::string& column,
+                                  const index::IvfIndex::Options& options,
+                                  uint64_t seed) {
+  // The version bump from the catalog mutation invalidates cached plans,
+  // so previously-compiled brute-force top-k statements recompile on their
+  // next Prepare/Sql — and can now rewrite to IndexTopK.
+  return catalog_->CreateVectorIndex(table, column, options, seed);
+}
+
+Status Session::DropVectorIndex(const std::string& table,
+                                const std::string& column) {
+  return catalog_->DropVectorIndex(table, column);
+}
+
 StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
     const std::string& sql, const QueryOptions& options) {
   TDP_ASSIGN_OR_RETURN(auto statement, sql::Parse(sql));

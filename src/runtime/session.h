@@ -78,6 +78,24 @@ class Session {
   Status RegisterTensor(const std::string& name, Tensor tensor,
                         Device device = Device::kCpu);
 
+  // ---- Vector indexes ----------------------------------------------------
+
+  /// Builds an IVF index over the rank-2 tensor column `table`.`column`
+  /// (the paper's §5.1 future work: approximate indexing for top-k
+  /// queries). Once installed, `ORDER BY dot(column, ?) DESC LIMIT k` (and
+  /// `cosine_sim`) compiles to the IndexTopK operator instead of a full
+  /// Sort; `exec::RunOptions::num_probes` trades recall for speed per run
+  /// (the default probes every cell — exact results). Re-registering the
+  /// table invalidates the index: affected queries fall back to the exact
+  /// Sort+Limit plan until the index is rebuilt. Fails with ExecutionError
+  /// if a re-registration races the build (retry over the new data).
+  Status CreateVectorIndex(const std::string& table,
+                           const std::string& column,
+                           const index::IvfIndex::Options& options = {},
+                           uint64_t seed = kDefaultVectorIndexSeed);
+
+  Status DropVectorIndex(const std::string& table, const std::string& column);
+
   // ---- Functions --------------------------------------------------------
 
   udf::FunctionRegistry& functions() { return *registry_; }

@@ -45,9 +45,17 @@ struct BindScope {
   int64_t size() const { return static_cast<int64_t>(schema.size()); }
 };
 
+// Built-in names (aggregates; `dot`/`cosine_sim` vector similarity)
+// resolve before the UDF registry — they are part of the language, not
+// session state, so the IndexTopK rewrite can rely on their semantics.
+// The single name lists live in udf/registry.h, next to the registration
+// check that rejects them as UDF names.
 bool IsAggregateName(const std::string& lower_name) {
-  return lower_name == "count" || lower_name == "sum" ||
-         lower_name == "avg" || lower_name == "min" || lower_name == "max";
+  return udf::IsBuiltinAggregateName(lower_name);
+}
+
+bool IsVectorSimName(const std::string& lower_name) {
+  return udf::IsBuiltinVectorSimName(lower_name);
 }
 
 StatusOr<AggKind> AggKindFromName(const std::string& lower_name,
@@ -420,6 +428,23 @@ StatusOr<BoundExprPtr> BinderImpl::BindExpr(const Expr& e,
             "aggregate " + f.function_name +
             " is not allowed here (only in SELECT/HAVING with GROUP BY)");
       }
+      if (IsVectorSimName(f.function_name)) {
+        if (f.is_star_arg || f.args.size() != 2) {
+          return Status::BindError(f.function_name +
+                                   " takes exactly two arguments: "
+                                   "(embedding_column, query_vector)");
+        }
+        TDP_ASSIGN_OR_RETURN(BoundExprPtr col, BindExpr(*f.args[0], scope));
+        TDP_ASSIGN_OR_RETURN(BoundExprPtr query,
+                             BindExpr(*f.args[1], scope));
+        auto bound = std::make_unique<exec::BoundVectorSim>(
+            f.function_name == "dot"
+                ? exec::BoundVectorSim::SimKind::kDot
+                : exec::BoundVectorSim::SimKind::kCosine,
+            std::move(col), std::move(query));
+        bound->display_name = f.ToString();
+        return BoundExprPtr(std::move(bound));
+      }
       const udf::ScalarFunction* fn = registry_.FindScalar(f.function_name);
       if (fn == nullptr) {
         return Status::BindError("unknown function: " + f.function_name);
@@ -537,6 +562,9 @@ ColumnMeta BinderImpl::InferMeta(const BoundExpr& e, const Scope& scope,
       // Comparisons and arithmetic adapt to the actual bound value.
       meta.dtype = DType::kFloat64;
       return meta;
+    case exec::BoundExprKind::kVectorSim:
+      meta.dtype = DType::kFloat32;  // one similarity score per row
+      return meta;
   }
   return meta;
 }
@@ -585,6 +613,12 @@ StatusOr<BoundExprPtr> BinderImpl::BindPostAgg(
             static_cast<int64_t>(group_strings.size() + aggs.size() - 1));
         ref->display_name = repr;
         return BoundExprPtr(std::move(ref));
+      }
+      if (IsVectorSimName(f.function_name)) {
+        return Status::BindError(
+            f.function_name +
+            " is not allowed in an aggregated SELECT (similarity is "
+            "row-level; compute it before grouping)");
       }
       // Scalar UDF over post-aggregation values.
       const udf::ScalarFunction* fn = registry_.FindScalar(f.function_name);

@@ -1,8 +1,26 @@
 #include "src/storage/catalog.h"
 
+#include "src/common/rng.h"
 #include "src/common/string_util.h"
 
 namespace tdp {
+namespace {
+
+std::string IndexKey(const std::string& table, const std::string& column) {
+  return ToLower(table) + '\x1f' + ToLower(column);
+}
+
+// Erases every index entry built over table `name` (any column).
+template <typename Map>
+void EraseTableIndexes(Map& indexes, const std::string& name) {
+  const std::string prefix = ToLower(name) + '\x1f';
+  for (auto it = indexes.lower_bound(prefix); it != indexes.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = indexes.erase(it);
+  }
+}
+
+}  // namespace
 
 Status Catalog::RegisterTable(const std::string& name,
                               std::shared_ptr<Table> table, bool replace) {
@@ -17,6 +35,9 @@ Status Catalog::RegisterTable(const std::string& name,
     return Status::AlreadyExists("table already registered: " + name);
   }
   tables_[key] = std::move(table);
+  // Indexes snapshot the previous registration's data; drop them eagerly
+  // (FindVectorIndex's identity check would reject them lazily anyway).
+  EraseTableIndexes(indexes_, name);
   return Status::OK();
 }
 
@@ -33,6 +54,38 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::NotFound("table not found: " + name);
   }
+  EraseTableIndexes(indexes_, name);
+  return Status::OK();
+}
+
+Status Catalog::AddVectorIndex(
+    std::shared_ptr<const VectorIndexEntry> entry) {
+  if (entry == nullptr || entry->table == nullptr) {
+    return Status::InvalidArgument("cannot install a null index entry");
+  }
+  indexes_[IndexKey(entry->table_name, entry->column_name)] =
+      std::move(entry);
+  return Status::OK();
+}
+
+std::shared_ptr<const VectorIndexEntry> Catalog::FindVectorIndex(
+    const std::string& table, const std::string& column) const {
+  const auto it = indexes_.find(IndexKey(table, column));
+  if (it == indexes_.end()) return nullptr;
+  // Lazy invalidation: the entry is valid only while the catalog still
+  // serves the exact registration it snapshots.
+  const auto live = tables_.find(ToLower(table));
+  if (live == tables_.end() || live->second != it->second->table) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+Status Catalog::DropVectorIndex(const std::string& table,
+                                const std::string& column) {
+  if (indexes_.erase(IndexKey(table, column)) == 0) {
+    return Status::NotFound("no vector index on " + table + "." + column);
+  }
   return Status::OK();
 }
 
@@ -46,6 +99,7 @@ std::vector<std::string> Catalog::ListTables() const {
 std::shared_ptr<Catalog> Catalog::Clone() const {
   auto copy = std::make_shared<Catalog>();
   copy->tables_ = tables_;
+  copy->indexes_ = indexes_;
   return copy;
 }
 
@@ -77,6 +131,58 @@ Status SharedCatalog::DropTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<Catalog> next = current_->Clone();
   TDP_RETURN_NOT_OK(next->DropTable(name));
+  current_ = std::move(next);
+  ++version_;
+  return Status::OK();
+}
+
+Status SharedCatalog::CreateVectorIndex(
+    const std::string& table, const std::string& column,
+    const index::IvfIndex::Options& options, uint64_t seed) {
+  // Build over one immutable snapshot, outside the mutex: k-means over a
+  // large embedding column must not stall concurrent registrations or the
+  // snapshot pointer copy every query run takes.
+  const std::shared_ptr<const Catalog> snapshot = Snapshot();
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> target,
+                       snapshot->GetTable(table));
+  TDP_ASSIGN_OR_RETURN(int64_t col, target->ColumnIndex(column));
+  const Column& c = target->column(col);
+  if (c.encoding() != Encoding::kPlain || c.data().dim() != 2) {
+    return Status::InvalidArgument(
+        "vector index needs a rank-2 plain tensor column; " + table + "." +
+        column + " is not one");
+  }
+  Rng rng(seed);
+  TDP_ASSIGN_OR_RETURN(index::IvfIndex built,
+                       index::IvfIndex::Build(c.data(), options, rng));
+
+  // Brace init: IvfIndex's default constructor is private (an index only
+  // exists built), so the entry is created whole.
+  std::shared_ptr<const VectorIndexEntry> entry(
+      new VectorIndexEntry{table, column, std::move(built), target});
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // A registration may have won the race while we built: the index then
+  // snapshots data the catalog no longer serves. Fail rather than install
+  // a permanently-invalid entry; the caller retries over the new data.
+  const auto live = current_->GetTable(table);
+  if (!live.ok() || live.value() != target) {
+    return Status::ExecutionError("table " + table +
+                                  " was re-registered during the index "
+                                  "build; retry CreateVectorIndex");
+  }
+  std::shared_ptr<Catalog> next = current_->Clone();
+  TDP_RETURN_NOT_OK(next->AddVectorIndex(std::move(entry)));
+  current_ = std::move(next);
+  ++version_;
+  return Status::OK();
+}
+
+Status SharedCatalog::DropVectorIndex(const std::string& table,
+                                      const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Catalog> next = current_->Clone();
+  TDP_RETURN_NOT_OK(next->DropVectorIndex(table, column));
   current_ = std::move(next);
   ++version_;
   return Status::OK();

@@ -9,9 +9,29 @@
 #include <vector>
 
 #include "src/common/statusor.h"
+#include "src/index/ivf_index.h"
 #include "src/storage/table.h"
 
 namespace tdp {
+
+/// Default k-means seed for `CreateVectorIndex` — one constant shared by
+/// every entry point so "default" callers always build identical indexes.
+inline constexpr uint64_t kDefaultVectorIndexSeed = 0x1df5eedull;
+
+/// An immutable IVF index over one tensor column of one registered table,
+/// snapshot-tagged with the exact `Table` registration it was built from.
+/// Re-registering the table (even with identical content) makes the entry
+/// unreachable: `Catalog::FindVectorIndex` hands an entry out only while
+/// the catalog still maps `table_name` to the very same Table object — the
+/// same lazy invalidate-on-version-move discipline the session plan cache
+/// uses, so a stale index can never serve rows from a vanished snapshot.
+struct VectorIndexEntry {
+  std::string table_name;
+  std::string column_name;
+  index::IvfIndex index;
+  /// The registration the index snapshots; identity (pointer) tag.
+  std::shared_ptr<const Table> table;
+};
 
 /// Name -> table registry backing a TDP session (the paper's
 /// `tdp.sql.register_df` target). Names are case-insensitive.
@@ -28,7 +48,9 @@ class Catalog {
 
   /// Registers `table` under `name`. When `replace` is true an existing
   /// table is overwritten (the paper re-registers MNIST_Grid every
-  /// training iteration), otherwise AlreadyExists is returned.
+  /// training iteration), otherwise AlreadyExists is returned. Vector
+  /// indexes built over a previous registration of `name` are dropped —
+  /// they snapshot data that is no longer served.
   Status RegisterTable(const std::string& name,
                        std::shared_ptr<Table> table, bool replace = true);
 
@@ -38,12 +60,27 @@ class Catalog {
 
   std::vector<std::string> ListTables() const;
 
-  /// Copies the registry map into a fresh Catalog (tables are immutable
-  /// and shared, so this is O(#tables) pointer copies).
+  /// Installs `entry` under (entry->table_name, entry->column_name),
+  /// replacing any previous index on that column.
+  Status AddVectorIndex(std::shared_ptr<const VectorIndexEntry> entry);
+
+  /// The index on `table`.`column`, or null when none exists or the one on
+  /// file was built over a different registration of `table` than this
+  /// catalog currently serves (lazy invalidation; see VectorIndexEntry).
+  std::shared_ptr<const VectorIndexEntry> FindVectorIndex(
+      const std::string& table, const std::string& column) const;
+
+  Status DropVectorIndex(const std::string& table, const std::string& column);
+
+  /// Copies the registry maps into a fresh Catalog (tables and index
+  /// entries are immutable and shared, so this is O(#entries) pointer
+  /// copies).
   std::shared_ptr<Catalog> Clone() const;
 
  private:
   std::map<std::string, std::shared_ptr<Table>> tables_;  // lowercased keys
+  // "table\x1fcolumn" (lowercased) -> immutable index entry.
+  std::map<std::string, std::shared_ptr<const VectorIndexEntry>> indexes_;
 };
 
 /// Thread-safe copy-on-write catalog: readers take an immutable snapshot
@@ -73,11 +110,29 @@ class SharedCatalog {
                        bool replace = true);
   Status DropTable(const std::string& name);
 
+  /// Builds an IVF index over the tensor column `table`.`column` and
+  /// installs it as an immutable, snapshot-tagged catalog object. The
+  /// k-means build runs OUTSIDE the catalog mutex over one snapshot;
+  /// installation re-checks that `table` still resolves to the snapshot it
+  /// built from and fails with ExecutionError when a re-registration won
+  /// the race (the caller may retry over the new data). Like any other
+  /// mutation it bumps the catalog version, so cached brute-force plans
+  /// are recompiled — and can now rewrite to IndexTopK.
+  Status CreateVectorIndex(const std::string& table, const std::string& column,
+                           const index::IvfIndex::Options& options = {},
+                           uint64_t seed = kDefaultVectorIndexSeed);
+
+  Status DropVectorIndex(const std::string& table, const std::string& column);
+
   StatusOr<std::shared_ptr<Table>> GetTable(const std::string& name) const {
     return Snapshot()->GetTable(name);
   }
   std::vector<std::string> ListTables() const {
     return Snapshot()->ListTables();
+  }
+  std::shared_ptr<const VectorIndexEntry> FindVectorIndex(
+      const std::string& table, const std::string& column) const {
+    return Snapshot()->FindVectorIndex(table, column);
   }
 
  private:

@@ -5,11 +5,35 @@
 namespace tdp {
 namespace udf {
 
+bool IsBuiltinAggregateName(const std::string& lower_name) {
+  return lower_name == "count" || lower_name == "sum" ||
+         lower_name == "avg" || lower_name == "min" || lower_name == "max";
+}
+
+bool IsBuiltinVectorSimName(const std::string& lower_name) {
+  return lower_name == "dot" || lower_name == "cosine_sim";
+}
+
+namespace {
+
+// Built-in names resolve in the binder before the registry; registering a
+// UDF under one would be silently shadowed, so it fails loudly here.
+Status CheckNotReserved(const std::string& key, const std::string& name) {
+  if (IsBuiltinAggregateName(key) || IsBuiltinVectorSimName(key)) {
+    return Status::InvalidArgument(
+        "'" + name + "' is a reserved built-in function name");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status FunctionRegistry::RegisterScalar(ScalarFunction fn) {
   if (fn.name.empty() || !fn.fn) {
     return Status::InvalidArgument("scalar UDF needs a name and a body");
   }
   const std::string key = ToLower(fn.name);
+  TDP_RETURN_NOT_OK(CheckNotReserved(key, fn.name));
   if (scalar_fns_.contains(key) || table_fns_.contains(key)) {
     return Status::AlreadyExists("function already registered: " + fn.name);
   }
@@ -26,6 +50,7 @@ Status FunctionRegistry::RegisterTable(TableFunction fn) {
         "TVF must declare its output schema (tdp_udf annotation)");
   }
   const std::string key = ToLower(fn.name);
+  TDP_RETURN_NOT_OK(CheckNotReserved(key, fn.name));
   if (scalar_fns_.contains(key) || table_fns_.contains(key)) {
     return Status::AlreadyExists("function already registered: " + fn.name);
   }

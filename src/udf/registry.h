@@ -67,6 +67,15 @@ struct TableFunction {
   std::vector<std::shared_ptr<nn::Module>> modules;
 };
 
+/// Names the SQL binder resolves as built-in aggregates / vector
+/// similarity functions BEFORE consulting the registry. Defined here —
+/// next to the registration check that rejects them — so the binder and
+/// the registry share one list and a new built-in cannot reintroduce
+/// silent UDF shadowing. `lower_name` must already be lowercased (the
+/// parser lowercases function names).
+bool IsBuiltinAggregateName(const std::string& lower_name);
+bool IsBuiltinVectorSimName(const std::string& lower_name);
+
 /// Name -> function map for one session (names case-insensitive). This is
 /// the C++ analogue of the paper's `@tdp_udf` annotation API.
 class FunctionRegistry {

@@ -2,15 +2,24 @@
 // independent row-interpreted engine sharing only the parser) must agree
 // on randomized relational queries. This is the main correctness oracle
 // for the compiled tensor operators.
+//
+// The top-k section at the bottom is a second differential axis: the
+// IndexTopK plan (vector index) against the exact Sort+Limit plan over
+// the same data, swept across random (n, d, k, num_lists) shapes — at
+// full probe count the two must be BIT-identical, and at a quarter of the
+// lists recall@k must stay high on clustered data.
 
 #include <algorithm>
 #include <cmath>
 #include <gtest/gtest.h>
+#include <set>
 #include <sstream>
 
 #include "src/baseline/baseline_db.h"
 #include "src/common/rng.h"
 #include "src/runtime/session.h"
+#include "src/tensor/ops.h"
+#include "tests/vector_test_util.h"
 
 namespace tdp {
 namespace {
@@ -154,6 +163,142 @@ TEST_P(DifferentialTest, RandomQueriesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+// ---- Index top-k vs. brute-force differential -------------------------------
+
+namespace {
+
+using testutil::ExpectTablesBitIdentical;
+using testutil::MakeClusteredUnitVectors;
+
+}  // namespace
+
+class TopKDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Seeded generator of top-k query shapes: random n, d, k, list count, and
+// probe budgets. The invariant under test is the acceptance criterion of
+// the index subsystem: with num_probes == num_lists the IndexTopK plan is
+// bit-identical to the brute-force Sort+Limit plan — same rows, same
+// order, same bytes, ties included.
+TEST_P(TopKDifferentialTest, FullProbeIndexPlanIsBitIdenticalToBrute) {
+  Rng rng(GetParam() * 7919 + 101);
+  const int64_t n = rng.UniformInt(30, 400);
+  const int64_t dim = std::vector<int64_t>{4, 8, 16}[rng.UniformInt(0, 2)];
+  const int64_t clusters = rng.UniformInt(2, 10);
+  const int64_t num_lists = rng.UniformInt(2, 16);
+  const int64_t k = rng.UniformInt(1, n + 5);  // may exceed the table
+
+  Session session;
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  auto table = TableBuilder("vecs")
+                   .AddInt64("id", ids)
+                   .AddTensor("emb",
+                              MakeClusteredUnitVectors(n, dim, clusters, rng))
+                   .Build();
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session.RegisterTable("vecs", table.value()).ok());
+
+  const std::string sql =
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT " +
+      std::to_string(k);
+  // Pin the brute plan before the index exists.
+  auto brute = session.Query(sql);
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  ASSERT_EQ((*brute)->Explain().find("IndexTopK"), std::string::npos);
+
+  index::IvfIndex::Options options;
+  options.num_lists = num_lists;
+  ASSERT_TRUE(session.CreateVectorIndex("vecs", "emb", options).ok());
+  auto indexed = session.Query(sql);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  ASSERT_NE((*indexed)->Explain().find("IndexTopK"), std::string::npos);
+
+  for (int q = 0; q < 4; ++q) {
+    const Tensor query =
+        L2Normalize(RandNormal({1, dim}, 0, 1, rng), 1).Squeeze(0)
+            .Contiguous();
+    exec::RunOptions brute_run;
+    brute_run.params = {exec::ScalarValue::FromTensor(query)};
+    auto expected = (*brute)->Run(brute_run);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    // Default (0 = every cell) and explicit full/over-clamped budgets.
+    for (int64_t probes :
+         {int64_t{0}, num_lists, num_lists + 7}) {
+      exec::RunOptions run;
+      run.params = {exec::ScalarValue::FromTensor(query)};
+      run.num_probes = probes;
+      auto got = (*indexed)->Run(run);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectTablesBitIdentical(
+          **expected, **got,
+          "seed=" + std::to_string(GetParam()) + " n=" + std::to_string(n) +
+              " d=" + std::to_string(dim) + " k=" + std::to_string(k) +
+              " lists=" + std::to_string(num_lists) +
+              " probes=" + std::to_string(probes));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// Recall at a quarter of the lists on clustered data: the approximate
+// regime the paper's probe/recall trade-off targets.
+TEST(TopKDifferentialTest2, RecallAtQuarterProbesExceedsPointNine) {
+  Rng rng(4242);
+  const int64_t n = 600, dim = 16, num_lists = 12, k = 10;
+  Session session;
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  const Tensor emb = MakeClusteredUnitVectors(n, dim, num_lists, rng);
+  auto table =
+      TableBuilder("vecs").AddInt64("id", ids).AddTensor("emb", emb).Build();
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(session.RegisterTable("vecs", table.value()).ok());
+  index::IvfIndex::Options options;
+  options.num_lists = num_lists;
+  ASSERT_TRUE(session.CreateVectorIndex("vecs", "emb", options).ok());
+
+  auto query = session.Prepare(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 10");
+  ASSERT_TRUE(query.ok());
+  double recall = 0;
+  const int kQueries = 12;
+  for (int q = 0; q < kQueries; ++q) {
+    // Queries near data points, as in serving: perturb a random row.
+    const int64_t anchor = rng.UniformInt(0, n - 1);
+    const Tensor qvec =
+        L2Normalize(
+            Add(Slice(emb, 0, anchor, 1), RandNormal({1, dim}, 0, 0.02, rng)),
+            1)
+            .Squeeze(0)
+            .Contiguous();
+    exec::RunOptions exact;
+    exact.params = {exec::ScalarValue::FromTensor(qvec)};
+    auto truth = (*query)->Run(exact);
+    ASSERT_TRUE(truth.ok());
+    std::set<int64_t> exact_ids;
+    for (int64_t i = 0; i < k; ++i) {
+      exact_ids.insert(
+          static_cast<int64_t>((*truth)->column(0).data().At({i})));
+    }
+    exec::RunOptions approx;
+    approx.params = {exec::ScalarValue::FromTensor(qvec)};
+    approx.num_probes = num_lists / 4;
+    auto got = (*query)->Run(approx);
+    ASSERT_TRUE(got.ok());
+    for (int64_t i = 0; i < (*got)->num_rows(); ++i) {
+      if (exact_ids.contains(
+              static_cast<int64_t>((*got)->column(0).data().At({i})))) {
+        recall += 1;
+      }
+    }
+  }
+  recall /= static_cast<double>(kQueries * k);
+  EXPECT_GE(recall, 0.9);
+}
 
 TEST(DifferentialJoinTest, JoinAgrees) {
   Rng rng(99);

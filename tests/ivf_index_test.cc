@@ -5,24 +5,17 @@
 #include <set>
 
 #include "src/tensor/ops.h"
+#include "tests/vector_test_util.h"
 
 namespace tdp {
 namespace index {
 namespace {
 
-// Clustered unit vectors: `clusters` directions with small perturbations.
+// Clustered unit vectors: `clusters` directions with small perturbations
+// (shared generator — see tests/vector_test_util.h).
 Tensor MakeClusteredData(int64_t n, int64_t dim, int64_t clusters,
                          Rng& rng) {
-  Tensor centers = L2Normalize(RandNormal({clusters, dim}, 0, 1, rng), 1);
-  Tensor data = Tensor::Zeros({n, dim});
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t c = rng.UniformInt(0, clusters - 1);
-    Tensor noisy = Add(Slice(centers, 0, c, 1),
-                       RandNormal({1, dim}, 0, 0.08, rng));
-    Tensor row = L2Normalize(noisy, 1);
-    for (int64_t d = 0; d < dim; ++d) data.SetAt({i, d}, row.At({0, d}));
-  }
-  return data;
+  return testutil::MakeClusteredUnitVectors(n, dim, clusters, rng);
 }
 
 // Exact brute-force top-k for recall computation.

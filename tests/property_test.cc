@@ -4,6 +4,7 @@
 //  - gradients of Sum through any op composition match finite differences
 //  - encode/decode round trips (dictionary, PE)
 //  - sort/unique algebraic invariants
+//  - IVF full-probe search == brute-force stable ranking (any n, d, k)
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 
 #include "src/common/rng.h"
 #include "src/exec/soft_ops.h"
+#include "src/index/ivf_index.h"
 #include "src/storage/column.h"
 #include "src/tensor/ops.h"
 
@@ -182,6 +184,43 @@ TEST_P(PropertyTest, BroadcastAddCommutesAndMatchesManual) {
     for (int64_t j = 0; j < c; ++j) {
       EXPECT_NEAR(ab.At({i, j}), a.At({i, 0}) + b.At({0, j}), 1e-6);
     }
+  }
+}
+
+// Full-probe IVF search must equal the brute-force stable descending
+// ranking — indices AND order — for arbitrary (n, d, k, lists) shapes,
+// including duplicate rows (ties resolve toward lower row ids under both).
+TEST_P(PropertyTest, IvfFullProbeEqualsBruteForceRanking) {
+  Rng rng = MakeRng();
+  const int64_t n = rng.UniformInt(5, 150);
+  const int64_t dim = rng.UniformInt(2, 12);
+  const int64_t lists = rng.UniformInt(1, 12);
+  const int64_t k = rng.UniformInt(1, n + 3);
+  Tensor data = L2Normalize(RandNormal({n, dim}, 0, 1, rng), 1);
+  if (rng.Bernoulli(0.5) && n >= 4) {
+    // Inject duplicate rows: ties must break identically on both sides.
+    for (int64_t d = 0; d < dim; ++d) {
+      data.SetAt({1, d}, data.At({0, d}));
+      data.SetAt({3, d}, data.At({2, d}));
+    }
+  }
+  index::IvfIndex::Options options;
+  options.num_lists = lists;
+  auto built = index::IvfIndex::Build(data, options, rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const Tensor query =
+      L2Normalize(RandNormal({1, dim}, 0, 1, rng), 1).Squeeze(0).Contiguous();
+  auto result = built->Search(query, k, built->num_lists());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const Tensor scores =
+      Squeeze(MatMul(data, Reshape(query, {dim, 1})), 1);
+  const Tensor order = ArgSort(scores, /*descending=*/true);  // stable
+  const int64_t expect_k = std::min(k, n);
+  ASSERT_EQ(result->indices.numel(), expect_k);
+  for (int64_t i = 0; i < expect_k; ++i) {
+    EXPECT_EQ(result->indices.At({i}), order.At({i})) << "rank " << i;
   }
 }
 

@@ -215,6 +215,179 @@ TEST(SessionConcurrencyTest, SelfJoinSeesOneCatalogSnapshotPerRun) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// ---- Vector-index races -----------------------------------------------------
+
+namespace {
+
+// Deterministic unit-norm embedding table: row i points along axis
+// (i % dim) with a small row-dependent tilt, so similarity scores are
+// unique and every plan — brute Sort, IndexTopK with a fresh index,
+// IndexTopK falling back after invalidation — must produce the same rows.
+std::shared_ptr<Table> MakeEmbeddings(int64_t n, int64_t dim) {
+  Tensor emb = Tensor::Zeros({n, dim});
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    ids[static_cast<size_t>(i)] = i;
+    emb.SetAt({i, i % dim}, 1.0);
+    emb.SetAt({i, (i + 1) % dim},
+              0.001 * static_cast<double>(i % 97));
+  }
+  auto table =
+      TableBuilder("vecs").AddInt64("id", ids).AddTensor("emb", emb).Build();
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return table.value();
+}
+
+Tensor AxisQuery(int64_t dim, int64_t axis) {
+  Tensor q = Tensor::Zeros({dim});
+  q.SetAt({axis}, 1.0);
+  q.SetAt({(axis + 1) % dim}, 0.05);
+  return q;
+}
+
+}  // namespace
+
+// Readers serve top-k similarity queries while one thread races index
+// builds (and drops) against them. Plans flip between Sort+Limit and
+// IndexTopK as the catalog version moves; every result must equal the
+// single-threaded ground truth because the default probe budget (= every
+// cell) keeps the index path exact. Runs under TSan in CI.
+TEST(SessionConcurrencyTest, IndexBuildRacesTopKQueries) {
+  constexpr int64_t kRows = 192, kDim = 8;
+  Session session;
+  ASSERT_TRUE(session.RegisterTable("vecs", MakeEmbeddings(kRows, kDim))
+                  .ok());
+  const char* sql =
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 6";
+
+  // Ground truth per query axis, computed single-threaded pre-index.
+  std::vector<std::vector<double>> truth(static_cast<size_t>(kDim));
+  for (int64_t axis = 0; axis < kDim; ++axis) {
+    exec::RunOptions run;
+    run.params = {ScalarValue::FromTensor(AxisQuery(kDim, axis))};
+    auto r = session.Sql(sql, {}, run);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (int64_t i = 0; i < (*r)->num_rows(); ++i) {
+      truth[static_cast<size_t>(axis)].push_back(
+          (*r)->column(0).data().At({i}));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread indexer([&] {
+    index::IvfIndex::Options options;
+    options.num_lists = 6;
+    while (!stop.load()) {
+      // Builds may legitimately lose a race with DropVectorIndex-induced
+      // version moves only via re-registration; here the table is stable,
+      // so Create must succeed, and Drop only fails when nothing is
+      // installed yet.
+      if (!session.CreateVectorIndex("vecs", "emb", options).ok()) {
+        ++failures;
+      }
+      (void)session.DropVectorIndex("vecs", "emb");
+    }
+  });
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        const int64_t axis = (t + i) % kDim;
+        exec::RunOptions run;
+        run.params = {ScalarValue::FromTensor(AxisQuery(kDim, axis))};
+        auto r = session.Sql(sql, {}, run);
+        if (!r.ok() ||
+            (*r)->num_rows() !=
+                static_cast<int64_t>(truth[static_cast<size_t>(axis)]
+                                         .size())) {
+          ++failures;
+          continue;
+        }
+        for (int64_t row = 0; row < (*r)->num_rows(); ++row) {
+          if ((*r)->column(0).data().At({row}) !=
+              truth[static_cast<size_t>(axis)][static_cast<size_t>(row)]) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  indexer.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Re-registration vs. index build vs. queries, all racing: a build that
+// loses to a re-registration fails cleanly (ExecutionError, never a
+// crash or a stale install), in-flight IndexTopK plans fall back to exact
+// results, and every query still returns the truth — the embedding data
+// is identical across registrations.
+TEST(SessionConcurrencyTest, ReRegistrationRacesIndexBuildAndQueries) {
+  constexpr int64_t kRows = 160, kDim = 8;
+  Session session;
+  ASSERT_TRUE(session.RegisterTable("vecs", MakeEmbeddings(kRows, kDim))
+                  .ok());
+  const char* sql =
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 5";
+  exec::RunOptions truth_run;
+  truth_run.params = {ScalarValue::FromTensor(AxisQuery(kDim, 2))};
+  auto truth = session.Sql(sql, {}, truth_run);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+  std::vector<double> expected_ids;
+  for (int64_t i = 0; i < (*truth)->num_rows(); ++i) {
+    expected_ids.push_back((*truth)->column(0).data().At({i}));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      if (!session.RegisterTable("vecs", MakeEmbeddings(kRows, kDim)).ok()) {
+        ++failures;
+      }
+    }
+  });
+  std::thread indexer([&] {
+    index::IvfIndex::Options options;
+    options.num_lists = 5;
+    while (!stop.load()) {
+      const Status s = session.CreateVectorIndex("vecs", "emb", options);
+      // Either installed, or cleanly lost the race to a re-registration.
+      if (!s.ok() && s.code() != StatusCode::kExecutionError) ++failures;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 40; ++i) {
+        exec::RunOptions run;
+        run.params = {ScalarValue::FromTensor(AxisQuery(kDim, 2))};
+        auto r = session.Sql(sql, {}, run);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        for (size_t row = 0; row < expected_ids.size(); ++row) {
+          if ((*r)->column(0).data().At({static_cast<int64_t>(row)}) !=
+              expected_ids[row]) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  indexer.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(SessionConcurrencyTest, ReRegistrationInvalidatesCachedPlans) {
   Session session;
   auto narrow = TableBuilder("t").AddInt64("a", {1, 2, 3}).Build();

@@ -21,6 +21,7 @@
 #include "src/common/thread_pool.h"
 #include "src/runtime/session.h"
 #include "src/tensor/ops.h"
+#include "tests/vector_test_util.h"
 
 namespace tdp {
 namespace {
@@ -71,6 +72,24 @@ class StreamingParityTest : public ::testing::Test {
     Register("one", TableBuilder("one").AddInt64("k", {7}).AddFloat64(
                         "v", {3.25}));
 
+    // Embedding table + IVF index for the IndexTopK parity sweep: 300
+    // clustered unit vectors (d=8) with an id column. The plan compiled
+    // for the top-k statements below is an IndexTopK breaker; parity must
+    // hold for it across every morsel size, thread count, and delivery
+    // mode, exactly like any other operator.
+    {
+      const int64_t n = 300, d = 8, clusters = 5;
+      Tensor emb = testutil::MakeClusteredUnitVectors(n, d, clusters, rng);
+      std::vector<int64_t> ids(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+      Register("vecs", TableBuilder("vecs").AddInt64("id", ids).AddTensor(
+                           "emb", emb));
+      index::IvfIndex::Options options;
+      options.num_lists = 5;
+      ASSERT_TRUE(session_.CreateVectorIndex("vecs", "emb", options).ok());
+      query_vec_ = testutil::MakeUnitQuery(d, rng);
+    }
+
     // A deliberately batch-DEPENDENT scalar UDF (subtracts the batch
     // mean): its per-row output changes with the evaluation batch, so any
     // operator that evaluated it per morsel would diverge from the legacy
@@ -93,12 +112,13 @@ class StreamingParityTest : public ::testing::Test {
     ASSERT_TRUE(session_.RegisterTable(name, table.value()).ok());
   }
 
-  StatusOr<std::shared_ptr<Table>> RunWith(const std::string& sql,
-                                           bool streaming,
-                                           int64_t morsel_rows) {
+  StatusOr<std::shared_ptr<Table>> RunWith(
+      const std::string& sql, bool streaming, int64_t morsel_rows,
+      const std::vector<exec::ScalarValue>& params = {}) {
     QueryOptions options;
     options.use_plan_cache = false;
     exec::RunOptions run;
+    run.params = params;
     run.exec.streaming = streaming;
     run.exec.morsel_rows = morsel_rows;
     TDP_ASSIGN_OR_RETURN(auto query, session_.Query(sql, options));
@@ -127,11 +147,13 @@ class StreamingParityTest : public ::testing::Test {
     return result.ToTable("result");
   }
 
-  StatusOr<std::shared_ptr<Table>> CursorWith(const std::string& sql,
-                                              int64_t morsel_rows) {
+  StatusOr<std::shared_ptr<Table>> CursorWith(
+      const std::string& sql, int64_t morsel_rows,
+      const std::vector<exec::ScalarValue>& params = {}) {
     QueryOptions options;
     options.use_plan_cache = false;
     exec::RunOptions run;
+    run.params = params;
     run.exec.morsel_rows = morsel_rows;
     TDP_ASSIGN_OR_RETURN(auto query, session_.Query(sql, options));
     return DrainCursor(query, std::move(run));
@@ -160,19 +182,20 @@ class StreamingParityTest : public ::testing::Test {
   /// (morsel size, thread count) combination, asserting bit identity.
   /// Thread counts apply to both paths — the legacy path's intra-operator
   /// loops are also thread-deterministic.
-  void ExpectParity(const std::string& sql) {
+  void ExpectParity(const std::string& sql,
+                    const std::vector<exec::ScalarValue>& params = {}) {
     SCOPED_TRACE(sql);
-    auto reference = RunWith(sql, /*streaming=*/false, 0);
+    auto reference = RunWith(sql, /*streaming=*/false, 0, params);
     ASSERT_TRUE(reference.ok()) << reference.status().ToString();
     for (int threads : kThreadCounts) {
       ScopedNumThreads guard(threads);
       for (int64_t morsel : kMorselSizes) {
         SCOPED_TRACE("threads=" + std::to_string(threads) +
                      " morsel=" + std::to_string(morsel));
-        auto streamed = RunWith(sql, /*streaming=*/true, morsel);
+        auto streamed = RunWith(sql, /*streaming=*/true, morsel, params);
         ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
         ExpectBitIdentical(**reference, **streamed);
-        auto drained = CursorWith(sql, morsel);
+        auto drained = CursorWith(sql, morsel, params);
         ASSERT_TRUE(drained.ok()) << drained.status().ToString();
         ExpectBitIdentical(**reference, **drained);
       }
@@ -180,6 +203,7 @@ class StreamingParityTest : public ::testing::Test {
   }
 
   Session session_;
+  Tensor query_vec_;
 };
 
 TEST_F(StreamingParityTest, FilterProject) {
@@ -235,6 +259,66 @@ TEST_F(StreamingParityTest, SortLimitDistinct) {
   ExpectParity("SELECT DISTINCT tag FROM big");
   ExpectParity("SELECT x FROM (SELECT k + 1 AS x FROM big WHERE v > 0) s "
                "WHERE x < 8 ORDER BY x");
+}
+
+TEST_F(StreamingParityTest, IndexTopK) {
+  const std::vector<exec::ScalarValue> params = {
+      exec::ScalarValue::FromTensor(query_vec_)};
+  // The compiled plan for each of these is an IndexTopK breaker (the
+  // catalog holds an index on vecs.emb); the sweep drives it through the
+  // legacy executor, the streaming executor, and a drained cursor at
+  // every morsel/thread combination.
+  ExpectParity(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 12",
+      params);
+  ExpectParity(
+      "SELECT id, cosine_sim(emb, ?) AS sim FROM vecs "
+      "ORDER BY sim DESC LIMIT 7",
+      params);
+  // Hidden sort column (ORDER BY key outside the select list) and OFFSET
+  // above the fused top-k.
+  ExpectParity("SELECT id FROM vecs ORDER BY dot(emb, ?) DESC LIMIT 9",
+               params);
+  ExpectParity(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC "
+      "LIMIT 5 OFFSET 3",
+      params);
+  // LIMIT 0 and k > n degenerate shapes.
+  ExpectParity(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 0",
+      params);
+  ExpectParity(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC "
+      "LIMIT 100000",
+      params);
+  // The same statements with NO valid index (rewrite preconditions fail:
+  // a WHERE below the sort) exercise the BoundVectorSim expression in an
+  // ordinary streaming Project under the same sweep.
+  ExpectParity(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id < 200 "
+      "ORDER BY sim DESC LIMIT 6",
+      params);
+}
+
+// A cursor over an IndexTopK plan supports early close like any other:
+// the breaker materializes, the (single) result chunk streams, and
+// dropping the cursor mid-stream cancels cleanly.
+TEST_F(StreamingParityTest, IndexTopKCursorEarlyClose) {
+  QueryOptions options;
+  auto query = session_.Prepare(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 50",
+      options);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  exec::RunOptions run;
+  run.params = {exec::ScalarValue::FromTensor(query_vec_)};
+  run.exec.morsel_rows = 4;
+  auto cursor = (*query)->Open(std::move(run));
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  auto first = (*cursor)->Next();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->has_value());
+  EXPECT_GT((**first).num_rows(), 0);
+  (*cursor)->Close();  // abandon mid-stream; destructor joins the producer
 }
 
 TEST_F(StreamingParityTest, EmptyAndSingleRowTables) {

@@ -1,0 +1,58 @@
+#ifndef TDP_TESTS_VECTOR_TEST_UTIL_H_
+#define TDP_TESTS_VECTOR_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/storage/table.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace tdp {
+namespace testutil {
+
+/// Clustered unit vectors shared by the vector-index suites: `clusters`
+/// random unit directions, each row a small (0.08σ) perturbation of one
+/// of them, re-normalized. One definition so ivf_index, ivf_index_sql,
+/// differential, and streaming-parity tests all exercise identical data
+/// for identical (rng, shape) inputs.
+inline Tensor MakeClusteredUnitVectors(int64_t n, int64_t dim,
+                                       int64_t clusters, Rng& rng) {
+  Tensor centers = L2Normalize(RandNormal({clusters, dim}, 0, 1, rng), 1);
+  Tensor data = Tensor::Zeros({n, dim});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = rng.UniformInt(0, clusters - 1);
+    Tensor row = L2Normalize(
+        Add(Slice(centers, 0, c, 1), RandNormal({1, dim}, 0, 0.08, rng)), 1);
+    for (int64_t d = 0; d < dim; ++d) data.SetAt({i, d}, row.At({0, d}));
+  }
+  return data;
+}
+
+/// A random unit-norm query vector of `dim` elements.
+inline Tensor MakeUnitQuery(int64_t dim, Rng& rng) {
+  return L2Normalize(RandNormal({1, dim}, 0, 1, rng), 1).Squeeze(0)
+      .Contiguous();
+}
+
+/// Asserts `a` and `b` hold the same bytes column for column — the
+/// "bit-identical" oracle the index-vs-brute differential suites share
+/// (the streaming-parity suite keeps its own stricter variant that also
+/// pins encodings and dictionary identity).
+inline void ExpectTablesBitIdentical(const Table& a, const Table& b,
+                                     const std::string& what = "") {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << what;
+  for (int64_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_TRUE(TensorEqual(a.column(c).data().Contiguous(),
+                            b.column(c).data().Contiguous()))
+        << what << " column " << c;
+  }
+}
+
+}  // namespace testutil
+}  // namespace tdp
+
+#endif  // TDP_TESTS_VECTOR_TEST_UTIL_H_
