@@ -122,7 +122,7 @@ void CollectPlanModules(
 }  // namespace
 
 CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
-                             std::shared_ptr<const SharedCatalog> catalog,
+                             std::shared_ptr<SharedCatalog> catalog,
                              Device device, bool trainable)
     : plan_(std::move(plan)),
       pipelines_(plan::BuildPipelines(*plan_)),
@@ -167,6 +167,9 @@ ExecContext CompiledQuery::MakeContext(const RunOptions& options,
                                        const CancellationToken* cancel) const {
   ExecContext ctx;
   ctx.catalog = snapshot;
+  // DML kernels install their delta through the session's shared catalog;
+  // read-only plans never dereference this.
+  ctx.writer = catalog_.get();
   ctx.device = device_;
   // TRAINABLE queries default to the soft (differentiable) operators;
   // `RunOptions::training_mode = false` swaps in the exact ones for

@@ -41,8 +41,11 @@ namespace exec {
 /// conflicting per-run options simultaneously.
 class CompiledQuery : public std::enable_shared_from_this<CompiledQuery> {
  public:
+  /// `catalog` is non-const: every run snapshots it for reads, and DML
+  /// plans additionally install their write through it (the ExecContext
+  /// `writer` handle). Read-only statements never touch the writer.
   CompiledQuery(plan::LogicalNodePtr plan,
-                std::shared_ptr<const SharedCatalog> catalog, Device device,
+                std::shared_ptr<SharedCatalog> catalog, Device device,
                 bool trainable);
 
   CompiledQuery(const CompiledQuery&) = delete;
@@ -113,7 +116,7 @@ class CompiledQuery : public std::enable_shared_from_this<CompiledQuery> {
 
   plan::LogicalNodePtr plan_;
   plan::PipelinePlan pipelines_;  // built once; references plan_ nodes
-  std::shared_ptr<const SharedCatalog> catalog_;
+  std::shared_ptr<SharedCatalog> catalog_;
   Device device_;
   bool trainable_;
   int64_t num_params_ = 0;

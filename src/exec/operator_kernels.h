@@ -128,6 +128,31 @@ StatusOr<Chunk> ExecuteDistinct(const Chunk& input);
 StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
                                  const Chunk& input, const ExecContext& ctx);
 
+// ---- DDL / DML kernels (root breakers, both executors) ---------------------
+//
+// Each computes its write delta against the run's immutable snapshot
+// (`ctx.catalog`), installs it through `ctx.writer->ApplyDmlWrite` (or
+// RegisterTable for CREATE TABLE), and returns the single-row
+// `rows_affected` chunk the plan's schema declares. A lost write-write
+// race surfaces as a retryable ExecutionError; a null `ctx.writer` as a
+// clean "read-only execution context" error. Index entries over the
+// written table travel with the swap: INSERT extends them incrementally
+// (IvfIndex::WithAppended), DELETE re-tags them (shared index storage, the
+// deleted-row bitmap filters probes), UPDATE re-tags only when the write
+// provably preserved physical row identity of the indexed column.
+
+StatusOr<Chunk> ExecuteCreateTable(const plan::CreateTableNode& node,
+                                   const ExecContext& ctx);
+/// `source` is the evaluated SELECT child for INSERT ... SELECT; pass an
+/// empty chunk for the VALUES form (rows evaluated from `node.rows`).
+StatusOr<Chunk> ExecuteInsert(const plan::InsertNode& node,
+                              const Chunk& source, const ExecContext& ctx);
+/// `input` is the full-table scan of children[0] (old rows).
+StatusOr<Chunk> ExecuteUpdate(const plan::UpdateNode& node,
+                              const Chunk& input, const ExecContext& ctx);
+StatusOr<Chunk> ExecuteDelete(const plan::DeleteNode& node,
+                              const Chunk& input, const ExecContext& ctx);
+
 }  // namespace exec
 }  // namespace tdp
 

@@ -1,5 +1,6 @@
 #include "src/exec/operators.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -750,11 +751,19 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
   // than probing an index whose candidates would be discarded.
   if (node.k <= 0) return IndexTopKExact(node, input, ctx);
 
+  // The index covers the table's PHYSICAL rows (deleted rows included);
+  // its validity conditions are (a) identity — FindVectorIndex already
+  // checked the entry tags the registration this snapshot serves — and
+  // (b) coverage: one index id per physical row, and the scanned input is
+  // the table's full live view (row i of `input` is live position i).
   const std::shared_ptr<const VectorIndexEntry> entry =
       ctx.catalog->FindVectorIndex(node.table_name, node.column_name);
-  if (entry == nullptr || entry->index.num_rows() != input.num_rows()) {
+  if (entry == nullptr ||
+      entry->index->num_rows() != entry->table->num_physical_rows() ||
+      entry->table->num_rows() != input.num_rows()) {
     return IndexTopKExact(node, input, ctx);
   }
+  const Table& table = *entry->table;
 
   const auto& sim = static_cast<const exec::BoundVectorSim&>(
       *node.exprs[static_cast<size_t>(node.sim_ordinal)]);
@@ -769,14 +778,14 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
 
   // Negative budgets were rejected at run entry (ValidateRunOptions);
   // here 0 means "probe every cell".
-  const int64_t num_lists = entry->index.num_lists();
+  const int64_t num_lists = entry->index->num_lists();
   // Cosine ranking only trusts the dot-ordered cell probe on unit-norm
   // rows (see IvfIndex::rows_unit_norm); otherwise probe every cell so
   // partial-probe recall can never silently collapse — results stay
   // exact, only the scan-fraction saving is lost.
   const bool trust_partial_probe =
       sim.sim_kind == exec::BoundVectorSim::SimKind::kDot ||
-      entry->index.rows_unit_norm();
+      entry->index->rows_unit_norm();
   const int64_t probes =
       (ctx.index_probes == 0 || !trust_partial_probe)
           ? num_lists
@@ -784,11 +793,26 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
   // The probe budget is a floor: cells are probed past it until k
   // candidate rows exist, so a LIMIT k never shrinks below min(k, n)
   // just because the best cell is small — recall absorbs the
-  // approximation, row count never does.
-  TDP_ASSIGN_OR_RETURN(
-      std::vector<int64_t> candidates,
-      entry->index.ProbeCandidates(query.scalar.tensor_value(), probes,
-                                   /*min_candidates=*/node.k));
+  // approximation, row count never does. Probed ids are PHYSICAL; the
+  // deleted ones are dropped and the survivors mapped to live positions
+  // (MapPhysicalToLive preserves ascending order). A delete-heavy cell
+  // can leave fewer than k live candidates even though the probe floor
+  // was met, so the budget doubles until k live rows exist or every cell
+  // was visited — deletes, like small cells, cost scan fraction, never
+  // result rows.
+  std::vector<int64_t> candidates;
+  for (int64_t budget = probes;;) {
+    TDP_ASSIGN_OR_RETURN(
+        std::vector<int64_t> physical,
+        entry->index->ProbeCandidates(query.scalar.tensor_value(), budget,
+                                      /*min_candidates=*/node.k));
+    candidates = table.MapPhysicalToLive(physical);
+    if (static_cast<int64_t>(candidates.size()) >= node.k ||
+        budget >= num_lists) {
+      break;
+    }
+    budget = std::min(budget * 2, num_lists);
+  }
   if (candidates.empty()) {
     return IndexTopKExact(node, input, ctx);
   }
@@ -820,6 +844,419 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
   const Tensor top = Slice(order, 0, 0, out_k).Contiguous();
   const Tensor row_ids = IndexSelect(cand_ids, 0, top);
   return ProjectIndexTopK(node, input.Select(row_ids), ctx);
+}
+
+// ---- DDL / DML kernels ------------------------------------------------------
+
+namespace {
+
+Chunk RowsAffectedChunk(int64_t n) {
+  Chunk out;
+  out.names.push_back("rows_affected");
+  out.columns.push_back(
+      Column::Plain(Tensor::FromVector(std::vector<int64_t>{n}, {})));
+  return out;
+}
+
+Status RequireWriter(const ExecContext& ctx, const char* what) {
+  if (ctx.writer == nullptr) {
+    return Status::InvalidArgument(
+        std::string(what) +
+        " needs a writable session; this execution context is read-only");
+  }
+  return Status::OK();
+}
+
+// Builds the append/assign batch for one target column from evaluated
+// VALUES scalars, matching `tmpl` (the table's tail column — the
+// encoding/dtype/row-shape contract WithAppended enforces).
+StatusOr<Column> ColumnFromScalars(const Column& tmpl,
+                                   const std::string& col_name,
+                                   const std::vector<ScalarValue>& values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  for (const ScalarValue& v : values) {
+    if (v.is_null()) {
+      return Status::InvalidArgument("column " + col_name +
+                                     ": NULL values are not supported");
+    }
+  }
+  switch (tmpl.encoding()) {
+    case Encoding::kDictionary: {
+      std::vector<std::string> strs;
+      strs.reserve(values.size());
+      for (const ScalarValue& v : values) {
+        if (!v.is_string()) {
+          return Status::TypeError("column " + col_name +
+                                   " takes string values");
+        }
+        strs.push_back(v.string_value());
+      }
+      return Column::FromStrings(strs, tmpl.data().device());
+    }
+    case Encoding::kProbability:
+      return Status::InvalidArgument(
+          "column " + col_name +
+          ": INSERT into probability-encoded columns is not supported");
+    case Encoding::kPlain:
+      break;
+  }
+  const DType dtype = tmpl.data().dtype();
+  const Device device = tmpl.data().device();
+  if (tmpl.data().dim() >= 2) {
+    // Tensor column: each value is a whole row tensor (bound through a
+    // `?` parameter with ScalarValue::FromTensor).
+    std::vector<int64_t> row_shape = tmpl.data().shape();
+    row_shape[0] = 1;
+    int64_t row_numel = 1;
+    for (size_t d = 1; d < row_shape.size(); ++d) row_numel *= row_shape[d];
+    std::vector<Tensor> rows;
+    rows.reserve(values.size());
+    for (const ScalarValue& v : values) {
+      if (!v.is_tensor() || v.tensor_value().numel() != row_numel) {
+        return Status::TypeError(
+            "column " + col_name + " takes " + std::to_string(row_numel) +
+            "-element tensor rows (bind with ScalarValue::FromTensor)");
+      }
+      rows.push_back(Reshape(
+          v.tensor_value().Detach().To(dtype).To(device), row_shape));
+    }
+    return Column::Plain(Cat(rows, 0));
+  }
+  Tensor data;
+  switch (dtype) {
+    case DType::kInt64: {
+      std::vector<int64_t> out;
+      out.reserve(values.size());
+      for (const ScalarValue& v : values) {
+        if (!v.is_int()) {
+          return Status::TypeError("column " + col_name +
+                                   " takes integer values");
+        }
+        out.push_back(v.int_value());
+      }
+      data = Tensor::FromVector(out, {}, device);
+      break;
+    }
+    case DType::kBool: {
+      data = Tensor::Empty({n}, DType::kBool, device);
+      bool* p = data.data<bool>();
+      for (int64_t i = 0; i < n; ++i) {
+        if (!values[static_cast<size_t>(i)].is_bool()) {
+          return Status::TypeError("column " + col_name +
+                                   " takes boolean values");
+        }
+        p[i] = values[static_cast<size_t>(i)].bool_value();
+      }
+      break;
+    }
+    case DType::kFloat32:
+    case DType::kFloat64: {
+      std::vector<double> out;
+      out.reserve(values.size());
+      for (const ScalarValue& v : values) {
+        if (!v.is_numeric()) {
+          return Status::TypeError("column " + col_name +
+                                   " takes numeric values");
+        }
+        out.push_back(v.AsDouble());
+      }
+      data = Tensor::FromVector(out, {}, device).To(dtype);
+      break;
+    }
+    default:
+      return Status::TypeError("column " + col_name +
+                               ": unsupported column dtype for INSERT");
+  }
+  return Column::Plain(std::move(data));
+}
+
+// Coerces an evaluated column (INSERT ... SELECT source / UPDATE
+// assignment result) to `tmpl`'s encoding, dtype, and device. Numeric
+// widening (int column into a float column) is the only conversion; a
+// genuine encoding mismatch fails with the column named.
+StatusOr<Column> CoerceToColumn(const Column& tmpl,
+                                const std::string& col_name,
+                                const Column& incoming) {
+  if (incoming.encoding() != tmpl.encoding()) {
+    return Status::TypeError(
+        "column " + col_name + " is " +
+        std::string(EncodingName(tmpl.encoding())) + "-encoded; got " +
+        std::string(EncodingName(incoming.encoding())) + " values");
+  }
+  if (tmpl.encoding() != Encoding::kPlain) return incoming;
+  const DType dtype = tmpl.data().dtype();
+  const Device device = tmpl.data().device();
+  if (incoming.data().dim() != tmpl.data().dim()) {
+    return Status::TypeError("column " + col_name + " rank mismatch");
+  }
+  if (incoming.data().dtype() == dtype &&
+      incoming.data().device() == device) {
+    return incoming;
+  }
+  const bool numeric_ok =
+      IsFloatingPoint(dtype) || incoming.data().dtype() == dtype;
+  if (!numeric_ok) {
+    return Status::TypeError("column " + col_name + " type mismatch");
+  }
+  return Column::Plain(incoming.data().Detach().To(dtype).To(device));
+}
+
+/// Re-tags `entry` onto `table` (sharing the index storage).
+std::shared_ptr<const VectorIndexEntry> RetagIndexEntry(
+    const VectorIndexEntry& entry, std::shared_ptr<const Table> table) {
+  return std::shared_ptr<const VectorIndexEntry>(new VectorIndexEntry{
+      entry.table_name, entry.column_name, entry.index, std::move(table)});
+}
+
+/// The matching live positions (and selected rows) of a DML WHERE clause
+/// over the full-table scan `input`; null predicate selects every row.
+struct DmlSelection {
+  std::vector<int64_t> positions;
+  Chunk rows;
+};
+
+StatusOr<DmlSelection> SelectDmlRows(const exec::BoundExpr* predicate,
+                                     const Chunk& input,
+                                     const ExecContext& ctx) {
+  DmlSelection sel;
+  if (predicate == nullptr) {
+    sel.positions.resize(static_cast<size_t>(input.num_rows()));
+    for (int64_t i = 0; i < input.num_rows(); ++i) {
+      sel.positions[static_cast<size_t>(i)] = i;
+    }
+    sel.rows = input;
+    return sel;
+  }
+  TDP_ASSIGN_OR_RETURN(
+      Tensor mask, EvaluatePredicate(*predicate, input, ctx.device,
+                                     ctx.params));
+  if (mask.numel() != input.num_rows()) {
+    return Status::ExecutionError("predicate mask length mismatch");
+  }
+  const Tensor selected = NonZero(mask);
+  sel.positions = selected.ToVector<int64_t>();
+  sel.rows = input.Select(selected);
+  return sel;
+}
+
+}  // namespace
+
+StatusOr<Chunk> ExecuteCreateTable(const plan::CreateTableNode& node,
+                                   const ExecContext& ctx) {
+  TDP_RETURN_NOT_OK(RequireWriter(ctx, "CREATE TABLE"));
+  std::vector<std::string> names;
+  std::vector<Column> columns;
+  names.reserve(node.table_schema.size());
+  columns.reserve(node.table_schema.size());
+  for (size_t i = 0; i < node.table_schema.size(); ++i) {
+    const plan::ColumnMeta& meta = node.table_schema[i];
+    names.push_back(meta.name);
+    const int64_t width = node.tensor_widths[i];
+    if (width > 0) {
+      columns.push_back(
+          Column::Plain(Tensor::Empty({0, width}, DType::kFloat32)));
+    } else if (meta.encoding == Encoding::kDictionary) {
+      columns.push_back(Column::FromStrings({}));
+    } else {
+      columns.push_back(Column::Plain(Tensor::Empty({0}, meta.dtype)));
+    }
+  }
+  TDP_ASSIGN_OR_RETURN(
+      std::shared_ptr<Table> table,
+      Table::Create(node.table_name, std::move(names), std::move(columns)));
+  // replace=false: CREATE TABLE of an existing name is an error, atomically
+  // decided under the catalog mutex (two racing CREATEs cannot both win).
+  TDP_RETURN_NOT_OK(ctx.writer->RegisterTable(node.table_name,
+                                              std::move(table),
+                                              /*replace=*/false));
+  return RowsAffectedChunk(0);
+}
+
+StatusOr<Chunk> ExecuteInsert(const plan::InsertNode& node,
+                              const Chunk& source, const ExecContext& ctx) {
+  TDP_RETURN_NOT_OK(RequireWriter(ctx, "INSERT"));
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> target,
+                       ctx.catalog->GetTable(node.table_name));
+  const size_t num_cols = static_cast<size_t>(target->num_columns());
+  if (node.column_map.size() != num_cols) {
+    return Status::ExecutionError(
+        "table " + node.table_name +
+        " changed shape since compilation; re-compile the statement");
+  }
+
+  // Build the append batch in TABLE column order (column_map[i] is the
+  // target column of value position i; the binder guarantees the map is a
+  // permutation).
+  std::vector<Column> batch(num_cols);
+  int64_t added = 0;
+  if (node.children.empty()) {
+    added = static_cast<int64_t>(node.rows.size());
+    // VALUES rows: evaluate every expression to a constant (no input
+    // relation exists), then build one column per value position.
+    const Chunk no_input;
+    std::vector<std::vector<ScalarValue>> by_position(num_cols);
+    for (const auto& row : node.rows) {
+      if (row.size() != num_cols) {
+        return Status::Internal("INSERT row arity mismatch");
+      }
+      for (size_t i = 0; i < row.size(); ++i) {
+        TDP_ASSIGN_OR_RETURN(
+            EvalResult v,
+            EvaluateExpr(*row[i], no_input, ctx.device, ctx.params));
+        if (!v.is_scalar) {
+          return Status::TypeError(
+              "INSERT VALUES entries must be constant expressions");
+        }
+        by_position[i].push_back(std::move(v.scalar));
+      }
+    }
+    for (size_t i = 0; i < num_cols; ++i) {
+      const int64_t t = node.column_map[i];
+      TDP_ASSIGN_OR_RETURN(
+          batch[static_cast<size_t>(t)],
+          ColumnFromScalars(target->TailColumn(t),
+                            target->column_names()[static_cast<size_t>(t)],
+                            by_position[i]));
+    }
+  } else {
+    // INSERT ... SELECT: the evaluated child's columns are the value
+    // positions.
+    if (source.columns.size() != num_cols) {
+      return Status::Internal("INSERT SELECT arity mismatch");
+    }
+    added = source.num_rows();
+    if (added == 0) return RowsAffectedChunk(0);
+    for (size_t i = 0; i < num_cols; ++i) {
+      const int64_t t = node.column_map[i];
+      TDP_ASSIGN_OR_RETURN(
+          batch[static_cast<size_t>(t)],
+          CoerceToColumn(target->TailColumn(t),
+                         target->column_names()[static_cast<size_t>(t)],
+                         source.columns[i]));
+    }
+  }
+
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> written,
+                       target->WithAppended(batch));
+
+  // Vector indexes extend incrementally: the new physical rows are
+  // assigned to their nearest existing centroids — no rebuild, recall
+  // degrades gracefully until the next explicit CREATE VECTOR INDEX. An
+  // entry that cannot extend (unexpected shape/dtype) is dropped; the
+  // exact fallback keeps queries correct.
+  std::vector<std::shared_ptr<const VectorIndexEntry>> entries;
+  for (const auto& entry :
+       ctx.catalog->TableVectorIndexes(node.table_name)) {
+    if (entry->index->num_rows() != target->num_physical_rows()) continue;
+    const auto col = target->ColumnIndex(entry->column_name);
+    if (!col.ok()) continue;
+    auto extended = entry->index->WithAppended(
+        batch[static_cast<size_t>(col.value())].data());
+    if (!extended.ok()) continue;
+    entries.push_back(std::shared_ptr<const VectorIndexEntry>(
+        new VectorIndexEntry{entry->table_name, entry->column_name,
+                             std::make_shared<const index::IvfIndex>(
+                                 std::move(extended).value()),
+                             written}));
+  }
+
+  TDP_RETURN_NOT_OK(ctx.writer->ApplyDmlWrite(
+      node.table_name, target, std::move(written), std::move(entries)));
+  return RowsAffectedChunk(added);
+}
+
+StatusOr<Chunk> ExecuteUpdate(const plan::UpdateNode& node,
+                              const Chunk& input, const ExecContext& ctx) {
+  TDP_RETURN_NOT_OK(RequireWriter(ctx, "UPDATE"));
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> target,
+                       ctx.catalog->GetTable(node.table_name));
+  if (input.num_rows() != target->num_rows()) {
+    return Status::ExecutionError(
+        "table " + node.table_name +
+        " changed while the UPDATE was running; retry the statement");
+  }
+  TDP_ASSIGN_OR_RETURN(DmlSelection sel,
+                       SelectDmlRows(node.predicate.get(), input, ctx));
+  if (sel.positions.empty()) return RowsAffectedChunk(0);
+
+  // Assignment expressions are evaluated over the OLD matching rows
+  // (standard SQL: `SET a = b, b = a` swaps). Every expression here is
+  // row-local, so evaluating over the selected subset equals evaluating
+  // over the relation and gathering.
+  std::vector<std::pair<int64_t, Column>> updates;
+  updates.reserve(node.assignments.size());
+  for (const auto& [col, expr] : node.assignments) {
+    TDP_ASSIGN_OR_RETURN(
+        Column values,
+        EvaluateExprToColumn(*expr, sel.rows, ctx.device, ctx.params));
+    TDP_ASSIGN_OR_RETURN(
+        values,
+        CoerceToColumn(target->TailColumn(col),
+                       target->column_names()[static_cast<size_t>(col)],
+                       values));
+    updates.emplace_back(col, std::move(values));
+  }
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> written,
+                       target->WithUpdated(sel.positions, updates));
+
+  // WithUpdated compacts to a single physical==live segment. An index
+  // entry survives (re-tagged, storage shared) only when that compaction
+  // provably preserved physical ids — no deletes in the base — and the
+  // indexed column was not assigned; otherwise it is dropped and queries
+  // take the exact fallback until the index is rebuilt.
+  std::vector<std::shared_ptr<const VectorIndexEntry>> entries;
+  if (!target->has_deletes()) {
+    for (const auto& entry :
+         ctx.catalog->TableVectorIndexes(node.table_name)) {
+      if (entry->index->num_rows() != target->num_physical_rows()) continue;
+      const auto col = target->ColumnIndex(entry->column_name);
+      if (!col.ok()) continue;
+      const bool assigned =
+          std::any_of(node.assignments.begin(), node.assignments.end(),
+                      [&col](const auto& a) {
+                        return a.first == col.value();
+                      });
+      if (assigned) continue;
+      entries.push_back(RetagIndexEntry(*entry, written));
+    }
+  }
+
+  TDP_RETURN_NOT_OK(ctx.writer->ApplyDmlWrite(
+      node.table_name, target, std::move(written), std::move(entries)));
+  return RowsAffectedChunk(static_cast<int64_t>(sel.positions.size()));
+}
+
+StatusOr<Chunk> ExecuteDelete(const plan::DeleteNode& node,
+                              const Chunk& input, const ExecContext& ctx) {
+  TDP_RETURN_NOT_OK(RequireWriter(ctx, "DELETE"));
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> target,
+                       ctx.catalog->GetTable(node.table_name));
+  if (input.num_rows() != target->num_rows()) {
+    return Status::ExecutionError(
+        "table " + node.table_name +
+        " changed while the DELETE was running; retry the statement");
+  }
+  TDP_ASSIGN_OR_RETURN(DmlSelection sel,
+                       SelectDmlRows(node.predicate.get(), input, ctx));
+  // A no-match DELETE is a pure no-op: skip the install entirely, so it
+  // bumps neither the catalog version nor any reader's snapshot.
+  if (sel.positions.empty()) return RowsAffectedChunk(0);
+
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> written,
+                       target->WithDeleted(sel.positions));
+
+  // DELETE never moves a physical row — every index entry survives with
+  // its storage shared; probing filters the newly-deleted ids.
+  std::vector<std::shared_ptr<const VectorIndexEntry>> entries;
+  for (const auto& entry :
+       ctx.catalog->TableVectorIndexes(node.table_name)) {
+    if (entry->index->num_rows() != target->num_physical_rows()) continue;
+    entries.push_back(RetagIndexEntry(*entry, written));
+  }
+
+  TDP_RETURN_NOT_OK(ctx.writer->ApplyDmlWrite(
+      node.table_name, target, std::move(written), std::move(entries)));
+  return RowsAffectedChunk(static_cast<int64_t>(sel.positions.size()));
 }
 
 // ---- Legacy whole-relation executor ----------------------------------------
@@ -879,6 +1316,27 @@ StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
       TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
       return ExecuteIndexTopK(static_cast<const plan::IndexTopKNode&>(node),
                               input, ctx);
+    }
+    case plan::NodeKind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const plan::CreateTableNode&>(node), ctx);
+    case plan::NodeKind::kInsert: {
+      Chunk source;
+      if (!node.children.empty()) {
+        TDP_ASSIGN_OR_RETURN(source, ExecuteNode(*node.children[0], ctx));
+      }
+      return ExecuteInsert(static_cast<const plan::InsertNode&>(node),
+                           source, ctx);
+    }
+    case plan::NodeKind::kUpdate: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteUpdate(static_cast<const plan::UpdateNode&>(node), input,
+                           ctx);
+    }
+    case plan::NodeKind::kDelete: {
+      TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
+      return ExecuteDelete(static_cast<const plan::DeleteNode&>(node), input,
+                           ctx);
     }
   }
   return Status::Internal("unknown plan node kind");

@@ -59,6 +59,11 @@ struct ExecContext {
   /// Test-only morsel fault hook (see `RunOptions::inject_morsel_fault`);
   /// points at storage owned by the caller for the duration of the run.
   const std::function<Status(int64_t)>* morsel_fault = nullptr;
+  /// Writer handle for DML statements: `catalog` stays the run's immutable
+  /// snapshot (the delta is computed against it), and the finished write is
+  /// installed through here (`SharedCatalog::ApplyDmlWrite`). Null for
+  /// execution APIs with no writable catalog — DML then fails cleanly.
+  SharedCatalog* writer = nullptr;
 };
 
 /// OK while `ctx`'s run is live; `kCancelled` once its token has been

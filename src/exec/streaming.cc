@@ -176,6 +176,9 @@ Chunk AssembleLimit(const plan::LimitNode& node, std::vector<Chunk> survivors) {
 StatusOr<Chunk> RunPipeline(const Pipeline& p, const PipelineOutputs& outs,
                             const ExecContext& ctx) {
   TDP_RETURN_NOT_OK(CheckCancel(ctx));
+  // Childless breakers (CREATE TABLE, INSERT ... VALUES) consume no
+  // stream: the breaker kernel runs over an empty input.
+  if (p.source == nullptr) return Chunk{};
   TDP_ASSIGN_OR_RETURN(Chunk src, SourceChunk(p, outs, ctx));
 
   const bool aggregate_sink = p.sink_kind == SinkKind::kAggregate;
@@ -348,6 +351,23 @@ StatusOr<Chunk> ApplyBreaker(const LogicalNode& sink, Chunk input,
       // construction.
       return ExecuteIndexTopK(static_cast<const plan::IndexTopKNode&>(sink),
                               input, ctx);
+    // DML breakers: the assembled input is the whole-relation source (the
+    // full-table scan for UPDATE/DELETE, the SELECT child for INSERT ...
+    // SELECT, empty for the childless forms), so the write delta — like
+    // every breaker product — is independent of morsel size and thread
+    // count; the kernels themselves match the legacy path exactly.
+    case NodeKind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const plan::CreateTableNode&>(sink), ctx);
+    case NodeKind::kInsert:
+      return ExecuteInsert(static_cast<const plan::InsertNode&>(sink), input,
+                           ctx);
+    case NodeKind::kUpdate:
+      return ExecuteUpdate(static_cast<const plan::UpdateNode&>(sink), input,
+                           ctx);
+    case NodeKind::kDelete:
+      return ExecuteDelete(static_cast<const plan::DeleteNode&>(sink), input,
+                           ctx);
     default:
       return Status::Internal("unexpected breaker kind: " + sink.Describe());
   }

@@ -80,6 +80,47 @@ StatusOr<IvfIndex> IvfIndex::Build(const Tensor& embeddings,
   return index;
 }
 
+StatusOr<IvfIndex> IvfIndex::WithAppended(const Tensor& new_rows) const {
+  if (!new_rows.defined() || new_rows.dim() != 2 ||
+      new_rows.size(1) != data_.size(1)) {
+    return Status::InvalidArgument(
+        "appended rows must be [m, " + std::to_string(data_.size(1)) + "]");
+  }
+  if (!IsFloatingPoint(new_rows.dtype())) {
+    return Status::TypeError("IVF index needs float embeddings");
+  }
+  const Tensor rows = new_rows.Detach()
+                          .Contiguous()
+                          .To(DType::kFloat32)
+                          .To(data_.device());
+  const int64_t m = rows.size(0);
+  if (m == 0) return Status::InvalidArgument("no rows to append");
+
+  IvfIndex index;
+  index.data_ = Cat({data_, rows}, 0);
+  index.centroids_ = centroids_;
+  index.lists_ = lists_;
+
+  const Tensor norms =
+      Sqrt(Sum(Mul(rows, rows), /*dim=*/1, /*keepdim=*/false));
+  const Tensor ones =
+      Tensor::Full({1}, 1.0f, DType::kFloat32, rows.device());
+  index.rows_unit_norm_ =
+      rows_unit_norm_ && MaxAll(Abs(Sub(norms, ones))).item<float>() < 1e-3f;
+
+  // Nearest existing centroid by inner product, exactly like the k-means
+  // assign step.
+  const Tensor scores = MatMul(rows, Transpose(centroids_, 0, 1));
+  const std::vector<int64_t> assignment =
+      ArgMax(scores, 1, false).ToVector<int64_t>();
+  const int64_t base = num_rows();
+  for (int64_t i = 0; i < m; ++i) {
+    index.lists_[static_cast<size_t>(assignment[static_cast<size_t>(i)])]
+        .push_back(base + i);
+  }
+  return index;
+}
+
 StatusOr<Tensor> IvfIndex::PrepareQuery(const Tensor& query) const {
   if (!query.defined() || query.numel() != data_.size(1)) {
     return Status::InvalidArgument(

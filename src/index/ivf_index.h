@@ -47,6 +47,15 @@ class IvfIndex {
   StatusOr<SearchResult> Search(const Tensor& query, int64_t k,
                                 int64_t num_probes) const;
 
+  /// Derives a new index over this index's rows plus `new_rows` ([m, d]):
+  /// each appended row joins the cell of its nearest existing centroid —
+  /// no re-clustering, so an INSERT costs O(m · lists) instead of a full
+  /// k-means rebuild. Existing row ids are unchanged; appended rows get
+  /// ids [num_rows(), num_rows() + m). Recall degrades gracefully as the
+  /// appended fraction grows (centroids drift from the true means);
+  /// rebuilding re-clusters.
+  StatusOr<IvfIndex> WithAppended(const Tensor& new_rows) const;
+
   /// Candidate generation for the SQL `IndexTopK` operator: the member
   /// rows of the `num_probes` highest-scoring NON-EMPTY cells (k-means can
   /// leave cells empty; probing those would waste the probe budget and, at

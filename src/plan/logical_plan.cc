@@ -38,6 +38,14 @@ std::string_view NodeKindName(NodeKind kind) {
       return "Distinct";
     case NodeKind::kIndexTopK:
       return "IndexTopK";
+    case NodeKind::kCreateTable:
+      return "CreateTable";
+    case NodeKind::kInsert:
+      return "Insert";
+    case NodeKind::kUpdate:
+      return "Update";
+    case NodeKind::kDelete:
+      return "Delete";
   }
   return "Unknown";
 }
@@ -127,6 +135,27 @@ std::string IndexTopKNode::Describe() const {
          ")";
 }
 
+std::string CreateTableNode::Describe() const {
+  return "CreateTable(" + table_name + ", " +
+         std::to_string(table_schema.size()) + " cols)";
+}
+
+std::string InsertNode::Describe() const {
+  return "Insert(" + table_name + ", " +
+         (children.empty() ? std::to_string(rows.size()) + " rows"
+                           : std::string("from select")) +
+         ")";
+}
+
+std::string UpdateNode::Describe() const {
+  return "Update(" + table_name + ", " + std::to_string(assignments.size()) +
+         " cols" + (predicate ? ", where" : "") + ")";
+}
+
+std::string DeleteNode::Describe() const {
+  return "Delete(" + table_name + (predicate ? ", where" : "") + ")";
+}
+
 void ForEachExpr(const LogicalNode& node,
                  const std::function<void(const exec::BoundExpr&)>& fn) {
   switch (node.kind) {
@@ -161,10 +190,30 @@ void ForEachExpr(const LogicalNode& node,
         fn(*e);
       }
       return;
+    case NodeKind::kInsert:
+      for (const auto& row : static_cast<const InsertNode&>(node).rows) {
+        for (const auto& e : row) fn(*e);
+      }
+      return;
+    case NodeKind::kUpdate: {
+      const auto& update = static_cast<const UpdateNode&>(node);
+      for (const auto& [col, e] : update.assignments) {
+        (void)col;
+        fn(*e);
+      }
+      if (update.predicate) fn(*update.predicate);
+      return;
+    }
+    case NodeKind::kDelete: {
+      const auto& del = static_cast<const DeleteNode&>(node);
+      if (del.predicate) fn(*del.predicate);
+      return;
+    }
     case NodeKind::kScan:
     case NodeKind::kTvfScan:
     case NodeKind::kLimit:
     case NodeKind::kDistinct:
+    case NodeKind::kCreateTable:
       return;
   }
 }

@@ -36,6 +36,10 @@ enum class NodeKind {
   kLimit,
   kDistinct,
   kIndexTopK,
+  kCreateTable,
+  kInsert,
+  kUpdate,
+  kDelete,
 };
 
 std::string_view NodeKindName(NodeKind kind);
@@ -174,6 +178,62 @@ struct IndexTopKNode : LogicalNode {
   int64_t k = 0;                   // rows to emit (the sort's fused limit)
   int64_t sim_ordinal = 0;         // index of the sim expr in `exprs`
   std::vector<exec::BoundExprPtr> exprs;  // absorbed projection
+  std::string Describe() const override;
+};
+
+// ---- DDL / DML nodes --------------------------------------------------------
+//
+// All four execute as root pipeline breakers in BOTH executors: the write
+// delta (appended rows, matching positions, new values) is computed
+// against the run's immutable catalog snapshot — concurrent readers are
+// never blocked and never see a half-applied write — then installed via
+// SharedCatalog::ApplyDmlWrite, whose identity re-check turns a lost
+// write-write race into a retryable ExecutionError. Each emits a single
+// `rows_affected` int64 row as its result relation.
+
+/// CREATE TABLE t (col TYPE, ...): registers an empty table. `schema` (the
+/// node's output) is the rows_affected row; the created table's shape
+/// lives in `table_schema` + `tensor_widths`.
+struct CreateTableNode : LogicalNode {
+  CreateTableNode() : LogicalNode(NodeKind::kCreateTable) {}
+  std::string table_name;
+  Schema table_schema;  // declared columns (name, encoding, dtype)
+  /// Per column: 0 for scalar columns, d for a TENSOR(d) embedding column
+  /// (a [n, d] float32 plain column).
+  std::vector<int64_t> tensor_widths;
+  std::string Describe() const override;
+};
+
+/// INSERT INTO t [(cols)] VALUES (...), ... | SELECT ... — VALUES rows
+/// live in `rows` (childless); the SELECT form plans its source as
+/// children[0] and leaves `rows` empty. `column_map[i]` is the target
+/// column index of value position i; a statement must supply every column
+/// exactly once (the engine has no default values), but may reorder.
+struct InsertNode : LogicalNode {
+  InsertNode() : LogicalNode(NodeKind::kInsert) {}
+  std::string table_name;
+  std::vector<int64_t> column_map;
+  std::vector<std::vector<exec::BoundExprPtr>> rows;
+  std::string Describe() const override;
+};
+
+/// UPDATE t SET col = expr, ... [WHERE pred]: children[0] scans the full
+/// table; assignment expressions and the predicate are bound against its
+/// schema and evaluated over the OLD rows (standard SQL semantics).
+struct UpdateNode : LogicalNode {
+  UpdateNode() : LogicalNode(NodeKind::kUpdate) {}
+  std::string table_name;
+  std::vector<std::pair<int64_t, exec::BoundExprPtr>> assignments;
+  exec::BoundExprPtr predicate;  // null = every row
+  std::string Describe() const override;
+};
+
+/// DELETE FROM t [WHERE pred]: children[0] scans the full table. Executes
+/// as a deleted-row bitmap update — no compaction, physical ids stable.
+struct DeleteNode : LogicalNode {
+  DeleteNode() : LogicalNode(NodeKind::kDelete) {}
+  std::string table_name;
+  exec::BoundExprPtr predicate;  // null = every row
   std::string Describe() const override;
 };
 

@@ -144,14 +144,28 @@ struct Builder {
       // index into the full scan), and its output is a fresh ordered
       // relation — a textbook breaker.
       case NodeKind::kIndexTopK:
+      // DML statements are root breakers: the write delta is computed over
+      // the assembled input (the full-table scan for UPDATE/DELETE, the
+      // SELECT source for INSERT ... SELECT) and applied exactly once at
+      // the breaker. CreateTable and INSERT ... VALUES are childless — the
+      // breaker runs over an empty input stream (source == nullptr).
+      case NodeKind::kCreateTable:
+      case NodeKind::kInsert:
+      case NodeKind::kUpdate:
+      case NodeKind::kDelete:
         bp.sink_kind = SinkKind::kMaterialize;
         break;
       default:
         TDP_LOG(Fatal) << "node kind cannot be a pipeline breaker: "
                        << NodeKindName(node.kind);
     }
-    TDP_CHECK(!node.children.empty());
-    BuildStream(*node.children[0], bp);
+    if (node.children.empty()) {
+      TDP_CHECK(node.kind == NodeKind::kCreateTable ||
+                node.kind == NodeKind::kInsert)
+          << "childless breaker: " << NodeKindName(node.kind);
+    } else {
+      BuildStream(*node.children[0], bp);
+    }
     return Push(std::move(bp));
   }
 };

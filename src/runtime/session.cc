@@ -1,7 +1,9 @@
 #include "src/runtime/session.h"
 
 #include <cctype>
+#include <set>
 
+#include "src/common/string_util.h"
 #include "src/plan/optimizer.h"
 #include "src/sql/binder.h"
 #include "src/sql/parser.h"
@@ -49,6 +51,61 @@ std::string NormalizeSql(const std::string& sql) {
   return out;
 }
 
+/// Every table name the plan touches (lowercased): scans, index probes and
+/// write targets alike. These are the tables whose schema epochs decide a
+/// cache entry's freshness.
+void CollectPlanTables(const plan::LogicalNode& node,
+                       std::set<std::string>& out) {
+  switch (node.kind) {
+    case plan::NodeKind::kScan:
+      out.insert(ToLower(static_cast<const plan::ScanNode&>(node).table_name));
+      break;
+    case plan::NodeKind::kIndexTopK:
+      out.insert(
+          ToLower(static_cast<const plan::IndexTopKNode&>(node).table_name));
+      break;
+    case plan::NodeKind::kCreateTable:
+      out.insert(
+          ToLower(static_cast<const plan::CreateTableNode&>(node).table_name));
+      break;
+    case plan::NodeKind::kInsert:
+      out.insert(
+          ToLower(static_cast<const plan::InsertNode&>(node).table_name));
+      break;
+    case plan::NodeKind::kUpdate:
+      out.insert(
+          ToLower(static_cast<const plan::UpdateNode&>(node).table_name));
+      break;
+    case plan::NodeKind::kDelete:
+      out.insert(
+          ToLower(static_cast<const plan::DeleteNode&>(node).table_name));
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : node.children) CollectPlanTables(*child, out);
+}
+
+std::vector<std::pair<std::string, uint64_t>> CollectPlanDeps(
+    const plan::LogicalNode& plan, const Catalog& snapshot) {
+  std::set<std::string> tables;
+  CollectPlanTables(plan, tables);
+  std::vector<std::pair<std::string, uint64_t>> deps;
+  deps.reserve(tables.size());
+  for (const std::string& table : tables) {
+    deps.emplace_back(table, snapshot.SchemaEpoch(table));
+  }
+  return deps;
+}
+
+bool DepsFresh(const std::vector<std::pair<std::string, uint64_t>>& deps,
+               const Catalog& snapshot) {
+  for (const auto& [table, epoch] : deps) {
+    if (snapshot.SchemaEpoch(table) != epoch) return false;
+  }
+  return true;
+}
+
 std::string CacheKey(const std::string& sql, const QueryOptions& options) {
   std::string key = NormalizeSql(sql);
   key += '\x1f';
@@ -72,9 +129,9 @@ Status Session::RegisterTable(const std::string& name,
     return Status::InvalidArgument("cannot register a null table");
   }
   if (device != Device::kCpu) table = table->To(device);
-  // The catalog version bump implicitly invalidates every cached plan
-  // (entries are version-checked on lookup), so plans bound against the
-  // old schema are never served after a re-registration.
+  // Registration is DDL: it bumps `name`'s schema epoch, invalidating
+  // exactly the cached plans that touch `name` (entries are epoch-checked
+  // on lookup). Plans over other tables keep hitting.
   return catalog_->RegisterTable(name, std::move(table), /*replace=*/true);
 }
 
@@ -93,9 +150,10 @@ Status Session::CreateVectorIndex(const std::string& table,
                                   const std::string& column,
                                   const index::IvfIndex::Options& options,
                                   uint64_t seed) {
-  // The version bump from the catalog mutation invalidates cached plans,
-  // so previously-compiled brute-force top-k statements recompile on their
-  // next Prepare/Sql — and can now rewrite to IndexTopK.
+  // Index creation bumps `table`'s schema epoch: previously-compiled
+  // brute-force top-k statements over it recompile on their next
+  // Prepare/Sql — and can now rewrite to IndexTopK. Plans over other
+  // tables are untouched.
   return catalog_->CreateVectorIndex(table, column, options, seed);
 }
 
@@ -106,7 +164,7 @@ Status Session::DropVectorIndex(const std::string& table,
 
 StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Query(
     const std::string& sql, const QueryOptions& options) {
-  TDP_ASSIGN_OR_RETURN(auto statement, sql::Parse(sql));
+  TDP_ASSIGN_OR_RETURN(auto statement, sql::ParseStatement(sql));
   // Bind against one immutable snapshot; the compiled query re-resolves
   // tables from the live catalog at each Run().
   const std::shared_ptr<const Catalog> snapshot = catalog_->Snapshot();
@@ -126,10 +184,12 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
     return Query(sql, options);
   }
   const std::string key = CacheKey(sql, options);
-  // Read the version BEFORE compiling: if a registration lands between the
-  // read and the bind, the entry is tagged stale and merely recompiled on
-  // the next lookup — never served against a vanished schema.
-  const uint64_t version = catalog_->version();
+  // Snapshot BEFORE compiling: the entry's dep epochs are read from this
+  // snapshot, so if DDL lands between the read and the bind, the entry is
+  // born stale and merely recompiled on the next lookup — never served
+  // against a vanished schema. The same snapshot validates an existing
+  // entry's deps (per-table: only DDL on a touched table invalidates).
+  const std::shared_ptr<const Catalog> pre = catalog_->Snapshot();
 
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -139,7 +199,7 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
     }
     auto it = index_.find(key);
     if (it != index_.end()) {
-      if (it->second->catalog_version == version) {
+      if (DepsFresh(it->second->deps, *pre)) {
         ++stats_.hits;
         lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
         return it->second->query;
@@ -156,6 +216,8 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
   // later insert wins (both plans are equivalent).
   TDP_ASSIGN_OR_RETURN(std::shared_ptr<exec::CompiledQuery> query,
                        Query(sql, options));
+  std::vector<std::pair<std::string, uint64_t>> deps =
+      CollectPlanDeps(query->plan(), *pre);
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -163,7 +225,7 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(CacheEntry{key, query, version});
+  lru_.push_front(CacheEntry{key, query, std::move(deps)});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     ++stats_.evictions;
@@ -202,12 +264,12 @@ StatusOr<std::string> Session::Explain(const std::string& sql,
   // ad-hoc EXPLAINs must not evict the hot serving plans.
   if (options.use_plan_cache && !options.trainable) {
     const std::string key = CacheKey(sql, options);
-    const uint64_t version = catalog_->version();
+    const std::shared_ptr<const Catalog> snapshot = catalog_->Snapshot();
     std::shared_ptr<exec::CompiledQuery> cached;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = index_.find(key);
-      if (it != index_.end() && it->second->catalog_version == version) {
+      if (it != index_.end() && DepsFresh(it->second->deps, *snapshot)) {
         cached = it->second->query;
       }
     }

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/statusor.h"
 #include "src/exec/compiled_query.h"
@@ -36,7 +38,7 @@ struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;     // compile because no (fresh) entry existed
   uint64_t evictions = 0;  // LRU capacity evictions
-  uint64_t invalidations = 0;  // entries dropped as catalog-version stale
+  uint64_t invalidations = 0;  // entries dropped as schema-epoch stale
   size_t size = 0;
   size_t capacity = 0;
 };
@@ -53,9 +55,20 @@ struct PlanCacheStats {
 ///     observed by subsequent runs, never by runs already in flight.
 ///   - `Prepare` returns shared `CompiledQuery` instances from an LRU plan
 ///     cache keyed on normalized SQL text + compilation options, skipping
-///     lex/parse/bind/optimize on repeat statements. Entries are
-///     invalidated automatically when the catalog version moves (any
-///     register/drop).
+///     lex/parse/bind/optimize on repeat statements. Invalidation is
+///     PER-TABLE: an entry records the schema epoch of every table its
+///     plan touches and is dropped only when one of those epochs moves.
+///     DDL (register/drop table, create/drop vector index) bumps the
+///     affected table's epoch; DML does not — an INSERT into `t` evicts
+///     nothing, not even plans over `t` (they re-resolve the table from a
+///     fresh snapshot at every run).
+///   - DML statements (`CREATE TABLE` / `INSERT` / `UPDATE` / `DELETE`)
+///     run through the same `Sql`/`Prepare` path and return a one-row
+///     `rows_affected` table. Concurrent writers to the SAME table
+///     serialize optimistically: the loser of a write-write race gets a
+///     retryable ExecutionError (same contract as a registration racing a
+///     query) and simply re-runs its statement; writers to different
+///     tables never conflict.
 ///   - UDFs/TVFs must be registered via `functions()` before concurrent
 ///     serving starts; the function registry itself is not synchronized.
 class Session {
@@ -153,7 +166,11 @@ class Session {
   struct CacheEntry {
     std::string key;
     std::shared_ptr<exec::CompiledQuery> query;
-    uint64_t catalog_version = 0;
+    /// (lowercased table name, schema epoch at compile): the entry is
+    /// fresh iff every recorded epoch is unchanged. Epochs move on DDL
+    /// only, so DML over one table leaves every cached plan — including
+    /// plans over that same table — valid.
+    std::vector<std::pair<std::string, uint64_t>> deps;
   };
 
   std::shared_ptr<SharedCatalog> catalog_;

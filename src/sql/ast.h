@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tdp {
@@ -181,6 +182,18 @@ struct JoinRef : TableRef {
 
 // ---- Statements -------------------------------------------------------------
 
+enum class StatementKind { kSelect, kCreateTable, kInsert, kUpdate, kDelete };
+
+/// Common base for every parsed statement. `ParseStatement` returns this;
+/// callers dispatch on `kind` with static downcasts, same as Expr.
+struct Statement {
+  explicit Statement(StatementKind kind) : kind(kind) {}
+  virtual ~Statement() = default;
+  StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
 struct SelectItem {
   ExprPtr expr;
   std::string alias;  // may be empty
@@ -191,7 +204,8 @@ struct OrderByItem {
   bool descending = false;
 };
 
-struct SelectStatement {
+struct SelectStatement : Statement {
+  SelectStatement() : Statement(StatementKind::kSelect) {}
   bool distinct = false;
   std::vector<SelectItem> select_list;
   TableRefPtr from;  // may be null (SELECT 1+1)
@@ -201,6 +215,50 @@ struct SelectStatement {
   std::vector<OrderByItem> order_by;
   std::optional<int64_t> limit;
   std::optional<int64_t> offset;
+};
+
+/// One `name type` entry in CREATE TABLE. The parser stores the type name
+/// verbatim (uppercased); the binder owns the name -> (encoding, dtype)
+/// mapping so unknown types surface as bind errors, not parse errors.
+struct ColumnDef {
+  std::string name;
+  std::string type_name;     // INT | BIGINT | FLOAT | REAL | DOUBLE |
+                             // TEXT | BOOL | BOOLEAN | TENSOR
+  int64_t tensor_width = 0;  // TENSOR(d) only; 0 for scalar types
+};
+
+/// CREATE TABLE name (col type, ...).
+struct CreateTableStatement : Statement {
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+  std::string table_name;
+  std::vector<ColumnDef> columns;
+};
+
+/// INSERT INTO name [(cols)] VALUES (...), ... | SELECT ... — exactly one
+/// of `values` / `select` is populated.
+struct InsertStatement : Statement {
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+  std::string table_name;
+  /// Explicit column list; empty means "declared order". The engine has no
+  /// default values, so a non-empty list must still name every column.
+  std::vector<std::string> columns;
+  std::vector<std::vector<ExprPtr>> values;  // VALUES rows
+  std::unique_ptr<SelectStatement> select;   // INSERT ... SELECT source
+};
+
+/// UPDATE name SET col = expr, ... [WHERE pred].
+struct UpdateStatement : Statement {
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // null = every row
+};
+
+/// DELETE FROM name [WHERE pred].
+struct DeleteStatement : Statement {
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+  std::string table_name;
+  ExprPtr where;  // null = every row
 };
 
 /// Deep structural copy of an expression tree.

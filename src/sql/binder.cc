@@ -22,8 +22,11 @@ using plan::AggDef;
 using plan::AggKind;
 using plan::AggregateNode;
 using plan::ColumnMeta;
+using plan::CreateTableNode;
+using plan::DeleteNode;
 using plan::DistinctNode;
 using plan::FilterNode;
+using plan::InsertNode;
 using plan::JoinNode;
 using plan::LimitNode;
 using plan::LogicalNode;
@@ -34,6 +37,7 @@ using plan::Schema;
 using plan::SortItem;
 using plan::SortNode;
 using plan::TvfScanNode;
+using plan::UpdateNode;
 
 namespace {
 
@@ -111,6 +115,45 @@ ColumnMeta MetaFromColumn(const std::string& name, const Column& column) {
   return meta;
 }
 
+/// Output schema shared by every write statement: one int64 row count.
+Schema RowsAffectedSchema() {
+  ColumnMeta meta;
+  meta.name = "rows_affected";
+  meta.dtype = DType::kInt64;
+  return Schema{meta};
+}
+
+/// Maps a declared CREATE TABLE type name to storage metadata. The
+/// parser uppercases type names and validates TENSOR's width; everything
+/// else (including unknown names) is decided here.
+Status ApplyDeclaredTypeName(const ColumnDef& def, ColumnMeta& meta,
+                             int64_t& tensor_width) {
+  tensor_width = 0;
+  const std::string& t = def.type_name;
+  if (t == "INT" || t == "INTEGER" || t == "BIGINT") {
+    meta.dtype = DType::kInt64;
+  } else if (t == "FLOAT" || t == "REAL") {
+    meta.dtype = DType::kFloat32;
+  } else if (t == "DOUBLE") {
+    meta.dtype = DType::kFloat64;
+  } else if (t == "TEXT" || t == "STRING" || t == "VARCHAR") {
+    meta.encoding = Encoding::kDictionary;
+    meta.dtype = DType::kInt64;
+  } else if (t == "BOOL" || t == "BOOLEAN") {
+    meta.dtype = DType::kBool;
+  } else if (t == "TENSOR") {
+    meta.dtype = DType::kFloat32;
+    meta.is_tensor = true;
+    tensor_width = def.tensor_width;
+  } else {
+    return Status::BindError(
+        "unknown column type: " + t +
+        " (supported: INT, BIGINT, FLOAT, REAL, DOUBLE, TEXT, BOOL, "
+        "TENSOR(d))");
+  }
+  return Status::OK();
+}
+
 ColumnMeta MetaFromDeclared(const udf::DeclaredColumn& decl) {
   ColumnMeta meta;
   meta.name = decl.name;
@@ -151,8 +194,22 @@ class BinderImpl {
       : catalog_(catalog), registry_(registry) {}
 
   StatusOr<LogicalNodePtr> BindSelect(const SelectStatement& stmt);
+  StatusOr<LogicalNodePtr> BindStatement(const Statement& stmt);
 
  private:
+  // ---- Write statements -----------------------------------------------------
+
+  StatusOr<LogicalNodePtr> BindCreateTable(const CreateTableStatement& stmt);
+  StatusOr<LogicalNodePtr> BindInsert(const InsertStatement& stmt);
+  StatusOr<LogicalNodePtr> BindUpdate(const UpdateStatement& stmt);
+  StatusOr<LogicalNodePtr> BindDelete(const DeleteStatement& stmt);
+
+  /// Full-schema Scan of a write statement's target table, plus the scope
+  /// its WHERE / SET expressions bind against. Deliberately NOT the pruned
+  /// scan a SELECT would get: the DML kernels need every column of the old
+  /// rows to assemble the replacement table.
+  StatusOr<std::pair<LogicalNodePtr, BindScope>> BindWriteTargetScan(
+      const std::string& table_name);
   using Scope = BindScope;
 
   // ---- FROM ----------------------------------------------------------------
@@ -951,11 +1008,182 @@ StatusOr<LogicalNodePtr> BinderImpl::BindSelect(const SelectStatement& stmt) {
   return node;
 }
 
+// ---- Write statements -------------------------------------------------------
+
+StatusOr<std::pair<LogicalNodePtr, BindScope>> BinderImpl::BindWriteTargetScan(
+    const std::string& table_name) {
+  BaseTableRef ref(table_name);
+  return BindBaseTable(ref);
+}
+
+StatusOr<LogicalNodePtr> BinderImpl::BindCreateTable(
+    const CreateTableStatement& stmt) {
+  auto node = std::make_unique<CreateTableNode>();
+  node->table_name = stmt.table_name;
+  for (const ColumnDef& def : stmt.columns) {
+    for (const ColumnMeta& existing : node->table_schema) {
+      if (EqualsIgnoreCase(existing.name, def.name)) {
+        return Status::BindError("duplicate column name: " + def.name);
+      }
+    }
+    ColumnMeta meta;
+    meta.name = def.name;
+    int64_t width = 0;
+    TDP_RETURN_NOT_OK(ApplyDeclaredTypeName(def, meta, width));
+    node->table_schema.push_back(std::move(meta));
+    node->tensor_widths.push_back(width);
+  }
+  node->schema = RowsAffectedSchema();
+  return LogicalNodePtr(std::move(node));
+}
+
+StatusOr<LogicalNodePtr> BinderImpl::BindInsert(const InsertStatement& stmt) {
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> target,
+                       catalog_.GetTable(stmt.table_name));
+  const int64_t num_columns = target->num_columns();
+
+  auto node = std::make_unique<InsertNode>();
+  node->table_name = stmt.table_name;
+  if (stmt.columns.empty()) {
+    for (int64_t i = 0; i < num_columns; ++i) node->column_map.push_back(i);
+  } else {
+    // Explicit list: must name every column exactly once (no defaults),
+    // but may reorder — column_map[i] is value position i's target.
+    if (static_cast<int64_t>(stmt.columns.size()) != num_columns) {
+      return Status::BindError(
+          "INSERT must supply every column of " + target->name() + " (" +
+          std::to_string(num_columns) + " columns, got " +
+          std::to_string(stmt.columns.size()) +
+          "; the engine has no default values)");
+    }
+    std::vector<bool> seen(static_cast<size_t>(num_columns), false);
+    for (const std::string& name : stmt.columns) {
+      const StatusOr<int64_t> found = target->ColumnIndex(name);
+      if (!found.ok()) {
+        return Status::BindError("INSERT column " + name +
+                                 " does not exist in " + target->name());
+      }
+      const int64_t index = found.value();
+      if (seen[static_cast<size_t>(index)]) {
+        return Status::BindError("duplicate INSERT column: " + name);
+      }
+      seen[static_cast<size_t>(index)] = true;
+      node->column_map.push_back(index);
+    }
+  }
+
+  if (stmt.select != nullptr) {
+    TDP_ASSIGN_OR_RETURN(LogicalNodePtr source, BindSelect(*stmt.select));
+    if (static_cast<int64_t>(source->schema.size()) != num_columns) {
+      return Status::BindError(
+          "INSERT ... SELECT arity mismatch: SELECT produces " +
+          std::to_string(source->schema.size()) + " columns, " +
+          target->name() + " has " + std::to_string(num_columns));
+    }
+    node->children.push_back(std::move(source));
+  } else {
+    // VALUES rows bind against an empty scope: literals, parameters and
+    // scalar expressions over them — never column references.
+    const Scope empty;
+    for (const std::vector<ExprPtr>& row : stmt.values) {
+      if (static_cast<int64_t>(row.size()) != num_columns) {
+        return Status::BindError(
+            "INSERT VALUES arity mismatch: row has " +
+            std::to_string(row.size()) + " values, " + target->name() +
+            " has " + std::to_string(num_columns) + " columns");
+      }
+      std::vector<BoundExprPtr> bound_row;
+      for (const ExprPtr& value : row) {
+        TDP_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*value, empty));
+        bound_row.push_back(std::move(bound));
+      }
+      node->rows.push_back(std::move(bound_row));
+    }
+  }
+  node->schema = RowsAffectedSchema();
+  return LogicalNodePtr(std::move(node));
+}
+
+StatusOr<LogicalNodePtr> BinderImpl::BindUpdate(const UpdateStatement& stmt) {
+  TDP_ASSIGN_OR_RETURN(std::shared_ptr<Table> target,
+                       catalog_.GetTable(stmt.table_name));
+  TDP_ASSIGN_OR_RETURN(auto scan, BindWriteTargetScan(stmt.table_name));
+
+  auto node = std::make_unique<UpdateNode>();
+  node->table_name = stmt.table_name;
+  for (const auto& [name, expr] : stmt.assignments) {
+    const StatusOr<int64_t> found = target->ColumnIndex(name);
+    if (!found.ok()) {
+      return Status::BindError("UPDATE assigns unknown column " + name +
+                               " of " + target->name());
+    }
+    const int64_t index = found.value();
+    for (const auto& prev : node->assignments) {
+      if (prev.first == index) {
+        return Status::BindError("column assigned twice in UPDATE: " + name);
+      }
+    }
+    if (ContainsAggregate(*expr)) {
+      return Status::BindError("aggregates are not allowed in SET: " +
+                               expr->ToString());
+    }
+    TDP_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*expr, scan.second));
+    node->assignments.emplace_back(index, std::move(bound));
+  }
+  if (stmt.where != nullptr) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    TDP_ASSIGN_OR_RETURN(node->predicate,
+                         BindExpr(*stmt.where, scan.second));
+  }
+  node->children.push_back(std::move(scan.first));
+  node->schema = RowsAffectedSchema();
+  return LogicalNodePtr(std::move(node));
+}
+
+StatusOr<LogicalNodePtr> BinderImpl::BindDelete(const DeleteStatement& stmt) {
+  TDP_ASSIGN_OR_RETURN(auto scan, BindWriteTargetScan(stmt.table_name));
+  auto node = std::make_unique<DeleteNode>();
+  node->table_name = stmt.table_name;
+  if (stmt.where != nullptr) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    TDP_ASSIGN_OR_RETURN(node->predicate,
+                         BindExpr(*stmt.where, scan.second));
+  }
+  node->children.push_back(std::move(scan.first));
+  node->schema = RowsAffectedSchema();
+  return LogicalNodePtr(std::move(node));
+}
+
+StatusOr<LogicalNodePtr> BinderImpl::BindStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return BindSelect(static_cast<const SelectStatement&>(stmt));
+    case StatementKind::kCreateTable:
+      return BindCreateTable(static_cast<const CreateTableStatement&>(stmt));
+    case StatementKind::kInsert:
+      return BindInsert(static_cast<const InsertStatement&>(stmt));
+    case StatementKind::kUpdate:
+      return BindUpdate(static_cast<const UpdateStatement&>(stmt));
+    case StatementKind::kDelete:
+      return BindDelete(static_cast<const DeleteStatement&>(stmt));
+  }
+  return Status::Internal("unknown statement kind");
+}
+
 }  // namespace
 
 StatusOr<plan::LogicalNodePtr> Binder::Bind(const SelectStatement& stmt) {
   BinderImpl impl(catalog_, registry_);
   return impl.BindSelect(stmt);
+}
+
+StatusOr<plan::LogicalNodePtr> Binder::Bind(const Statement& stmt) {
+  BinderImpl impl(catalog_, registry_);
+  return impl.BindStatement(stmt);
 }
 
 }  // namespace sql

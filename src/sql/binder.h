@@ -28,6 +28,14 @@ class Binder {
 
   StatusOr<plan::LogicalNodePtr> Bind(const SelectStatement& stmt);
 
+  /// Binds any statement kind. SELECT binds as above; the write statements
+  /// bind to CreateTable/Insert/Update/Delete root nodes whose output
+  /// schema is the single `rows_affected` int64 column. UPDATE and DELETE
+  /// get a full-schema Scan of the target table as children[0] (their
+  /// predicates and assignments are bound against it); INSERT ... SELECT
+  /// plans its source as children[0].
+  StatusOr<plan::LogicalNodePtr> Bind(const Statement& stmt);
+
  private:
   const Catalog& catalog_;
   const udf::FunctionRegistry& registry_;

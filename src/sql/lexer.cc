@@ -16,6 +16,12 @@ constexpr std::array kKeywords = {
     "MIN",    "MAX",   "DISTINCT", "BETWEEN", "IN",  "IS",     "NULL",
     "TRUE",   "FALSE", "CAST",   "CASE",   "WHEN",   "THEN",   "ELSE",
     "END",    "LIKE",  "OFFSET", "UNION",  "ALL",
+    // DML / DDL. Type names (INT, TEXT, TENSOR, ...) are deliberately NOT
+    // keywords: they only appear in CREATE TABLE column positions, where
+    // the parser reads them as identifiers — so columns named `text` or
+    // `double` keep working everywhere else.
+    "CREATE", "TABLE", "INSERT", "INTO",   "VALUES", "UPDATE", "SET",
+    "DELETE",
 };
 
 bool IsIdentStart(char c) {

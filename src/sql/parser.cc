@@ -34,6 +34,29 @@ class Parser {
     return stmt;
   }
 
+  /// Top-level dispatch over every statement kind the dialect supports.
+  StatusOr<StatementPtr> ParseAnyStatement() {
+    StatementPtr stmt;
+    if (PeekKeyword("SELECT")) {
+      TDP_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      stmt = std::move(select);
+    } else if (PeekKeyword("CREATE")) {
+      TDP_ASSIGN_OR_RETURN(stmt, ParseCreateTable());
+    } else if (PeekKeyword("INSERT")) {
+      TDP_ASSIGN_OR_RETURN(stmt, ParseInsert());
+    } else if (PeekKeyword("UPDATE")) {
+      TDP_ASSIGN_OR_RETURN(stmt, ParseUpdate());
+    } else if (PeekKeyword("DELETE")) {
+      TDP_ASSIGN_OR_RETURN(stmt, ParseDelete());
+    } else {
+      return Unexpected("SELECT, CREATE TABLE, INSERT, UPDATE or DELETE");
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Unexpected("end of statement");
+    }
+    return stmt;
+  }
+
  private:
   // ---- Token helpers -------------------------------------------------------
 
@@ -159,6 +182,115 @@ class Parser {
       stmt->offset = SaturatingRowCount(Advance().number_value);
     }
     return stmt;
+  }
+
+  // ---- DDL / DML -----------------------------------------------------------
+
+  /// Reads an identifier token (table, column or type name).
+  StatusOr<std::string> ParseIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) return Unexpected(what);
+    return Advance().text;
+  }
+
+  /// CREATE TABLE name (col type [, col type ...]). Type names are lexed
+  /// as identifiers (see lexer kKeywords comment); TENSOR takes a
+  /// parenthesized positive row width.
+  StatusOr<StatementPtr> ParseCreateTable() {
+    TDP_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    TDP_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<CreateTableStatement>();
+    TDP_ASSIGN_OR_RETURN(stmt->table_name, ParseIdentifier("table name"));
+    TDP_RETURN_NOT_OK(Expect(TokenType::kLeftParen, "'('"));
+    do {
+      ColumnDef def;
+      TDP_ASSIGN_OR_RETURN(def.name, ParseIdentifier("column name"));
+      TDP_ASSIGN_OR_RETURN(std::string type_name,
+                           ParseIdentifier("column type"));
+      def.type_name = ToUpper(type_name);
+      if (def.type_name == "TENSOR") {
+        TDP_RETURN_NOT_OK(Expect(TokenType::kLeftParen, "'(' after TENSOR"));
+        if (Peek().type != TokenType::kNumber || !Peek().is_integer ||
+            Peek().number_value < 1) {
+          return Unexpected("positive integer TENSOR width");
+        }
+        def.tensor_width = SaturatingRowCount(Advance().number_value);
+        TDP_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+      }
+      stmt->columns.push_back(std::move(def));
+    } while (Match(TokenType::kComma));
+    TDP_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+    return StatementPtr(std::move(stmt));
+  }
+
+  /// INSERT INTO name [(cols)] VALUES (expr, ...), ... | SELECT ... .
+  StatusOr<StatementPtr> ParseInsert() {
+    TDP_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+    TDP_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStatement>();
+    TDP_ASSIGN_OR_RETURN(stmt->table_name, ParseIdentifier("table name"));
+    if (Match(TokenType::kLeftParen)) {
+      do {
+        TDP_ASSIGN_OR_RETURN(std::string col,
+                             ParseIdentifier("column name"));
+        stmt->columns.push_back(std::move(col));
+      } while (Match(TokenType::kComma));
+      TDP_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+    }
+    if (MatchKeyword("VALUES")) {
+      do {
+        TDP_RETURN_NOT_OK(Expect(TokenType::kLeftParen, "'('"));
+        std::vector<ExprPtr> row;
+        do {
+          TDP_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+          row.push_back(std::move(value));
+        } while (Match(TokenType::kComma));
+        TDP_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+        if (!stmt->values.empty() &&
+            row.size() != stmt->values.front().size()) {
+          return Status::ParseError(
+              "VALUES rows have inconsistent arity: row " +
+              std::to_string(stmt->values.size() + 1) + " has " +
+              std::to_string(row.size()) + " values, row 1 has " +
+              std::to_string(stmt->values.front().size()));
+        }
+        stmt->values.push_back(std::move(row));
+      } while (Match(TokenType::kComma));
+    } else if (PeekKeyword("SELECT")) {
+      TDP_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    } else {
+      return Unexpected("VALUES or SELECT");
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
+  /// UPDATE name SET col = expr [, col = expr ...] [WHERE pred].
+  StatusOr<StatementPtr> ParseUpdate() {
+    TDP_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStatement>();
+    TDP_ASSIGN_OR_RETURN(stmt->table_name, ParseIdentifier("table name"));
+    TDP_RETURN_NOT_OK(ExpectKeyword("SET"));
+    do {
+      TDP_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column name"));
+      if (!MatchOperator("=")) return Unexpected("'='");
+      TDP_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(value));
+    } while (Match(TokenType::kComma));
+    if (MatchKeyword("WHERE")) {
+      TDP_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
+  /// DELETE FROM name [WHERE pred].
+  StatusOr<StatementPtr> ParseDelete() {
+    TDP_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+    TDP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStatement>();
+    TDP_ASSIGN_OR_RETURN(stmt->table_name, ParseIdentifier("table name"));
+    if (MatchKeyword("WHERE")) {
+      TDP_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return StatementPtr(std::move(stmt));
   }
 
   StatusOr<TableRefPtr> ParseTableRef() {
@@ -492,6 +624,12 @@ StatusOr<std::unique_ptr<SelectStatement>> Parse(const std::string& sql) {
   TDP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();
+}
+
+StatusOr<StatementPtr> ParseStatement(const std::string& sql) {
+  TDP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAnyStatement();
 }
 
 }  // namespace sql

@@ -17,6 +17,11 @@ namespace sql {
 /// FROM-subqueries, DISTINCT, CASE, BETWEEN, IN.
 StatusOr<std::unique_ptr<SelectStatement>> Parse(const std::string& sql);
 
+/// Parses one statement of any kind: the SELECT dialect above plus the
+/// write statements (CREATE TABLE, INSERT [VALUES | SELECT], UPDATE,
+/// DELETE). Dispatch on `Statement::kind`.
+StatusOr<StatementPtr> ParseStatement(const std::string& sql);
+
 }  // namespace sql
 }  // namespace tdp
 

@@ -38,6 +38,7 @@ Status Catalog::RegisterTable(const std::string& name,
   // Indexes snapshot the previous registration's data; drop them eagerly
   // (FindVectorIndex's identity check would reject them lazily anyway).
   EraseTableIndexes(indexes_, name);
+  BumpSchemaEpoch(name);
   return Status::OK();
 }
 
@@ -55,6 +56,7 @@ Status Catalog::DropTable(const std::string& name) {
     return Status::NotFound("table not found: " + name);
   }
   EraseTableIndexes(indexes_, name);
+  BumpSchemaEpoch(name);
   return Status::OK();
 }
 
@@ -89,6 +91,43 @@ Status Catalog::DropVectorIndex(const std::string& table,
   return Status::OK();
 }
 
+std::vector<std::shared_ptr<const VectorIndexEntry>>
+Catalog::TableVectorIndexes(const std::string& table) const {
+  std::vector<std::shared_ptr<const VectorIndexEntry>> entries;
+  const std::string prefix = ToLower(table) + '\x1f';
+  const auto live = tables_.find(ToLower(table));
+  for (auto it = indexes_.lower_bound(prefix); it != indexes_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (live == tables_.end() || live->second != it->second->table) continue;
+    entries.push_back(it->second);
+  }
+  return entries;
+}
+
+Status Catalog::ApplyWrite(
+    const std::string& name, std::shared_ptr<Table> table,
+    std::vector<std::shared_ptr<const VectorIndexEntry>> new_entries) {
+  const std::string key = ToLower(name);
+  if (table == nullptr || !tables_.contains(key)) {
+    return Status::InvalidArgument("ApplyWrite target missing: " + name);
+  }
+  tables_[key] = std::move(table);
+  EraseTableIndexes(indexes_, name);
+  for (auto& entry : new_entries) {
+    TDP_RETURN_NOT_OK(AddVectorIndex(std::move(entry)));
+  }
+  return Status::OK();
+}
+
+uint64_t Catalog::SchemaEpoch(const std::string& name) const {
+  const auto it = schema_epochs_.find(ToLower(name));
+  return it == schema_epochs_.end() ? 0 : it->second;
+}
+
+void Catalog::BumpSchemaEpoch(const std::string& name) {
+  ++schema_epochs_[ToLower(name)];
+}
+
 std::vector<std::string> Catalog::ListTables() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
@@ -100,6 +139,7 @@ std::shared_ptr<Catalog> Catalog::Clone() const {
   auto copy = std::make_shared<Catalog>();
   copy->tables_ = tables_;
   copy->indexes_ = indexes_;
+  copy->schema_epochs_ = schema_epochs_;
   return copy;
 }
 
@@ -153,13 +193,19 @@ Status SharedCatalog::CreateVectorIndex(
         column + " is not one");
   }
   Rng rng(seed);
-  TDP_ASSIGN_OR_RETURN(index::IvfIndex built,
-                       index::IvfIndex::Build(c.data(), options, rng));
+  // The index is built over the PHYSICAL rows of the column (deleted rows
+  // included) so that it can be shared and extended across subsequent DML
+  // tables; probing filters deleted ids per run.
+  TDP_ASSIGN_OR_RETURN(
+      index::IvfIndex built,
+      index::IvfIndex::Build(target->PhysicalColumn(col).data(), options,
+                             rng));
 
   // Brace init: IvfIndex's default constructor is private (an index only
   // exists built), so the entry is created whole.
-  std::shared_ptr<const VectorIndexEntry> entry(
-      new VectorIndexEntry{table, column, std::move(built), target});
+  std::shared_ptr<const VectorIndexEntry> entry(new VectorIndexEntry{
+      table, column,
+      std::make_shared<const index::IvfIndex>(std::move(built)), target});
 
   std::lock_guard<std::mutex> lock(mu_);
   // A registration may have won the race while we built: the index then
@@ -173,6 +219,9 @@ Status SharedCatalog::CreateVectorIndex(
   }
   std::shared_ptr<Catalog> next = current_->Clone();
   TDP_RETURN_NOT_OK(next->AddVectorIndex(std::move(entry)));
+  // A new index changes how statements over `table` plan (the IndexTopK
+  // rewrite), so cached brute-force plans must recompile.
+  next->BumpSchemaEpoch(table);
   current_ = std::move(next);
   ++version_;
   return Status::OK();
@@ -183,6 +232,26 @@ Status SharedCatalog::DropVectorIndex(const std::string& table,
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<Catalog> next = current_->Clone();
   TDP_RETURN_NOT_OK(next->DropVectorIndex(table, column));
+  next->BumpSchemaEpoch(table);
+  current_ = std::move(next);
+  ++version_;
+  return Status::OK();
+}
+
+Status SharedCatalog::ApplyDmlWrite(
+    const std::string& name, const std::shared_ptr<const Table>& expected,
+    std::shared_ptr<Table> replacement,
+    std::vector<std::shared_ptr<const VectorIndexEntry>> new_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto live = current_->GetTable(name);
+  if (!live.ok() || live.value() != expected) {
+    return Status::ExecutionError(
+        "table " + name +
+        " changed while the DML delta was computed; retry the statement");
+  }
+  std::shared_ptr<Catalog> next = current_->Clone();
+  TDP_RETURN_NOT_OK(next->ApplyWrite(name, std::move(replacement),
+                                     std::move(new_entries)));
   current_ = std::move(next);
   ++version_;
   return Status::OK();

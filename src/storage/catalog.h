@@ -25,10 +25,16 @@ inline constexpr uint64_t kDefaultVectorIndexSeed = 0x1df5eedull;
 /// the catalog still maps `table_name` to the very same Table object — the
 /// same lazy invalidate-on-version-move discipline the session plan cache
 /// uses, so a stale index can never serve rows from a vanished snapshot.
+/// The index rows are PHYSICAL rows of the tagged table (deleted rows
+/// included), so the entry survives incremental DML: INSERT extends the
+/// index (IvfIndex::WithAppended) and DELETE shares it unchanged — probing
+/// drops deleted physical ids instead of rebuilding. The IvfIndex is held
+/// by shared_ptr so a re-tagged entry (new Table identity, same data
+/// lineage) shares the index storage instead of deep-copying its lists.
 struct VectorIndexEntry {
   std::string table_name;
   std::string column_name;
-  index::IvfIndex index;
+  std::shared_ptr<const index::IvfIndex> index;
   /// The registration the index snapshots; identity (pointer) tag.
   std::shared_ptr<const Table> table;
 };
@@ -72,6 +78,33 @@ class Catalog {
 
   Status DropVectorIndex(const std::string& table, const std::string& column);
 
+  /// Every still-valid (identity-matching) index entry over `table`, in
+  /// column order. What a DML kernel enumerates to re-tag / extend / drop
+  /// entries alongside its table swap.
+  std::vector<std::shared_ptr<const VectorIndexEntry>> TableVectorIndexes(
+      const std::string& table) const;
+
+  /// Replaces `name`'s table after a DML write. Unlike RegisterTable this
+  /// neither bumps the schema epoch (DML preserves schema, so cached plans
+  /// stay valid) nor drops index entries wholesale: `new_entries` —
+  /// re-tagged or incrementally extended by the DML kernel — replace the
+  /// table's entries, and any entry not re-supplied is dropped.
+  Status ApplyWrite(
+      const std::string& name, std::shared_ptr<Table> table,
+      std::vector<std::shared_ptr<const VectorIndexEntry>> new_entries);
+
+  /// Monotonic per-table schema epoch: bumped by register / drop /
+  /// create-index / drop-index — every mutation that can change how a
+  /// statement over the table BINDS or PLANS — and left alone by DML,
+  /// whose writes preserve schema and are re-resolved per run. The plan
+  /// cache records (table, epoch) pairs at compile time and revalidates
+  /// per lookup, so an INSERT into `t` never evicts plans over `u` — or
+  /// over `t`. Epochs survive DropTable (the bump is what invalidates
+  /// plans over the dropped name); a never-touched table reports 0.
+  uint64_t SchemaEpoch(const std::string& name) const;
+  /// Bumps `name`'s schema epoch (DDL paths only; see SchemaEpoch).
+  void BumpSchemaEpoch(const std::string& name);
+
   /// Copies the registry maps into a fresh Catalog (tables and index
   /// entries are immutable and shared, so this is O(#entries) pointer
   /// copies).
@@ -81,6 +114,7 @@ class Catalog {
   std::map<std::string, std::shared_ptr<Table>> tables_;  // lowercased keys
   // "table\x1fcolumn" (lowercased) -> immutable index entry.
   std::map<std::string, std::shared_ptr<const VectorIndexEntry>> indexes_;
+  std::map<std::string, uint64_t> schema_epochs_;  // lowercased keys
 };
 
 /// Thread-safe copy-on-write catalog: readers take an immutable snapshot
@@ -124,8 +158,25 @@ class SharedCatalog {
 
   Status DropVectorIndex(const std::string& table, const std::string& column);
 
+  /// Installs a DML result: `replacement` supersedes `name`'s table, whose
+  /// live registration must still be `expected` — the snapshot the DML
+  /// delta was computed against. The delta computation runs OUTSIDE the
+  /// mutex over one snapshot; when another write won the race the
+  /// positions in the delta may no longer be valid, so installation fails
+  /// with a retryable ExecutionError (the CreateVectorIndex contract) and
+  /// the caller re-runs against fresh data. Index entries travel in the
+  /// same swap (see Catalog::ApplyWrite). Bumps the catalog version but
+  /// NOT the table's schema epoch.
+  Status ApplyDmlWrite(
+      const std::string& name, const std::shared_ptr<const Table>& expected,
+      std::shared_ptr<Table> replacement,
+      std::vector<std::shared_ptr<const VectorIndexEntry>> new_entries);
+
   StatusOr<std::shared_ptr<Table>> GetTable(const std::string& name) const {
     return Snapshot()->GetTable(name);
+  }
+  uint64_t SchemaEpoch(const std::string& name) const {
+    return Snapshot()->SchemaEpoch(name);
   }
   std::vector<std::string> ListTables() const {
     return Snapshot()->ListTables();

@@ -1,8 +1,11 @@
 #ifndef TDP_STORAGE_TABLE_H_
 #define TDP_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/statusor.h"
@@ -10,11 +13,38 @@
 
 namespace tdp {
 
+/// One immutable run of rows: every column holds the same row count. A
+/// table is a sequence of segments plus a deleted-row bitmap over their
+/// concatenation; DML produces new tables that share all untouched
+/// segments with their predecessor, so a write costs O(delta), not O(n).
+struct TableSegment {
+  std::vector<Column> columns;
+  int64_t num_rows = 0;
+};
+
+/// Rows per segment that INSERT aims for before starting a fresh tail
+/// segment. Small enough that appending clones only a bounded tail, large
+/// enough that scans see long contiguous runs after flattening.
+inline constexpr int64_t kSegmentTargetRows = 4096;
+
 /// Immutable columnar table: named encoded-tensor columns of equal row
 /// count. TDP's storage model (§2): scalar columns are 1-d tensors, while
 /// unstructured columns (images, embeddings) are rank >= 2 tensors whose
 /// dim 0 is the row dimension — structured and unstructured data share one
 /// representation.
+///
+/// Physically a table is segment-backed (see TableSegment): `Create` makes
+/// a single-segment table, and the `With*` helpers derive new tables that
+/// share unchanged segments. Readers are oblivious: `column(i)` /
+/// `num_rows()` serve the LIVE view — non-deleted rows in physical order —
+/// flattened lazily (and cached) the first time a reader asks. A
+/// single-segment table with no deletes serves its segment columns
+/// zero-copy.
+///
+/// Row-id vocabulary: a PHYSICAL row id indexes the concatenation of all
+/// segments (stable across `WithAppended` / `WithDeleted`, which is what
+/// lets vector indexes survive DML); a LIVE position indexes the flattened
+/// view readers see. With no deletes the two coincide.
 class Table {
  public:
   /// Validates equal column lengths and unique names.
@@ -25,20 +55,76 @@ class Table {
   const std::string& name() const { return name_; }
   int64_t num_rows() const { return num_rows_; }
   int64_t num_columns() const {
-    return static_cast<int64_t>(columns_.size());
+    return static_cast<int64_t>(column_names_.size());
   }
   const std::vector<std::string>& column_names() const {
     return column_names_;
   }
-  const Column& column(int64_t i) const {
-    return columns_[static_cast<size_t>(i)];
-  }
+  /// Column `i` of the live view (lazily flattened; see class comment).
+  const Column& column(int64_t i) const;
 
   /// Case-insensitive column lookup.
   StatusOr<int64_t> ColumnIndex(const std::string& column_name) const;
 
+  // ---- Incremental writes (DML) -----------------------------------------
+
+  /// Appends `rows` (one column per table column, equal lengths > 0) as
+  /// new physical rows. Shares every segment except the tail: a tail
+  /// below kSegmentTargetRows is cloned-and-extended, a full tail is kept
+  /// and the rows become a fresh segment. The delete bitmap is shared.
+  StatusOr<std::shared_ptr<Table>> WithAppended(
+      std::vector<Column> rows) const;
+
+  /// Marks the given LIVE positions deleted. Shares every segment; only
+  /// the bitmap is copied (no compaction — physical ids stay stable).
+  StatusOr<std::shared_ptr<Table>> WithDeleted(
+      const std::vector<int64_t>& live_positions) const;
+
+  /// Replaces, for each (column index, values) pair, the column's values
+  /// at the given LIVE positions (values row j goes to live_positions[j]).
+  /// Row order is preserved — an UPDATE never moves a row. The result is a
+  /// compacted single-segment table (physical == live): untouched columns
+  /// are shared from the flattened view, so the cost is O(n) only for the
+  /// updated columns (plus one flatten, usually already cached).
+  StatusOr<std::shared_ptr<Table>> WithUpdated(
+      const std::vector<int64_t>& live_positions,
+      const std::vector<std::pair<int64_t, Column>>& updates) const;
+
+  // ---- Physical-row introspection (index maintenance) -------------------
+
+  int64_t num_physical_rows() const { return num_physical_rows_; }
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+  bool has_deletes() const { return num_rows_ != num_physical_rows_; }
+  /// True when `physical` is a deleted row. The bitmap may be shorter
+  /// than the physical row count (appends share their predecessor's
+  /// bitmap); rows past its end are live.
+  bool IsDeleted(int64_t physical) const {
+    return deleted_ != nullptr &&
+           physical < static_cast<int64_t>(deleted_->size()) &&
+           (*deleted_)[static_cast<size_t>(physical)];
+  }
+
+  /// Column `i` over ALL physical rows (deleted included): the
+  /// concatenation of the segments' columns. What vector indexes are
+  /// built from — their row ids are physical ids.
+  Column PhysicalColumn(int64_t i) const;
+
+  /// Column `i` of the tail segment: the encoding/dtype/row-shape template
+  /// INSERT kernels build their append batches against. O(1) — touches no
+  /// other segment and never flattens.
+  const Column& TailColumn(int64_t i) const {
+    return segments_.back()->columns[static_cast<size_t>(i)];
+  }
+
+  /// Maps ascending physical row ids to live positions, dropping deleted
+  /// rows. Identity (a copy) when the table has no deletes.
+  std::vector<int64_t> MapPhysicalToLive(
+      const std::vector<int64_t>& physical) const;
+
   /// Copies all columns to `device` (the paper's `register_df(...,
-  /// device=...)`).
+  /// device=...)`). Flattens: the result is a single-segment table.
   std::shared_ptr<Table> To(Device device) const;
 
   /// Renders up to `max_rows` rows as an aligned text table (result
@@ -47,16 +133,29 @@ class Table {
 
  private:
   Table(std::string name, std::vector<std::string> column_names,
-        std::vector<Column> columns, int64_t num_rows)
-      : name_(std::move(name)),
-        column_names_(std::move(column_names)),
-        columns_(std::move(columns)),
-        num_rows_(num_rows) {}
+        std::vector<std::shared_ptr<const TableSegment>> segments,
+        std::shared_ptr<const std::vector<bool>> deleted);
+
+  /// Builds live_columns_ / live_to_physical_ once (double-checked; safe
+  /// under concurrent readers).
+  void EnsureLiveView() const;
+  /// The flatten itself; called under live_mu_.
+  void BuildLiveView() const;
 
   std::string name_;
   std::vector<std::string> column_names_;
-  std::vector<Column> columns_;
-  int64_t num_rows_;
+  std::vector<std::shared_ptr<const TableSegment>> segments_;
+  /// Deleted flags per physical row; null means "no deletes ever".
+  std::shared_ptr<const std::vector<bool>> deleted_;
+  int64_t num_physical_rows_ = 0;
+  int64_t num_rows_ = 0;  // live rows
+
+  // Lazily built live view (logical state is immutable; this is a cache).
+  mutable std::atomic<bool> live_ready_{false};
+  mutable std::mutex live_mu_;
+  mutable std::vector<Column> live_columns_;
+  /// live position -> physical id; empty when the mapping is identity.
+  mutable std::vector<int64_t> live_to_physical_;
 };
 
 /// Convenience incremental builder used by ingestion APIs and tests.

@@ -388,6 +388,221 @@ TEST(SessionConcurrencyTest, ReRegistrationRacesIndexBuildAndQueries) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// ---- DML races --------------------------------------------------------------
+
+// Runs a DML statement with the documented retry contract: the loser of a
+// write-write race gets a retryable ExecutionError and simply re-runs.
+// Returns false (a real failure) for any other error or if the statement
+// cannot land within a generous retry budget.
+bool RunDmlWithRetry(Session& session, const std::string& sql,
+                     const std::vector<ScalarValue>& params = {}) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    auto r = session.Sql(sql, {}, params);
+    if (r.ok()) return true;
+    if (r.status().code() != StatusCode::kExecutionError) return false;
+  }
+  return false;
+}
+
+// One writer ingests and trims rows while readers aggregate. The writer
+// maintains the invariant that every row has val = 1, so any consistent
+// snapshot satisfies SUM(val) == COUNT(*) — a torn read (an INSERT's rows
+// visible in one column but not the other, or a half-applied DELETE)
+// breaks the equality.
+TEST(SessionConcurrencyTest, DmlWriterRacesAggregatingReaders) {
+  Session session;
+  ASSERT_TRUE(session.Sql("CREATE TABLE feed (id INT, val INT)").ok());
+  ASSERT_TRUE(session.Sql("INSERT INTO feed VALUES (0, 1)").ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    int64_t next_id = 1;
+    while (!stop.load()) {
+      const std::string ins = "INSERT INTO feed VALUES (" +
+                              std::to_string(next_id) + ", 1), (" +
+                              std::to_string(next_id + 1) + ", 1)";
+      if (!RunDmlWithRetry(session, ins)) ++failures;
+      next_id += 2;
+      // Trim old rows so the table stays small; full rows remain val = 1.
+      if (next_id % 10 == 0 &&
+          !RunDmlWithRetry(session, "DELETE FROM feed WHERE id < " +
+                                        std::to_string(next_id - 20))) {
+        ++failures;
+      }
+    }
+  });
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        // Alternate executors so both serve under concurrent writes.
+        exec::RunOptions run;
+        run.exec.streaming = (t + i) % 2 == 0;
+        auto r = session.Sql("SELECT COUNT(*), SUM(val) FROM feed", {}, run);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        const double count = (*r)->column(0).data().At({0});
+        const double sum = (*r)->column(1).data().At({0});
+        if (count < 1.0 || count != sum) ++failures;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Nothing was lost: every row the writer landed (and didn't delete) is
+  // present exactly once, still with val = 1.
+  auto r = session.Sql("SELECT COUNT(*), SUM(val) FROM feed");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->column(0).data().At({0}), (*r)->column(1).data().At({0}));
+}
+
+// Writers to the SAME table serialize optimistically: losers retry on
+// ExecutionError and every increment lands exactly once. Writers to
+// DIFFERENT tables must never conflict at all.
+TEST(SessionConcurrencyTest, ConcurrentWritersRetryLostRacesLosslessly) {
+  Session session;
+  ASSERT_TRUE(session.Sql("CREATE TABLE shared (who INT)").ok());
+  constexpr int kWriters = 4;
+  for (int w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(session
+                    .Sql("CREATE TABLE own" + std::to_string(w) +
+                         " (x INT)")
+                    .ok());
+  }
+
+  constexpr int kIters = 25;
+  std::atomic<int> failures{0};
+  std::atomic<int> private_conflicts{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        // Contended table: retries allowed (and expected under load).
+        if (!RunDmlWithRetry(session, "INSERT INTO shared VALUES (" +
+                                          std::to_string(w) + ")")) {
+          ++failures;
+        }
+        // Private table: no other writer touches it, so a write-write
+        // conflict here would be a catalog-scoping bug.
+        auto r = session.Sql("INSERT INTO own" + std::to_string(w) +
+                             " VALUES (" + std::to_string(i) + ")");
+        if (!r.ok()) {
+          ++failures;
+          if (r.status().code() == StatusCode::kExecutionError) {
+            ++private_conflicts;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(private_conflicts.load(), 0);
+
+  auto total = session.Sql("SELECT COUNT(*) FROM shared");
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_EQ((*total)->column(0).data().At({0}),
+            static_cast<double>(kWriters * kIters));
+  for (int w = 0; w < kWriters; ++w) {
+    auto own = session.Sql("SELECT COUNT(*) FROM own" + std::to_string(w));
+    ASSERT_TRUE(own.ok());
+    EXPECT_EQ((*own)->column(0).data().At({0}),
+              static_cast<double>(kIters));
+  }
+}
+
+// DML races CREATE VECTOR INDEX on the same table while readers serve
+// top-k. The writer only ever adds (and then deletes) rows whose
+// similarity to the probe axis is strongly negative, so the correct top-k
+// set never changes; index builds may cleanly lose their install race to
+// a DML write (retryable ExecutionError), never crash or corrupt results.
+TEST(SessionConcurrencyTest, DmlRacesIndexBuildUnderServing) {
+  constexpr int64_t kRows = 160, kDim = 8;
+  Session session;
+  ASSERT_TRUE(session.RegisterTable("vecs", MakeEmbeddings(kRows, kDim))
+                  .ok());
+  const char* sql =
+      "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim DESC LIMIT 6";
+  exec::RunOptions truth_run;
+  truth_run.params = {ScalarValue::FromTensor(AxisQuery(kDim, 3))};
+  auto truth = session.Sql(sql, {}, truth_run);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+  std::vector<double> expected_ids;
+  for (int64_t i = 0; i < (*truth)->num_rows(); ++i) {
+    expected_ids.push_back((*truth)->column(0).data().At({i}));
+  }
+
+  // Decoy rows: strongly anti-aligned with the probe axis.
+  Tensor decoy = Tensor::Zeros({kDim});
+  decoy.SetAt({3}, -1.0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    int64_t next_id = 100000;
+    while (!stop.load()) {
+      if (!RunDmlWithRetry(session, "INSERT INTO vecs VALUES (?, ?)",
+                           {ScalarValue::Int(next_id),
+                            ScalarValue::FromTensor(decoy)})) {
+        ++failures;
+      }
+      ++next_id;
+      if (next_id % 8 == 0 &&
+          !RunDmlWithRetry(session,
+                           "DELETE FROM vecs WHERE id >= 100000")) {
+        ++failures;
+      }
+    }
+  });
+  std::thread indexer([&] {
+    index::IvfIndex::Options options;
+    options.num_lists = 5;
+    while (!stop.load()) {
+      const Status s = session.CreateVectorIndex("vecs", "emb", options);
+      // Either installed, or cleanly lost the race to a concurrent DML
+      // install — the same retryable contract as a re-registration.
+      if (!s.ok() && s.code() != StatusCode::kExecutionError) ++failures;
+      (void)session.DropVectorIndex("vecs", "emb");
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 40; ++i) {
+        exec::RunOptions run;
+        run.params = {ScalarValue::FromTensor(AxisQuery(kDim, 3))};
+        auto r = session.Sql(sql, {}, run);
+        if (!r.ok() ||
+            (*r)->num_rows() !=
+                static_cast<int64_t>(expected_ids.size())) {
+          ++failures;
+          continue;
+        }
+        for (size_t row = 0; row < expected_ids.size(); ++row) {
+          if ((*r)->column(0).data().At({static_cast<int64_t>(row)}) !=
+              expected_ids[row]) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop = true;
+  writer.join();
+  indexer.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(SessionConcurrencyTest, ReRegistrationInvalidatesCachedPlans) {
   Session session;
   auto narrow = TableBuilder("t").AddInt64("a", {1, 2, 3}).Build();
