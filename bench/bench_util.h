@@ -3,7 +3,17 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/data/attachments.h"
+#include "src/data/documents.h"
+#include "src/models/clip.h"
+#include "src/models/ocr.h"
+#include "src/runtime/session.h"
 
 namespace tdp {
 namespace bench {
@@ -17,6 +27,79 @@ inline bool FullScale() {
 
 inline int64_t Scaled(int64_t ci_value, int64_t full_value) {
   return FullScale() ? full_value : ci_value;
+}
+
+/// Runs `sql` and CHECK-fails on any error: benchmarks have no error
+/// path, so a failing statement must abort loudly instead of skewing a
+/// timing column.
+inline std::shared_ptr<Table> MustSql(Session& session, const std::string& sql,
+                                      const QueryOptions& options = {}) {
+  auto result = session.Sql(sql, options);
+  TDP_CHECK(result.ok()) << sql << "\n" << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Average wall seconds per query over `workload` on `device`, after one
+/// untimed warm-up execution of workload[0] (first-touch allocation,
+/// device moves).
+inline double AvgSecondsPerQuery(Session& session, Device device,
+                                 const std::vector<std::string>& workload) {
+  QueryOptions options;
+  options.device = device;
+  (void)session.Sql(workload[0], options);
+  Timer timer;
+  for (const std::string& sql : workload) MustSql(session, sql, options);
+  return timer.ElapsedSeconds() / static_cast<double>(workload.size());
+}
+
+/// The multimodal model-forward setup shared by fig2_multimodal and
+/// model_serving: generates the attachment corpus, registers it as table
+/// "Attachments" (filename, images), and registers the
+/// image_text_similarity UDF backed by one SimClip instance (returned so
+/// callers can keep the model alive / inspect it).
+inline std::shared_ptr<models::SimClip> SetupMultimodalCorpus(
+    Session& session, int64_t photos, int64_t receipts, int64_t logos,
+    Rng& rng) {
+  data::AttachmentDataset corpus =
+      data::MakeAttachmentDataset(photos, receipts, logos, rng);
+  auto table = TableBuilder("Attachments")
+                   .AddStrings("filename", corpus.filenames)
+                   .AddTensor("images", corpus.images)
+                   .Build();
+  TDP_CHECK(table.ok()) << table.status().ToString();
+  TDP_CHECK(session.RegisterTable("Attachments", table.value()).ok());
+  auto clip = std::make_shared<models::SimClip>();
+  TDP_CHECK(
+      models::RegisterImageTextSimilarityUdf(session.functions(), clip).ok());
+  return clip;
+}
+
+/// The OCR model-forward setup of fig3_ocr: registers `docs` as table
+/// "Document" (timestamp, images) and the extract_table TVF backed by one
+/// TableOcr instance.
+inline std::shared_ptr<models::TableOcr> SetupDocumentCorpus(
+    Session& session, const data::DocumentDataset& docs) {
+  auto table = TableBuilder("Document")
+                   .AddStrings("timestamp", docs.timestamps)
+                   .AddTensor("images", docs.images)
+                   .Build();
+  TDP_CHECK(table.ok()) << table.status().ToString();
+  TDP_CHECK(session.RegisterTable("Document", table.value()).ok());
+  auto ocr = std::make_shared<models::TableOcr>();
+  TDP_CHECK(models::RegisterExtractTableUdf(session.functions(), ocr).ok());
+  return ocr;
+}
+
+/// (Re-)registers grid `index` of `grids` as the single-row MNIST_Grid
+/// table on the accelerator — the per-iteration table swap the
+/// trainable-query benchmarks perform between optimizer steps.
+inline Status RegisterMnistGrid(Session& session, const Tensor& grids,
+                                int64_t index) {
+  auto table = TableBuilder("MNIST_Grid")
+                   .AddTensor("image", Slice(grids, 0, index, 1).Contiguous())
+                   .Build();
+  if (!table.ok()) return table.status();
+  return session.RegisterTable("MNIST_Grid", table.value(), Device::kAccel);
 }
 
 }  // namespace bench

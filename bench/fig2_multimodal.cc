@@ -10,28 +10,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/common/timer.h"
-#include "src/data/attachments.h"
-#include "src/models/clip.h"
 #include "src/runtime/session.h"
 
 namespace {
 
 using tdp::Device;
-
-double RunWorkload(tdp::Session& session, Device device,
-                   const std::vector<std::string>& workload) {
-  tdp::QueryOptions options;
-  options.device = device;
-  // Warm-up (first-touch allocation, device moves).
-  (void)session.Sql(workload[0], options);
-  tdp::Timer timer;
-  for (const std::string& sql : workload) {
-    auto result = session.Sql(sql, options);
-    TDP_CHECK(result.ok()) << sql << "\n" << result.status().ToString();
-  }
-  return timer.ElapsedSeconds() / static_cast<double>(workload.size());
-}
 
 }  // namespace
 
@@ -43,18 +26,8 @@ int main() {
 
   tdp::Rng rng(11);
   tdp::Session session;
-  tdp::data::AttachmentDataset corpus =
-      tdp::data::MakeAttachmentDataset(kPhotos, kReceipts, kLogos, rng);
-  auto table = tdp::TableBuilder("Attachments")
-                   .AddStrings("filename", corpus.filenames)
-                   .AddTensor("images", corpus.images)
-                   .Build();
-  TDP_CHECK(table.ok());
-  TDP_CHECK(session.RegisterTable("Attachments", table.value()).ok());
-  auto clip = std::make_shared<tdp::models::SimClip>();
-  TDP_CHECK(tdp::models::RegisterImageTextSimilarityUdf(session.functions(),
-                                                        clip)
-                .ok());
+  auto clip = tdp::bench::SetupMultimodalCorpus(session, kPhotos, kReceipts,
+                                                kLogos, rng);
 
   // The paper's three query shapes (Fig. 2 middle), cycled with different
   // concepts to build a 30-query workload.
@@ -88,8 +61,10 @@ int main() {
               static_cast<long long>(kPhotos + kReceipts + kLogos),
               kQueries);
 
-  const double accel = RunWorkload(session, Device::kAccel, workload);
-  const double cpu = RunWorkload(session, Device::kCpu, workload);
+  const double accel =
+      tdp::bench::AvgSecondsPerQuery(session, Device::kAccel, workload);
+  const double cpu =
+      tdp::bench::AvgSecondsPerQuery(session, Device::kCpu, workload);
 
   std::printf("%-22s %18s\n", "backend", "avg time per query");
   std::printf("%-22s %15.3f s\n", "accel (GPU role)", accel);
@@ -101,11 +76,10 @@ int main() {
   tdp::QueryOptions a, c;
   a.device = Device::kAccel;
   c.device = Device::kCpu;
-  auto ra = session.Sql(workload[1], a);
-  auto rc = session.Sql(workload[1], c);
-  TDP_CHECK(ra.ok() && rc.ok());
+  auto ra = tdp::bench::MustSql(session, workload[1], a);
+  auto rc = tdp::bench::MustSql(session, workload[1], c);
   std::printf("cross-backend COUNT agreement: %.0f vs %.0f\n",
-              (*ra)->column(0).data().At({0}),
-              (*rc)->column(0).data().At({0}));
+              ra->column(0).data().At({0}), rc->column(0).data().At({0}));
+  (void)clip;
   return 0;
 }

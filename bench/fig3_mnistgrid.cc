@@ -31,15 +31,6 @@ using tdp::Device;
 using tdp::Slice;
 using tdp::Tensor;
 
-tdp::Status RegisterGrid(tdp::Session& session, const Tensor& grids,
-                         int64_t index) {
-  auto table = tdp::TableBuilder("MNIST_Grid")
-                   .AddTensor("image", Slice(grids, 0, index, 1).Contiguous())
-                   .Build();
-  if (!table.ok()) return table.status();
-  return session.RegisterTable("MNIST_Grid", table.value(), Device::kAccel);
-}
-
 // Mean test MSE of a grouped-count predictor.
 template <typename PredictFn>
 double TestMse(const tdp::data::MnistGridDataset& test, PredictFn predict) {
@@ -86,7 +77,7 @@ int main() {
     std::fprintf(stderr, "%s\n", tvf.status().ToString().c_str());
     return 1;
   }
-  (void)RegisterGrid(session, train.grids, 0);
+  (void)tdp::bench::RegisterMnistGrid(session, train.grids, 0);
   tdp::QueryOptions options;
   options.trainable = true;
   auto query = session.Query(
@@ -124,7 +115,7 @@ int main() {
   for (int it = 0; it <= kIterations; ++it) {
     if (it % kEvalEvery == 0) {
       const double query_mse = TestMse(test, [&](int64_t i) {
-        (void)RegisterGrid(session, test.grids, i);
+        (void)tdp::bench::RegisterMnistGrid(session, test.grids, i);
         auto chunk = (*query)->RunChunk();
         TDP_CHECK(chunk.ok()) << chunk.status().ToString();
         return chunk->columns[2].data();
@@ -159,7 +150,7 @@ int main() {
           Slice(train.grids, 0, i, 1).Contiguous().To(Device::kAccel);
 
       // TDP query step (Listing 5).
-      (void)RegisterGrid(session, train.grids, i);
+      (void)tdp::bench::RegisterMnistGrid(session, train.grids, i);
       auto chunk = (*query)->RunChunk();
       TDP_CHECK(chunk.ok()) << chunk.status().ToString();
       MulScalar(tdp::nn::MSELoss(chunk->columns[2].data(), target), scale)

@@ -36,25 +36,17 @@ int main() {
   {
     tdp::Timer timer;
     tdp::Session session;
-    auto table = tdp::TableBuilder("Document")
-                     .AddStrings("timestamp", docs.timestamps)
-                     .AddTensor("images", docs.images)
-                     .Build();
-    TDP_CHECK(table.ok());
-    TDP_CHECK(session.RegisterTable("Document", table.value()).ok());
-    auto ocr = std::make_shared<tdp::models::TableOcr>();
-    TDP_CHECK(
-        tdp::models::RegisterExtractTableUdf(session.functions(), ocr).ok());
+    auto ocr = tdp::bench::SetupDocumentCorpus(session, docs);
     tdp_load = timer.ElapsedSeconds();
 
     timer.Reset();
-    auto result = session.Sql(
+    auto result = tdp::bench::MustSql(
+        session,
         "SELECT AVG(SepalLength), AVG(PetalLength) FROM extract_table("
         "SELECT images FROM Document WHERE timestamp = '" + target + "')");
-    TDP_CHECK(result.ok()) << result.status().ToString();
     tdp_query = timer.ElapsedSeconds();
-    tdp_result_a = (*result)->column(0).data().At({0});
-    tdp_result_b = (*result)->column(1).data().At({0});
+    tdp_result_a = result->column(0).data().At({0});
+    tdp_result_b = result->column(1).data().At({0});
   }
 
   // ---- Bulk conversion + BaselineDB path ------------------------------------

@@ -215,12 +215,11 @@ StatusOr<Column> TensorBinary(BinaryOp op, const Tensor& a, const Tensor& b) {
 }
 
 StatusOr<EvalResult> EvaluateBinary(const BoundBinary& expr,
-                                    const Chunk& input, Device device,
-                                    const std::vector<ScalarValue>* params) {
-  TDP_ASSIGN_OR_RETURN(EvalResult lhs,
-                       EvaluateExpr(*expr.left, input, device, params));
-  TDP_ASSIGN_OR_RETURN(EvalResult rhs,
-                       EvaluateExpr(*expr.right, input, device, params));
+                                    const Chunk& input,
+                                    const EvalOptions& opts) {
+  const Device device = opts.device;
+  TDP_ASSIGN_OR_RETURN(EvalResult lhs, EvaluateExpr(*expr.left, input, opts));
+  TDP_ASSIGN_OR_RETURN(EvalResult rhs, EvaluateExpr(*expr.right, input, opts));
 
   // Constant folding at runtime (both sides scalar).
   if (lhs.is_scalar && rhs.is_scalar) {
@@ -287,8 +286,8 @@ StatusOr<EvalResult> EvaluateBinary(const BoundBinary& expr,
 }
 
 StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
-                                  Device device,
-                                  const std::vector<ScalarValue>* params) {
+                                  const EvalOptions& opts) {
+  const Device device = opts.device;
   // Lower to nested Where(cond, then, else) — differentiable in the
   // then/else values.
   Tensor result;
@@ -296,17 +295,15 @@ StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
   // Build from the last branch backwards.
   Tensor else_tensor;
   if (expr.else_expr) {
-    TDP_ASSIGN_OR_RETURN(
-        Column c,
-        EvaluateExprToColumn(*expr.else_expr, input, device, params));
+    TDP_ASSIGN_OR_RETURN(Column c,
+                         EvaluateExprToColumn(*expr.else_expr, input, opts));
     else_tensor = NumericPayload(c);
   }
   for (auto it = expr.branches.rbegin(); it != expr.branches.rend(); ++it) {
-    TDP_ASSIGN_OR_RETURN(
-        Tensor cond, EvaluatePredicate(*it->first, input, device, params));
-    TDP_ASSIGN_OR_RETURN(
-        Column then_col,
-        EvaluateExprToColumn(*it->second, input, device, params));
+    TDP_ASSIGN_OR_RETURN(Tensor cond,
+                         EvaluatePredicate(*it->first, input, opts));
+    TDP_ASSIGN_OR_RETURN(Column then_col,
+                         EvaluateExprToColumn(*it->second, input, opts));
     Tensor then_tensor = NumericPayload(then_col);
     if (!have_result) {
       result = else_tensor.defined()
@@ -324,13 +321,12 @@ StatusOr<EvalResult> EvaluateCase(const BoundCase& expr, const Chunk& input,
 }
 
 StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
-                                 Device device,
-                                 const std::vector<ScalarValue>* params) {
+                                 const EvalOptions& opts) {
+  const Device device = opts.device;
   std::vector<udf::Argument> args;
   args.reserve(expr.args.size());
   for (const BoundExprPtr& arg_expr : expr.args) {
-    TDP_ASSIGN_OR_RETURN(EvalResult r,
-                         EvaluateExpr(*arg_expr, input, device, params));
+    TDP_ASSIGN_OR_RETURN(EvalResult r, EvaluateExpr(*arg_expr, input, opts));
     udf::Argument arg;
     if (r.is_scalar) {
       arg.is_scalar = true;
@@ -340,8 +336,18 @@ StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
     }
     args.push_back(std::move(arg));
   }
-  TDP_ASSIGN_OR_RETURN(Column out,
-                       expr.fn->fn(args, input.num_rows(), device));
+  // Batchable calls route through the dispatcher when one is installed:
+  // the runtime's InferenceScheduler may coalesce concurrent calls for the
+  // same model into a single forward pass. Row-locality (the batchable
+  // contract) makes the coalesced result bit-identical to a direct call.
+  Column out;
+  if (expr.fn->batchable && opts.udf_dispatch != nullptr) {
+    TDP_ASSIGN_OR_RETURN(
+        out, opts.udf_dispatch->CallScalar(*expr.fn, args, input.num_rows(),
+                                           device, opts.cancel));
+  } else {
+    TDP_ASSIGN_OR_RETURN(out, expr.fn->fn(args, input.num_rows(), device));
+  }
   if (out.length() != input.num_rows()) {
     return Status::ExecutionError(
         "scalar UDF " + expr.fn->name + " returned " +
@@ -352,18 +358,17 @@ StatusOr<EvalResult> EvaluateUdf(const BoundUdfCall& expr, const Chunk& input,
 }
 
 StatusOr<EvalResult> EvaluateVectorSim(const BoundVectorSim& expr,
-                                       const Chunk& input, Device device,
-                                       const std::vector<ScalarValue>* params) {
-  TDP_ASSIGN_OR_RETURN(EvalResult col,
-                       EvaluateExpr(*expr.column, input, device, params));
+                                       const Chunk& input,
+                                       const EvalOptions& opts) {
+  const Device device = opts.device;
+  TDP_ASSIGN_OR_RETURN(EvalResult col, EvaluateExpr(*expr.column, input, opts));
   if (col.is_scalar || col.column.encoding() != Encoding::kPlain ||
       col.column.data().dim() != 2) {
     return Status::TypeError(
         "first argument of dot/cosine_sim must be a rank-2 tensor column "
         "(one embedding per row)");
   }
-  TDP_ASSIGN_OR_RETURN(EvalResult qr,
-                       EvaluateExpr(*expr.query, input, device, params));
+  TDP_ASSIGN_OR_RETURN(EvalResult qr, EvaluateExpr(*expr.query, input, opts));
   if (!qr.is_scalar || !qr.scalar.is_tensor()) {
     return Status::TypeError(
         "second argument of dot/cosine_sim must be a constant query vector "
@@ -399,8 +404,9 @@ StatusOr<EvalResult> EvaluateVectorSim(const BoundVectorSim& expr,
 }  // namespace
 
 StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
-                                  Device device,
-                                  const std::vector<ScalarValue>* params) {
+                                  const EvalOptions& opts) {
+  const Device device = opts.device;
+  const std::vector<ScalarValue>* params = opts.params;
   switch (expr.kind) {
     case BoundExprKind::kColumnRef: {
       const auto& ref = static_cast<const BoundColumnRef&>(expr);
@@ -416,11 +422,11 @@ StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
     }
     case BoundExprKind::kBinary:
       return EvaluateBinary(static_cast<const BoundBinary&>(expr), input,
-                            device, params);
+                            opts);
     case BoundExprKind::kUnary: {
       const auto& un = static_cast<const BoundUnary&>(expr);
       TDP_ASSIGN_OR_RETURN(EvalResult operand,
-                           EvaluateExpr(*un.operand, input, device, params));
+                           EvaluateExpr(*un.operand, input, opts));
       if (operand.is_scalar) {
         if (un.op == UnaryOp::kNeg) {
           if (operand.scalar.is_int()) {
@@ -450,14 +456,12 @@ StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
           false, {}, Column::Plain(LogicalNot(operand.column.data()))};
     }
     case BoundExprKind::kUdfCall:
-      return EvaluateUdf(static_cast<const BoundUdfCall&>(expr), input,
-                         device, params);
+      return EvaluateUdf(static_cast<const BoundUdfCall&>(expr), input, opts);
     case BoundExprKind::kCase:
-      return EvaluateCase(static_cast<const BoundCase&>(expr), input, device,
-                          params);
+      return EvaluateCase(static_cast<const BoundCase&>(expr), input, opts);
     case BoundExprKind::kVectorSim:
       return EvaluateVectorSim(static_cast<const BoundVectorSim&>(expr),
-                               input, device, params);
+                               input, opts);
     case BoundExprKind::kParameter: {
       const auto& p = static_cast<const BoundParameter&>(expr);
       if (params == nullptr ||
@@ -479,30 +483,46 @@ StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
 }
 
 StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
-                                      const Chunk& input, Device device,
-                                      const std::vector<ScalarValue>* params) {
-  TDP_ASSIGN_OR_RETURN(EvalResult r, EvaluateExpr(expr, input, device, params));
+                                      const Chunk& input,
+                                      const EvalOptions& opts) {
+  TDP_ASSIGN_OR_RETURN(EvalResult r, EvaluateExpr(expr, input, opts));
   if (!r.is_scalar) return r.column;
   const int64_t rows = std::max<int64_t>(input.num_rows(), 1);
   if (r.scalar.is_string()) {
     return Column::FromStrings(
         std::vector<std::string>(static_cast<size_t>(rows),
                                  r.scalar.string_value()),
-        device);
+        opts.device);
   }
-  TDP_ASSIGN_OR_RETURN(Tensor t, ScalarToTensor(r.scalar, device));
+  TDP_ASSIGN_OR_RETURN(Tensor t, ScalarToTensor(r.scalar, opts.device));
   return Column::Plain(Expand(t, {rows}).Contiguous());
+}
+
+StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
+                                   const EvalOptions& opts) {
+  TDP_ASSIGN_OR_RETURN(Column c, EvaluateExprToColumn(expr, input, opts));
+  if (c.data().dtype() != DType::kBool || c.data().dim() != 1) {
+    return Status::TypeError("predicate did not evaluate to a boolean column");
+  }
+  return c.data();
+}
+
+StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
+                                  Device device,
+                                  const std::vector<ScalarValue>* params) {
+  return EvaluateExpr(expr, input, EvalOptions{device, params});
+}
+
+StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
+                                      const Chunk& input, Device device,
+                                      const std::vector<ScalarValue>* params) {
+  return EvaluateExprToColumn(expr, input, EvalOptions{device, params});
 }
 
 StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
                                    Device device,
                                    const std::vector<ScalarValue>* params) {
-  TDP_ASSIGN_OR_RETURN(Column c,
-                       EvaluateExprToColumn(expr, input, device, params));
-  if (c.data().dtype() != DType::kBool || c.data().dim() != 1) {
-    return Status::TypeError("predicate did not evaluate to a boolean column");
-  }
-  return c.data();
+  return EvaluatePredicate(expr, input, EvalOptions{device, params});
 }
 
 }  // namespace exec

@@ -122,23 +122,63 @@ struct EvalResult {
   Column column;
 };
 
-/// Evaluates `expr` over `input` on `device`. All column math runs as
+class CancellationToken;
+
+/// Routing seam for batchable scalar-UDF calls. The evaluator stays
+/// runtime-agnostic: when a dispatcher is present and the called function
+/// is batchable, the call goes through the dispatcher — in production the
+/// runtime's InferenceScheduler, which may coalesce concurrent calls for
+/// the same model into one forward pass. Implementations must be
+/// thread-safe and must return bytes identical to calling `fn.fn` directly
+/// (the batchable row-local contract makes coalescing exact).
+class UdfDispatcher {
+ public:
+  virtual ~UdfDispatcher() = default;
+  virtual StatusOr<Column> CallScalar(const udf::ScalarFunction& fn,
+                                      const std::vector<udf::Argument>& args,
+                                      int64_t num_rows, Device device,
+                                      const CancellationToken* cancel) = 0;
+};
+
+/// Per-evaluation context for expression trees. One value object instead
+/// of a growing parameter list: the device to run tensor math on, the
+/// per-run `?` parameter bindings, and the optional batchable-UDF
+/// dispatcher with the run's cancellation token (so a coalesced call
+/// waiting in the scheduler can be abandoned cooperatively).
+struct EvalOptions {
+  Device device = Device::kCpu;
+  const std::vector<ScalarValue>* params = nullptr;
+  UdfDispatcher* udf_dispatch = nullptr;
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Evaluates `expr` over `input` per `opts`. All column math runs as
 /// tensor ops, so gradients flow through results whose inputs require grad.
-/// `params` supplies values for BoundParameter placeholders (may be null
-/// when the expression has none); it is read-only and per-run, so the same
-/// expression tree can be evaluated concurrently with different bindings.
+/// `opts.params` supplies values for BoundParameter placeholders (may be
+/// null when the expression has none); it is read-only and per-run, so the
+/// same expression tree can be evaluated concurrently with different
+/// bindings.
+StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
+                                  const EvalOptions& opts);
+
+/// EvaluateExpr + broadcast scalars to `num_rows` and wrap as a column.
+StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
+                                      const Chunk& input,
+                                      const EvalOptions& opts);
+
+/// Evaluates a predicate to a 1-d bool mask of input.num_rows().
+StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
+                                   const EvalOptions& opts);
+
+/// Convenience overloads for direct (dispatcher-less) evaluation.
 StatusOr<EvalResult> EvaluateExpr(const BoundExpr& expr, const Chunk& input,
                                   Device device,
                                   const std::vector<ScalarValue>* params =
                                       nullptr);
-
-/// EvaluateExpr + broadcast scalars to `num_rows` and wrap as a column.
 StatusOr<Column> EvaluateExprToColumn(const BoundExpr& expr,
                                       const Chunk& input, Device device,
                                       const std::vector<ScalarValue>* params =
                                           nullptr);
-
-/// Evaluates a predicate to a 1-d bool mask of input.num_rows().
 StatusOr<Tensor> EvaluatePredicate(const BoundExpr& expr, const Chunk& input,
                                    Device device,
                                    const std::vector<ScalarValue>* params =

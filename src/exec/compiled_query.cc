@@ -123,12 +123,14 @@ void CollectPlanModules(
 
 CompiledQuery::CompiledQuery(plan::LogicalNodePtr plan,
                              std::shared_ptr<SharedCatalog> catalog,
-                             Device device, bool trainable)
+                             Device device, bool trainable,
+                             UdfDispatcher* udf_dispatch)
     : plan_(std::move(plan)),
       pipelines_(plan::BuildPipelines(*plan_)),
       catalog_(std::move(catalog)),
       device_(device),
       trainable_(trainable),
+      udf_dispatch_(trainable ? nullptr : udf_dispatch),
       num_params_(MaxPlanParamOrdinal(*plan_) + 1) {
   std::vector<std::shared_ptr<nn::Module>> raw;
   CollectPlanModules(*plan_, raw);
@@ -159,6 +161,11 @@ static Status ValidateRunOptions(const RunOptions& options) {
         "RunOptions::num_probes must be non-negative, got " +
         std::to_string(options.num_probes));
   }
+  if (options.model_batch_rows < 0) {
+    return Status::InvalidArgument(
+        "RunOptions::model_batch_rows must be non-negative, got " +
+        std::to_string(options.model_batch_rows));
+  }
   return Status::OK();
 }
 
@@ -181,6 +188,12 @@ ExecContext CompiledQuery::MakeContext(const RunOptions& options,
   ctx.cancel = cancel;
   ctx.morsel_fault =
       options.inject_morsel_fault ? &options.inject_morsel_fault : nullptr;
+  // Soft (training) runs must evaluate UDFs directly: the dispatcher
+  // executes forwards outside this run's autograd scope (and possibly
+  // batched with other queries' rows). trainable_ already forced the
+  // member to null, but guard soft_mode explicitly for clarity.
+  ctx.udf_dispatch = ctx.soft_mode ? nullptr : udf_dispatch_;
+  ctx.model_batch_rows = options.model_batch_rows;
   return ctx;
 }
 

@@ -38,6 +38,19 @@ StatusOr<Chunk> ExecuteFilter(const plan::FilterNode& node, const Chunk& input,
 StatusOr<Chunk> ExecuteProject(const plan::ProjectNode& node,
                                const Chunk& input, const ExecContext& ctx);
 
+/// Micro-batch model evaluation (the streaming form of a batchable
+/// Filter/Project/TVF): slices `morsel` into `batch_rows`-row batches
+/// (ctx.model_batch_rows overrides the node's compiled size when set),
+/// runs the wrapped operator's kernel per batch, and concatenates outputs
+/// in slice order. Because batchable bodies are row-local, the reassembled
+/// result is bit-identical to evaluating the whole morsel at once — and,
+/// transitively, to the whole-relation breaker path this stage replaced.
+/// Zero- and single-batch inputs take a direct single call (preserving the
+/// breaker path's empty-input semantics exactly). Polls `ctx.cancel`
+/// between batches.
+StatusOr<Chunk> ExecuteModelEval(const plan::ModelEvalNode& node,
+                                 const Chunk& morsel, const ExecContext& ctx);
+
 // ---- Hash join: build consumer + streaming probe ---------------------------
 
 /// FNV-1a over a row's normalized key codes.

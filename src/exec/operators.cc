@@ -32,6 +32,17 @@ using plan::ScanNode;
 using plan::SortNode;
 using plan::TvfScanNode;
 
+/// Expression-evaluation options for one run: the device, the `?`
+/// bindings, and the batchable-UDF dispatch seam (scheduler + token).
+EvalOptions EvalOpts(const ExecContext& ctx) {
+  EvalOptions opts;
+  opts.device = ctx.device;
+  opts.params = ctx.params;
+  opts.udf_dispatch = ctx.udf_dispatch;
+  opts.cancel = ctx.cancel;
+  return opts;
+}
+
 // ---- Key normalization ------------------------------------------------------
 //
 // Grouping / joining / distinct all need a per-row integer code whose
@@ -192,7 +203,7 @@ StatusOr<Chunk> ExecuteFilter(const FilterNode& node, const Chunk& input,
                               const ExecContext& ctx) {
   TDP_ASSIGN_OR_RETURN(
       Tensor mask,
-      EvaluatePredicate(*node.predicate, input, ctx.device, ctx.params));
+      EvaluatePredicate(*node.predicate, input, EvalOpts(ctx)));
   if (mask.numel() != input.num_rows()) {
     return Status::ExecutionError("predicate mask length mismatch");
   }
@@ -205,11 +216,53 @@ StatusOr<Chunk> ExecuteProject(const ProjectNode& node, const Chunk& input,
   for (size_t i = 0; i < node.exprs.size(); ++i) {
     TDP_ASSIGN_OR_RETURN(
         Column c,
-        EvaluateExprToColumn(*node.exprs[i], input, ctx.device, ctx.params));
+        EvaluateExprToColumn(*node.exprs[i], input, EvalOpts(ctx)));
     out.names.push_back(node.schema[i].name);
     out.columns.push_back(std::move(c));
   }
   return out;
+}
+
+// ---- ModelEval (streaming micro-batch model evaluation) ---------------------
+
+StatusOr<Chunk> ExecuteModelEval(const plan::ModelEvalNode& node,
+                                 const Chunk& morsel, const ExecContext& ctx) {
+  TDP_CHECK(node.wrapped != nullptr);
+  const auto run_wrapped = [&](const Chunk& batch) -> StatusOr<Chunk> {
+    switch (node.wrapped->kind) {
+      case plan::NodeKind::kFilter:
+        return ExecuteFilter(static_cast<const FilterNode&>(*node.wrapped),
+                             batch, ctx);
+      case plan::NodeKind::kProject:
+        return ExecuteProject(static_cast<const ProjectNode&>(*node.wrapped),
+                              batch, ctx);
+      case plan::NodeKind::kTvfScan:
+        return ExecuteTvfScan(static_cast<const TvfScanNode&>(*node.wrapped),
+                              batch, ctx);
+      default:
+        return Status::Internal("ModelEval wraps unsupported operator: " +
+                                node.wrapped->Describe());
+    }
+  };
+  const int64_t batch_rows = std::max<int64_t>(
+      ctx.model_batch_rows > 0 ? ctx.model_batch_rows : node.batch_rows, 1);
+  const int64_t rows = morsel.num_rows();
+  // Zero or one batch: a single direct call, exactly what the breaker path
+  // would have done with this input (empty inputs included — TVF bodies
+  // already handle 0-row chunks on the materialized path).
+  if (rows <= batch_rows) return run_wrapped(morsel);
+  std::vector<Chunk> outputs;
+  outputs.reserve(static_cast<size_t>((rows + batch_rows - 1) / batch_rows));
+  for (int64_t start = 0; start < rows; start += batch_rows) {
+    TDP_RETURN_NOT_OK(CheckCancel(ctx));
+    const int64_t count = std::min(batch_rows, rows - start);
+    TDP_ASSIGN_OR_RETURN(Chunk out,
+                         run_wrapped(morsel.SliceRows(start, count)));
+    outputs.push_back(std::move(out));
+  }
+  // Slice-order reassembly: row-locality of batchable bodies makes this
+  // concatenation bit-identical to one whole-morsel evaluation.
+  return Chunk::Concat(outputs);
 }
 
 // ---- Aggregate --------------------------------------------------------------
@@ -223,7 +276,7 @@ StatusOr<AggInputs> EvaluateAggInputs(const AggregateNode& node,
   for (const auto& expr : node.group_exprs) {
     TDP_ASSIGN_OR_RETURN(
         Column key,
-        EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
+        EvaluateExprToColumn(*expr, input, EvalOpts(ctx)));
     out.key_columns.push_back(std::move(key));
   }
   out.arg_columns.reserve(node.aggregates.size());
@@ -231,7 +284,7 @@ StatusOr<AggInputs> EvaluateAggInputs(const AggregateNode& node,
     if (def.arg) {
       TDP_ASSIGN_OR_RETURN(
           Column arg,
-          EvaluateExprToColumn(*def.arg, input, ctx.device, ctx.params));
+          EvaluateExprToColumn(*def.arg, input, EvalOpts(ctx)));
       out.arg_columns.push_back(std::move(arg));
     } else {
       out.arg_columns.emplace_back();
@@ -521,7 +574,7 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
     for (const auto& expr : node.group_exprs) {
       TDP_ASSIGN_OR_RETURN(
           Column key,
-          EvaluateExprToColumn(*expr, input, ctx.device, ctx.params));
+          EvaluateExprToColumn(*expr, input, EvalOpts(ctx)));
       if (key.encoding() != Encoding::kProbability) keys_are_pe = false;
       probe.push_back(std::move(key));
     }
@@ -627,7 +680,7 @@ StatusOr<Chunk> ProbeJoin(const JoinNode& node, const JoinHashTable& ht,
   if (node.residual) {
     TDP_ASSIGN_OR_RETURN(
         Tensor mask,
-        EvaluatePredicate(*node.residual, joined, ctx.device, ctx.params));
+        EvaluatePredicate(*node.residual, joined, EvalOpts(ctx)));
     joined = joined.Select(NonZero(mask));
   }
   return joined;
@@ -643,7 +696,7 @@ StatusOr<Chunk> ExecuteSort(const SortNode& node, const Chunk& input,
   for (auto it = node.items.rbegin(); it != node.items.rend(); ++it) {
     TDP_ASSIGN_OR_RETURN(
         Column key_col,
-        EvaluateExprToColumn(*it->expr, input, ctx.device, ctx.params));
+        EvaluateExprToColumn(*it->expr, input, EvalOpts(ctx)));
     Tensor keys = key_col.DecodeValues();
     if (keys.dim() != 1) {
       return Status::TypeError("ORDER BY key must be a scalar column");
@@ -710,7 +763,7 @@ StatusOr<Chunk> ProjectIndexTopK(const plan::IndexTopKNode& node,
   for (size_t i = 0; i < node.exprs.size(); ++i) {
     TDP_ASSIGN_OR_RETURN(
         Column c,
-        EvaluateExprToColumn(*node.exprs[i], rows, ctx.device, ctx.params));
+        EvaluateExprToColumn(*node.exprs[i], rows, EvalOpts(ctx)));
     out.names.push_back(node.schema[i].name);
     out.columns.push_back(std::move(c));
   }
@@ -768,8 +821,7 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
   const auto& sim = static_cast<const exec::BoundVectorSim&>(
       *node.exprs[static_cast<size_t>(node.sim_ordinal)]);
   TDP_ASSIGN_OR_RETURN(EvalResult query,
-                       EvaluateExpr(*sim.query, input, ctx.device,
-                                    ctx.params));
+                       EvaluateExpr(*sim.query, input, EvalOpts(ctx)));
   if (!query.is_scalar || !query.scalar.is_tensor()) {
     return Status::TypeError(
         "IndexTopK query must be a constant tensor (bind the vector with "
@@ -834,7 +886,7 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
   TDP_ASSIGN_OR_RETURN(
       Column sim_col,
       EvaluateExprToColumn(*node.exprs[static_cast<size_t>(node.sim_ordinal)],
-                           cand_rows, ctx.device, ctx.params));
+                           cand_rows, EvalOpts(ctx)));
   const Tensor scores = sim_col.DecodeValues();
   if (scores.dim() != 1) {
     return Status::TypeError("similarity key must be a scalar column");
@@ -1028,8 +1080,7 @@ StatusOr<DmlSelection> SelectDmlRows(const exec::BoundExpr* predicate,
     return sel;
   }
   TDP_ASSIGN_OR_RETURN(
-      Tensor mask, EvaluatePredicate(*predicate, input, ctx.device,
-                                     ctx.params));
+      Tensor mask, EvaluatePredicate(*predicate, input, EvalOpts(ctx)));
   if (mask.numel() != input.num_rows()) {
     return Status::ExecutionError("predicate mask length mismatch");
   }
@@ -1102,7 +1153,7 @@ StatusOr<Chunk> ExecuteInsert(const plan::InsertNode& node,
       for (size_t i = 0; i < row.size(); ++i) {
         TDP_ASSIGN_OR_RETURN(
             EvalResult v,
-            EvaluateExpr(*row[i], no_input, ctx.device, ctx.params));
+            EvaluateExpr(*row[i], no_input, EvalOpts(ctx)));
         if (!v.is_scalar) {
           return Status::TypeError(
               "INSERT VALUES entries must be constant expressions");
@@ -1188,7 +1239,7 @@ StatusOr<Chunk> ExecuteUpdate(const plan::UpdateNode& node,
   for (const auto& [col, expr] : node.assignments) {
     TDP_ASSIGN_OR_RETURN(
         Column values,
-        EvaluateExprToColumn(*expr, sel.rows, ctx.device, ctx.params));
+        EvaluateExprToColumn(*expr, sel.rows, EvalOpts(ctx)));
     TDP_ASSIGN_OR_RETURN(
         values,
         CoerceToColumn(target->TailColumn(col),

@@ -64,6 +64,15 @@ struct ExecContext {
   /// installed through here (`SharedCatalog::ApplyDmlWrite`). Null for
   /// execution APIs with no writable catalog — DML then fails cleanly.
   SharedCatalog* writer = nullptr;
+  /// Batchable-UDF dispatcher (the runtime's InferenceScheduler when the
+  /// query runs under a Session): batchable scalar-UDF calls route through
+  /// it so concurrent queries over the same model share forward passes.
+  /// Null (direct calls) for trainable runs — coalescing would entangle
+  /// autograd graphs across queries — and for bare CompiledQuery users.
+  UdfDispatcher* udf_dispatch = nullptr;
+  /// Per-run override of every ModelEval stage's batch size
+  /// (`RunOptions::model_batch_rows`); 0 keeps each stage's compiled size.
+  int64_t model_batch_rows = 0;
 };
 
 /// OK while `ctx`'s run is live; `kCancelled` once its token has been

@@ -2,7 +2,8 @@
 // `plan::BuildPipelines` in dependency order. Within one pipeline the
 // source relation is cut into bounded row-range morsels (zero-copy views,
 // `ExecOptions::morsel_rows`, default ~64K rows) that flow through the
-// order-preserving operators — Filter, Project, hash-join probe — without
+// order-preserving operators — Filter, Project, hash-join probe, and the
+// micro-batch ModelEval stage wrapping batchable model calls — without
 // ever materializing an intermediate relation; morsels run in parallel on
 // the process-wide ThreadPool and their outputs are assembled in morsel
 // order, so results are identical for every thread count.
@@ -17,10 +18,12 @@
 //
 // Determinism contract (asserted by tests/streaming_parity_test.cc): the
 // assembled stream equals the legacy whole-relation chunk row for row,
-// because every streaming operator is order-preserving and per-row local,
-// and every breaker (aggregate, sort, distinct, join build, TVF) consumes
-// the assembled stream with the same kernel the legacy path uses. Morsel
-// size therefore never changes results — only scheduling.
+// because every streaming operator is order-preserving and per-row local
+// (batchable model calls are row-local by contract, so ModelEval's
+// micro-batches reassemble bit-identically), and every breaker (aggregate,
+// sort, distinct, join build, non-batchable TVF/UDF) consumes the
+// assembled stream with the same kernel the legacy path uses. Morsel size
+// therefore never changes results — only scheduling.
 
 #include "src/exec/streaming.h"
 
@@ -84,6 +87,13 @@ StatusOr<Chunk> ApplyOps(const Pipeline& p, Chunk morsel,
         TDP_ASSIGN_OR_RETURN(
             morsel, ProbeJoin(static_cast<const plan::JoinNode&>(*op),
                               outs.joins.at(op), morsel, ctx));
+        break;
+      }
+      case NodeKind::kModelEval: {
+        TDP_ASSIGN_OR_RETURN(
+            morsel,
+            ExecuteModelEval(static_cast<const plan::ModelEvalNode&>(*op),
+                             morsel, ctx));
         break;
       }
       default:
@@ -323,10 +333,11 @@ StatusOr<Chunk> ApplyBreaker(const LogicalNode& sink, Chunk input,
     case NodeKind::kTvfScan:
       return ExecuteTvfScan(static_cast<const plan::TvfScanNode&>(sink),
                             std::move(input), ctx);
-    // UDF-bearing operators: the UDF body is a whole-batch tensor
-    // program, so it sees the assembled relation, never a morsel. That
-    // holds for filter predicates, projections, aggregate group keys /
-    // arguments, and join residuals alike.
+    // Non-batchable-UDF-bearing operators: the UDF body is a whole-batch
+    // tensor program, so it sees the assembled relation, never a morsel.
+    // That holds for filter predicates, projections, aggregate group keys
+    // / arguments, and join residuals alike. (Batchable model calls never
+    // reach here — they stream through a ModelEval stage.)
     case NodeKind::kFilter:
       return ExecuteFilter(static_cast<const plan::FilterNode&>(sink), input,
                            ctx);

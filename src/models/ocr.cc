@@ -161,6 +161,13 @@ Status RegisterExtractTableUdf(udf::FunctionRegistry& registry,
   for (const char* name : kDocColumnNames) {
     fn.output_schema.push_back({name, udf::DeclaredType::kFloat});
   }
+  fn.min_args = 0;
+  fn.max_args = 0;
+  // Row-local by construction: the body is a per-document loop (detect,
+  // segment, recognize one image at a time), so document batches stream
+  // through ModelEval bit-identically to the whole-relation call.
+  fn.batchable = true;
+  fn.preferred_batch_rows = 64;
   fn.fn = [ocr](const exec::Chunk& input,
                 const std::vector<exec::ScalarValue>& args,
                 Device device) -> StatusOr<exec::Chunk> {

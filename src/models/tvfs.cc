@@ -20,6 +20,14 @@ StatusOr<ParseMnistGridTvf> RegisterParseMnistGridTvf(
   fn.output_schema = {{"Digit", udf::DeclaredType::kProbability},
                       {"Size", udf::DeclaredType::kProbability}};
   fn.modules = {tvf.digit_parser, tvf.size_parser};
+  fn.min_args = 0;
+  fn.max_args = 0;
+  // Row-local: GridToTiles is grid-major (tiles of grid i precede tiles of
+  // grid i+1) and the classifier heads score each tile independently, so
+  // any batch partition of the grids concatenates to the whole-relation
+  // output byte for byte — the TVF streams through ModelEval.
+  fn.batchable = true;
+  fn.preferred_batch_rows = 128;
   auto digit_parser = tvf.digit_parser;
   auto size_parser = tvf.size_parser;
   fn.fn = [digit_parser, size_parser](
@@ -75,6 +83,10 @@ StatusOr<ClassifyIncomesTvf> RegisterClassifyIncomesTvf(
   fn.name = "classify_incomes";
   fn.output_schema = {{"Income", udf::DeclaredType::kProbability}};
   fn.modules = {tvf.model};
+  fn.min_args = 0;
+  fn.max_args = 0;
+  // Row-local: one linear forward per feature row.
+  fn.batchable = true;
   auto model = tvf.model;
   fn.fn = [model, num_features](
               const exec::Chunk& input,

@@ -38,6 +38,8 @@ std::string_view NodeKindName(NodeKind kind) {
       return "Distinct";
     case NodeKind::kIndexTopK:
       return "IndexTopK";
+    case NodeKind::kModelEval:
+      return "ModelEval";
     case NodeKind::kCreateTable:
       return "CreateTable";
     case NodeKind::kInsert:
@@ -135,6 +137,11 @@ std::string IndexTopKNode::Describe() const {
          ")";
 }
 
+std::string ModelEvalNode::Describe() const {
+  return "ModelEval(batch=" + std::to_string(batch_rows) + "): " +
+         (wrapped != nullptr ? wrapped->Describe() : std::string("?"));
+}
+
 std::string CreateTableNode::Describe() const {
   return "CreateTable(" + table_name + ", " +
          std::to_string(table_schema.size()) + " cols)";
@@ -207,6 +214,13 @@ void ForEachExpr(const LogicalNode& node,
     case NodeKind::kDelete: {
       const auto& del = static_cast<const DeleteNode&>(node);
       if (del.predicate) fn(*del.predicate);
+      return;
+    }
+    case NodeKind::kModelEval: {
+      // The micro-batch stage owns no expressions of its own; they hang
+      // off the operator it wraps.
+      const auto& me = static_cast<const ModelEvalNode&>(node);
+      if (me.wrapped != nullptr) ForEachExpr(*me.wrapped, fn);
       return;
     }
     case NodeKind::kScan:

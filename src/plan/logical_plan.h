@@ -36,6 +36,7 @@ enum class NodeKind {
   kLimit,
   kDistinct,
   kIndexTopK,
+  kModelEval,
   kCreateTable,
   kInsert,
   kUpdate,
@@ -178,6 +179,23 @@ struct IndexTopKNode : LogicalNode {
   int64_t k = 0;                   // rows to emit (the sort's fused limit)
   int64_t sim_ordinal = 0;         // index of the sim expr in `exprs`
   std::vector<exec::BoundExprPtr> exprs;  // absorbed projection
+  std::string Describe() const override;
+};
+
+/// Streaming micro-batch stage around a batchable-model-bearing operator
+/// (Filter/Project with only batchable UDF calls, or a batchable TVF).
+/// Synthesized by `BuildPipelines` — never produced by the binder — so it
+/// appears in EXPLAIN PIPELINES, not in the logical tree. Execution slices
+/// each morsel into `batch_rows`-row tensor batches, runs the wrapped
+/// operator's forward per batch, and reassembles outputs in slice order;
+/// row-locality (the batchable contract) makes the reassembly bit-identical
+/// to evaluating the whole morsel at once. `wrapped` points into the
+/// compiled plan tree (same lifetime); ModelEvalNode itself is owned by
+/// the PipelinePlan that synthesized it.
+struct ModelEvalNode : LogicalNode {
+  ModelEvalNode() : LogicalNode(NodeKind::kModelEval) {}
+  const LogicalNode* wrapped = nullptr;
+  int64_t batch_rows = udf::kDefaultModelBatchRows;
   std::string Describe() const override;
 };
 

@@ -1,5 +1,6 @@
 #include "src/plan/pipeline.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/common/logging.h"
@@ -8,44 +9,109 @@ namespace tdp {
 namespace plan {
 namespace {
 
-bool ExprUsesUdf(const exec::BoundExpr& e) {
+/// Invokes `fn` on every scalar-UDF call in the expression tree (recursing
+/// through binary/unary/CASE/VectorSim/call-argument subtrees). The single
+/// traversal behind the UDF classification predicates and the batch-size
+/// computation.
+void ForEachUdfCall(
+    const exec::BoundExpr& e,
+    const std::function<void(const exec::BoundUdfCall&)>& fn) {
   switch (e.kind) {
-    case exec::BoundExprKind::kUdfCall:
-      return true;
+    case exec::BoundExprKind::kUdfCall: {
+      const auto& call = static_cast<const exec::BoundUdfCall&>(e);
+      fn(call);
+      for (const auto& arg : call.args) ForEachUdfCall(*arg, fn);
+      return;
+    }
     case exec::BoundExprKind::kBinary: {
       const auto& b = static_cast<const exec::BoundBinary&>(e);
-      return ExprUsesUdf(*b.left) || ExprUsesUdf(*b.right);
+      ForEachUdfCall(*b.left, fn);
+      ForEachUdfCall(*b.right, fn);
+      return;
     }
     case exec::BoundExprKind::kUnary:
-      return ExprUsesUdf(*static_cast<const exec::BoundUnary&>(e).operand);
+      ForEachUdfCall(*static_cast<const exec::BoundUnary&>(e).operand, fn);
+      return;
     case exec::BoundExprKind::kCase: {
       const auto& c = static_cast<const exec::BoundCase&>(e);
       for (const auto& [when, then] : c.branches) {
-        if (ExprUsesUdf(*when) || ExprUsesUdf(*then)) return true;
+        ForEachUdfCall(*when, fn);
+        ForEachUdfCall(*then, fn);
       }
-      return c.else_expr != nullptr && ExprUsesUdf(*c.else_expr);
+      if (c.else_expr != nullptr) ForEachUdfCall(*c.else_expr, fn);
+      return;
     }
     case exec::BoundExprKind::kVectorSim: {
       const auto& v = static_cast<const exec::BoundVectorSim&>(e);
-      return ExprUsesUdf(*v.column) || ExprUsesUdf(*v.query);
+      ForEachUdfCall(*v.column, fn);
+      ForEachUdfCall(*v.query, fn);
+      return;
     }
     case exec::BoundExprKind::kColumnRef:
     case exec::BoundExprKind::kLiteral:
     case exec::BoundExprKind::kParameter:
-      return false;
+      return;
   }
-  return false;
+}
+
+bool ExprUsesUdf(const exec::BoundExpr& e) {
+  bool uses = false;
+  ForEachUdfCall(e, [&uses](const exec::BoundUdfCall&) { uses = true; });
+  return uses;
+}
+
+/// Rows per forward pass for `node`'s ModelEval stage: the smallest
+/// preferred batch size among its batchable calls (a shared batch must fit
+/// the most size-sensitive model), defaulting when none declares one.
+int64_t NodeModelBatchRows(const LogicalNode& node) {
+  int64_t rows = 0;
+  const auto consider = [&rows](int64_t preferred) {
+    const int64_t r =
+        preferred > 0 ? preferred : udf::kDefaultModelBatchRows;
+    rows = rows == 0 ? r : std::min(rows, r);
+  };
+  if (node.kind == NodeKind::kTvfScan) {
+    const auto& tvf = static_cast<const TvfScanNode&>(node);
+    if (tvf.fn != nullptr) consider(tvf.fn->preferred_batch_rows);
+  } else {
+    ForEachExpr(node, [&consider](const exec::BoundExpr& e) {
+      ForEachUdfCall(e, [&consider](const exec::BoundUdfCall& call) {
+        if (call.fn != nullptr && call.fn->batchable) {
+          consider(call.fn->preferred_batch_rows);
+        }
+      });
+    });
+  }
+  return rows == 0 ? udf::kDefaultModelBatchRows : rows;
+}
+
+/// True when `node` is a TvfScan over a batchable (row-local) TVF.
+bool IsBatchableTvf(const LogicalNode& node) {
+  if (node.kind != NodeKind::kTvfScan) return false;
+  const auto& tvf = static_cast<const TvfScanNode&>(node);
+  return tvf.fn != nullptr && tvf.fn->batchable;
 }
 
 /// Builder state: pipelines are appended depth-first so that every
 /// pipeline's dependencies precede it in the vector.
 struct Builder {
   std::vector<Pipeline> pipelines;
+  std::vector<std::unique_ptr<LogicalNode>> owned;
 
   int Push(Pipeline p) {
     p.id = static_cast<int>(pipelines.size());
     pipelines.push_back(std::move(p));
     return pipelines.back().id;
+  }
+
+  /// Synthesizes the micro-batch stage streaming `wrapped`'s model calls.
+  const LogicalNode* MakeModelEval(const LogicalNode& wrapped) {
+    auto me = std::make_unique<ModelEvalNode>();
+    me->wrapped = &wrapped;
+    me->batch_rows = NodeModelBatchRows(wrapped);
+    me->schema = wrapped.schema;
+    owned.push_back(std::move(me));
+    return owned.back().get();
   }
 
   /// Fills `p.source` / `p.ops` so that `p`'s stream equals `node`'s
@@ -67,7 +133,24 @@ struct Builder {
           p.ops.push_back(&node);
           return;
         }
-        break;  // UDF-bearing op: breaker below.
+        if (!NodeUsesNonBatchableUdf(node)) {
+          // Every model call is batchable (row-local), so the operator
+          // streams: slice each morsel into fixed-size tensor batches
+          // through a ModelEval stage instead of breaking the pipeline.
+          BuildStream(*node.children[0], p);
+          p.ops.push_back(MakeModelEval(node));
+          return;
+        }
+        break;  // non-batchable UDF: breaker below.
+      case NodeKind::kTvfScan:
+        if (IsBatchableTvf(node) && !node.children.empty()) {
+          // Row-local TVF (each input row's output rows depend only on
+          // that row): stream the input and micro-batch the function.
+          BuildStream(*node.children[0], p);
+          p.ops.push_back(MakeModelEval(node));
+          return;
+        }
+        break;  // non-batchable TVF: whole-input breaker below.
       case NodeKind::kJoin:
         if (!NodeUsesUdf(node)) {
           // The build side (right child, or left when the optimizer
@@ -118,10 +201,13 @@ struct Builder {
     bp.sink = &node;
     switch (node.kind) {
       case NodeKind::kAggregate:
-        // A UDF among the group keys / aggregate arguments must be
-        // evaluated over the whole relation (UDF bodies are batch
-        // programs), so the per-morsel input evaluation is off the table:
-        // materialize the stream and evaluate at the breaker.
+        // A UDF among the group keys / aggregate arguments is evaluated
+        // over the whole relation, so the per-morsel input evaluation is
+        // off the table: materialize the stream and evaluate at the
+        // breaker. (Deliberately conservative — even batchable UDFs break
+        // here: the aggregate's partial-state merge is keyed on the
+        // evaluated inputs, and micro-batching buys nothing once the
+        // relation is materialized anyway.)
         bp.sink_kind = NodeUsesUdf(node) ? SinkKind::kMaterialize
                                          : SinkKind::kAggregate;
         break;
@@ -137,9 +223,9 @@ struct Builder {
         return Push(std::move(bp));
       case NodeKind::kSort:
       case NodeKind::kDistinct:
-      case NodeKind::kTvfScan:
-      case NodeKind::kFilter:   // UDF-bearing
-      case NodeKind::kProject:  // UDF-bearing
+      case NodeKind::kTvfScan:  // non-batchable (batchable TVFs stream)
+      case NodeKind::kFilter:   // non-batchable UDF-bearing
+      case NodeKind::kProject:  // non-batchable UDF-bearing
       // IndexTopK needs its whole input materialized (candidate row ids
       // index into the full scan), and its output is a fresh ordered
       // relation — a textbook breaker.
@@ -196,6 +282,17 @@ bool NodeUsesUdf(const LogicalNode& node) {
   return uses;
 }
 
+bool NodeUsesNonBatchableUdf(const LogicalNode& node) {
+  if (node.kind == NodeKind::kTvfScan) return !IsBatchableTvf(node);
+  bool uses = false;
+  ForEachExpr(node, [&uses](const exec::BoundExpr& e) {
+    ForEachUdfCall(e, [&uses](const exec::BoundUdfCall& call) {
+      if (call.fn == nullptr || !call.fn->batchable) uses = true;
+    });
+  });
+  return uses;
+}
+
 PipelinePlan BuildPipelines(const LogicalNode& root) {
   Builder builder;
   Pipeline result;
@@ -203,7 +300,8 @@ PipelinePlan BuildPipelines(const LogicalNode& root) {
   result.sink_kind = SinkKind::kResult;
   result.sink = nullptr;
   builder.Push(std::move(result));
-  return PipelinePlan{std::move(builder.pipelines)};
+  return PipelinePlan{std::move(builder.pipelines),
+                      std::move(builder.owned)};
 }
 
 std::string PipelinePlan::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef TDP_PLAN_PIPELINE_H_
 #define TDP_PLAN_PIPELINE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,10 +15,12 @@ namespace plan {
 enum class SinkKind {
   /// Plan root: the assembled stream is the query result.
   kResult,
-  /// Feeds a whole-relation breaker: Sort, Distinct, TVF, or any operator
-  /// whose expressions call a UDF (Filter, Project, Aggregate keys/args,
-  /// Join residual) — UDF bodies are batch tensor programs, so they see
-  /// the full relation, never a morsel.
+  /// Feeds a whole-relation breaker: Sort, Distinct, a non-batchable TVF,
+  /// or any operator whose expressions call a non-batchable UDF (Filter,
+  /// Project, Aggregate keys/args, Join residual) — non-batchable UDF
+  /// bodies are whole-batch tensor programs, so they see the full
+  /// relation, never a morsel. Batchable (row-local) model calls under a
+  /// Filter/Project/TVF stream instead, through a ModelEval stage.
   kMaterialize,
   /// Aggregate consumer: group keys and aggregate arguments are evaluated
   /// per morsel (the partial states), merged in morsel order at the
@@ -46,9 +49,11 @@ struct Pipeline {
   /// source is a Scan or FROM-less Project (no upstream pipeline).
   int source_pipeline = -1;
   /// Order-preserving streaming operators applied to every morsel, in
-  /// execution (bottom-up) order: Filter, Project, and Join — a Join entry
+  /// execution (bottom-up) order: Filter, Project, Join — a Join entry
   /// means "probe this morsel against the join's build table", with the
-  /// build side produced by a dependency pipeline.
+  /// build side produced by a dependency pipeline — and ModelEval, a
+  /// micro-batch stage (synthesized by the builder, owned by the
+  /// PipelinePlan) around a batchable-model-bearing operator.
   std::vector<const LogicalNode*> ops;
   /// The breaker consuming this stream (it "owns" the pipeline's output:
   /// running the pipeline produces `sink`'s output chunk, or the join
@@ -65,6 +70,11 @@ struct Pipeline {
 /// kResult one.
 struct PipelinePlan {
   std::vector<Pipeline> pipelines;
+  /// ModelEval stages synthesized by the builder. Pipelines reference
+  /// these (and the plan tree's nodes) by raw pointer, so the PipelinePlan
+  /// must outlive any execution of its pipelines — CompiledQuery keeps
+  /// both alive together.
+  std::vector<std::unique_ptr<LogicalNode>> owned;
 
   /// EXPLAIN PIPELINES-style rendering, e.g. for the two pipelines of a
   /// join query:
@@ -78,14 +88,21 @@ struct PipelinePlan {
 /// breakers. Breakers are the operators that need (all of) their input
 /// before emitting anything: Sort, Aggregate, Distinct, Limit, IndexTopK
 /// (candidate ids index into the full scan), the build side of a hash
-/// join, TVFs, and any Filter/Project whose expressions call a scalar UDF
-/// (UDF bodies are whole-batch tensor programs). Everything else — Scan,
-/// Filter, Project, join probe — streams.
+/// join, non-batchable TVFs, and any Filter/Project whose expressions call
+/// a non-batchable scalar UDF (their bodies are whole-batch tensor
+/// programs). Everything else streams: Scan, Filter, Project, join probe —
+/// and batchable-model-bearing Filter/Project/TVF operators, which stream
+/// through a synthesized ModelEval micro-batch stage (row-local model
+/// bodies make any batch partition bit-identical to the whole relation).
 PipelinePlan BuildPipelines(const LogicalNode& root);
 
 /// True when any expression hanging off `node` contains a scalar UDF call
 /// (recursing through binary/unary/CASE/call argument subtrees).
 bool NodeUsesUdf(const LogicalNode& node);
+
+/// True when `node` carries a UDF/TVF call that is NOT batchable — the
+/// calls that still force breaker semantics.
+bool NodeUsesNonBatchableUdf(const LogicalNode& node);
 
 }  // namespace plan
 }  // namespace tdp

@@ -1,0 +1,308 @@
+#include "src/runtime/inference_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace tdp {
+namespace runtime {
+namespace {
+
+std::string PointerKey(const void* p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+/// Exact fingerprint of one constant argument. Two calls may share a
+/// coalesced forward only when every constant they pass is identical —
+/// a near-miss (embed("dog") vs embed("cat")) must land in a different
+/// group, so primitives are rendered exactly (hexfloat for doubles, length
+/// -prefixed strings) and tensors by handle identity (the address of the
+/// shared TensorImpl's shape vector) — conservative, never wrong.
+std::string ScalarFingerprint(const exec::ScalarValue& v) {
+  if (v.is_null()) return "n";
+  if (v.is_int()) return "i" + std::to_string(v.int_value());
+  if (v.is_float()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "f%a", v.float_value());
+    return buf;
+  }
+  if (v.is_bool()) return v.bool_value() ? "b1" : "b0";
+  if (v.is_string()) {
+    const std::string& s = v.string_value();
+    return "t" + std::to_string(s.size()) + ":" + s;
+  }
+  TDP_CHECK(v.is_tensor());
+  return "T" + PointerKey(&v.tensor_value().shape());
+}
+
+/// Group key: model identity + device + every constant argument. Model
+/// identity is the registered nn::Module set when the function closes over
+/// modules — the SAME model registered under the same name in several
+/// sessions (each session owns its FunctionRegistry) then coalesces across
+/// them — and the ScalarFunction object itself for module-free bodies,
+/// where name equality across registries proves nothing.
+std::string GroupKey(const udf::ScalarFunction& fn,
+                     const std::vector<udf::Argument>& args, Device device) {
+  std::string key;
+  if (!fn.modules.empty()) {
+    key += fn.name;
+    for (const auto& m : fn.modules) key += "@" + PointerKey(m.get());
+  } else {
+    key += "#" + PointerKey(&fn);
+  }
+  key += "|d" + std::to_string(static_cast<int>(device));
+  for (const udf::Argument& arg : args) {
+    key += arg.is_scalar ? "|s:" + ScalarFingerprint(arg.scalar) : "|c";
+  }
+  return key;
+}
+
+/// Only plain-encoded column arguments coalesce: concatenating dictionary
+/// or PE columns from different queries would require merging their
+/// dictionaries/domains, and a length mismatch with num_rows would break
+/// the per-request output split.
+bool CoalescableArgs(const std::vector<udf::Argument>& args,
+                     int64_t num_rows) {
+  for (const udf::Argument& arg : args) {
+    if (arg.is_scalar) continue;
+    if (arg.column.encoding() != Encoding::kPlain) return false;
+    if (arg.column.length() != num_rows) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+InferenceScheduler::InferenceScheduler() : InferenceScheduler(Options{}) {}
+
+InferenceScheduler::InferenceScheduler(Options options)
+    : options_(options) {}
+
+InferenceScheduler& InferenceScheduler::Global() {
+  static InferenceScheduler* scheduler = new InferenceScheduler();
+  return *scheduler;
+}
+
+InferenceScheduler::Stats InferenceScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InferenceScheduler::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+namespace {
+
+/// Column-argument shape compatibility between two queued requests: the
+/// concatenated tensor needs one dtype, one device, and one trailing
+/// (per-row) shape. Constant args are already equal by group key.
+bool ArgsCompatible(const std::vector<udf::Argument>& a,
+                    const std::vector<udf::Argument>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_scalar != b[i].is_scalar) return false;
+    if (a[i].is_scalar) continue;
+    const Tensor& ta = a[i].column.data();
+    const Tensor& tb = b[i].column.data();
+    if (ta.dtype() != tb.dtype() || ta.device() != tb.device() ||
+        ta.dim() != tb.dim()) {
+      return false;
+    }
+    for (int64_t d = 1; d < ta.dim(); ++d) {
+      if (ta.size(d) != tb.size(d)) return false;
+    }
+  }
+  return true;
+}
+
+/// Runs the (possibly coalesced) forward. Called with no scheduler lock
+/// held — the model body may ParallelFor freely.
+StatusOr<Column> RunForward(const udf::ScalarFunction& fn,
+                            const std::vector<const std::vector<udf::Argument>*>&
+                                request_args,
+                            const std::vector<int64_t>& request_rows,
+                            int64_t total_rows, Device device) {
+  if (request_args.size() == 1) {
+    return fn.fn(*request_args[0], request_rows[0], device);
+  }
+  const size_t num_args = request_args[0]->size();
+  std::vector<udf::Argument> combined(num_args);
+  for (size_t i = 0; i < num_args; ++i) {
+    const udf::Argument& first = (*request_args[0])[i];
+    if (first.is_scalar) {
+      combined[i] = first;
+      continue;
+    }
+    std::vector<Column> parts;
+    parts.reserve(request_args.size());
+    for (const auto* args : request_args) parts.push_back((*args)[i].column);
+    combined[i].is_scalar = false;
+    combined[i].column = Column::Concat(parts);
+  }
+  TDP_ASSIGN_OR_RETURN(Column out, fn.fn(combined, total_rows, device));
+  if (out.length() != total_rows) {
+    return Status::Internal(
+        "batchable UDF " + fn.name + " returned " +
+        std::to_string(out.length()) + " rows for a coalesced batch of " +
+        std::to_string(total_rows));
+  }
+  return out;
+}
+
+}  // namespace
+
+void InferenceScheduler::LeadBatch(Group& group, const udf::ScalarFunction& fn,
+                                   Device device, int64_t target_rows,
+                                   std::unique_lock<std::mutex>& lock) {
+  const auto queued_rows = [&group]() {
+    int64_t rows = 0;
+    for (const Request* r : group.queue) rows += r->rows;
+    return rows;
+  };
+  // The coalescing window: linger for co-arrivals, but only when another
+  // call is actually in flight — a solo client launches immediately.
+  if (active_calls_ > 1 && options_.coalescing_window.count() > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.coalescing_window;
+    while (queued_rows() < target_rows) {
+      if (group.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+
+  // Claim the longest compatible FIFO prefix up to the batch target.
+  // Stopping (not skipping) at the first incompatible request keeps the
+  // queue strictly FIFO — no request can starve behind later arrivals.
+  std::vector<Request*> batch;
+  int64_t total = 0;
+  while (!group.queue.empty()) {
+    Request* r = group.queue.front();
+    if (!batch.empty() &&
+        (total + r->rows > target_rows ||
+         !ArgsCompatible(*batch.front()->args, *r->args))) {
+      break;
+    }
+    r->claimed = true;
+    total += r->rows;
+    batch.push_back(r);
+    group.queue.pop_front();
+  }
+  TDP_CHECK(!batch.empty());
+  ++stats_.forwards;
+  if (batch.size() > 1) {
+    ++stats_.coalesced_forwards;
+    stats_.coalesced_requests += static_cast<int64_t>(batch.size());
+  }
+
+  std::vector<const std::vector<udf::Argument>*> request_args;
+  std::vector<int64_t> request_rows;
+  request_args.reserve(batch.size());
+  request_rows.reserve(batch.size());
+  for (const Request* r : batch) {
+    request_args.push_back(r->args);
+    request_rows.push_back(r->rows);
+  }
+
+  lock.unlock();
+  StatusOr<Column> out =
+      RunForward(fn, request_args, request_rows, total, device);
+  lock.lock();
+
+  if (!out.ok()) {
+    for (Request* r : batch) {
+      r->status = out.status();
+      r->done = true;
+    }
+  } else if (batch.size() == 1) {
+    batch.front()->result = std::move(out).value();
+    batch.front()->done = true;
+  } else {
+    // Zero-copy split: each caller gets a row-range view of the shared
+    // output column, in the queue's FIFO order.
+    const Column combined = std::move(out).value();
+    int64_t offset = 0;
+    for (Request* r : batch) {
+      r->result = combined.SliceRows(offset, r->rows);
+      offset += r->rows;
+      r->done = true;
+    }
+  }
+  group.has_leader = false;
+  group.cv.notify_all();
+}
+
+StatusOr<Column> InferenceScheduler::CallScalar(
+    const udf::ScalarFunction& fn, const std::vector<udf::Argument>& args,
+    int64_t num_rows, Device device, const exec::CancellationToken* cancel) {
+  const int64_t target_rows = fn.preferred_batch_rows > 0
+                                  ? fn.preferred_batch_rows
+                                  : udf::kDefaultModelBatchRows;
+  // Requests at or above the batch target gain nothing from sharing a
+  // forward (they fill one alone); non-batchable calls must never be
+  // coalesced; exotic argument encodings can't be split exactly.
+  const bool coalescable = fn.batchable && num_rows > 0 &&
+                           num_rows < target_rows &&
+                           CoalescableArgs(args, num_rows);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.calls;
+  stats_.rows += num_rows;
+  Group* group = nullptr;
+  if (coalescable) {
+    group = &groups_[GroupKey(fn, args, device)];
+    if (group->queue.size() >= options_.max_pending_requests) {
+      group = nullptr;  // backpressure: fall through to the direct call
+    }
+  }
+  if (group == nullptr) {
+    ++stats_.direct_calls;
+    ++stats_.forwards;
+    lock.unlock();
+    return fn.fn(args, num_rows, device);
+  }
+
+  Request req;
+  req.args = &args;
+  req.rows = num_rows;
+  req.cancel = cancel;
+  ++active_calls_;
+  group->queue.push_back(&req);
+  group->cv.notify_all();
+
+  while (!req.done) {
+    if (!req.claimed && cancel != nullptr && cancel->cancelled()) {
+      auto it = std::find(group->queue.begin(), group->queue.end(), &req);
+      TDP_CHECK(it != group->queue.end());
+      group->queue.erase(it);
+      ++stats_.withdrawn;
+      --active_calls_;
+      return Status::Cancelled(
+          "inference request withdrawn: query run cancelled");
+    }
+    if (!group->has_leader && !group->queue.empty()) {
+      group->has_leader = true;
+      LeadBatch(*group, fn, device, target_rows, lock);
+      continue;
+    }
+    // Timed wait so an unclaimed request notices cancellation promptly
+    // even with no scheduler activity.
+    group->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  --active_calls_;
+  if (!req.status.ok()) return req.status;
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("query run cancelled");
+  }
+  return std::move(req.result);
+}
+
+}  // namespace runtime
+}  // namespace tdp

@@ -267,6 +267,7 @@ StatusOr<std::pair<LogicalNodePtr, BindScope>> BinderImpl::BindTvf(
   if (fn == nullptr) {
     return Status::BindError("unknown table function: " + ref.function_name);
   }
+  TDP_RETURN_NOT_OK(udf::CheckTvfArity(*fn, ref.extra_args.size()));
   auto node = std::make_unique<TvfScanNode>();
   node->fn = fn;
   TDP_ASSIGN_OR_RETURN(auto bound_input, BindTableRef(*ref.input));
@@ -275,8 +276,9 @@ StatusOr<std::pair<LogicalNodePtr, BindScope>> BinderImpl::BindTvf(
     // Only literal arguments are supported (the paper passes constants).
     if (arg->kind != ExprKind::kLiteral) {
       return Status::BindError(
-          "table function arguments must be literals, got: " +
-          arg->ToString());
+          "table function " + fn->name +
+          " arguments must be literals, got: " + arg->ToString() +
+          "; signature: " + udf::TvfSignature(*fn));
     }
     const auto& lit = static_cast<const LiteralExpr&>(*arg);
     switch (lit.literal_kind) {

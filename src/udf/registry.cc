@@ -5,6 +5,66 @@
 namespace tdp {
 namespace udf {
 
+std::string DeclaredTypeName(DeclaredType type) {
+  switch (type) {
+    case DeclaredType::kFloat:
+      return "float";
+    case DeclaredType::kInt:
+      return "int";
+    case DeclaredType::kString:
+      return "string";
+    case DeclaredType::kBool:
+      return "bool";
+    case DeclaredType::kTensor:
+      return "tensor";
+    case DeclaredType::kProbability:
+      return "probability";
+  }
+  return "?";
+}
+
+std::string TvfSignature(const TableFunction& fn) {
+  std::string sig = fn.name + "(<input rows>";
+  const size_t shown =
+      fn.max_args < 0 ? fn.param_names.size()
+                      : static_cast<size_t>(fn.max_args);
+  for (size_t i = 0; i < shown; ++i) {
+    sig += ", ";
+    sig += i < fn.param_names.size() ? fn.param_names[i]
+                                     : "arg" + std::to_string(i + 1);
+    if (fn.max_args < 0 || static_cast<int>(i) >= fn.min_args) sig += "?";
+  }
+  if (fn.max_args < 0) sig += ", ...";
+  sig += ") -> (";
+  for (size_t i = 0; i < fn.output_schema.size(); ++i) {
+    if (i > 0) sig += ", ";
+    sig += fn.output_schema[i].name + " " +
+           DeclaredTypeName(fn.output_schema[i].type);
+  }
+  sig += ")";
+  return sig;
+}
+
+Status CheckTvfArity(const TableFunction& fn, size_t num_args) {
+  const int n = static_cast<int>(num_args);
+  if (n < fn.min_args || (fn.max_args >= 0 && n > fn.max_args)) {
+    std::string expected;
+    if (fn.max_args < 0) {
+      expected = "at least " + std::to_string(fn.min_args);
+    } else if (fn.min_args == fn.max_args) {
+      expected = std::to_string(fn.min_args);
+    } else {
+      expected = "between " + std::to_string(fn.min_args) + " and " +
+                 std::to_string(fn.max_args);
+    }
+    return Status::BindError(
+        "table function " + fn.name + " expects " + expected +
+        " argument(s), got " + std::to_string(num_args) +
+        "; signature: " + TvfSignature(fn));
+  }
+  return Status::OK();
+}
+
 bool IsBuiltinAggregateName(const std::string& lower_name) {
   return lower_name == "count" || lower_name == "sum" ||
          lower_name == "avg" || lower_name == "min" || lower_name == "max";

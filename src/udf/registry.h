@@ -31,6 +31,15 @@ struct DeclaredColumn {
   DeclaredType type;
 };
 
+/// "float", "probability", ... — the SQL-ish spelling used in rendered
+/// signatures and error messages.
+std::string DeclaredTypeName(DeclaredType type);
+
+/// Rows per model forward pass when a batchable function does not declare
+/// a preference. Large enough to amortize kernel launch/setup, small
+/// enough that image batches stay cache- and queue-friendly.
+inline constexpr int64_t kDefaultModelBatchRows = 256;
+
 /// One evaluated argument of a scalar UDF call: either a per-row column or
 /// a constant (e.g. the query string in image_text_similarity("dog", imgs)).
 struct Argument {
@@ -58,6 +67,18 @@ struct ScalarFunction {
   DeclaredType return_type = DeclaredType::kFloat;
   ScalarFn fn;
   std::vector<std::shared_ptr<nn::Module>> modules;
+
+  /// A batchable body is row-local: output row i depends only on input row
+  /// i (and the scalar args), never on which other rows share the batch.
+  /// The planner streams batchable calls through the ModelEval micro-batch
+  /// operator instead of a pipeline breaker, and the InferenceScheduler
+  /// may coalesce concurrent calls into one forward — both partitions are
+  /// bit-identical to a whole-relation call precisely because of
+  /// row-locality. Leave false (the default) for batch-dependent bodies
+  /// (e.g. batch normalization), which keep breaker semantics.
+  bool batchable = false;
+  /// Preferred rows per forward pass; 0 means kDefaultModelBatchRows.
+  int64_t preferred_batch_rows = 0;
 };
 
 struct TableFunction {
@@ -65,7 +86,31 @@ struct TableFunction {
   std::vector<DeclaredColumn> output_schema;
   TableFn fn;
   std::vector<std::shared_ptr<nn::Module>> modules;
+
+  /// Scalar-argument contract, enforced at bind time: the call must pass
+  /// between min_args and max_args literal arguments (max_args < 0 means
+  /// unbounded). `param_names` feeds the rendered signature in error
+  /// messages; it may be shorter than max_args.
+  int min_args = 0;
+  int max_args = -1;
+  std::vector<std::string> param_names;
+
+  /// Row-local contract for TVFs: the output rows produced for input row i
+  /// depend only on input row i (their count included). Batchable TVFs
+  /// stream through the ModelEval micro-batch operator; non-batchable ones
+  /// keep today's whole-input breaker semantics. TVF outputs are never
+  /// coalesced across queries (row counts may change, so per-request
+  /// result splitting is not well defined).
+  bool batchable = false;
+  int64_t preferred_batch_rows = 0;
 };
+
+/// "name(arg, ...) -> (Col type, ...)" — the signature rendered into
+/// bind-time arity/type errors so they name the function being called.
+std::string TvfSignature(const TableFunction& fn);
+
+/// Arity check whose error names the function and its expected signature.
+Status CheckTvfArity(const TableFunction& fn, size_t num_args);
 
 /// Names the SQL binder resolves as built-in aggregates / vector
 /// similarity functions BEFORE consulting the registry. Defined here —

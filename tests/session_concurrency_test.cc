@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/rng.h"
+#include "src/nn/layers.h"
 #include "src/runtime/session.h"
 #include "src/tensor/ops.h"
 
@@ -600,6 +603,109 @@ TEST(SessionConcurrencyTest, DmlRacesIndexBuildUnderServing) {
   stop = true;
   writer.join();
   indexer.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- Shared inference-scheduler races ---------------------------------------
+
+// N sessions serve the SAME model (one nn::Linear shared by every
+// session's registered UDF — the scheduler groups on module identity, so
+// their forwards may coalesce across sessions) while one client keeps
+// opening a cursor and closing it after the first chunk. Every completed
+// query must equal its session's solo ground truth bit for bit, and the
+// early closes must only ever surface as clean kCancelled — never a
+// crash, a hang, or another session's rows. Runs under TSan in CI.
+TEST(SessionConcurrencyTest, SharedModelServingRacesAcrossSessions) {
+  constexpr int kSessions = 4;
+  constexpr int64_t kRows = 24;
+  Rng rng(123);
+  auto model = std::make_shared<nn::Linear>(1, 1, rng);  // on kAccel, like
+                                                         // the query device
+  // in_features == 1 keeps the forward row-local at the arithmetic level
+  // too (one multiply + one add per row, no reduction), so any coalesced
+  // batch partition is bit-identical to a solo run.
+  auto make_udf = [&model]() {
+    udf::ScalarFunction fn;
+    fn.name = "embed1";
+    fn.return_type = udf::DeclaredType::kFloat;
+    fn.batchable = true;
+    fn.preferred_batch_rows = 16;
+    fn.modules = {model};
+    fn.fn = [model](const std::vector<udf::Argument>& args, int64_t,
+                    Device) -> StatusOr<Column> {
+      const Tensor x = Unsqueeze(args[0].column.DecodeValues(), 1);
+      return Column::Plain(Squeeze(model->Forward(x), 1).Contiguous());
+    };
+    return fn;
+  };
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<std::vector<double>> truth(kSessions);
+  const char* sql = "SELECT embed1(x) AS e FROM vals";
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(std::make_unique<Session>());
+    ASSERT_TRUE(sessions[s]->functions().RegisterScalar(make_udf()).ok());
+    std::vector<float> xs;
+    for (int64_t i = 0; i < kRows; ++i) {
+      xs.push_back(static_cast<float>(s * 1000 + i));
+    }
+    auto t = TableBuilder("vals").AddFloat32("x", xs).Build();
+    ASSERT_TRUE(sessions[s]->RegisterTable("vals", t.value()).ok());
+    // Solo ground truth, before any concurrency.
+    auto r = sessions[s]->Sql(sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ((*r)->num_rows(), kRows);
+    for (int64_t i = 0; i < kRows; ++i) {
+      truth[s].push_back((*r)->column(0).data().At({i}));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  // The early-closer: streams session 0's query, takes one chunk, closes.
+  // Its withdrawn/cancelled inference requests must never perturb the
+  // other sessions' coalesced batches.
+  std::thread closer([&] {
+    exec::RunOptions run;
+    run.exec.morsel_rows = 4;  // several chunks, so Close() really lands early
+    while (!stop.load()) {
+      auto cursor = sessions[0]->Execute(sql, {}, run);
+      if (!cursor.ok()) {
+        ++failures;
+        continue;
+      }
+      auto chunk = (*cursor)->Next();
+      // A first chunk either arrives intact or reports the close's own
+      // cancellation; anything else is a real failure.
+      if (!chunk.ok() &&
+          chunk.status().code() != StatusCode::kCancelled) {
+        ++failures;
+      }
+      (*cursor)->Close();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      for (int i = 0; i < 30; ++i) {
+        auto r = sessions[s]->Sql(sql);
+        if (!r.ok() || (*r)->num_rows() != kRows) {
+          ++failures;
+          continue;
+        }
+        for (int64_t row = 0; row < kRows; ++row) {
+          if ((*r)->column(0).data().At({row}) != truth[s][row]) {
+            ++failures;  // wrong bytes or another session's rows
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  stop = true;
+  closer.join();
   EXPECT_EQ(failures.load(), 0);
 }
 

@@ -94,7 +94,8 @@ class StreamingParityTest : public ::testing::Test {
     // mean): its per-row output changes with the evaluation batch, so any
     // operator that evaluated it per morsel would diverge from the legacy
     // whole-relation path. The pipeline builder must therefore treat every
-    // UDF-bearing operator as a breaker.
+    // NON-batchable UDF-bearing operator as a breaker — bnorm is the
+    // negative control for the ModelEval streaming of batchable calls.
     udf::ScalarFunction fn;
     fn.name = "bnorm";
     fn.return_type = udf::DeclaredType::kFloat;
@@ -104,6 +105,52 @@ class StreamingParityTest : public ::testing::Test {
       return Column::Plain(Sub(x, Mean(x)));
     };
     ASSERT_TRUE(session_.functions().RegisterScalar(std::move(fn)).ok());
+
+    // A batchable (row-local) scalar UDF with a tiny preferred batch, so
+    // the ModelEval stage genuinely splits morsels at batch boundaries
+    // that differ from every swept morsel size.
+    udf::ScalarFunction scale;
+    scale.name = "rowscale";
+    scale.return_type = udf::DeclaredType::kFloat;
+    scale.batchable = true;
+    scale.preferred_batch_rows = 3;
+    scale.fn = [](const std::vector<udf::Argument>& args, int64_t,
+                  Device) -> StatusOr<Column> {
+      const Tensor x = args[0].column.DecodeValues();
+      return Column::Plain(AddScalar(MulScalar(x, 1.5), 0.25));
+    };
+    ASSERT_TRUE(session_.functions().RegisterScalar(std::move(scale)).ok());
+
+    // A batchable TVF that maps each input row to TWO output rows
+    // ([v, -v] interleaved in row order): row-local including the output
+    // row count, so batches of input rows concatenate to the
+    // whole-relation output. Streams through ModelEval; the parity sweep
+    // proves the reassembly is exact even when 1 input row != 1 output
+    // row.
+    udf::TableFunction expand;
+    expand.name = "expand2";
+    expand.output_schema = {{"val", udf::DeclaredType::kFloat}};
+    expand.min_args = 0;
+    expand.max_args = 0;
+    expand.batchable = true;
+    expand.preferred_batch_rows = 3;
+    expand.fn = [](const exec::Chunk& input,
+                   const std::vector<exec::ScalarValue>&,
+                   Device) -> StatusOr<exec::Chunk> {
+      const int64_t value_col = input.FindColumn("v");
+      if (value_col < 0) {
+        return Status::TypeError("expand2: no column named v in input");
+      }
+      const Tensor x = input.columns[static_cast<size_t>(value_col)].data();
+      const int64_t n = x.size(0);
+      // [n] -> [n, 2] -> [2n]: row i's pair lands at rows 2i, 2i+1.
+      const Tensor pairs = Stack({x, Neg(x)}, 1);
+      exec::Chunk out;
+      out.names = {"val"};
+      out.columns.push_back(Column::Plain(Reshape(pairs, {2 * n})));
+      return out;
+    };
+    ASSERT_TRUE(session_.functions().RegisterTable(std::move(expand)).ok());
   }
 
   void Register(const std::string& name, TableBuilder builder) {
@@ -368,6 +415,92 @@ TEST_F(StreamingParityTest, BatchDependentUdfsBreakPipelines) {
   ExpectParity(
       "SELECT big.k, u.w FROM big JOIN u ON big.k = u.ku "
       "AND bnorm(big.v) < u.w ORDER BY big.k, u.w");
+}
+
+// Batchable (row-local) model calls STREAM: the plan gets a ModelEval
+// micro-batch stage instead of a breaker, and the full sweep (morsels
+// {1,7,4096,whole} x threads {1,4} x both executors x cursor drains) must
+// stay bit-identical — batch boundaries (preferred_batch_rows=3) land
+// inside, across, and exactly on every swept morsel boundary.
+TEST_F(StreamingParityTest, BatchableUdfsStreamThroughModelEval) {
+  // Projection and filter.
+  ExpectParity("SELECT k, rowscale(v) FROM big WHERE v > 0");
+  ExpectParity("SELECT k FROM big WHERE rowscale(v) > 0 ORDER BY k LIMIT 20");
+  // Batchable call under a Limit sink (no early-exit: ModelEval-wrapped
+  // ops are not treated as row-preserving).
+  ExpectParity("SELECT rowscale(v) FROM big LIMIT 13 OFFSET 7");
+  // Aggregates stay conservative (breaker) even for batchable calls —
+  // parity must hold regardless.
+  ExpectParity(
+      "SELECT tag, SUM(rowscale(v)) FROM big GROUP BY tag ORDER BY tag");
+  // A batchable call nested under a NON-batchable one keeps breaker
+  // semantics (bnorm sees the whole relation).
+  ExpectParity("SELECT k, bnorm(rowscale(v)) FROM big WHERE v > 0");
+  // Empty and single-row inputs through the ModelEval stage.
+  ExpectParity("SELECT k, rowscale(v) FROM empty_t WHERE v > 0");
+  ExpectParity("SELECT k, rowscale(v) FROM one");
+}
+
+// Batchable TVFs stream through ModelEval too — including one whose
+// output row count differs from its input's (1 grid row -> 2 value rows),
+// proving the slice-order reassembly is exact when counts change.
+TEST_F(StreamingParityTest, BatchableTvfStreamsThroughModelEval) {
+  ExpectParity("SELECT val FROM expand2(big)");
+  ExpectParity("SELECT val FROM expand2(big) WHERE val > 0");
+  ExpectParity(
+      "SELECT COUNT(*), SUM(val) FROM expand2(big)");
+  ExpectParity("SELECT val FROM expand2(empty_t)");
+  ExpectParity("SELECT val FROM expand2(one)");
+}
+
+// EXPLAIN PIPELINES renders the synthesized ModelEval stage with its
+// batch size, and the per-run RunOptions::model_batch_rows override
+// reslices without changing a byte.
+TEST_F(StreamingParityTest, ModelEvalExplainAndBatchOverride) {
+  QueryOptions options;
+  options.use_plan_cache = false;
+  auto query = session_.Query("SELECT k, rowscale(v) FROM big WHERE v > 0",
+                              options);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const std::string pipelines = (*query)->ExplainPipelines();
+  EXPECT_NE(pipelines.find("ModelEval(batch=3)"), std::string::npos)
+      << pipelines;
+  // The batchable-bearing Project/Filter no longer appears as a breaker.
+  EXPECT_EQ(pipelines.find("materialize"), std::string::npos) << pipelines;
+
+  exec::RunOptions reference_run;
+  reference_run.exec.streaming = false;
+  auto reference = (*query)->Run(reference_run);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int64_t batch : {1, 2, 7, 4096}) {
+    SCOPED_TRACE("model_batch_rows=" + std::to_string(batch));
+    exec::RunOptions run;
+    run.model_batch_rows = batch;
+    run.exec.morsel_rows = 64;
+    auto result = (*query)->Run(run);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(**reference, **result);
+  }
+  // A negative override fails fast with a named error.
+  exec::RunOptions bad;
+  bad.model_batch_rows = -1;
+  auto fail = (*query)->Run(bad);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_NE(fail.status().ToString().find("model_batch_rows"),
+            std::string::npos);
+}
+
+// The non-batchable control keeps its breaker: bnorm-bearing plans must
+// never grow a ModelEval stage.
+TEST_F(StreamingParityTest, NonBatchableUdfKeepsBreaker) {
+  QueryOptions options;
+  options.use_plan_cache = false;
+  auto query =
+      session_.Query("SELECT k, bnorm(v) FROM big WHERE v > 0", options);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const std::string pipelines = (*query)->ExplainPipelines();
+  EXPECT_EQ(pipelines.find("ModelEval"), std::string::npos) << pipelines;
+  EXPECT_NE(pipelines.find("materialize"), std::string::npos) << pipelines;
 }
 
 // The whole-table streaming default must also match when driven through

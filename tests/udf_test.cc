@@ -47,6 +47,103 @@ TEST(UdfRegistryTest, TvfRequiresSchema) {
   EXPECT_FALSE(registry.RegisterTable(std::move(fn)).ok());
 }
 
+udf::TableFunction MakeThresholdTvf() {
+  udf::TableFunction fn;
+  fn.name = "threshold_rows";
+  fn.output_schema = {{"kept", udf::DeclaredType::kFloat}};
+  fn.min_args = 1;
+  fn.max_args = 2;
+  fn.param_names = {"cutoff", "scale"};
+  fn.fn = [](const exec::Chunk& input, const std::vector<exec::ScalarValue>& args,
+             Device) -> StatusOr<exec::Chunk> {
+    const double cutoff = args[0].AsDouble();
+    const double scale = args.size() > 1 ? args[1].AsDouble() : 1.0;
+    const Tensor x = input.columns[0].DecodeValues();
+    std::vector<float> kept;
+    for (int64_t i = 0; i < x.size(0); ++i) {
+      const float v = static_cast<float>(x.At({i}));
+      if (v > cutoff) kept.push_back(static_cast<float>(v * scale));
+    }
+    exec::Chunk out;
+    out.names = {"kept"};
+    out.columns = {Column::Plain(Tensor::FromVector<float>(kept))};
+    return out;
+  };
+  return fn;
+}
+
+// The TVF arity/type error matrix: every rejection at bind time must name
+// the function being called and render its expected signature, so a
+// misuse inside a larger query is self-diagnosing.
+TEST(UdfRegistryTest, TvfArityErrorsNameFunctionAndSignature) {
+  Session session;
+  ASSERT_TRUE(session.functions().RegisterTable(MakeThresholdTvf()).ok());
+  auto t = TableBuilder("t").AddFloat32("x", {1, 2, 3}).Build();
+  ASSERT_TRUE(session.RegisterTable("t", t.value()).ok());
+
+  // In-range arities bind and run.
+  auto ok1 = session.Sql("SELECT kept FROM threshold_rows(t, 1.5)");
+  ASSERT_TRUE(ok1.ok()) << ok1.status().ToString();
+  EXPECT_EQ((*ok1)->num_rows(), 2);
+  auto ok2 = session.Sql("SELECT kept FROM threshold_rows(t, 1.5, 10.0)");
+  ASSERT_TRUE(ok2.ok()) << ok2.status().ToString();
+  EXPECT_FLOAT_EQ(static_cast<float>((*ok2)->column(0).data().At({0})),
+                  20.0f);
+
+  // Too few arguments: kBindError naming the function, the expected
+  // range, the actual count, and the rendered signature.
+  auto too_few = session.Sql("SELECT kept FROM threshold_rows(t)");
+  ASSERT_FALSE(too_few.ok());
+  EXPECT_EQ(too_few.status().code(), StatusCode::kBindError);
+  const std::string few_msg = too_few.status().ToString();
+  EXPECT_NE(few_msg.find("threshold_rows"), std::string::npos) << few_msg;
+  EXPECT_NE(few_msg.find("between 1 and 2"), std::string::npos) << few_msg;
+  EXPECT_NE(few_msg.find("got 0"), std::string::npos) << few_msg;
+  EXPECT_NE(few_msg.find("threshold_rows(<input rows>, cutoff, scale?)"),
+            std::string::npos)
+      << few_msg;
+  EXPECT_NE(few_msg.find("(kept float)"), std::string::npos) << few_msg;
+
+  // Too many arguments: same shape of message, different count.
+  auto too_many =
+      session.Sql("SELECT kept FROM threshold_rows(t, 1.0, 2.0, 3.0)");
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kBindError);
+  const std::string many_msg = too_many.status().ToString();
+  EXPECT_NE(many_msg.find("threshold_rows"), std::string::npos) << many_msg;
+  EXPECT_NE(many_msg.find("got 3"), std::string::npos) << many_msg;
+
+  // Non-literal argument: rejected at bind time, naming the function.
+  auto non_literal = session.Sql("SELECT kept FROM threshold_rows(t, x)");
+  ASSERT_FALSE(non_literal.ok());
+  EXPECT_EQ(non_literal.status().code(), StatusCode::kBindError);
+  EXPECT_NE(non_literal.status().ToString().find("threshold_rows"),
+            std::string::npos)
+      << non_literal.status().ToString();
+}
+
+// Exact-arity and unbounded-arity TVFs render their own phrasings.
+TEST(UdfRegistryTest, TvfArityPhrasingExactAndUnbounded) {
+  udf::TableFunction exact = MakeThresholdTvf();
+  exact.min_args = 1;
+  exact.max_args = 1;
+  Status s = udf::CheckTvfArity(exact, 0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("expects 1 argument(s), got 0"),
+            std::string::npos)
+      << s.ToString();
+
+  udf::TableFunction unbounded = MakeThresholdTvf();
+  unbounded.min_args = 2;
+  unbounded.max_args = -1;
+  s = udf::CheckTvfArity(unbounded, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("at least 2"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find(", ...)"), std::string::npos) << s.ToString();
+  EXPECT_TRUE(udf::CheckTvfArity(unbounded, 5).ok());
+}
+
 TEST(UdfInQueryTest, ScalarUdfInProjectionAndFilter) {
   Session session;
   ASSERT_TRUE(session.functions().RegisterScalar(MakeDoubler()).ok());
