@@ -5,7 +5,7 @@
 // embeddings of the attachment corpus — first at the raw IvfIndex API,
 // then end to end through the SQL serving path (Session +
 // CreateVectorIndex + `ORDER BY dot(emb, ?) DESC LIMIT k` with
-// RunOptions::num_probes sweeping the budget).
+// RunOptions::vector_search.num_probes sweeping the budget).
 
 #include <cstdio>
 #include <set>
@@ -141,7 +141,7 @@ int main() {
     for (size_t q = 0; q < queries.size(); ++q) {
       tdp::exec::RunOptions run;
       run.params = {tdp::exec::ScalarValue::FromTensor(queries[q])};
-      run.num_probes = probes;
+      run.vector_search.num_probes = probes;
       auto result = (*index_q)->Run(run);
       TDP_CHECK(result.ok()) << result.status().ToString();
       for (int64_t i = 0; i < (*result)->num_rows(); ++i) {
@@ -160,6 +160,6 @@ int main() {
   std::printf(
       "\nfull-probe IndexTopK is bit-identical to the brute plan "
       "(differential suite);\nthe sweep above shows the per-run "
-      "RunOptions::num_probes recall/latency dial.\n");
+      "RunOptions::vector_search.num_probes recall/latency dial.\n");
   return 0;
 }

@@ -376,7 +376,7 @@ void BM_SqlTopKIndex(benchmark::State& state) {
   for (auto _ : state) {
     exec::RunOptions run;
     run.params = {ScalarValue::FromTensor(qvec)};
-    run.num_probes = probes;
+    run.vector_search.num_probes = probes;
     auto result = (*query)->Run(run);
     TDP_CHECK(result.ok()) << result.status().ToString();
     rows += (*result)->num_rows();

@@ -156,10 +156,16 @@ Status CompiledQuery::ValidateParams(
 // currently valid (a latent bad value must not start failing only after
 // an unrelated CREATE/DROP INDEX changes the plan shape).
 static Status ValidateRunOptions(const RunOptions& options) {
-  if (options.num_probes < 0) {
+  if (options.vector_search.num_probes < 0) {
     return Status::InvalidArgument(
-        "RunOptions::num_probes must be non-negative, got " +
-        std::to_string(options.num_probes));
+        "RunOptions::vector_search.num_probes must be non-negative, got " +
+        std::to_string(options.vector_search.num_probes));
+  }
+  if (options.vector_search.max_widening_rounds < 0) {
+    return Status::InvalidArgument(
+        "RunOptions::vector_search.max_widening_rounds must be "
+        "non-negative, got " +
+        std::to_string(options.vector_search.max_widening_rounds));
   }
   if (options.model_batch_rows < 0) {
     return Status::InvalidArgument(
@@ -184,7 +190,7 @@ ExecContext CompiledQuery::MakeContext(const RunOptions& options,
   ctx.soft_mode = trainable_ && options.training_mode.value_or(true);
   ctx.params = options.params.empty() ? nullptr : &options.params;
   ctx.exec = options.exec;
-  ctx.index_probes = options.num_probes;
+  ctx.vector_search = options.vector_search;
   ctx.cancel = cancel;
   ctx.morsel_fault =
       options.inject_morsel_fault ? &options.inject_morsel_fault : nullptr;

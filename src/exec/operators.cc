@@ -770,22 +770,72 @@ StatusOr<Chunk> ProjectIndexTopK(const plan::IndexTopKNode& node,
   return out;
 }
 
-// The exact plan shape IndexTopK replaced — Project over the full input,
-// stable descending sort on the sim column, first k rows — used whenever
-// the index cannot serve this run (re-registered table, row-count drift,
-// or a degenerate zero-row selection where per-subset projection of
-// constants would diverge from whole-relation semantics).
-StatusOr<Chunk> IndexTopKExact(const plan::IndexTopKNode& node,
+// Top-k permutation over `n` rows ranked by the node's sort keys — the
+// similarity DESC first, then the absorbed `extra_keys` tie-breaks —
+// composed as stable argsorts applied last-key-first, mirroring
+// ExecuteSort exactly so candidate-subset ranking reproduces the exact
+// plan's order (ties included) bit for bit. `key_values(ordinal)` yields
+// the decoded 1-d values of `exprs[ordinal]` over those n rows.
+StatusOr<Tensor> TopKPerm(
+    const plan::IndexTopKNode& node, int64_t n, Device device,
+    const std::function<StatusOr<Tensor>(int64_t)>& key_values) {
+  std::vector<std::pair<int64_t, bool>> keys;  // (ordinal, descending)
+  keys.emplace_back(node.sim_ordinal, true);
+  for (const auto& extra : node.extra_keys) {
+    keys.emplace_back(extra.ordinal, extra.descending);
+  }
+  Tensor perm = Tensor::Arange(n, DType::kInt64, device);
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    TDP_ASSIGN_OR_RETURN(Tensor values, key_values(it->first));
+    if (values.dim() != 1) {
+      return Status::TypeError("similarity key must be a scalar column");
+    }
+    const Tensor gathered = IndexSelect(values.Detach(), 0, perm);
+    const Tensor order = ArgSort(gathered, it->second);
+    perm = IndexSelect(perm, 0, order);
+  }
+  const int64_t out_k = std::min<int64_t>(node.k, n);
+  return Slice(perm, 0, 0, out_k).Contiguous();
+}
+
+// The k = 0 / zero-survivor result: the projection evaluated over the
+// UNfiltered input, then a zero-row Select — projecting first keeps
+// mixed literal/column chunks consistent where per-subset projection of
+// constants over an empty chunk would diverge.
+StatusOr<Chunk> EmptyIndexTopK(const plan::IndexTopKNode& node,
                                const Chunk& input, const ExecContext& ctx) {
   TDP_ASSIGN_OR_RETURN(Chunk projected, ProjectIndexTopK(node, input, ctx));
-  const Tensor keys =
-      projected.columns[static_cast<size_t>(node.sim_ordinal)].DecodeValues();
-  if (keys.dim() != 1) {
-    return Status::TypeError("similarity key must be a scalar column");
+  return projected.Select(Tensor::Empty({0}, DType::kInt64, ctx.device));
+}
+
+// The exact plan shape IndexTopK replaced — Filter (when a predicate was
+// absorbed), Project, stable multi-key top-k sort — used for the brute
+// strategy and whenever the index cannot serve this run (re-registered
+// table, row-count drift, or a degenerate zero-row candidate set).
+StatusOr<Chunk> IndexTopKExact(const plan::IndexTopKNode& node,
+                               const Chunk& input, const ExecContext& ctx) {
+  const Chunk* base = &input;
+  Chunk filtered;
+  if (node.predicate != nullptr) {
+    TDP_ASSIGN_OR_RETURN(
+        Tensor mask,
+        EvaluatePredicate(*node.predicate, input, EvalOpts(ctx)));
+    if (mask.numel() != input.num_rows()) {
+      return Status::ExecutionError("predicate mask length mismatch");
+    }
+    const Tensor survivors = NonZero(mask);
+    if (survivors.numel() == 0) return EmptyIndexTopK(node, input, ctx);
+    filtered = input.Select(survivors);
+    base = &filtered;
   }
-  Tensor perm = ArgSort(keys, /*descending=*/true);
-  const int64_t out_k = std::min<int64_t>(node.k, keys.numel());
-  perm = Slice(perm, 0, 0, out_k).Contiguous();
+  TDP_ASSIGN_OR_RETURN(Chunk projected, ProjectIndexTopK(node, *base, ctx));
+  TDP_ASSIGN_OR_RETURN(
+      Tensor perm,
+      TopKPerm(node, projected.num_rows(), ctx.device,
+               [&projected](int64_t ordinal) -> StatusOr<Tensor> {
+                 return projected.columns[static_cast<size_t>(ordinal)]
+                     .DecodeValues();
+               }));
   return projected.Select(perm);
 }
 
@@ -818,6 +868,19 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
   }
   const Table& table = *entry->table;
 
+  // Filtered-search strategy: the per-run override beats the compiled
+  // cost-rule choice; for an unfiltered node only a forced kBrute changes
+  // anything (pre- and post-filter coincide with the plain probe when
+  // there is no predicate). Brute bypasses the index entirely.
+  const VectorSearchStrategy strategy =
+      ctx.vector_search.strategy != VectorSearchStrategy::kAuto
+          ? ctx.vector_search.strategy
+          : (node.predicate != nullptr ? node.strategy
+                                       : VectorSearchStrategy::kPostFilter);
+  if (strategy == VectorSearchStrategy::kBrute) {
+    return IndexTopKExact(node, input, ctx);
+  }
+
   const auto& sim = static_cast<const exec::BoundVectorSim&>(
       *node.exprs[static_cast<size_t>(node.sim_ordinal)]);
   TDP_ASSIGN_OR_RETURN(EvalResult query,
@@ -839,62 +902,142 @@ StatusOr<Chunk> ExecuteIndexTopK(const plan::IndexTopKNode& node,
       sim.sim_kind == exec::BoundVectorSim::SimKind::kDot ||
       entry->index->rows_unit_norm();
   const int64_t probes =
-      (ctx.index_probes == 0 || !trust_partial_probe)
+      (ctx.vector_search.num_probes == 0 || !trust_partial_probe)
           ? num_lists
-          : std::min(ctx.index_probes, num_lists);
-  // The probe budget is a floor: cells are probed past it until k
-  // candidate rows exist, so a LIMIT k never shrinks below min(k, n)
-  // just because the best cell is small — recall absorbs the
-  // approximation, row count never does. Probed ids are PHYSICAL; the
-  // deleted ones are dropped and the survivors mapped to live positions
-  // (MapPhysicalToLive preserves ascending order). A delete-heavy cell
-  // can leave fewer than k live candidates even though the probe floor
-  // was met, so the budget doubles until k live rows exist or every cell
-  // was visited — deletes, like small cells, cost scan fraction, never
-  // result rows.
+          : std::min(ctx.vector_search.num_probes, num_lists);
+
+  // Candidate generation, by strategy. Candidates are LIVE row ids in
+  // ascending order; for a filtered node every candidate already
+  // satisfies the predicate by the time ranking starts.
   std::vector<int64_t> candidates;
-  for (int64_t budget = probes;;) {
+  if (node.predicate == nullptr) {
+    // The probe budget is a floor: cells are probed past it until k
+    // candidate rows exist, so a LIMIT k never shrinks below min(k, n)
+    // just because the best cell is small — recall absorbs the
+    // approximation, row count never does. Probed ids are PHYSICAL; the
+    // deleted ones are dropped and the survivors mapped to live positions
+    // (MapPhysicalToLive preserves ascending order). A delete-heavy cell
+    // can leave fewer than k live candidates even though the probe floor
+    // was met, so the budget doubles until k live rows exist or every
+    // cell was visited — deletes, like small cells, cost scan fraction,
+    // never result rows.
+    for (int64_t budget = probes;;) {
+      TDP_ASSIGN_OR_RETURN(
+          std::vector<int64_t> physical,
+          entry->index->ProbeCandidates(query.scalar.tensor_value(), budget,
+                                        /*min_candidates=*/node.k));
+      candidates = table.MapPhysicalToLive(physical);
+      if (static_cast<int64_t>(candidates.size()) >= node.k ||
+          budget >= num_lists) {
+        break;
+      }
+      budget = std::min(budget * 2, num_lists);
+    }
+    if (candidates.empty()) {
+      return IndexTopKExact(node, input, ctx);
+    }
+  } else if (strategy == VectorSearchStrategy::kPreFilter) {
+    // Pre-filter: evaluate the predicate over the live view once, push
+    // the surviving rows into the probe as a physical-id selection
+    // bitmap. Only selected rows are collected (so every candidate is a
+    // survivor — no re-check, no widening loop), fully-pruned cells
+    // don't consume probe budget, and the min_candidates floor counts
+    // SURVIVORS — the filtered row-count guarantee in one pass. Deleted
+    // rows are never selected (the live mask can't reach them), keeping
+    // the bitmap consistent with the physical-id index.
+    TDP_ASSIGN_OR_RETURN(
+        Tensor mask,
+        EvaluatePredicate(*node.predicate, input, EvalOpts(ctx)));
+    if (mask.numel() != input.num_rows()) {
+      return Status::ExecutionError("predicate mask length mismatch");
+    }
+    const std::vector<int64_t> live_survivors =
+        NonZero(mask).ToVector<int64_t>();
+    if (live_survivors.empty()) return EmptyIndexTopK(node, input, ctx);
+    const std::vector<int64_t> physical_survivors =
+        table.MapLiveToPhysical(live_survivors);
+    std::vector<uint8_t> selection(
+        static_cast<size_t>(table.num_physical_rows()), 0);
+    for (int64_t p : physical_survivors) {
+      selection[static_cast<size_t>(p)] = 1;
+    }
     TDP_ASSIGN_OR_RETURN(
         std::vector<int64_t> physical,
-        entry->index->ProbeCandidates(query.scalar.tensor_value(), budget,
-                                      /*min_candidates=*/node.k));
+        entry->index->ProbeCandidates(query.scalar.tensor_value(), probes,
+                                      /*min_candidates=*/node.k,
+                                      &selection));
     candidates = table.MapPhysicalToLive(physical);
-    if (static_cast<int64_t>(candidates.size()) >= node.k ||
-        budget >= num_lists) {
-      break;
+  } else {
+    // Post-filter: probe first, apply the predicate to the candidates,
+    // and widen the budget while fewer than k rows survive — doubling
+    // up to `max_widening_rounds` times, then jumping straight to a full
+    // probe. The last round always probes every cell, so the result can
+    // never hold fewer than min(k, true survivors) rows no matter how
+    // adversarially the survivors cluster — the widening pace bounds
+    // wasted re-probing, not the row-count guarantee.
+    int64_t rounds = 0;
+    for (int64_t budget = probes;;) {
+      TDP_ASSIGN_OR_RETURN(
+          std::vector<int64_t> physical,
+          entry->index->ProbeCandidates(query.scalar.tensor_value(), budget,
+                                        /*min_candidates=*/node.k));
+      const std::vector<int64_t> live = table.MapPhysicalToLive(physical);
+      std::vector<int64_t> survivors;
+      if (!live.empty()) {
+        const bool probe_all_rows =
+            static_cast<int64_t>(live.size()) == input.num_rows();
+        const Tensor live_ids = Tensor::FromVector(live, {}, ctx.device);
+        const Chunk probe_rows =
+            probe_all_rows ? input : input.Select(live_ids);
+        TDP_ASSIGN_OR_RETURN(
+            Tensor mask,
+            EvaluatePredicate(*node.predicate, probe_rows, EvalOpts(ctx)));
+        if (mask.numel() != probe_rows.num_rows()) {
+          return Status::ExecutionError("predicate mask length mismatch");
+        }
+        for (int64_t i : NonZero(mask).ToVector<int64_t>()) {
+          survivors.push_back(live[static_cast<size_t>(i)]);
+        }
+      }
+      if (static_cast<int64_t>(survivors.size()) >= node.k ||
+          budget >= num_lists) {
+        candidates = std::move(survivors);
+        break;
+      }
+      ++rounds;
+      budget = rounds > ctx.vector_search.max_widening_rounds
+                   ? num_lists
+                   : std::min(budget * 2, num_lists);
     }
-    budget = std::min(budget * 2, num_lists);
-  }
-  if (candidates.empty()) {
-    return IndexTopKExact(node, input, ctx);
+    if (candidates.empty()) return EmptyIndexTopK(node, input, ctx);
   }
 
-  // Candidates arrive in ascending row order; scoring them with the
-  // plan's own similarity expression and stable-sorting descending
-  // reproduces the exact plan's ranking over the candidate subset — with
-  // full probes (every cell) the subset IS the relation, making the
-  // result bit-identical to Sort+Limit, tie-breaks included. In that
-  // all-rows case the gather is skipped (candidate ids are exactly
-  // [0, n) ascending, so `input` IS the candidate chunk): the default
-  // probe budget must not pay a full-table copy the brute plan never
-  // pays. Scores are row-local, so skipping the identity gather cannot
-  // change a byte.
+  // Candidates arrive in ascending row order; ranking them with the
+  // plan's own sort keys (sim DESC, then tie-breaks) under TopKPerm's
+  // stable composition reproduces the exact plan's ranking over the
+  // candidate subset — with full probes the subset IS the (surviving)
+  // relation, making the result bit-identical to the exact plan,
+  // tie-breaks included. In the all-rows case the gather is skipped
+  // (candidate ids are exactly [0, n) ascending, so `input` IS the
+  // candidate chunk): the default probe budget must not pay a full-table
+  // copy the brute plan never pays. Key expressions are row-local, so
+  // skipping the identity gather cannot change a byte.
   const bool all_rows =
       static_cast<int64_t>(candidates.size()) == input.num_rows();
   const Tensor cand_ids = Tensor::FromVector(candidates, {}, ctx.device);
   const Chunk cand_rows = all_rows ? input : input.Select(cand_ids);
   TDP_ASSIGN_OR_RETURN(
-      Column sim_col,
-      EvaluateExprToColumn(*node.exprs[static_cast<size_t>(node.sim_ordinal)],
-                           cand_rows, EvalOpts(ctx)));
-  const Tensor scores = sim_col.DecodeValues();
-  if (scores.dim() != 1) {
-    return Status::TypeError("similarity key must be a scalar column");
-  }
-  const Tensor order = ArgSort(scores, /*descending=*/true);
-  const int64_t out_k = std::min<int64_t>(node.k, scores.numel());
-  const Tensor top = Slice(order, 0, 0, out_k).Contiguous();
-  const Tensor row_ids = IndexSelect(cand_ids, 0, top);
+      Tensor perm,
+      TopKPerm(node, cand_rows.num_rows(), ctx.device,
+               [&](int64_t ordinal) -> StatusOr<Tensor> {
+                 TDP_ASSIGN_OR_RETURN(
+                     Column col,
+                     EvaluateExprToColumn(
+                         *node.exprs[static_cast<size_t>(ordinal)],
+                         cand_rows, EvalOpts(ctx)));
+                 return col.DecodeValues();
+               }));
+  const Tensor row_ids = IndexSelect(cand_ids, 0, perm);
   return ProjectIndexTopK(node, input.Select(row_ids), ctx);
 }
 

@@ -49,9 +49,10 @@ struct ExecContext {
   /// (trainable) runs always take the legacy path: the autograd graph must
   /// span the whole relation, not per-morsel slices.
   ExecOptions exec;
-  /// IVF probe budget for IndexTopK operators (`RunOptions::num_probes`):
-  /// 0 probes every cell (exact), smaller values trade recall for scan.
-  int64_t index_probes = 0;
+  /// Vector-search knobs for IndexTopK / FilteredIndexTopK operators
+  /// (`RunOptions::vector_search`): probe budget (0 probes every cell —
+  /// exact), strategy override, post-filter widening pace.
+  VectorSearchOptions vector_search;
   /// Cooperative cancellation: when set, workers poll it at morsel
   /// boundaries (and the legacy executor at node boundaries) and abandon
   /// the run with `kCancelled`. Null when the run is not cancellable.

@@ -10,6 +10,7 @@
 
 #include "src/common/status.h"
 #include "src/exec/value.h"
+#include "src/exec/vector_search.h"
 
 namespace tdp {
 namespace exec {
@@ -80,22 +81,15 @@ struct RunOptions {
   /// paper). Ignored for non-trainable queries.
   std::optional<bool> training_mode;
 
-  /// Probe budget for IndexTopK (index-accelerated `ORDER BY similarity
-  /// LIMIT k`) operators in this run: how many IVF cells each index search
-  /// visits. 0 (the default) probes every cell — results are then
-  /// bit-identical to the exact Sort+Limit plan; smaller values trade
-  /// recall for a proportionally smaller scan (the probe/recall ablation
-  /// is `bench/ablation_topk_index`). Values above the index's list count
-  /// clamp; negative values fail the run with InvalidArgument. The budget
-  /// is a FLOOR: when the probed cells hold fewer than k rows, further
-  /// cells are probed until k candidates exist, so a low budget degrades
-  /// recall but never the result's row count. `cosine_sim` queries honor
-  /// a partial budget only when the indexed rows are L2-normalized (the
-  /// cell probe orders by raw inner product); otherwise every cell is
-  /// probed — exact results, no scan saving. Like the executor/morsel
-  /// knobs this is per-run state, NOT part of the plan-cache key: clients
-  /// sweeping probe counts share one cached plan.
-  int64_t num_probes = 0;
+  /// Vector-search knobs for IndexTopK / FilteredIndexTopK
+  /// (index-accelerated `ORDER BY similarity LIMIT k`, optionally under a
+  /// WHERE predicate) operators in this run: the probe budget, a strategy
+  /// override for filtered searches, and the post-filter widening pace.
+  /// See `VectorSearchOptions` for per-field semantics (the probe/recall
+  /// ablation is `bench/ablation_topk_index`; the strategy sweep is
+  /// `bench/filtered_topk`).
+  using VectorSearch = VectorSearchOptions;
+  VectorSearch vector_search;
 
   /// Optional cooperative-cancellation token. Workers poll it at morsel
   /// boundaries; a cancelled run fails with `StatusCode::kCancelled`.

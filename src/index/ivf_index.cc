@@ -132,14 +132,16 @@ StatusOr<Tensor> IvfIndex::PrepareQuery(const Tensor& query) const {
                  {data_.size(1), 1});
 }
 
-std::vector<int64_t> IvfIndex::ProbePrepared(const Tensor& q,
-                                             int64_t num_probes,
-                                             int64_t min_candidates) const {
+std::vector<int64_t> IvfIndex::ProbePrepared(
+    const Tensor& q, int64_t num_probes, int64_t min_candidates,
+    const std::vector<uint8_t>* selection) const {
   // Rank cells by centroid score; visit the top `num_probes` non-empty
   // ones (empty cells left over from k-means are skipped, never counted
   // against the probe budget), then keep probing — best cell first —
   // while fewer than `min_candidates` rows were collected: the budget
-  // dials recall, never the result's row count.
+  // dials recall, never the result's row count. A selection bitmap
+  // narrows "member" to "selected member": a cell whose members are all
+  // pruned is as useless as an empty one, so it costs no budget either.
   const Tensor cell_scores = Squeeze(MatMul(centroids_, q), 1);
   const Tensor cell_order = ArgSort(cell_scores, /*descending=*/true);
   std::vector<int64_t> candidates;
@@ -151,8 +153,15 @@ std::vector<int64_t> IvfIndex::ProbePrepared(const Tensor& q,
     }
     const int64_t cell = static_cast<int64_t>(cell_order.At({p}));
     const auto& members = lists_[static_cast<size_t>(cell)];
-    if (members.empty()) continue;
-    candidates.insert(candidates.end(), members.begin(), members.end());
+    const size_t before = candidates.size();
+    if (selection == nullptr) {
+      candidates.insert(candidates.end(), members.begin(), members.end());
+    } else {
+      for (int64_t id : members) {
+        if ((*selection)[static_cast<size_t>(id)]) candidates.push_back(id);
+      }
+    }
+    if (candidates.size() == before) continue;  // empty / fully pruned
     ++probed;
   }
   std::sort(candidates.begin(), candidates.end());
@@ -160,14 +169,21 @@ std::vector<int64_t> IvfIndex::ProbePrepared(const Tensor& q,
 }
 
 StatusOr<std::vector<int64_t>> IvfIndex::ProbeCandidates(
-    const Tensor& query, int64_t num_probes, int64_t min_candidates) const {
+    const Tensor& query, int64_t num_probes, int64_t min_candidates,
+    const std::vector<uint8_t>* selection) const {
   if (num_probes <= 0) {
     return Status::InvalidArgument("num_probes must be positive, got " +
                                    std::to_string(num_probes));
   }
+  if (selection != nullptr &&
+      static_cast<int64_t>(selection->size()) != num_rows()) {
+    return Status::InvalidArgument(
+        "selection bitmap has " + std::to_string(selection->size()) +
+        " entries, index has " + std::to_string(num_rows()) + " rows");
+  }
   TDP_ASSIGN_OR_RETURN(Tensor q, PrepareQuery(query));
-  return ProbePrepared(q, std::min(num_probes, num_lists()),
-                       min_candidates);
+  return ProbePrepared(q, std::min(num_probes, num_lists()), min_candidates,
+                       selection);
 }
 
 StatusOr<IvfIndex::SearchResult> IvfIndex::Search(const Tensor& query,

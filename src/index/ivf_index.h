@@ -1,6 +1,7 @@
 #ifndef TDP_INDEX_IVF_INDEX_H_
 #define TDP_INDEX_IVF_INDEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -68,9 +69,18 @@ class IvfIndex {
   /// this is exactly [0, num_rows) — the caller's exact re-rank then
   /// degenerates to brute force, which is what makes full-probe index
   /// plans bit-identical to the Sort+Limit plan.
+  ///
+  /// `selection` (optional; one byte per index row, non-zero = selected)
+  /// restricts the probe to a pre-filtered row set: only selected members
+  /// are collected, cells with NO selected member are skipped without
+  /// consuming probe budget (like empty cells), and the `min_candidates`
+  /// floor counts selected rows only — so a filtered top-k keeps its
+  /// survivor floor no matter how the survivors cluster. With full probes
+  /// the result is exactly the ascending selected row ids. This is the
+  /// pre-filter strategy's probe (see exec::VectorSearchStrategy).
   StatusOr<std::vector<int64_t>> ProbeCandidates(
-      const Tensor& query, int64_t num_probes,
-      int64_t min_candidates = 0) const;
+      const Tensor& query, int64_t num_probes, int64_t min_candidates = 0,
+      const std::vector<uint8_t>* selection = nullptr) const;
 
   int64_t num_lists() const { return centroids_.size(0); }
   int64_t num_rows() const { return data_.size(0); }
@@ -94,9 +104,11 @@ class IvfIndex {
   StatusOr<Tensor> PrepareQuery(const Tensor& query) const;
 
   /// ProbeCandidates over an already-prepared query (no re-validation or
-  /// re-conversion; `num_probes` must be in [1, num_lists]).
-  std::vector<int64_t> ProbePrepared(const Tensor& q, int64_t num_probes,
-                                     int64_t min_candidates) const;
+  /// re-conversion; `num_probes` must be in [1, num_lists]; `selection`
+  /// null or sized num_rows()).
+  std::vector<int64_t> ProbePrepared(
+      const Tensor& q, int64_t num_probes, int64_t min_candidates,
+      const std::vector<uint8_t>* selection = nullptr) const;
 
   Tensor data_;       // [n, d] snapshot
   Tensor centroids_;  // [lists, d]

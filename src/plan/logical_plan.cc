@@ -131,10 +131,21 @@ std::string LimitNode::Describe() const {
 std::string DistinctNode::Describe() const { return "Distinct"; }
 
 std::string IndexTopKNode::Describe() const {
-  return "IndexTopK(" + table_name + "." + column_name +
-         ", k=" + std::to_string(k) +
-         ", sim=" + exprs[static_cast<size_t>(sim_ordinal)]->display_name +
-         ")";
+  // Filtered searches render their cost-rule strategy (and predicate) so
+  // EXPLAIN shows which of pre_filter/post_filter/brute the plan chose;
+  // the unfiltered rendering is unchanged from PR 5.
+  std::string out =
+      predicate ? "FilteredIndexTopK(strategy=" +
+                      std::string(exec::VectorSearchStrategyName(strategy)) +
+                      ", "
+                : "IndexTopK(";
+  out += table_name + "." + column_name + ", k=" + std::to_string(k) +
+         ", sim=" + exprs[static_cast<size_t>(sim_ordinal)]->display_name;
+  if (predicate) out += ", where=" + predicate->display_name;
+  if (!extra_keys.empty()) {
+    out += ", tiebreak=" + std::to_string(extra_keys.size());
+  }
+  return out + ")";
 }
 
 std::string ModelEvalNode::Describe() const {
@@ -192,11 +203,12 @@ void ForEachExpr(const LogicalNode& node,
         fn(*item.expr);
       }
       return;
-    case NodeKind::kIndexTopK:
-      for (const auto& e : static_cast<const IndexTopKNode&>(node).exprs) {
-        fn(*e);
-      }
+    case NodeKind::kIndexTopK: {
+      const auto& topk = static_cast<const IndexTopKNode&>(node);
+      for (const auto& e : topk.exprs) fn(*e);
+      if (topk.predicate) fn(*topk.predicate);
       return;
+    }
     case NodeKind::kInsert:
       for (const auto& row : static_cast<const InsertNode&>(node).rows) {
         for (const auto& e : row) fn(*e);

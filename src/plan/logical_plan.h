@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/exec/bound_expr.h"
+#include "src/exec/vector_search.h"
 #include "src/storage/table.h"
 #include "src/udf/registry.h"
 
@@ -160,18 +161,22 @@ struct DistinctNode : LogicalNode {
 };
 
 /// Index-accelerated top-k similarity search: replaces a
-/// `Sort(sim DESC, fused k) <- Project(..., sim, ...) <- Scan(t)` subtree
-/// when the catalog holds a vector index on the scanned embedding column
-/// (see `plan::Optimize` rule 5). The absorbed projection lives in
-/// `exprs`; `exprs[sim_ordinal]` is the similarity expression the Sort
-/// keyed on. Execution probes the index for candidate rows, re-ranks them
-/// EXACTLY with `exprs[sim_ordinal]` (row-local, so candidate-subset
-/// scores match full-relation scores bit for bit), and projects the
-/// winners — at full probe count the candidate set is every row and the
-/// result is bit-identical to the Sort+Limit plan it replaced. When the
-/// run's catalog snapshot no longer holds a valid index (the table was
-/// re-registered after compilation), the operator falls back to that
-/// exact plan shape instead of failing.
+/// `Sort(sim DESC, fused k) <- Project(..., sim, ...) <- [Filter* <-]
+/// Scan(t)` subtree when the catalog holds a vector index on the scanned
+/// embedding column (see `plan::Optimize` rule 5). The absorbed projection
+/// lives in `exprs`; `exprs[sim_ordinal]` is the similarity expression the
+/// Sort keyed on; absorbed WHERE conjuncts (bound against the scan frame,
+/// like `exprs`) live in `predicate` (null when unfiltered). Execution
+/// probes the index for candidate rows — under the compile-chosen (or
+/// per-run forced) `strategy` when a predicate is present — re-ranks them
+/// EXACTLY with `exprs[sim_ordinal]` plus any `extra_keys` (row-local, so
+/// candidate-subset scores match full-relation scores bit for bit), and
+/// projects the winners. At full probe count the candidate set is every
+/// (surviving) row and the result is bit-identical to the exact
+/// Filter+Sort+Limit plan it replaced. When the run's catalog snapshot no
+/// longer holds a valid index (the table was re-registered after
+/// compilation), the operator falls back to that exact plan shape instead
+/// of failing.
 struct IndexTopKNode : LogicalNode {
   IndexTopKNode() : LogicalNode(NodeKind::kIndexTopK) {}
   std::string table_name;          // scanned table (index lookup key)
@@ -179,6 +184,21 @@ struct IndexTopKNode : LogicalNode {
   int64_t k = 0;                   // rows to emit (the sort's fused limit)
   int64_t sim_ordinal = 0;         // index of the sim expr in `exprs`
   std::vector<exec::BoundExprPtr> exprs;  // absorbed projection
+  /// Absorbed WHERE predicate over the scan frame; null = unfiltered.
+  exec::BoundExprPtr predicate;
+  /// Cost-rule strategy choice for a filtered search (never kAuto on a
+  /// compiled plan; meaningless when `predicate` is null). A run may
+  /// override it via `RunOptions::vector_search.strategy`.
+  exec::VectorSearchStrategy strategy =
+      exec::VectorSearchStrategy::kPostFilter;
+  /// Secondary sort keys after the similarity (a multi-key
+  /// `ORDER BY sim DESC, tiebreak, ...`): ordinal into `exprs` plus
+  /// direction. The sim expression stays the primary key.
+  struct ExtraKey {
+    int64_t ordinal = 0;
+    bool descending = false;
+  };
+  std::vector<ExtraKey> extra_keys;
   std::string Describe() const override;
 };
 

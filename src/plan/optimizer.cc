@@ -295,11 +295,95 @@ LogicalNodePtr PruneScanColumns(LogicalNodePtr node) {
   return node;
 }
 
+// ---- Predicate selectivity heuristics ---------------------------------------
+//
+// System-R-style magic constants over a bound predicate tree — the engine
+// keeps no table statistics, so the estimate is shape-driven: equality
+// keeps 1/10 of the rows (or 1/|dictionary| when the compared column's
+// dictionary cardinality is known), ranges keep 3/10, inequality keeps
+// 9/10, conjunctions multiply, disjunctions add minus the overlap, NOT
+// complements. Everything else (UDFs, parameters, bare booleans) is an
+// agnostic 1/2. Feeds both `EstimateSubtreeRows` (join build-side choice)
+// and the FilteredIndexTopK strategy cost rule.
+
+// Dictionary cardinality of the column `e` references, or 0 when `e` is
+// not a dictionary column ref / no table context is available. `schema`
+// is the frame `e` is bound against (a scan output), `table` the scanned
+// table resolved from the catalog; either may be null.
+int64_t DictionaryCardinality(const BoundExpr& e, const Schema* schema,
+                              const Table* table) {
+  if (e.kind != exec::BoundExprKind::kColumnRef || schema == nullptr ||
+      table == nullptr) {
+    return 0;
+  }
+  const int64_t i = static_cast<const BoundColumnRef&>(e).column_index;
+  if (i < 0 || i >= static_cast<int64_t>(schema->size()) ||
+      (*schema)[static_cast<size_t>(i)].encoding != Encoding::kDictionary) {
+    return 0;
+  }
+  auto col = table->ColumnIndex((*schema)[static_cast<size_t>(i)].name);
+  if (!col.ok()) return 0;
+  return static_cast<int64_t>(table->column(*col).dictionary().size());
+}
+
+double EstimateSelectivity(const BoundExpr& e, const Schema* schema,
+                           const Table* table) {
+  switch (e.kind) {
+    case exec::BoundExprKind::kBinary: {
+      const auto& b = static_cast<const BoundBinary&>(e);
+      const auto left = [&] {
+        return EstimateSelectivity(*b.left, schema, table);
+      };
+      const auto right = [&] {
+        return EstimateSelectivity(*b.right, schema, table);
+      };
+      switch (b.op) {
+        case sql::BinaryOp::kAnd:
+          return left() * right();
+        case sql::BinaryOp::kOr: {
+          const double l = left();
+          const double r = right();
+          return l + r - l * r;
+        }
+        case sql::BinaryOp::kEq: {
+          // `dict_col = constant` keeps 1/|dictionary| of the rows under a
+          // uniformity assumption; without a known domain fall back to the
+          // classic 1/10.
+          const int64_t cardinality =
+              std::max(DictionaryCardinality(*b.left, schema, table),
+                       DictionaryCardinality(*b.right, schema, table));
+          return cardinality > 0 ? 1.0 / static_cast<double>(cardinality)
+                                 : 0.1;
+        }
+        case sql::BinaryOp::kNe:
+          return 0.9;
+        case sql::BinaryOp::kLt:
+        case sql::BinaryOp::kLe:
+        case sql::BinaryOp::kGt:
+        case sql::BinaryOp::kGe:
+          return 0.3;
+        default:
+          return 0.5;  // arithmetic in boolean position: no idea
+      }
+    }
+    case exec::BoundExprKind::kUnary: {
+      const auto& u = static_cast<const BoundUnary&>(e);
+      if (u.op == sql::UnaryOp::kNot) {
+        return 1.0 - EstimateSelectivity(*u.operand, schema, table);
+      }
+      return 0.5;
+    }
+    default:
+      return 0.5;
+  }
+}
+
 // ---- Join build-side choice -------------------------------------------------
 
-// Upper-bound cardinality estimate of a subtree: the row count of the
-// base table it scans (filters/limits only shrink it); -1 when unknown
-// (TVFs, joins, aggregates change cardinality unpredictably).
+// Expected-cardinality estimate of a subtree: the row count of the base
+// table it scans, discounted by filter selectivities and capped by
+// limits; -1 when unknown (TVFs, joins, aggregates change cardinality
+// unpredictably).
 int64_t EstimateSubtreeRows(const LogicalNode& node, const Catalog& catalog) {
   switch (node.kind) {
     case NodeKind::kScan: {
@@ -307,7 +391,26 @@ int64_t EstimateSubtreeRows(const LogicalNode& node, const Catalog& catalog) {
           catalog.GetTable(static_cast<const ScanNode&>(node).table_name);
       return table.ok() ? (*table)->num_rows() : -1;
     }
-    case NodeKind::kFilter:
+    case NodeKind::kFilter: {
+      if (node.children.empty()) return -1;
+      const int64_t child = EstimateSubtreeRows(*node.children[0], catalog);
+      if (child < 0) return child;
+      // Dictionary-cardinality context when the filter sits on a scan
+      // (the common post-pushdown shape); shape heuristics otherwise.
+      const Schema* schema = nullptr;
+      std::shared_ptr<Table> table;
+      if (node.children[0]->kind == NodeKind::kScan) {
+        schema = &node.children[0]->schema;
+        auto resolved = catalog.GetTable(
+            static_cast<const ScanNode&>(*node.children[0]).table_name);
+        if (resolved.ok()) table = *resolved;
+      }
+      const double s = EstimateSelectivity(
+          *static_cast<const FilterNode&>(node).predicate, schema,
+          table.get());
+      return std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(child) * s));
+    }
     case NodeKind::kProject:
     case NodeKind::kSort:
     case NodeKind::kDistinct:
@@ -347,26 +450,33 @@ void ChooseJoinBuildSides(LogicalNode& node, const Catalog& catalog) {
 
 // ---- Rule 5: index-accelerated top-k similarity -----------------------------
 //
-// Rewrites `Sort(sim DESC, fused_limit=k) <- Project(..., sim, ...) <-
-// Scan(t)` into an IndexTopKNode when the catalog holds a (still-valid)
-// vector index on the similarity's embedding column. Preconditions, each
-// of which keeps the rewrite semantics-preserving:
-//   - the Sort has exactly one key, descending, with a fused LIMIT — a
-//     full sort (no LIMIT) or an ascending/multi-key order is not a top-k
-//     search;
-//   - the key is a column ref into the Project, and that projected
-//     expression is dot()/cosine_sim() over a Scan column with a constant
-//     (column-free) query — the index can only prune by a per-row score
-//     against one fixed vector;
-//   - the Project sits DIRECTLY on the Scan (no Filter: a predicate could
-//     eliminate candidate rows the index pruned in, and keep rows it
-//     pruned out);
-//   - no project expression calls a scalar UDF — UDF bodies are
-//     whole-batch programs, and IndexTopK evaluates the projection over
-//     the k winners only.
+// Rewrites `Sort(sim DESC [, tiebreaks], fused_limit=k) <- Project(...,
+// sim, ...) <- Filter* <- Scan(t)` into an IndexTopKNode when the catalog
+// holds a (still-valid) vector index on the similarity's embedding
+// column. Preconditions, each of which keeps the rewrite
+// semantics-preserving:
+//   - the Sort has a fused LIMIT and its FIRST key is descending — a full
+//     sort (no LIMIT) or an ascending primary order is not a top-k
+//     search; secondary keys of either direction are absorbed as exact
+//     candidate tie-breaks (`extra_keys`);
+//   - every sort key is a column ref into the Project, and the primary
+//     projected expression is dot()/cosine_sim() over a Scan column with
+//     a constant (column-free) query — the index can only prune by a
+//     per-row score against one fixed vector;
+//   - between Project and Scan only Filter nodes appear, none of whose
+//     predicates (nor any project expression) calls a scalar UDF — UDF
+//     bodies are whole-batch programs, and IndexTopK evaluates
+//     expressions over candidate subsets only. The predicates are
+//     absorbed into the node (ANDed; all are bound against the scan
+//     frame) and a cost rule picks the filtered-search strategy from
+//     selectivity estimates:
+//       expected survivors < 2k      -> brute (index can't win),
+//       selectivity < 1/2            -> pre_filter (prune before probing),
+//       otherwise                    -> post_filter (probe, then filter,
+//                                       widening to a survivor floor).
 // Anything above the Sort (OFFSET Limit, hidden-sort-column cleanup
 // Project) is untouched: IndexTopK emits exactly the rows the fused Sort
-// would have.
+// would have (an OFFSET arrives here pre-fused as k = offset + limit).
 bool ExprIsConstant(const BoundExpr& e) {
   std::set<int64_t> refs;
   CollectColumnRefs(e, refs);
@@ -379,18 +489,29 @@ LogicalNodePtr RewriteIndexTopK(LogicalNodePtr node, const Catalog& catalog) {
   }
   if (node->kind != NodeKind::kSort) return node;
   auto& sort = static_cast<SortNode&>(*node);
-  if (sort.fused_limit < 0 || sort.items.size() != 1 ||
-      !sort.items[0].descending ||
-      sort.items[0].expr->kind != exec::BoundExprKind::kColumnRef) {
+  if (sort.fused_limit < 0 || sort.items.empty() ||
+      !sort.items[0].descending) {
     return node;
+  }
+  for (const SortItem& item : sort.items) {
+    if (item.expr->kind != exec::BoundExprKind::kColumnRef) return node;
   }
   if (sort.children[0]->kind != NodeKind::kProject) return node;
   auto& project = static_cast<ProjectNode&>(*sort.children[0]);
-  if (project.children.empty() ||
-      project.children[0]->kind != NodeKind::kScan || NodeUsesUdf(project)) {
-    return node;
+  if (project.children.empty() || NodeUsesUdf(project)) return node;
+  // Walk the Filter chain (if any) down to the Scan. Filter schemas equal
+  // the scan output (PruneScanColumns keeps them consistent), so their
+  // predicates share the project expressions' frame.
+  std::vector<FilterNode*> filters;
+  LogicalNode* below = project.children[0].get();
+  while (below->kind == NodeKind::kFilter) {
+    auto* filter = static_cast<FilterNode*>(below);
+    if (NodeUsesUdf(*filter)) return node;
+    filters.push_back(filter);
+    below = below->children[0].get();
   }
-  const auto& scan = static_cast<const ScanNode&>(*project.children[0]);
+  if (below->kind != NodeKind::kScan) return node;
+  const auto& scan = static_cast<const ScanNode&>(*below);
   const int64_t sim_ordinal =
       static_cast<const BoundColumnRef&>(*sort.items[0].expr).column_index;
   if (sim_ordinal < 0 ||
@@ -403,6 +524,16 @@ LogicalNodePtr RewriteIndexTopK(LogicalNodePtr node, const Catalog& catalog) {
   if (sim.column->kind != exec::BoundExprKind::kColumnRef ||
       !ExprIsConstant(*sim.query)) {
     return node;
+  }
+  std::vector<IndexTopKNode::ExtraKey> extra_keys;
+  for (size_t i = 1; i < sort.items.size(); ++i) {
+    const int64_t ordinal =
+        static_cast<const BoundColumnRef&>(*sort.items[i].expr).column_index;
+    if (ordinal < 0 ||
+        ordinal >= static_cast<int64_t>(project.exprs.size())) {
+      return node;
+    }
+    extra_keys.push_back({ordinal, sort.items[i].descending});
   }
   const int64_t scan_col =
       static_cast<const BoundColumnRef&>(*sim.column).column_index;
@@ -422,8 +553,38 @@ LogicalNodePtr RewriteIndexTopK(LogicalNodePtr node, const Catalog& catalog) {
   topk->column_name = column_name;
   topk->k = sort.fused_limit;
   topk->sim_ordinal = sim_ordinal;
+  topk->extra_keys = std::move(extra_keys);
   topk->exprs = std::move(project.exprs);
-  topk->children.push_back(std::move(project.children[0]));  // the Scan
+  if (!filters.empty()) {
+    std::vector<BoundExprPtr> conjuncts;
+    for (FilterNode* filter : filters) {
+      SplitConjuncts(std::move(filter->predicate), conjuncts);
+    }
+    topk->predicate = CombineConjuncts(std::move(conjuncts));
+    // Cost rule: pick the strategy from the estimated survivor count.
+    // The choice is compile-time state (EXPLAIN renders it; plans are
+    // immutable) — a run can override it via RunOptions::vector_search.
+    std::shared_ptr<Table> table;
+    auto resolved = catalog.GetTable(scan.table_name);
+    if (resolved.ok()) table = *resolved;
+    const double selectivity =
+        EstimateSelectivity(*topk->predicate, &scan.schema, table.get());
+    const double rows =
+        table != nullptr ? static_cast<double>(table->num_rows()) : 0.0;
+    const double survivors = selectivity * rows;
+    if (survivors < 2.0 * static_cast<double>(topk->k)) {
+      topk->strategy = exec::VectorSearchStrategy::kBrute;
+    } else if (selectivity < 0.5) {
+      topk->strategy = exec::VectorSearchStrategy::kPreFilter;
+    } else {
+      topk->strategy = exec::VectorSearchStrategy::kPostFilter;
+    }
+  }
+  // The Scan child: the innermost filter's child when filters were
+  // absorbed, the project's child otherwise.
+  topk->children.push_back(
+      filters.empty() ? std::move(project.children[0])
+                      : std::move(filters.back()->children[0]));
   return topk;
 }
 

@@ -24,14 +24,19 @@ namespace plan {
 ///      columns are image tensors: pruning them skips whole tensor
 ///      transfers to the execution device.
 ///   4. **Join build-side choice** (needs `catalog`) — hash joins build
-///      over the side with the smaller base-table estimate
-///      (`JoinNode::build_left`); the other side streams as the probe.
+///      over the side with the smaller cardinality estimate (base-table
+///      rows discounted by per-predicate selectivity heuristics,
+///      `JoinNode::build_left`); the other side streams as the probe.
 ///   5. **Index top-k rewrite** (needs `catalog`) — a top-k similarity
-///      sort (`ORDER BY dot(col, ?) DESC LIMIT k` over a bare scan)
-///      becomes an `IndexTopKNode` when the catalog holds a valid vector
-///      index on `col`. Preconditions and exactness guarantees are
-///      documented at the rule; with no usable index (or after the table
-///      is re-registered, which invalidates it) the plan keeps the exact
+///      sort (`ORDER BY dot(col, ?) DESC [, tiebreaks] LIMIT k` over a
+///      scan, optionally under WHERE filters) becomes an `IndexTopKNode`
+///      when the catalog holds a valid vector index on `col`. Filtered
+///      searches absorb the predicate and carry a cost-rule strategy
+///      (pre_filter / post_filter / brute, chosen from selectivity
+///      estimates; `exec::RunOptions::vector_search.strategy` overrides
+///      per run). Preconditions and exactness guarantees are documented
+///      at the rule; with no usable index (or after the table is
+///      re-registered, which invalidates it) the plan keeps the exact
 ///      Sort+Limit shape.
 ///
 /// All rules are semantics-preserving for both exact and TRAINABLE

@@ -241,13 +241,6 @@ StatusOr<std::shared_ptr<exec::CompiledQuery>> Session::Prepare(
   return query;
 }
 
-StatusOr<std::shared_ptr<Table>> Session::Sql(
-    const std::string& sql, const QueryOptions& options,
-    const std::vector<exec::ScalarValue>& params) {
-  TDP_ASSIGN_OR_RETURN(auto query, Prepare(sql, options));
-  return query->Run(params);
-}
-
 StatusOr<std::shared_ptr<Table>> Session::Sql(const std::string& sql,
                                               const QueryOptions& options,
                                               const exec::RunOptions& run) {

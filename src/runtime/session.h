@@ -96,9 +96,11 @@ class Session {
   /// Builds an IVF index over the rank-2 tensor column `table`.`column`
   /// (the paper's §5.1 future work: approximate indexing for top-k
   /// queries). Once installed, `ORDER BY dot(column, ?) DESC LIMIT k` (and
-  /// `cosine_sim`) compiles to the IndexTopK operator instead of a full
-  /// Sort; `exec::RunOptions::num_probes` trades recall for speed per run
-  /// (the default probes every cell — exact results). Re-registering the
+  /// `cosine_sim`) — optionally under a WHERE predicate — compiles to the
+  /// IndexTopK/FilteredIndexTopK operator instead of a full Sort;
+  /// `exec::RunOptions::vector_search` trades recall for speed and forces
+  /// filtered-search strategies per run (the default probes every cell —
+  /// exact results). Re-registering the
   /// table invalidates the index: affected queries fall back to the exact
   /// Sort+Limit plan until the index is rebuilt. Fails with ExecutionError
   /// if a re-registration races the build (retry over the new data).
@@ -127,16 +129,15 @@ class Session {
   StatusOr<std::shared_ptr<exec::CompiledQuery>> Prepare(
       const std::string& sql, const QueryOptions& options = {});
 
-  /// One-shot convenience: compile (through the plan cache) + run.
-  StatusOr<std::shared_ptr<Table>> Sql(
-      const std::string& sql, const QueryOptions& options = {},
-      const std::vector<exec::ScalarValue>& params = {});
-
-  /// One-shot with full per-run control (executor selection, cancellation,
-  /// training-mode override): compile through the plan cache + run.
+  /// THE one-shot entry point: compile (through the plan cache) + run.
+  /// All per-run state — `?` parameter bindings, executor/morsel
+  /// selection, vector-search knobs, cancellation, training-mode
+  /// override — travels in `run` (`exec::RunOptions`); there is no
+  /// separate params overload. `Prepare` + `Run` is the same thing split
+  /// for hot serving paths.
   StatusOr<std::shared_ptr<Table>> Sql(const std::string& sql,
-                                       const QueryOptions& options,
-                                       const exec::RunOptions& run);
+                                       const QueryOptions& options = {},
+                                       const exec::RunOptions& run = {});
 
   /// Streaming execution: compile `sql` through the plan cache and open a
   /// `ResultCursor` whose `Next()` yields result chunks incrementally

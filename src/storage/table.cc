@@ -182,6 +182,18 @@ std::vector<int64_t> Table::MapPhysicalToLive(
   return live;
 }
 
+std::vector<int64_t> Table::MapLiveToPhysical(
+    const std::vector<int64_t>& live) const {
+  if (!has_deletes()) return live;
+  EnsureLiveView();
+  std::vector<int64_t> physical;
+  physical.reserve(live.size());
+  for (int64_t pos : live) {
+    physical.push_back(live_to_physical_[static_cast<size_t>(pos)]);
+  }
+  return physical;
+}
+
 StatusOr<std::shared_ptr<Table>> Table::WithAppended(
     std::vector<Column> rows) const {
   if (rows.size() != column_names_.size()) {

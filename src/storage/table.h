@@ -123,6 +123,13 @@ class Table {
   std::vector<int64_t> MapPhysicalToLive(
       const std::vector<int64_t>& physical) const;
 
+  /// Maps live positions (each in [0, num_rows())) to physical row ids —
+  /// the inverse direction, used to push a live-view selection (e.g. a
+  /// predicate's surviving rows) into a physical-id vector index probe.
+  /// Identity (a copy) when the table has no deletes.
+  std::vector<int64_t> MapLiveToPhysical(
+      const std::vector<int64_t>& live) const;
+
   /// Copies all columns to `device` (the paper's `register_df(...,
   /// device=...)`). Flattens: the result is a single-segment table.
   std::shared_ptr<Table> To(Device device) const;

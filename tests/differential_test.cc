@@ -228,7 +228,7 @@ TEST_P(TopKDifferentialTest, FullProbeIndexPlanIsBitIdenticalToBrute) {
          {int64_t{0}, num_lists, num_lists + 7}) {
       exec::RunOptions run;
       run.params = {exec::ScalarValue::FromTensor(query)};
-      run.num_probes = probes;
+      run.vector_search.num_probes = probes;
       auto got = (*indexed)->Run(run);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       ExpectTablesBitIdentical(
@@ -286,7 +286,7 @@ TEST(TopKDifferentialTest2, RecallAtQuarterProbesExceedsPointNine) {
     }
     exec::RunOptions approx;
     approx.params = {exec::ScalarValue::FromTensor(qvec)};
-    approx.num_probes = num_lists / 4;
+    approx.vector_search.num_probes = num_lists / 4;
     auto got = (*query)->Run(approx);
     ASSERT_TRUE(got.ok());
     for (int64_t i = 0; i < (*got)->num_rows(); ++i) {

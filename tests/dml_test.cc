@@ -135,15 +135,16 @@ TEST(DmlTest, ParameterizedDmlBindsScalarsAndTensors) {
   {
     auto r = session.Sql(
         "INSERT INTO t VALUES (?, ?)", {},
-        {ScalarValue::Int(42),
-         ScalarValue::FromTensor(
-             Tensor::FromVector(std::vector<float>{1, 0, 0}))});
+        testutil::WithParams(
+            {ScalarValue::Int(42),
+             ScalarValue::FromTensor(
+                 Tensor::FromVector(std::vector<float>{1, 0, 0}))}));
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ((*r)->column(0).data().At({0}), 1.0);
   }
   {
     auto r = session.Sql("DELETE FROM t WHERE id = ?", {},
-                         {ScalarValue::Int(41)});
+                         testutil::WithParams({ScalarValue::Int(41)}));
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ((*r)->column(0).data().At({0}), 0.0);
   }
@@ -153,9 +154,10 @@ TEST(DmlTest, ParameterizedDmlBindsScalarsAndTensors) {
   // A wrong-shape tensor row is a TypeError, not a crash.
   auto bad = session.Sql(
       "INSERT INTO t VALUES (?, ?)", {},
-      {ScalarValue::Int(1),
-       ScalarValue::FromTensor(
-           Tensor::FromVector(std::vector<float>{1, 0}))});
+      testutil::WithParams(
+          {ScalarValue::Int(1),
+           ScalarValue::FromTensor(
+               Tensor::FromVector(std::vector<float>{1, 0}))}));
   EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
 }
 
@@ -353,7 +355,7 @@ TEST(DmlTest, TopKStaysExactAcrossDmlOnIndexedTable) {
   // Brute-force oracle: the same statement with the plan cache disabled
   // on a session whose table has no index.
   auto Oracle = [&](Session& s) {
-    auto r = s.Sql(topk, {}, params);
+    auto r = s.Sql(topk, {}, testutil::WithParams(params));
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     return *r;
   };
@@ -363,13 +365,14 @@ TEST(DmlTest, TopKStaysExactAcrossDmlOnIndexedTable) {
   // column assigned) and the query must fall back to the exact plan.
   {
     auto del = session.Sql("DELETE FROM docs WHERE dot(emb, ?) < 0", {},
-                           params);
+                           testutil::WithParams(params));
     ASSERT_TRUE(del.ok()) << del.status().ToString();
   }
   for (int i = 0; i < 3; ++i) {
     auto ins = session.Sql(
         "INSERT INTO docs VALUES (?)", {},
-        {ScalarValue::FromTensor(testutil::MakeUnitQuery(dim, rng))});
+        testutil::WithParams(
+            {ScalarValue::FromTensor(testutil::MakeUnitQuery(dim, rng))}));
     ASSERT_TRUE(ins.ok()) << ins.status().ToString();
   }
 
@@ -387,8 +390,9 @@ TEST(DmlTest, TopKStaysExactAcrossDmlOnIndexedTable) {
   {
     auto up = session.Sql(
         "UPDATE docs SET emb = ? WHERE dot(emb, ?) > 0.99", {},
-        {ScalarValue::FromTensor(testutil::MakeUnitQuery(dim, rng)),
-         ScalarValue::FromTensor(query)});
+        testutil::WithParams(
+            {ScalarValue::FromTensor(testutil::MakeUnitQuery(dim, rng)),
+             ScalarValue::FromTensor(query)}));
     ASSERT_TRUE(up.ok()) << up.status().ToString();
   }
   Session reference2;

@@ -106,12 +106,17 @@ TEST_F(IvfIndexSqlTest, DropVectorIndexRestoresSortPlan) {
 
 TEST_F(IvfIndexSqlTest, RewritePreconditionsKeepExactPlan) {
   ASSERT_TRUE(CreateIndex().ok());
-  // A WHERE clause between projection and scan blocks the rewrite.
+  // A WHERE clause no longer blocks the rewrite: it is absorbed into a
+  // FilteredIndexTopK (strategy chosen by the cost rule; see the
+  // FilteredTopK* tests for per-strategy pins).
   auto filtered = session_.Explain(
       "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id > 10 "
       "ORDER BY sim DESC LIMIT 5");
   ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
-  EXPECT_EQ(filtered->find("IndexTopK"), std::string::npos) << *filtered;
+  EXPECT_NE(filtered->find("FilteredIndexTopK"), std::string::npos)
+      << *filtered;
+  EXPECT_EQ(filtered->find("Filter"), filtered->find("FilteredIndexTopK"))
+      << *filtered;  // no residual Filter node survives below
   // Ascending order is not a top-k-by-similarity search.
   auto asc = session_.Explain(
       "SELECT id, dot(emb, ?) AS sim FROM vecs ORDER BY sim ASC LIMIT 5");
@@ -180,7 +185,7 @@ TEST_F(IvfIndexSqlTest, IndexPlanMatchesBrutePlanBitForBit) {
   // Explicit full-probe override: same thing.
   exec::RunOptions full;
   full.params = params;
-  full.num_probes = 6;
+  full.vector_search.num_probes = 6;
   auto full_result = (*indexed)->Run(full);
   ASSERT_TRUE(full_result.ok());
   testutil::ExpectTablesBitIdentical(**brute_result, **full_result);
@@ -188,7 +193,7 @@ TEST_F(IvfIndexSqlTest, IndexPlanMatchesBrutePlanBitForBit) {
   // Over-clamped probe count behaves like full probes.
   exec::RunOptions over;
   over.params = params;
-  over.num_probes = 1000;
+  over.vector_search.num_probes = 1000;
   auto over_result = (*indexed)->Run(over);
   ASSERT_TRUE(over_result.ok());
   testutil::ExpectTablesBitIdentical(**brute_result, **over_result);
@@ -200,7 +205,7 @@ TEST_F(IvfIndexSqlTest, ProbeBudgetTradesRecallNeverShape) {
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   exec::RunOptions run;
   run.params = {ScalarValue::FromTensor(MakeQuery(8, 33))};
-  run.num_probes = 1;
+  run.vector_search.num_probes = 1;
   auto result = (*query)->Run(run);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // One probed cell still yields a full k-row, descending result.
@@ -218,7 +223,7 @@ TEST_F(IvfIndexSqlTest, ProbeBudgetTradesRecallNeverShape) {
   ASSERT_TRUE(big_k.ok()) << big_k.status().ToString();
   exec::RunOptions one_probe;
   one_probe.params = {ScalarValue::FromTensor(MakeQuery(8, 33))};
-  one_probe.num_probes = 1;
+  one_probe.vector_search.num_probes = 1;
   auto topped_up = (*big_k)->Run(one_probe);
   ASSERT_TRUE(topped_up.ok()) << topped_up.status().ToString();
   EXPECT_EQ((*topped_up)->num_rows(), 100);
@@ -231,7 +236,7 @@ TEST_F(IvfIndexSqlTest, ProbeCountsShareOneCachedPlan) {
   for (int64_t probes : {0, 1, 2, 6}) {
     exec::RunOptions run;
     run.params = params;
-    run.num_probes = probes;
+    run.vector_search.num_probes = probes;
     auto result = session_.Sql(kTopK, {}, run);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ((*result)->num_rows(), 5);
@@ -337,7 +342,7 @@ TEST_F(IvfIndexSqlTest, SqlEdgeCasesReturnCleanResults) {
 
 TEST_F(IvfIndexSqlTest, NegativeProbeBudgetFailsCleanly) {
   exec::RunOptions run = WithParams({ScalarValue::FromTensor(MakeQuery(8, 3))});
-  run.num_probes = -2;  // e.g. an underflowed lists/4 - overhead
+  run.vector_search.num_probes = -2;  // e.g. an underflowed lists/4 - overhead
   // The contract is unconditional (validated at run entry): the same bad
   // value fails identically with no index (brute plan), ...
   auto brute = session_.Sql(kTopK, {}, run);
@@ -386,7 +391,7 @@ TEST_F(IvfIndexSqlTest, CosineOverUnnormalizedRowsNeverLosesRecall) {
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
   exec::RunOptions one_probe = WithParams(params);
-  one_probe.num_probes = 1;
+  one_probe.vector_search.num_probes = 1;
   auto got = session_.Sql(cos_sql, {}, one_probe);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   testutil::ExpectTablesBitIdentical(**expected, **got);
@@ -417,7 +422,7 @@ TEST_F(IvfIndexSqlTest, RecallAtQuarterProbesOnClusteredData) {
     }
     exec::RunOptions approx;
     approx.params = {ScalarValue::FromTensor(qvec)};
-    approx.num_probes = 3;  // num_lists / 4
+    approx.vector_search.num_probes = 3;  // num_lists / 4
     auto got = (*query)->Run(approx);
     ASSERT_TRUE(got.ok());
     for (int64_t i = 0; i < (*got)->num_rows(); ++i) {
@@ -429,6 +434,156 @@ TEST_F(IvfIndexSqlTest, RecallAtQuarterProbesOnClusteredData) {
   }
   recall /= kQueries * 10;
   EXPECT_GE(recall, 0.9) << "recall@10 at num_lists/4 probes";
+}
+
+// ---- Filtered vector search (pre/post-filter + cost rule) -------------------
+
+// EXPLAIN pins: one per strategy the cost rule can choose, plus the
+// no-index fallback. vecs has 240 rows and k=5 (2k = 10):
+//   id > 10            -> s=0.3, ~72 survivors  -> pre_filter
+//   id <> 10           -> s=0.9, ~216 survivors -> post_filter
+//   id = 1 AND id > 200 -> s=0.03, ~7 survivors -> brute (index can't win)
+TEST_F(IvfIndexSqlTest, ExplainShowsChosenFilteredStrategy) {
+  ASSERT_TRUE(CreateIndex().ok());
+  const struct {
+    const char* where;
+    const char* expect;
+  } cases[] = {
+      {"id > 10", "FilteredIndexTopK(strategy=pre_filter"},
+      {"id <> 10", "FilteredIndexTopK(strategy=post_filter"},
+      {"id = 1 AND id > 200", "FilteredIndexTopK(strategy=brute"},
+  };
+  for (const auto& c : cases) {
+    auto plan = session_.Explain(
+        "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE " +
+        std::string(c.where) + " ORDER BY sim DESC LIMIT 5");
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_NE(plan->find(c.expect), std::string::npos)
+        << c.where << " rendered:\n" << *plan;
+    EXPECT_NE(plan->find("where="), std::string::npos) << *plan;
+  }
+}
+
+TEST_F(IvfIndexSqlTest, FilteredTopKWithoutIndexKeepsFilterSortPlan) {
+  // No index: a filtered top-k stays the exact Filter + Sort plan.
+  auto plan = session_.Explain(
+      "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id > 10 "
+      "ORDER BY sim DESC LIMIT 5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->find("IndexTopK"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Filter"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Sort"), std::string::npos) << *plan;
+}
+
+TEST_F(IvfIndexSqlTest, FilteredStrategiesAllMatchBruteAtFullProbes) {
+  const char* sql =
+      "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id > 10 "
+      "ORDER BY sim DESC LIMIT 5";
+  const std::vector<ScalarValue> params = {
+      ScalarValue::FromTensor(MakeQuery(8, 51))};
+  // Ground truth: the Filter + Sort plan compiled before the index exists.
+  auto brute = session_.Query(sql);
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  auto expected = (*brute)->Run(params);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_EQ((*expected)->num_rows(), 5);
+
+  ASSERT_TRUE(CreateIndex().ok());
+  auto indexed = session_.Query(sql);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  ASSERT_NE((*indexed)->Explain().find("FilteredIndexTopK"),
+            std::string::npos);
+
+  // Default probes (= every cell) under the plan's own strategy, then
+  // every forced strategy: all bit-identical to the exact plan.
+  for (const auto strategy :
+       {exec::VectorSearchStrategy::kAuto,
+        exec::VectorSearchStrategy::kPreFilter,
+        exec::VectorSearchStrategy::kPostFilter,
+        exec::VectorSearchStrategy::kBrute}) {
+    exec::RunOptions run = WithParams(params);
+    run.vector_search.strategy = strategy;
+    auto got = (*indexed)->Run(run);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    testutil::ExpectTablesBitIdentical(
+        **expected, **got,
+        "strategy=" +
+            std::string(exec::VectorSearchStrategyName(strategy)));
+  }
+}
+
+TEST_F(IvfIndexSqlTest, FilteredTopKHonorsSurvivorFloorUnderTinyBudgets) {
+  ASSERT_TRUE(CreateIndex().ok());
+  const std::vector<ScalarValue> params = {
+      ScalarValue::FromTensor(MakeQuery(8, 52))};
+  // 12 survivors (ids 0..11). However small the probe budget, the result
+  // must hold min(k, survivors) rows: widening tops the candidate pool up.
+  for (const auto strategy : {exec::VectorSearchStrategy::kPreFilter,
+                              exec::VectorSearchStrategy::kPostFilter}) {
+    for (const int64_t max_rounds : {int64_t{0}, int64_t{8}}) {
+      // k=5 <= survivors: full k rows.
+      exec::RunOptions run = WithParams(params);
+      run.vector_search.num_probes = 1;
+      run.vector_search.strategy = strategy;
+      run.vector_search.max_widening_rounds = max_rounds;
+      auto r = session_.Sql(
+          "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id < 12 "
+          "ORDER BY sim DESC LIMIT 5",
+          {}, run);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ((*r)->num_rows(), 5);
+      // k=100 > survivors: exactly the 12 surviving rows, sorted.
+      auto all = session_.Sql(
+          "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id < 12 "
+          "ORDER BY sim DESC LIMIT 100",
+          {}, run);
+      ASSERT_TRUE(all.ok()) << all.status().ToString();
+      EXPECT_EQ((*all)->num_rows(), 12);
+      for (int64_t i = 0; i < (*all)->num_rows(); ++i) {
+        EXPECT_LT((*all)->column(0).data().At({i}), 12.0);
+      }
+    }
+  }
+}
+
+TEST_F(IvfIndexSqlTest, FilteredTopKWithZeroSurvivorsIsEmptyNotAnError) {
+  ASSERT_TRUE(CreateIndex().ok());
+  for (const auto strategy : {exec::VectorSearchStrategy::kPreFilter,
+                              exec::VectorSearchStrategy::kPostFilter,
+                              exec::VectorSearchStrategy::kBrute}) {
+    exec::RunOptions run =
+        WithParams({ScalarValue::FromTensor(MakeQuery(8, 53))});
+    run.vector_search.strategy = strategy;
+    auto r = session_.Sql(
+        "SELECT id, dot(emb, ?) AS sim FROM vecs WHERE id < 0 "
+        "ORDER BY sim DESC LIMIT 5",
+        {}, run);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ((*r)->num_rows(), 0);
+    EXPECT_EQ((*r)->num_columns(), 2);
+  }
+}
+
+TEST_F(IvfIndexSqlTest, SecondarySortKeysRideTheIndexAsTiebreaks) {
+  ASSERT_TRUE(CreateIndex().ok());
+  const char* sql =
+      "SELECT id, dot(emb, ?) AS sim FROM vecs "
+      "ORDER BY sim DESC, id DESC LIMIT 7";
+  auto plan = session_.Explain(sql);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexTopK"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("tiebreak=1"), std::string::npos) << *plan;
+
+  const std::vector<ScalarValue> params = {
+      ScalarValue::FromTensor(MakeQuery(8, 54))};
+  Session reference;
+  ASSERT_TRUE(
+      reference.RegisterTable("vecs", MakeVecTable(240, 8, 6, 11)).ok());
+  auto expected = reference.Sql(sql, {}, WithParams(params));
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  auto got = session_.Sql(sql, {}, WithParams(params));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  testutil::ExpectTablesBitIdentical(**expected, **got, "tiebreak");
 }
 
 // ---- IvfIndex edge-case regressions (the API the SQL path leans on) --------

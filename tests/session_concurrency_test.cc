@@ -400,7 +400,9 @@ TEST(SessionConcurrencyTest, ReRegistrationRacesIndexBuildAndQueries) {
 bool RunDmlWithRetry(Session& session, const std::string& sql,
                      const std::vector<ScalarValue>& params = {}) {
   for (int attempt = 0; attempt < 1000; ++attempt) {
-    auto r = session.Sql(sql, {}, params);
+    exec::RunOptions run;
+    run.params = params;
+    auto r = session.Sql(sql, {}, run);
     if (r.ok()) return true;
     if (r.status().code() != StatusCode::kExecutionError) return false;
   }

@@ -4,14 +4,27 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
+#include "src/exec/run_options.h"
+#include "src/exec/value.h"
 #include "src/storage/table.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 
 namespace tdp {
 namespace testutil {
+
+/// `exec::RunOptions` carrying just `?` parameter bindings — the common
+/// case after the params-vector `Session::Sql` overload was folded into
+/// the RunOptions one.
+inline exec::RunOptions WithParams(std::vector<exec::ScalarValue> params) {
+  exec::RunOptions run;
+  run.params = std::move(params);
+  return run;
+}
 
 /// Clustered unit vectors shared by the vector-index suites: `clusters`
 /// random unit directions, each row a small (0.08σ) perturbation of one
