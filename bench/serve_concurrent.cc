@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -393,6 +395,69 @@ BENCHMARK(BM_SqlTopKIndex)
     ->Threads(1)
     ->UseRealTime();
 BENCHMARK(BM_SqlTopKIndex)->Arg(4)->Threads(4)->UseRealTime();
+
+// ---- Request latency percentiles (PR 9) ------------------------------------
+//
+// Serving SLOs are percentile, not mean, targets: the throughput columns
+// above hide a p99 that queueing or a stop-the-world breaker can blow up
+// without moving items_per_second much. These benchmarks time every
+// individual request and report p50_ms/p99_ms counters, which ride into
+// the benchmark-gate trajectory JSON and are gated lower-is-better by
+// tools/bench_compare.py (kAvgThreads: each thread reports its own
+// distribution; the counter is the across-thread average).
+
+/// Per-request latency distribution of the cached point-query path.
+void BM_CachedSqlLatency(benchmark::State& state) {
+  Session& session = SharedSession();
+  std::vector<int64_t> latencies_us;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = session.Sql(kPointQuery);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    TDP_CHECK(result.ok()) << result.status().ToString();
+    latencies_us.push_back(elapsed.count());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct_ms = [&](double p) {
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(latencies_us.size() - 1) + 0.5);
+    return static_cast<double>(latencies_us[idx]) / 1000.0;
+  };
+  state.counters["p50_ms"] =
+      benchmark::Counter(pct_ms(0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_ms"] =
+      benchmark::Counter(pct_ms(0.99), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_CachedSqlLatency)->Threads(1)->Threads(8)->UseRealTime();
+
+/// The same distribution for the aggregate statement — a breaker-bearing
+/// plan, so this is the one a regressed sort/aggregate kernel moves.
+void BM_CachedAggregateLatency(benchmark::State& state) {
+  Session& session = SharedSession();
+  std::vector<int64_t> latencies_us;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = session.Sql(kAggQuery);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    TDP_CHECK(result.ok()) << result.status().ToString();
+    latencies_us.push_back(elapsed.count());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto pct_ms = [&](double p) {
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(latencies_us.size() - 1) + 0.5);
+    return static_cast<double>(latencies_us[idx]) / 1000.0;
+  };
+  state.counters["p50_ms"] =
+      benchmark::Counter(pct_ms(0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_ms"] =
+      benchmark::Counter(pct_ms(0.99), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_CachedAggregateLatency)->Threads(1)->Threads(8)->UseRealTime();
 
 /// Heavier per-query work: grouped aggregation, cached plan. Shows how
 /// aggregate QPS scales when execution (not compilation) dominates.

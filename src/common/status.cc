@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

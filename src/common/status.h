@@ -22,6 +22,11 @@ enum class StatusCode {
   kBindError,
   kExecutionError,
   kCancelled,
+  /// Load shedding: the serving front end refused the request (admission
+  /// queue full, or estimated plan footprint beyond the configured
+  /// ceiling). Retryable after backoff; the engine sheds instead of
+  /// collapsing.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -75,6 +80,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -172,6 +172,12 @@ static Status ValidateRunOptions(const RunOptions& options) {
         "RunOptions::model_batch_rows must be non-negative, got " +
         std::to_string(options.model_batch_rows));
   }
+  if (options.memory_budget_bytes < 0) {
+    return Status::InvalidArgument(
+        "RunOptions::memory_budget_bytes must be non-negative (0 = "
+        "unlimited), got " +
+        std::to_string(options.memory_budget_bytes));
+  }
   return Status::OK();
 }
 
@@ -213,6 +219,14 @@ StatusOr<Chunk> CompiledQuery::RunChunkInternal(
   const std::shared_ptr<const Catalog> snapshot = catalog_->Snapshot();
   ExecContext ctx = MakeContext(options, snapshot.get(), options.cancel.get());
   ctx.params = params.empty() ? nullptr : &params;
+  if (options.memory_budget_bytes > 0) {
+    // Budgeted run: the accounting + spill-file registry lives exactly as
+    // long as the execution — the destructor deletes every spill temp file
+    // whether the run completes, fails, or is cancelled mid-spill.
+    QueryMemory memory(options.memory_budget_bytes);
+    ctx.memory = &memory;
+    return ExecutePlan(*plan_, pipelines_, ctx);
+  }
   return ExecutePlan(*plan_, pipelines_, ctx);
 }
 

@@ -1,0 +1,106 @@
+#include "src/exec/memory_budget.h"
+
+#include <atomic>
+#include <unistd.h>
+
+#include <filesystem>
+#include <system_error>
+
+#include "src/tensor/dtype.h"
+
+namespace tdp {
+namespace exec {
+
+namespace {
+
+// Process-wide leak counters (see QueryMemory::LiveSpillFiles).
+std::atomic<int64_t> g_live_spill_files{0};
+std::atomic<int64_t> g_total_bytes_spilled{0};
+
+// Monotonic suffix so concurrent queries in one process never collide on a
+// directory name.
+std::atomic<uint64_t> g_spill_dir_seq{0};
+
+}  // namespace
+
+int64_t ColumnFootprintBytes(const Column& column) {
+  if (!column.defined()) return 0;
+  int64_t bytes = column.data().numel() * DTypeSize(column.data().dtype());
+  for (const std::string& s : column.dictionary()) {
+    bytes += static_cast<int64_t>(s.size()) + 8;
+  }
+  bytes += static_cast<int64_t>(column.domain().size()) * 8;
+  return bytes;
+}
+
+int64_t ChunkFootprintBytes(const Chunk& chunk) {
+  int64_t bytes = 0;
+  for (const Column& c : chunk.columns) bytes += ColumnFootprintBytes(c);
+  return bytes;
+}
+
+QueryMemory::QueryMemory(int64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+QueryMemory::~QueryMemory() { ReleaseSpillFiles(); }
+
+StatusOr<std::string> QueryMemory::NewSpillFile(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (released_) {
+    return Status::Cancelled("query memory released (run finished)");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (spill_dir_.empty()) {
+    const fs::path base = fs::temp_directory_path(ec);
+    if (ec) {
+      return Status::ExecutionError("spill: no temp directory: " +
+                                    ec.message());
+    }
+    const fs::path dir =
+        base / ("tdp_spill_" + std::to_string(::getpid()) + "_" +
+                std::to_string(g_spill_dir_seq.fetch_add(1)));
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::ExecutionError("spill: cannot create " + dir.string() +
+                                    ": " + ec.message());
+    }
+    spill_dir_ = dir.string();
+  }
+  const std::string path = spill_dir_ + "/" + tag + "_" +
+                           std::to_string(files_.size()) + ".spill";
+  files_.push_back(path);
+  files_created_.fetch_add(1, std::memory_order_relaxed);
+  g_live_spill_files.fetch_add(1, std::memory_order_relaxed);
+  return path;
+}
+
+void QueryMemory::ReleaseSpillFiles() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (released_) return;  // idempotent: don't double-count spilled bytes
+  released_ = true;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const std::string& f : files_) {
+    fs::remove(f, ec);  // missing file (partial write, crashproofing) is fine
+    g_live_spill_files.fetch_sub(1, std::memory_order_relaxed);
+  }
+  files_.clear();
+  if (!spill_dir_.empty()) {
+    fs::remove_all(spill_dir_, ec);
+    spill_dir_.clear();
+  }
+  g_total_bytes_spilled.fetch_add(
+      bytes_spilled_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+int64_t QueryMemory::LiveSpillFiles() {
+  return g_live_spill_files.load(std::memory_order_relaxed);
+}
+
+int64_t QueryMemory::TotalBytesSpilled() {
+  return g_total_bytes_spilled.load(std::memory_order_relaxed);
+}
+
+}  // namespace exec
+}  // namespace tdp

@@ -1,6 +1,7 @@
 #ifndef TDP_EXEC_OPERATOR_KERNELS_H_
 #define TDP_EXEC_OPERATOR_KERNELS_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,24 @@
 
 namespace tdp {
 namespace exec {
+
+struct SpilledJoinBuild;  // spill_kernels.h
+
+// ---- Key normalization (shared with the spill kernels) ---------------------
+
+/// Per-row integer codes whose equality and order agree with value
+/// equality and order WITHIN this column: dictionary columns yield their
+/// codes, PE columns hard-decode first, plain float columns rank through
+/// Unique. Float ranks are relative to the whole column — for codes that
+/// stay comparable across separately-encoded pages see
+/// `OrderPreservingCodes` (spill_kernels.h).
+StatusOr<std::vector<int64_t>> ColumnToCodes(const Column& column);
+
+/// Normalized per-row join keys for one side (strings FNV-1a hashed,
+/// numerics as -0-normalized double bit patterns). Row-local, so keys are
+/// code-compatible across sides, morsels, and spill partitions.
+StatusOr<std::vector<std::vector<int64_t>>> JoinRowKeys(
+    const Chunk& chunk, const std::vector<int64_t>& cols);
 
 // Per-operator execution kernels, shared by the two executors in
 // `ExecutePlan`:
@@ -78,6 +97,11 @@ struct JoinHashTable {
   /// Normalized key -> build row indices, ascending.
   std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, RowKeyHash>
       rows;
+  /// Set instead of `build`/`rows` when the build went grace (the build
+  /// footprint exceeded the run's `MemoryBudget`): the payload lives in
+  /// per-partition spill files and `ProbeJoin` dispatches to
+  /// `ProbeSpilledJoin`. Shared so morsel probes can run concurrently.
+  std::shared_ptr<const SpilledJoinBuild> spilled;
 };
 
 /// Builds the hash table over the join's build child output (see

@@ -13,6 +13,7 @@
 #include "src/exec/bound_expr.h"
 #include "src/exec/operator_kernels.h"
 #include "src/exec/soft_ops.h"
+#include "src/exec/spill_kernels.h"
 #include "src/tensor/ops.h"
 
 namespace tdp {
@@ -43,11 +44,15 @@ EvalOptions EvalOpts(const ExecContext& ctx) {
   return opts;
 }
 
+}  // namespace
+
 // ---- Key normalization ------------------------------------------------------
 //
 // Grouping / joining / distinct all need a per-row integer code whose
 // equality (and order) agrees with value equality (and order). Dictionary
 // columns already are codes; numeric columns are ranked through Unique.
+// Exported (operator_kernels.h) for the spill kernels, which must derive
+// the same key equivalences page by page.
 
 StatusOr<std::vector<int64_t>> ColumnToCodes(const Column& column) {
   switch (column.encoding()) {
@@ -125,8 +130,6 @@ StatusOr<std::vector<std::vector<int64_t>>> JoinRowKeys(
   }
   return keys;
 }
-
-}  // namespace
 
 // ---- Scan -------------------------------------------------------------------
 
@@ -326,6 +329,24 @@ StatusOr<Chunk> FinalizeAggregate(const AggregateNode& node,
                                   const AggInputs& inputs,
                                   const ExecContext& ctx) {
   const int64_t rows = inputs.rows;
+
+  // Scratch this kernel materializes beyond the (caller-owned) evaluated
+  // inputs: key codes, argument doubles, distinct codes, and the per-row
+  // group array. Over budget -> the paged two-pass path, bit-identical.
+  if (ctx.memory != nullptr && !ctx.soft_mode && rows > 0) {
+    const int64_t scratch =
+        rows * 8 *
+        static_cast<int64_t>(inputs.key_columns.size() +
+                             node.aggregates.size() + 2);
+    if (ctx.memory->ShouldSpill(scratch)) {
+      return SpilledFinalizeAggregate(node, inputs, ctx);
+    }
+  }
+  const ScopedReservation reservation(
+      ctx.memory,
+      rows * 8 *
+          static_cast<int64_t>(inputs.key_columns.size() +
+                               node.aggregates.size() + 2));
 
   std::vector<std::vector<int64_t>> key_codes;
   key_codes.reserve(inputs.key_columns.size());
@@ -609,11 +630,25 @@ StatusOr<Chunk> ExecuteAggregate(const AggregateNode& node,
 StatusOr<JoinHashTable> BuildJoinHashTable(const JoinNode& node,
                                            Chunk build_input,
                                            const ExecContext& ctx) {
-  (void)ctx;
-  JoinHashTable ht;
-  ht.build = std::move(build_input);
   const auto& build_key_cols =
       node.build_left ? node.left_keys : node.right_keys;
+  // Over-budget equi-join builds go grace: the payload is partitioned to
+  // disk and only the key -> row maps stay resident. Pure-residual joins
+  // (no keys) always build in memory — their probe is a cartesian product
+  // over the materialized build side.
+  if (ctx.memory != nullptr && !ctx.soft_mode && !build_key_cols.empty() &&
+      build_input.num_rows() > 0) {
+    const int64_t footprint =
+        ChunkFootprintBytes(build_input) + build_input.num_rows() * 48;
+    if (ctx.memory->ShouldSpill(footprint)) {
+      JoinHashTable ht;
+      TDP_ASSIGN_OR_RETURN(ht.spilled,
+                           BuildSpilledJoin(node, build_input, ctx));
+      return ht;
+    }
+  }
+  JoinHashTable ht;
+  ht.build = std::move(build_input);
   if (!build_key_cols.empty()) {
     TDP_ASSIGN_OR_RETURN(auto build_keys,
                          JoinRowKeys(ht.build, build_key_cols));
@@ -627,6 +662,9 @@ StatusOr<JoinHashTable> BuildJoinHashTable(const JoinNode& node,
 
 StatusOr<Chunk> ProbeJoin(const JoinNode& node, const JoinHashTable& ht,
                           const Chunk& probe, const ExecContext& ctx) {
+  if (ht.spilled != nullptr) {
+    return ProbeSpilledJoin(node, *ht.spilled, probe, ctx);
+  }
   const int64_t probe_rows = probe.num_rows();
   const int64_t build_rows = ht.build.num_rows();
   const auto& probe_key_cols =
@@ -691,6 +729,21 @@ StatusOr<Chunk> ProbeJoin(const JoinNode& node, const JoinHashTable& ht,
 StatusOr<Chunk> ExecuteSort(const SortNode& node, const Chunk& input,
                             const ExecContext& ctx) {
   const int64_t rows = input.num_rows();
+  // In-memory sort scratch: the gathered keys + permutation (+ the output
+  // copy of the relation, since `input` stays live until Select returns).
+  // Over budget -> external merge sort, bit-identical permutation.
+  if (ctx.memory != nullptr && !ctx.soft_mode && rows > 0 &&
+      !node.items.empty()) {
+    const int64_t scratch =
+        ChunkFootprintBytes(input) +
+        rows * 8 * static_cast<int64_t>(node.items.size() + 2);
+    if (ctx.memory->ShouldSpill(scratch)) {
+      return ExternalSortChunk(node, input, ctx);
+    }
+  }
+  const ScopedReservation reservation(
+      ctx.memory,
+      rows * 8 * static_cast<int64_t>(node.items.size() + 2));
   Tensor perm = Tensor::Arange(rows, DType::kInt64, ctx.device);
   // Stable multi-key sort: apply keys from last to first.
   for (auto it = node.items.rbegin(); it != node.items.rend(); ++it) {

@@ -6,6 +6,7 @@
 
 #include "src/common/statusor.h"
 #include "src/exec/chunk.h"
+#include "src/exec/memory_budget.h"
 #include "src/exec/run_options.h"
 #include "src/exec/value.h"
 #include "src/plan/logical_plan.h"
@@ -74,6 +75,12 @@ struct ExecContext {
   /// Per-run override of every ModelEval stage's batch size
   /// (`RunOptions::model_batch_rows`); 0 keeps each stage's compiled size.
   int64_t model_batch_rows = 0;
+  /// Per-query memory accounting + spill-file registry, owned by the run
+  /// (`RunOptions::memory_budget_bytes > 0`); null means unlimited. The
+  /// breaker kernels (Sort, hash-join build, Aggregate finalize) account
+  /// their materializations here and switch to their spill-to-disk paths
+  /// when over budget — bit-identical results either way.
+  QueryMemory* memory = nullptr;
 };
 
 /// OK while `ctx`'s run is live; `kCancelled` once its token has been

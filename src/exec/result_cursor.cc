@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "src/common/thread_pool.h"
@@ -32,8 +33,18 @@ void ResultCursor::Start() {
 }
 
 void ResultCursor::Produce() {
-  const ExecContext ctx =
+  ExecContext ctx =
       query_->MakeContext(options_, snapshot_.get(), &run_cancel_);
+  // Budgeted run: the spill registry's lifetime is this producer body, so
+  // cancellation or an early Close() (which joins the producer) releases
+  // every spill temp file before Close() returns — not at some later
+  // destructor. ReleaseSpillFiles() below makes the cleanup eager even
+  // though the local's destructor would also do it.
+  std::optional<QueryMemory> memory;
+  if (options_.memory_budget_bytes > 0) {
+    memory.emplace(options_.memory_budget_bytes);
+    ctx.memory = &*memory;
+  }
   Status status;
   if (!ctx.exec.streaming || ctx.soft_mode) {
     // Legacy / soft runs have no streaming pipelines: materialize the
@@ -45,6 +56,7 @@ void ResultCursor::Produce() {
         query_->pipelines(), ctx,
         [this](Chunk chunk) { return Push(std::move(chunk)); });
   }
+  if (memory.has_value()) memory->ReleaseSpillFiles();
   std::lock_guard<std::mutex> lock(mu_);
   if (!status.ok()) status_ = std::move(status);
   done_ = true;

@@ -105,6 +105,20 @@ struct RunOptions {
   /// knob this is per-run state, NOT part of the plan-cache key.
   int64_t model_batch_rows = 0;
 
+  /// Per-query memory budget (bytes) for breaker materializations — the
+  /// scratch the blocking operators hold while they run: sort keys,
+  /// permutations and the sorted copy; the hash-join build table; the
+  /// aggregate's code/argument/accumulator arrays. 0 (default) is
+  /// unlimited: everything stays in memory. When > 0, a breaker whose
+  /// accounted footprint would exceed the budget takes its spill-to-disk
+  /// path instead (external merge sort; partitioned build payload with
+  /// per-partition gather; paged two-pass aggregation) — results are
+  /// bit-identical to the in-memory path, only scratch residency changes.
+  /// Spill temp files live for exactly one run: they are deleted when the
+  /// run returns, is cancelled, or its cursor is closed early. Purely a
+  /// resource knob, NOT part of the plan-cache key.
+  int64_t memory_budget_bytes = 0;
+
   /// Capacity (in chunks) of a `ResultCursor`'s bounded hand-off queue;
   /// 0 resolves to max(2, pool threads). The producer blocks once the
   /// queue is full (backpressure), so an abandoned or slow consumer

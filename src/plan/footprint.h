@@ -1,0 +1,38 @@
+#ifndef TDP_PLAN_FOOTPRINT_H_
+#define TDP_PLAN_FOOTPRINT_H_
+
+#include <cstdint>
+
+#include "src/plan/logical_plan.h"
+#include "src/storage/catalog.h"
+
+namespace tdp {
+namespace plan {
+
+/// Static (pre-execution) resource estimate for one compiled plan against
+/// one catalog state. Deliberately coarse and deliberately pessimistic:
+/// the serving front end uses `peak_breaker_bytes` only to PRE-REJECT
+/// queries that could not possibly fit an admission ceiling — the
+/// per-query `MemoryBudget` enforced at run time (with spill-to-disk
+/// breakers) remains the real backstop, so an over-estimate here costs a
+/// shed, never a wrong answer.
+struct FootprintEstimate {
+  /// Estimated rows produced by the root (no selectivity credit for
+  /// filters; joins assume the larger side for equi keys).
+  int64_t output_rows = 0;
+  /// Largest estimated scratch materialization of any single breaker
+  /// (sort, hash-join build, aggregate, distinct, DML delta) in the tree.
+  int64_t peak_breaker_bytes = 0;
+};
+
+/// Walks the plan bottom-up, sizing each node's output from the catalog's
+/// CURRENT table row counts (a missing table estimates as empty — the run
+/// itself will surface the real error). Never fails: estimation must be
+/// admission-queue cheap and must not depend on executing anything.
+FootprintEstimate EstimatePlanFootprint(const LogicalNode& root,
+                                        const Catalog& catalog);
+
+}  // namespace plan
+}  // namespace tdp
+
+#endif  // TDP_PLAN_FOOTPRINT_H_

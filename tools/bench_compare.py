@@ -17,11 +17,51 @@ A benchmark regresses when its metric worsens by more than --threshold
 relative to the baseline: `items_per_second` (higher is better) when both
 sides report it, `real_time` (lower is better) otherwise. Benchmarks
 present on only one side are reported but never gate.
+
+User counters survive the merge and latency percentiles gate too: any
+counter named like a percentile (p50_ms, p95, p99_ms, ...) is compared
+lower-is-better at the same threshold — a serving path whose p99 blows up
+fails the gate even when mean throughput holds. Other counters (e.g.
+tenant_mix's shed_rate, whose healthy value depends on the workload
+sizing rather than code quality) are carried for trend visibility but
+never gate.
 """
 
 import argparse
 import json
+import re
 import sys
+
+# Keys google-benchmark emits for every entry; anything else numeric in a
+# raw JSON entry is a user counter.
+STANDARD_KEYS = {
+    "name",
+    "run_name",
+    "run_type",
+    "repetitions",
+    "repetition_index",
+    "threads",
+    "iterations",
+    "real_time",
+    "cpu_time",
+    "time_unit",
+    "items_per_second",
+    "bytes_per_second",
+    "aggregate_name",
+    "aggregate_unit",
+    "family_index",
+    "per_family_instance_index",
+    "label",
+    "error_occurred",
+    "error_message",
+    "big_o",
+    "rms",
+    "suite",
+    "counters",
+}
+
+# Counters gated lower-is-better: latency percentiles however suffixed.
+PERCENTILE_RE = re.compile(r"^p\d+(_|$)")
 
 
 def load(path):
@@ -48,6 +88,12 @@ def merged_entries(doc):
             if b.get("run_type") == "aggregate":
                 continue
             name = b["name"]
+        # User counters: already folded into "counters" for merged
+        # trajectory entries, loose numeric fields in raw benchmark JSON.
+        counters = dict(b.get("counters", {}))
+        for k, v in b.items():
+            if k not in STANDARD_KEYS and isinstance(v, (int, float)):
+                counters[k] = v
         entries.append(
             {
                 "suite": b.get("suite", ""),
@@ -60,6 +106,7 @@ def merged_entries(doc):
                     if "items_per_second" in b
                     else {}
                 ),
+                **({"counters": counters} if counters else {}),
             }
         )
     return entries
@@ -143,6 +190,27 @@ def cmd_compare(args):
             verdict += "  REGRESSION"
             regressions.append((k, delta))
         rows.append((k, shown[0], shown[1], verdict))
+
+        # Shared user counters: percentile-named ones (p50_ms, p99_ms, ...)
+        # gate lower-is-better; the rest are displayed only.
+        b_counters = b.get("counters", {})
+        c_counters = c.get("counters", {})
+        for counter in sorted(b_counters.keys() & c_counters.keys()):
+            bv, cv = b_counters[counter], c_counters[counter]
+            ck = (k[0], f"{k[1]} [{counter}]")
+            shown = (f"{bv:.3f}", f"{cv:.3f}")
+            if not PERCENTILE_RE.match(counter):
+                rows.append((ck, shown[0], shown[1], "(not gated)"))
+                continue
+            # 0.05 ms absolute noise floor: sub-tick percentiles on fast
+            # paths must not divide by ~0 and flap the gate.
+            worsening = (cv - bv) / max(bv, 0.05)
+            delta = -worsening
+            verdict = f"{delta:+.1%}"
+            if worsening > args.threshold:
+                verdict += "  REGRESSION"
+                regressions.append((ck, delta))
+            rows.append((ck, shown[0], shown[1], verdict))
 
     name_w = max(len(f"{s}:{n}") for s, n in (k for k, *_ in rows)) if rows else 10
     print(f"{'benchmark'.ljust(name_w)}  {'baseline':>14}  {'current':>14}  delta")
