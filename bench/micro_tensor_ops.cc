@@ -7,7 +7,9 @@
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/tensor/buffer.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/scratch.h"
 
 namespace tdp {
 namespace {
@@ -60,8 +62,28 @@ void BM_Conv2d(benchmark::State& state) {
   Tensor input = RandNormal({4, 8, 16, 16}, 0, 1, rng).To(device);
   Tensor weight = RandNormal({16, 8, 3, 3}, 0, 0.1, rng).To(device);
   Tensor bias = RandNormal({16}, 0, 0.1, rng).To(device);
+  // Warm the per-thread im2col scratch and any cached reorders, then hold
+  // the steady state to an allocation budget: each iteration may allocate
+  // only the output buffer (the bias staging copy and per-sample unfold
+  // buffers used to be re-malloc'ed every forward).
+  Conv2d(input, weight, bias, 1, 1);
+  Conv2d(input, weight, bias, 1, 1);
+  const int64_t allocs_before = Buffer::allocation_count();
+  const int64_t growth_before = ScratchArena::growth_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(Conv2d(input, weight, bias, 1, 1).impl().get());
+  }
+  const int64_t allocs = Buffer::allocation_count() - allocs_before;
+  const int64_t growth = ScratchArena::growth_count() - growth_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  if (allocs > static_cast<int64_t>(state.iterations())) {
+    state.SkipWithError("steady-state Conv2d allocated more than its output");
+  }
+  // Multi-threaded shards may each warm a fresh thread-local arena once;
+  // growth beyond the pool width means per-iteration churn came back.
+  if (growth > ThreadPool::Global().num_threads()) {
+    state.SkipWithError("steady-state Conv2d kept growing scratch arenas");
   }
 }
 BENCHMARK(BM_Conv2d)->Arg(0)->Arg(1);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -115,6 +116,24 @@ inline int64_t GrainForCost(int64_t per_index_cost,
                             int64_t min_shard_work = int64_t{1} << 15) {
   return std::max<int64_t>(
       1, min_shard_work / std::max<int64_t>(per_index_cost, 1));
+}
+
+/// Saturating product of non-negative cost factors: clamps to INT64_MAX
+/// instead of wrapping. Cost estimates feed `GrainForCost`, where
+/// adversarially large shapes (e.g. a [2^21 x 2^21] x [2^21 x 2^21]
+/// matmul's m*k*n) would otherwise signed-overflow — UB — before the pool
+/// ever shards the loop. Any clamped value already means "one index is
+/// more than enough work per shard", so precision past the clamp is moot.
+inline int64_t SaturatingCostProduct(int64_t a, int64_t b) {
+  int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return out;
+}
+
+inline int64_t SaturatingCostProduct(int64_t a, int64_t b, int64_t c) {
+  return SaturatingCostProduct(SaturatingCostProduct(a, b), c);
 }
 
 }  // namespace tdp

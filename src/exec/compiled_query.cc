@@ -206,6 +206,10 @@ ExecContext CompiledQuery::MakeContext(const RunOptions& options,
   // member to null, but guard soft_mode explicitly for clarity.
   ctx.udf_dispatch = ctx.soft_mode ? nullptr : udf_dispatch_;
   ctx.model_batch_rows = options.model_batch_rows;
+  // The plan-lifetime primitive cache (fused filter+project programs,
+  // reusable join build sides). Internally synchronized, so concurrent
+  // runs of one shared CompiledQuery stay safe.
+  ctx.primitive_cache = primitive_cache_.get();
   return ctx;
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/common/statusor.h"
 #include "src/exec/operators.h"
+#include "src/exec/primitive_cache.h"
 #include "src/exec/result_cursor.h"
 #include "src/exec/run_options.h"
 #include "src/nn/module.h"
@@ -96,6 +97,11 @@ class CompiledQuery : public std::enable_shared_from_this<CompiledQuery> {
 
   Device device() const { return device_; }
 
+  /// The plan-lifetime cache of execution primitives (fused
+  /// filter+project programs, reusable join build sides). Exposed for
+  /// tests asserting hit/miss and invalidation behaviour.
+  PrimitiveCache& primitive_cache() const { return *primitive_cache_; }
+
   /// EXPLAIN-style plan rendering.
   std::string Explain() const { return plan_->ToString(); }
 
@@ -128,6 +134,11 @@ class CompiledQuery : public std::enable_shared_from_this<CompiledQuery> {
   UdfDispatcher* udf_dispatch_ = nullptr;
   int64_t num_params_ = 0;
   std::vector<std::shared_ptr<nn::Module>> modules_;
+  /// Mutable run-shared state behind the otherwise-immutable query object;
+  /// the cache synchronizes internally and its entries are keyed by data
+  /// identity, so concurrent runs with conflicting options stay exact.
+  std::unique_ptr<PrimitiveCache> primitive_cache_ =
+      std::make_unique<PrimitiveCache>();
 };
 
 }  // namespace exec

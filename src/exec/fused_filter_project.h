@@ -1,0 +1,118 @@
+#ifndef TDP_EXEC_FUSED_FILTER_PROJECT_H_
+#define TDP_EXEC_FUSED_FILTER_PROJECT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exec/chunk.h"
+#include "src/exec/operators.h"
+#include "src/exec/value.h"
+#include "src/plan/logical_plan.h"
+
+namespace tdp {
+namespace exec {
+
+// Fused Filter(+Project) evaluation: one pass over the morsel instead of
+// the unfused chain of per-operator tensor programs (per-conjunct compare
+// tensors, dtype-conversion copies, LogicalAnd materialization, a NonZero
+// over the assembled mask, and a full-width Select before projection).
+//
+// The fused path is an EXACT re-expression of the unfused one, never an
+// approximation: every per-element operation replicates the unfused
+// evaluation chain bit for bit on both backends (kAccel compares/computes
+// in the promoted dtype; kCpu routes each element through the reference
+// backend's double-math chain), so mixing fused and unfused evaluation —
+// including the per-morsel fallback below — can never change a result.
+// tests/kernel_parity_test.cc holds fused and unfused runs bit-identical
+// across devices, executors, thread counts, and morsel sizes.
+//
+// Scope (anything else falls back to the unfused operators):
+//   predicate    AND-tree of comparisons between one column reference and
+//                one literal/parameter — numeric compares on plain 1-d
+//                int32/int64/float32/float64 columns, string compares on
+//                dictionary columns (lowered to the same order-preserving
+//                code compares the unfused path uses);
+//   projections  column passthroughs, or +/-/* between such a column and a
+//                numeric literal/parameter.
+//
+// Compilation is structural (per plan node, cached in PrimitiveCache);
+// cheap per-morsel applicability checks — encodings, dtypes, resolved
+// parameter kinds, autograd state — run at Execute() time, and any failure
+// returns nullopt so the caller runs the unfused operators instead (which
+// also reproduces the exact unfused error for genuinely ill-typed inputs).
+
+class FusedFilterProject;
+using FusedProgramPtr = std::shared_ptr<const FusedFilterProject>;
+
+/// Process-wide kill switch for the fused fast path (parity tests compare
+/// fused vs unfused results). Returns the previous value.
+bool SetFusedEvalEnabled(bool enabled);
+bool FusedEvalEnabled();
+
+class FusedFilterProject {
+ public:
+  /// Compiles `filter` (and, when non-null, the immediately following
+  /// `project`) into a fused program. Returns null when the predicate is
+  /// out of scope; when only the projections are out of scope the result
+  /// is a filter-only program (`has_project() == false`) and the caller
+  /// keeps running the Project unfused.
+  static FusedProgramPtr Compile(const plan::FilterNode& filter,
+                                 const plan::ProjectNode* project);
+
+  /// Whether the program consumed the Project operator too (the caller
+  /// advances past both operators on success).
+  bool has_project() const { return has_project_; }
+
+  /// Runs the fused program over `input`. nullopt = a runtime
+  /// applicability check failed; the caller must fall back to the unfused
+  /// operators (bit-identical by construction, so the fallback is safe on
+  /// any subset of morsels).
+  std::optional<Chunk> Execute(const Chunk& input,
+                               const ExecContext& ctx) const;
+
+  // Program structure (public for the implementation helpers in the .cc;
+  // instances are only built through Compile()).
+  enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+  enum class ArithOp { kAdd, kSub, kMul };
+
+  /// A literal operand: either an inline constant or a `?` parameter
+  /// resolved from the run's bindings at Execute() time.
+  struct LitSource {
+    bool is_param = false;
+    int64_t ordinal = 0;   // when is_param
+    ScalarValue literal;   // when !is_param
+  };
+
+  /// One predicate conjunct: <column> <cmp> <literal> (or mirrored).
+  struct Conjunct {
+    int64_t col = 0;
+    CmpOp op = CmpOp::kEq;
+    bool lit_on_left = false;
+    LitSource lit;
+  };
+
+  struct Projection {
+    bool passthrough = false;
+    int64_t col = 0;
+    ArithOp op = ArithOp::kAdd;
+    bool lit_on_left = false;
+    LitSource lit;
+  };
+
+ private:
+  friend struct FusedCompiler;
+
+  FusedFilterProject() = default;
+
+  std::vector<Conjunct> conjuncts_;
+  bool has_project_ = false;
+  std::vector<Projection> projections_;
+  std::vector<std::string> project_names_;
+};
+
+}  // namespace exec
+}  // namespace tdp
+
+#endif  // TDP_EXEC_FUSED_FILTER_PROJECT_H_

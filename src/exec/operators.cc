@@ -11,7 +11,9 @@
 #include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/exec/bound_expr.h"
+#include "src/exec/fused_filter_project.h"
 #include "src/exec/operator_kernels.h"
+#include "src/exec/primitive_cache.h"
 #include "src/exec/soft_ops.h"
 #include "src/exec/spill_kernels.h"
 #include "src/tensor/ops.h"
@@ -178,7 +180,34 @@ StatusOr<Chunk> ExecuteScan(const ScanNode& node, const ExecContext& ctx) {
       chunk.columns.push_back(table->column(i));
     }
   }
-  // Move data to the execution device if the table lives elsewhere.
+  // Move data to the execution device if the table lives elsewhere. The
+  // transfer copies every column, so repeated prepared-statement runs keep
+  // the moved columns in the per-plan cache, keyed by table identity —
+  // DML installs a fresh Table object, which misses and re-transfers.
+  // Sharing the cached copy across runs aliases no more than the
+  // same-device path below, which hands out the table's own columns.
+  bool needs_move = false;
+  for (const Column& c : chunk.columns) {
+    if (c.data().device() != ctx.device) {
+      needs_move = true;
+      break;
+    }
+  }
+  if (!needs_move) return chunk;
+  if (ctx.primitive_cache != nullptr) {
+    std::shared_ptr<const Table> key = table;
+    if (auto cached = ctx.primitive_cache->LookupScan(&node, key, ctx.device)) {
+      chunk.columns = *cached;
+      return chunk;
+    }
+    for (Column& c : chunk.columns) {
+      if (c.data().device() != ctx.device) c = c.To(ctx.device);
+    }
+    ctx.primitive_cache->StoreScan(
+        &node, std::move(key), ctx.device,
+        std::make_shared<const std::vector<Column>>(chunk.columns));
+    return chunk;
+  }
   for (Column& c : chunk.columns) {
     if (c.data().device() != ctx.device) c = c.To(ctx.device);
   }
@@ -1521,16 +1550,52 @@ StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
                             std::move(input), ctx);
     }
     case plan::NodeKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
       TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
-      return ExecuteFilter(static_cast<const FilterNode&>(node), input, ctx);
+      // Fused fast path (filter-only program; when this node's parent is a
+      // Project, the kProject case below owns the fused pair and the
+      // cached program has has_project() set, so it is skipped here).
+      if (ctx.primitive_cache != nullptr && FusedEvalEnabled()) {
+        FusedProgramPtr program = ctx.primitive_cache->GetFused(
+            &node,
+            [&filter] { return FusedFilterProject::Compile(filter, nullptr); });
+        if (program != nullptr && !program->has_project()) {
+          std::optional<Chunk> fused = program->Execute(input, ctx);
+          if (fused.has_value()) return std::move(*fused);
+        }
+      }
+      return ExecuteFilter(filter, input, ctx);
     }
     case plan::NodeKind::kProject: {
+      const auto& project = static_cast<const ProjectNode&>(node);
+      // Fused filter+project: when the child is a Filter, compile the pair
+      // once and run both operators in a single pass over the input. A
+      // runtime applicability miss falls back to the unfused pair over the
+      // same child output — bit-identical by construction.
+      if (ctx.primitive_cache != nullptr && FusedEvalEnabled() &&
+          !node.children.empty() &&
+          node.children[0]->kind == plan::NodeKind::kFilter &&
+          !node.children[0]->children.empty()) {
+        const auto& filter = static_cast<const FilterNode&>(*node.children[0]);
+        FusedProgramPtr program = ctx.primitive_cache->GetFused(
+            &filter, [&filter, &project] {
+              return FusedFilterProject::Compile(filter, &project);
+            });
+        if (program != nullptr && program->has_project()) {
+          TDP_ASSIGN_OR_RETURN(
+              Chunk input, ExecuteNode(*node.children[0]->children[0], ctx));
+          std::optional<Chunk> fused = program->Execute(input, ctx);
+          if (fused.has_value()) return std::move(*fused);
+          TDP_ASSIGN_OR_RETURN(Chunk filtered,
+                               ExecuteFilter(filter, input, ctx));
+          return ExecuteProject(project, filtered, ctx);
+        }
+      }
       Chunk input;
       if (!node.children.empty()) {
         TDP_ASSIGN_OR_RETURN(input, ExecuteNode(*node.children[0], ctx));
       }
-      return ExecuteProject(static_cast<const ProjectNode&>(node), input,
-                            ctx);
+      return ExecuteProject(project, input, ctx);
     }
     case plan::NodeKind::kAggregate: {
       TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));
@@ -1539,13 +1604,43 @@ StatusOr<Chunk> ExecuteNode(const LogicalNode& node, const ExecContext& ctx) {
     }
     case plan::NodeKind::kJoin: {
       const auto& join = static_cast<const JoinNode&>(node);
-      TDP_ASSIGN_OR_RETURN(Chunk left, ExecuteNode(*node.children[0], ctx));
-      TDP_ASSIGN_OR_RETURN(Chunk right, ExecuteNode(*node.children[1], ctx));
-      Chunk build = join.build_left ? std::move(left) : std::move(right);
-      const Chunk probe = join.build_left ? std::move(right) : std::move(left);
-      TDP_ASSIGN_OR_RETURN(JoinHashTable ht,
-                           BuildJoinHashTable(join, std::move(build), ctx));
-      return ProbeJoin(join, ht, probe, ctx);
+      const LogicalNode& build_child =
+          *node.children[join.build_left ? 0 : 1];
+      const LogicalNode& probe_child =
+          *node.children[join.build_left ? 1 : 0];
+      // Reusable build side: when the build subtree is a deterministic
+      // Filter/Project chain over one scan, key the hash table by (join
+      // node, table identity, device) in the plan's PrimitiveCache. A hit
+      // skips executing the build subtree and re-hashing it; DML swaps the
+      // Table object, so the next run misses and rebuilds.
+      std::shared_ptr<Table> build_table;
+      std::shared_ptr<const JoinHashTable> ht;
+      if (ctx.primitive_cache != nullptr && !ctx.soft_mode &&
+          ctx.memory == nullptr) {
+        const ScanNode* scan = CacheableBuildSubtree(build_child);
+        if (scan != nullptr) {
+          StatusOr<std::shared_ptr<Table>> resolved =
+              ctx.catalog->GetTable(scan->table_name);
+          if (resolved.ok()) {
+            build_table = std::move(resolved).value();
+            ht = ctx.primitive_cache->LookupJoin(&node, build_table,
+                                                 ctx.device);
+          }
+        }
+      }
+      if (ht == nullptr) {
+        TDP_ASSIGN_OR_RETURN(Chunk build, ExecuteNode(build_child, ctx));
+        TDP_ASSIGN_OR_RETURN(JoinHashTable built,
+                             BuildJoinHashTable(join, std::move(build), ctx));
+        auto shared = std::make_shared<const JoinHashTable>(std::move(built));
+        if (build_table != nullptr && shared->spilled == nullptr) {
+          ctx.primitive_cache->StoreJoin(&node, std::move(build_table),
+                                         ctx.device, shared);
+        }
+        ht = std::move(shared);
+      }
+      TDP_ASSIGN_OR_RETURN(Chunk probe, ExecuteNode(probe_child, ctx));
+      return ProbeJoin(join, *ht, probe, ctx);
     }
     case plan::NodeKind::kSort: {
       TDP_ASSIGN_OR_RETURN(Chunk input, ExecuteNode(*node.children[0], ctx));

@@ -19,6 +19,8 @@ struct PipelinePlan;
 
 namespace exec {
 
+class PrimitiveCache;
+
 /// Default morsel size: the `TDP_MORSEL_ROWS` environment variable,
 /// falling back to 65536 rows (~a few MB of scalar columns per morsel);
 /// invalid values warn and fall back, like `TDP_NUM_THREADS`.
@@ -81,6 +83,13 @@ struct ExecContext {
   /// their materializations here and switch to their spill-to-disk paths
   /// when over budget — bit-identical results either way.
   QueryMemory* memory = nullptr;
+  /// Per-plan scratch/primitive cache owned by the CompiledQuery (null for
+  /// bare kernel callers): fused filter+project programs and reusable join
+  /// build sides live here, so repeated prepared-statement runs stop
+  /// re-deriving per-run state that only depends on the plan and the
+  /// (immutable) input tables. Internally synchronized; entries are keyed
+  /// so every run — any device, params, or data version — stays correct.
+  PrimitiveCache* primitive_cache = nullptr;
 };
 
 /// OK while `ctx`'s run is live; `kCancelled` once its token has been

@@ -34,7 +34,9 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/exec/fused_filter_project.h"
 #include "src/exec/operator_kernels.h"
+#include "src/exec/primitive_cache.h"
 #include "src/plan/pipeline.h"
 
 namespace tdp {
@@ -52,8 +54,11 @@ struct PipelineOutputs {
   /// Breaker node -> its materialized output chunk.
   std::unordered_map<const LogicalNode*, Chunk> chunks;
   /// Join node -> its build-side hash table (built by the kJoinBuild
-  /// pipeline, probed by the streaming side).
-  std::unordered_map<const LogicalNode*, JoinHashTable> joins;
+  /// pipeline, probed by the streaming side). Shared pointers so a
+  /// PrimitiveCache-reused build (keyed by table identity) plugs in
+  /// without copying the table.
+  std::unordered_map<const LogicalNode*, std::shared_ptr<const JoinHashTable>>
+      joins;
 };
 
 /// Applies the pipeline's streaming operators to one morsel.
@@ -68,13 +73,35 @@ struct PipelineOutputs {
 StatusOr<Chunk> ApplyOps(const Pipeline& p, Chunk morsel,
                          const PipelineOutputs& outs, const ExecContext& ctx,
                          bool stop_when_empty) {
-  for (const LogicalNode* op : p.ops) {
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    const LogicalNode* op = p.ops[i];
     if (stop_when_empty && morsel.num_rows() == 0) return morsel;
     switch (op->kind) {
       case NodeKind::kFilter: {
-        TDP_ASSIGN_OR_RETURN(
-            morsel, ExecuteFilter(static_cast<const plan::FilterNode&>(*op),
-                                  morsel, ctx));
+        const auto& filter = static_cast<const plan::FilterNode&>(*op);
+        // Fused filter(+project) fast path: one pass over the morsel. The
+        // program is compiled once per plan node (PrimitiveCache, with
+        // negative caching); a per-morsel applicability miss falls through
+        // to the unfused operators, which are bit-identical.
+        if (ctx.primitive_cache != nullptr && FusedEvalEnabled()) {
+          const plan::ProjectNode* next_project =
+              i + 1 < p.ops.size() && p.ops[i + 1]->kind == NodeKind::kProject
+                  ? static_cast<const plan::ProjectNode*>(p.ops[i + 1])
+                  : nullptr;
+          FusedProgramPtr program = ctx.primitive_cache->GetFused(
+              op, [&filter, next_project] {
+                return FusedFilterProject::Compile(filter, next_project);
+              });
+          if (program != nullptr) {
+            std::optional<Chunk> fused = program->Execute(morsel, ctx);
+            if (fused.has_value()) {
+              morsel = std::move(*fused);
+              if (program->has_project()) ++i;  // consumed the Project too
+              break;
+            }
+          }
+        }
+        TDP_ASSIGN_OR_RETURN(morsel, ExecuteFilter(filter, morsel, ctx));
         break;
       }
       case NodeKind::kProject: {
@@ -86,7 +113,7 @@ StatusOr<Chunk> ApplyOps(const Pipeline& p, Chunk morsel,
       case NodeKind::kJoin: {
         TDP_ASSIGN_OR_RETURN(
             morsel, ProbeJoin(static_cast<const plan::JoinNode&>(*op),
-                              outs.joins.at(op), morsel, ctx));
+                              *outs.joins.at(op), morsel, ctx));
         break;
       }
       case NodeKind::kModelEval: {
@@ -354,7 +381,7 @@ StatusOr<Chunk> ApplyBreaker(const LogicalNode& sink, Chunk input,
       // UDF-bearing residual: probe the whole assembled left relation at
       // once, exactly like the legacy path.
       return ProbeJoin(static_cast<const plan::JoinNode&>(sink),
-                       outs.joins.at(&sink), input, ctx);
+                       *outs.joins.at(&sink), input, ctx);
     case NodeKind::kIndexTopK:
       // Candidate ids address rows of the materialized scan; the ordered
       // k-row output then streams onward in morsel order like any other
@@ -476,6 +503,66 @@ Status StreamResultPipeline(const Pipeline& p, const PipelineOutputs& outs,
   return Status::OK();
 }
 
+/// True when this kJoinBuild pipeline's product is a pure function of the
+/// scanned table: the source is a direct table scan and every operator is
+/// a Filter/Project over cacheable (parameter/UDF-free) expressions. Such
+/// a build can be keyed by (join node, table identity, device) in the
+/// plan's PrimitiveCache and reused across runs until DML swaps the table.
+bool CacheableJoinBuildPipeline(const Pipeline& p) {
+  if (p.source == nullptr || p.source_pipeline >= 0 ||
+      p.source->kind != NodeKind::kScan) {
+    return false;
+  }
+  for (const LogicalNode* op : p.ops) {
+    if (op->kind == NodeKind::kFilter) {
+      const auto& f = static_cast<const plan::FilterNode&>(*op);
+      if (f.predicate == nullptr || !CacheableExpr(*f.predicate)) {
+        return false;
+      }
+    } else if (op->kind == NodeKind::kProject) {
+      const auto& pr = static_cast<const plan::ProjectNode&>(*op);
+      for (const BoundExprPtr& e : pr.exprs) {
+        if (!CacheableExpr(*e)) return false;
+      }
+    } else {
+      return false;  // ModelEval, probe stages, ... are not cacheable
+    }
+  }
+  return true;
+}
+
+/// Produces the build-side hash table for a kJoinBuild pipeline, going
+/// through the plan's PrimitiveCache when the build is cacheable: a hit
+/// skips running the pipeline (and re-hashing) entirely; a miss builds and
+/// installs the result for the next run. Spill-eligible runs (a memory
+/// budget is set) and soft-mode runs bypass the cache.
+StatusOr<std::shared_ptr<const JoinHashTable>> BuildOrReuseJoin(
+    const Pipeline& p, const PipelineOutputs& outs, const ExecContext& ctx) {
+  const auto& join = static_cast<const plan::JoinNode&>(*p.sink);
+  std::shared_ptr<Table> table;
+  if (ctx.primitive_cache != nullptr && !ctx.soft_mode &&
+      ctx.memory == nullptr && CacheableJoinBuildPipeline(p)) {
+    StatusOr<std::shared_ptr<Table>> resolved = ctx.catalog->GetTable(
+        static_cast<const plan::ScanNode&>(*p.source).table_name);
+    // Resolution failures fall through to the pipeline run, which reports
+    // them with the scan's own diagnostics.
+    if (resolved.ok()) {
+      table = std::move(resolved).value();
+      std::shared_ptr<const JoinHashTable> hit =
+          ctx.primitive_cache->LookupJoin(p.sink, table, ctx.device);
+      if (hit != nullptr) return hit;
+    }
+  }
+  TDP_ASSIGN_OR_RETURN(Chunk produced, RunPipeline(p, outs, ctx));
+  TDP_ASSIGN_OR_RETURN(JoinHashTable built,
+                       BuildJoinHashTable(join, std::move(produced), ctx));
+  auto ht = std::make_shared<const JoinHashTable>(std::move(built));
+  if (table != nullptr && ht->spilled == nullptr) {
+    ctx.primitive_cache->StoreJoin(p.sink, std::move(table), ctx.device, ht);
+  }
+  return ht;
+}
+
 Status ExecuteStreamingImpl(const PipelinePlan& pplan, const ExecContext& ctx,
                             const ChunkSink& sink) {
   PipelineOutputs outs;
@@ -483,18 +570,17 @@ Status ExecuteStreamingImpl(const PipelinePlan& pplan, const ExecContext& ctx,
     if (p.sink_kind == SinkKind::kResult) {
       return StreamResultPipeline(p, outs, ctx, sink);
     }
+    if (p.sink_kind == SinkKind::kJoinBuild) {
+      TDP_ASSIGN_OR_RETURN(std::shared_ptr<const JoinHashTable> ht,
+                           BuildOrReuseJoin(p, outs, ctx));
+      outs.joins.emplace(p.sink, std::move(ht));
+      continue;
+    }
     TDP_ASSIGN_OR_RETURN(Chunk produced, RunPipeline(p, outs, ctx));
     switch (p.sink_kind) {
       case SinkKind::kResult:
+      case SinkKind::kJoinBuild:
         break;  // handled above
-      case SinkKind::kJoinBuild: {
-        TDP_ASSIGN_OR_RETURN(
-            JoinHashTable ht,
-            BuildJoinHashTable(static_cast<const plan::JoinNode&>(*p.sink),
-                               std::move(produced), ctx));
-        outs.joins.emplace(p.sink, std::move(ht));
-        break;
-      }
       case SinkKind::kAggregate:
       case SinkKind::kLimit:
         // RunPipeline already produced the breaker's output.

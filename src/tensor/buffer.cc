@@ -1,5 +1,6 @@
 #include "src/tensor/buffer.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -10,10 +11,16 @@ namespace tdp {
 
 namespace {
 constexpr size_t kAlignment = 64;
+std::atomic<int64_t> g_allocation_count{0};
 }  // namespace
+
+int64_t Buffer::allocation_count() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
 
 std::shared_ptr<Buffer> Buffer::Allocate(int64_t size_bytes, bool zero) {
   TDP_CHECK_GE(size_bytes, 0);
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
   // Round up to the alignment so we can always over-read a full cache line.
   const size_t alloc =
       (static_cast<size_t>(size_bytes) + kAlignment - 1) / kAlignment *

@@ -16,6 +16,12 @@ class Buffer {
   static std::shared_ptr<Buffer> Allocate(int64_t size_bytes,
                                           bool zero = false);
 
+  /// Process-wide count of `Allocate` calls (monotonic, relaxed). Lets
+  /// tests and benches assert steady-state allocation behavior of hot
+  /// kernels — e.g. that a conv forward with cached scratch performs
+  /// exactly one buffer allocation (the output).
+  static int64_t allocation_count();
+
   ~Buffer();
 
   Buffer(const Buffer&) = delete;

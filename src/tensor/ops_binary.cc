@@ -56,50 +56,13 @@ bool IsComparison(BinKind kind) {
          kind == BinKind::kGt || kind == BinKind::kGe;
 }
 
-template <typename T>
-T ApplyArith(BinKind kind, T a, T b) {
-  switch (kind) {
-    case BinKind::kAdd:
-      return a + b;
-    case BinKind::kSub:
-      return a - b;
-    case BinKind::kMul:
-      return a * b;
-    case BinKind::kDiv:
-      return a / b;
-    case BinKind::kMax:
-      return a >= b ? a : b;
-    case BinKind::kMin:
-      return a <= b ? a : b;
-    default:
-      TDP_LOG(Fatal) << "not an arithmetic kind";
-      return a;
-  }
-}
-
-template <typename T>
-bool ApplyCompare(BinKind kind, T a, T b) {
-  switch (kind) {
-    case BinKind::kEq:
-      return a == b;
-    case BinKind::kNe:
-      return a != b;
-    case BinKind::kLt:
-      return a < b;
-    case BinKind::kLe:
-      return a <= b;
-    case BinKind::kGt:
-      return a > b;
-    case BinKind::kGe:
-      return a >= b;
-    default:
-      TDP_LOG(Fatal) << "not a comparison kind";
-      return false;
-  }
-}
 
 // Accelerated backend: templated inner loops; contiguous same-shape inputs
-// take a branch-free tight loop, otherwise a strided odometer walk.
+// take a branch-free tight loop, a single-element operand (scalar literal
+// against a column — every `col <op> constant` predicate and projection)
+// is hoisted out of a tight loop over the other side, and anything else
+// falls back to a strided odometer walk. All three paths apply the same
+// per-element `f`, so results are bit-identical regardless of which fires.
 template <typename T, typename OutT, typename F>
 void AccelLoop(const Tensor& a, const Tensor& b, Tensor& out,
                const std::vector<int64_t>& out_shape, F f) {
@@ -114,6 +77,28 @@ void AccelLoop(const Tensor& a, const Tensor& b, Tensor& out,
                 [op, ap, bp, &f](int64_t shard_begin, int64_t shard_end) {
                   for (int64_t i = shard_begin; i < shard_end; ++i) {
                     op[i] = f(ap[i], bp[i]);
+                  }
+                });
+    return;
+  }
+  if (b.numel() == 1 && a.is_contiguous() && a.shape() == out_shape) {
+    const T* ap = a.data<T>();
+    const T bv = *b.data<T>();
+    ParallelFor(0, n, GrainForCost(1),
+                [op, ap, bv, &f](int64_t shard_begin, int64_t shard_end) {
+                  for (int64_t i = shard_begin; i < shard_end; ++i) {
+                    op[i] = f(ap[i], bv);
+                  }
+                });
+    return;
+  }
+  if (a.numel() == 1 && b.is_contiguous() && b.shape() == out_shape) {
+    const T av = *a.data<T>();
+    const T* bp = b.data<T>();
+    ParallelFor(0, n, GrainForCost(1),
+                [op, av, bp, &f](int64_t shard_begin, int64_t shard_end) {
+                  for (int64_t i = shard_begin; i < shard_end; ++i) {
+                    op[i] = f(av, bp[i]);
                   }
                 });
     return;
@@ -133,6 +118,64 @@ void AccelLoop(const Tensor& a, const Tensor& b, Tensor& out,
                   op[i] = f(abase[it.offset(0)], bbase[it.offset(1)]);
                 }
               });
+}
+
+// The op kind is hoisted out of the loop here: each case hands AccelLoop a
+// capture-free lambda whose body is one branch-free expression, so the
+// inner loops stay vectorizable (a per-element `switch (kind)` defeats
+// SIMD — tools/check_vectorization.sh guards against its return).
+template <typename T>
+void AccelArithLoop(BinKind kind, const Tensor& a, const Tensor& b,
+                    Tensor& out, const std::vector<int64_t>& out_shape) {
+  switch (kind) {
+    case BinKind::kAdd:
+      return AccelLoop<T, T>(a, b, out, out_shape,
+                             [](T x, T y) { return x + y; });
+    case BinKind::kSub:
+      return AccelLoop<T, T>(a, b, out, out_shape,
+                             [](T x, T y) { return x - y; });
+    case BinKind::kMul:
+      return AccelLoop<T, T>(a, b, out, out_shape,
+                             [](T x, T y) { return x * y; });
+    case BinKind::kDiv:
+      return AccelLoop<T, T>(a, b, out, out_shape,
+                             [](T x, T y) { return x / y; });
+    case BinKind::kMax:
+      return AccelLoop<T, T>(a, b, out, out_shape,
+                             [](T x, T y) { return x >= y ? x : y; });
+    case BinKind::kMin:
+      return AccelLoop<T, T>(a, b, out, out_shape,
+                             [](T x, T y) { return x <= y ? x : y; });
+    default:
+      TDP_LOG(Fatal) << "not an arithmetic kind";
+  }
+}
+
+template <typename T>
+void AccelCompareLoop(BinKind kind, const Tensor& a, const Tensor& b,
+                      Tensor& out, const std::vector<int64_t>& out_shape) {
+  switch (kind) {
+    case BinKind::kEq:
+      return AccelLoop<T, bool>(a, b, out, out_shape,
+                                [](T x, T y) { return x == y; });
+    case BinKind::kNe:
+      return AccelLoop<T, bool>(a, b, out, out_shape,
+                                [](T x, T y) { return x != y; });
+    case BinKind::kLt:
+      return AccelLoop<T, bool>(a, b, out, out_shape,
+                                [](T x, T y) { return x < y; });
+    case BinKind::kLe:
+      return AccelLoop<T, bool>(a, b, out, out_shape,
+                                [](T x, T y) { return x <= y; });
+    case BinKind::kGt:
+      return AccelLoop<T, bool>(a, b, out, out_shape,
+                                [](T x, T y) { return x > y; });
+    case BinKind::kGe:
+      return AccelLoop<T, bool>(a, b, out, out_shape,
+                                [](T x, T y) { return x >= y; });
+    default:
+      TDP_LOG(Fatal) << "not a comparison kind";
+  }
 }
 
 // Reference backend: per-element dispatch through std::function on doubles,
@@ -235,28 +278,25 @@ Tensor BinaryEval(BinKind kind, const Tensor& a0, const Tensor& b0) {
   }
 
   if (kind == BinKind::kAnd || kind == BinKind::kOr) {
-    const bool is_and = kind == BinKind::kAnd;
-    AccelLoop<bool, bool>(a, b, out, out_shape, [is_and](bool x, bool y) {
-      return is_and ? (x && y) : (x || y);
-    });
+    if (kind == BinKind::kAnd) {
+      AccelLoop<bool, bool>(a, b, out, out_shape,
+                            [](bool x, bool y) { return x && y; });
+    } else {
+      AccelLoop<bool, bool>(a, b, out, out_shape,
+                            [](bool x, bool y) { return x || y; });
+    }
     return out;
   }
 
   if (IsComparison(kind)) {
     TDP_DISPATCH_NUMERIC(compute_dtype, {
-      AccelLoop<scalar_t, bool>(a, b, out, out_shape,
-                                [kind](scalar_t x, scalar_t y) {
-                                  return ApplyCompare<scalar_t>(kind, x, y);
-                                });
+      AccelCompareLoop<scalar_t>(kind, a, b, out, out_shape);
     });
     return out;
   }
 
   TDP_DISPATCH_NUMERIC(compute_dtype, {
-    AccelLoop<scalar_t, scalar_t>(a, b, out, out_shape,
-                                  [kind](scalar_t x, scalar_t y) {
-                                    return ApplyArith<scalar_t>(kind, x, y);
-                                  });
+    AccelArithLoop<scalar_t>(kind, a, b, out, out_shape);
   });
   return out;
 }

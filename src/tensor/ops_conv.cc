@@ -6,6 +6,7 @@
 #include "src/common/thread_pool.h"
 #include "src/tensor/dispatch.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/scratch.h"
 
 namespace tdp {
 namespace {
@@ -89,17 +90,21 @@ void Col2Im(const T* cols, const ConvGeometry& g, T* img) {
   }
 }
 
+// Dense row-major GEMM for the im2col path. Like `MatMulAccel`, every
+// a-element participates unconditionally: skipping zero multiplicands
+// would break both vectorization and IEEE non-finite propagation
+// (0 * inf = NaN must survive the accelerated path).
 template <typename T>
-void GemmRowMajor(const T* a, const T* b, T* c, int64_t m, int64_t k,
-                  int64_t n, bool accumulate) {
+void GemmRowMajor(const T* __restrict a, const T* __restrict b,
+                  T* __restrict c, int64_t m, int64_t k, int64_t n,
+                  bool accumulate) {
   if (!accumulate) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(T));
   for (int64_t i = 0; i < m; ++i) {
-    const T* arow = a + i * k;
-    T* crow = c + i * n;
+    const T* __restrict arow = a + i * k;
+    T* __restrict crow = c + i * n;
     for (int64_t p = 0; p < k; ++p) {
       const T av = arow[p];
-      if (av == static_cast<T>(0)) continue;
-      const T* brow = b + p * n;
+      const T* __restrict brow = b + p * n;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
@@ -117,8 +122,12 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     TDP_CHECK_EQ(bias.numel(), g.out_channels);
   }
 
-  const Tensor ic = input.Detach().Contiguous();
-  const Tensor wc = weight.Detach().Contiguous();
+  // Row-major operands via the format tag: dense inputs pass through,
+  // strided views hit the cached reorder. The bias is read in place (no
+  // per-call ToVector copy — it used to be re-materialized every forward).
+  const Tensor ic = input.RowMajor();
+  const Tensor wc = weight.RowMajor();
+  const Tensor bc = bias.defined() ? bias.RowMajor() : Tensor();
   Tensor out = Tensor::Empty({g.batch, g.out_channels, g.out_h, g.out_w},
                              input.dtype(), input.device());
   const int64_t cols_rows = g.in_channels * g.kernel * g.kernel;
@@ -129,25 +138,26 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     const scalar_t* ip = ic.data<scalar_t>();
     const scalar_t* wp = wc.data<scalar_t>();
     scalar_t* op = out.data<scalar_t>();
-    std::vector<scalar_t> bias_copy;
-    if (bias.defined()) bias_copy = bias.Detach().ToVector<scalar_t>();
-    const scalar_t* bp = bias.defined() ? bias_copy.data() : nullptr;
-    // Samples are independent; shard the batch. Each shard owns a scratch
-    // im2col buffer so the accelerated path stays allocation-light.
+    const scalar_t* bp = bc.defined() ? bc.data<scalar_t>() : nullptr;
+    // Samples are independent; shard the batch. Each shard unfolds into
+    // its thread's scratch arena, so steady-state forwards allocate
+    // nothing but the output.
     const int64_t sample_cost =
-        g.out_channels * cols_rows * cols_cols;
+        SaturatingCostProduct(g.out_channels, cols_rows, cols_cols);
     ParallelFor(0, g.batch, GrainForCost(sample_cost), [&, ip, wp, op, bp](
                     int64_t batch_begin, int64_t batch_end) {
-      std::vector<scalar_t> cols(
-          accel ? static_cast<size_t>(cols_rows * cols_cols) : size_t{0});
+      scalar_t* cols =
+          accel ? ScratchArena::ForThread().Get<scalar_t>(
+                      /*slot=*/0, cols_rows * cols_cols)
+                : nullptr;
       for (int64_t n = batch_begin; n < batch_end; ++n) {
         const scalar_t* img = ip + n * g.in_channels * g.height * g.width;
         scalar_t* dst = op + n * g.out_channels * cols_cols;
         if (accel) {
           // im2col + GEMM: the accelerated path.
-          Im2Col(img, g, cols.data());
-          GemmRowMajor(wp, cols.data(), dst, g.out_channels, cols_rows,
-                       cols_cols, /*accumulate=*/false);
+          Im2Col(img, g, cols);
+          GemmRowMajor(wp, cols, dst, g.out_channels, cols_rows, cols_cols,
+                       /*accumulate=*/false);
         } else {
           // Direct convolution with nested bounds checks: the reference path.
           for (int64_t o = 0; o < g.out_channels; ++o) {
@@ -190,9 +200,9 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   autograd::RecordOp(
       "Conv2d", {input, weight, bias}, out,
       [input, weight, bias, g, cols_rows, cols_cols](const Tensor& grad) {
-        const Tensor gc = grad.Contiguous();
-        const Tensor ic = input.Detach().Contiguous();
-        const Tensor wc = weight.Detach().Contiguous();
+        const Tensor gc = grad.RowMajor();
+        const Tensor ic = input.RowMajor();
+        const Tensor wc = weight.RowMajor();
         Tensor grad_input =
             Tensor::Zeros(input.shape(), grad.dtype(), grad.device());
         Tensor grad_weight =
@@ -207,19 +217,24 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
           const scalar_t* wp = wc.data<scalar_t>();
           scalar_t* gip = grad_input.data<scalar_t>();
           scalar_t* gwp = grad_weight.data<scalar_t>();
-          std::vector<scalar_t> cols(
-              static_cast<size_t>(cols_rows * cols_cols));
-          std::vector<scalar_t> cols_grad(
-              static_cast<size_t>(cols_rows * cols_cols));
+          const int64_t cols_n = cols_rows * cols_cols;
+          const int64_t img_n = g.in_channels * g.height * g.width;
+          // Three simultaneously-live scratch buffers from this thread's
+          // arena (training loops re-enter here every step; the arena
+          // makes the steady state allocation-free).
+          ScratchArena& arena = ScratchArena::ForThread();
+          scalar_t* cols = arena.Get<scalar_t>(/*slot=*/0, cols_n);
+          scalar_t* cols_grad = arena.Get<scalar_t>(/*slot=*/1, cols_n);
+          scalar_t* img_grad = arena.Get<scalar_t>(/*slot=*/2, img_n);
           for (int64_t n = 0; n < g.batch; ++n) {
-            const scalar_t* img = ip + n * g.in_channels * g.height * g.width;
+            const scalar_t* img = ip + n * img_n;
             const scalar_t* gout = gp + n * g.out_channels * cols_cols;
-            Im2Col(img, g, cols.data());
+            Im2Col(img, g, cols);
             // dW[o, r] += sum_j gout[o, j] * cols[r, j]
             for (int64_t o = 0; o < g.out_channels; ++o) {
               const scalar_t* grow = gout + o * cols_cols;
               for (int64_t r = 0; r < cols_rows; ++r) {
-                const scalar_t* crow = cols.data() + r * cols_cols;
+                const scalar_t* crow = cols + r * cols_cols;
                 double acc = 0;
                 for (int64_t j = 0; j < cols_cols; ++j) {
                   acc += static_cast<double>(grow[j]) *
@@ -229,25 +244,24 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               }
             }
             // dcols = W^T @ gout, then fold back into the input gradient.
-            std::memset(cols_grad.data(), 0,
-                        cols_grad.size() * sizeof(scalar_t));
+            // As in the forward GEMM, zero weights participate: skipping
+            // them would drop non-finite gradient propagation.
+            std::memset(cols_grad, 0,
+                        static_cast<size_t>(cols_n) * sizeof(scalar_t));
             for (int64_t o = 0; o < g.out_channels; ++o) {
-              const scalar_t* grow = gout + o * cols_cols;
+              const scalar_t* __restrict grow = gout + o * cols_cols;
               const scalar_t* wrow = wp + o * cols_rows;
               for (int64_t r = 0; r < cols_rows; ++r) {
                 const scalar_t wv = wrow[r];
-                if (wv == static_cast<scalar_t>(0)) continue;
-                scalar_t* crow = cols_grad.data() + r * cols_cols;
+                scalar_t* __restrict crow = cols_grad + r * cols_cols;
                 for (int64_t j = 0; j < cols_cols; ++j) {
                   crow[j] += wv * grow[j];
                 }
               }
             }
-            std::vector<scalar_t> img_grad(
-                static_cast<size_t>(g.in_channels * g.height * g.width));
-            Col2Im(cols_grad.data(), g, img_grad.data());
-            scalar_t* gin = gip + n * g.in_channels * g.height * g.width;
-            for (size_t i = 0; i < img_grad.size(); ++i) gin[i] += img_grad[i];
+            Col2Im(cols_grad, g, img_grad);
+            scalar_t* gin = gip + n * img_n;
+            for (int64_t i = 0; i < img_n; ++i) gin[i] += img_grad[i];
           }
           if (grad_bias.defined()) {
             scalar_t* gbp = grad_bias.data<scalar_t>();
@@ -284,7 +298,7 @@ Tensor Pool2dImpl(const Tensor& input, int64_t kernel, int64_t stride,
   const int64_t out_w = (width - kernel) / stride + 1;
   TDP_CHECK(out_h > 0 && out_w > 0);
 
-  const Tensor ic = input.Detach().Contiguous();
+  const Tensor ic = input.RowMajor();
   Tensor out = Tensor::Empty({batch, channels, out_h, out_w}, input.dtype(),
                              input.device());
   Tensor argmax;

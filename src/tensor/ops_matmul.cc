@@ -22,42 +22,46 @@ template <typename T>
 void MatMulReference(const T* a, int64_t ras, int64_t cas, const T* b,
                      int64_t rbs, int64_t cbs, T* c, int64_t m, int64_t k,
                      int64_t n) {
-  ParallelFor(0, m, GrainForCost(k * n), [=](int64_t row_begin,
-                                             int64_t row_end) {
-    double (*volatile fma)(double, double, double) = &ReferenceFma;
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        double acc = 0;
-        for (int64_t p = 0; p < k; ++p) {
-          acc = fma(acc, static_cast<double>(a[i * ras + p * cas]),
-                    static_cast<double>(b[p * rbs + j * cbs]));
-        }
-        c[i * n + j] = static_cast<T>(acc);
-      }
-    }
-  });
+  ParallelFor(0, m, GrainForCost(SaturatingCostProduct(k, n)),
+              [=](int64_t row_begin, int64_t row_end) {
+                double (*volatile fma)(double, double, double) = &ReferenceFma;
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  for (int64_t j = 0; j < n; ++j) {
+                    double acc = 0;
+                    for (int64_t p = 0; p < k; ++p) {
+                      acc = fma(acc, static_cast<double>(a[i * ras + p * cas]),
+                                static_cast<double>(b[p * rbs + j * cbs]));
+                    }
+                    c[i * n + j] = static_cast<T>(acc);
+                  }
+                }
+              });
 }
 
 // Accelerated backend: i-k-j ordering with contiguous rows; the inner loop
-// is a saxpy the compiler can vectorize.
+// is a saxpy the compiler vectorizes (tools/check_vectorization.sh keeps
+// it honest in CI). Every a-element participates unconditionally — a
+// data-dependent skip of zero multiplicands would both break SIMD and drop
+// IEEE non-finite propagation (0 * inf must yield NaN, exactly as the
+// reference backend computes it).
 template <typename T>
-void MatMulAccel(const T* a, const T* b, T* c, int64_t m, int64_t k,
-                 int64_t n) {
-  ParallelFor(0, m, GrainForCost(k * n), [=](int64_t row_begin,
-                                             int64_t row_end) {
-    std::memset(c + row_begin * n, 0,
-                static_cast<size_t>((row_end - row_begin) * n) * sizeof(T));
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const T* arow = a + i * k;
-      T* crow = c + i * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const T av = arow[p];
-        if (av == static_cast<T>(0)) continue;
-        const T* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+void MatMulAccel(const T* __restrict a, const T* __restrict b, T* __restrict c,
+                 int64_t m, int64_t k, int64_t n) {
+  ParallelFor(
+      0, m, GrainForCost(SaturatingCostProduct(k, n)),
+      [=](int64_t row_begin, int64_t row_end) {
+        std::memset(c + row_begin * n, 0,
+                    static_cast<size_t>((row_end - row_begin) * n) * sizeof(T));
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const T* __restrict arow = a + i * k;
+          T* __restrict crow = c + i * n;
+          for (int64_t p = 0; p < k; ++p) {
+            const T av = arow[p];
+            const T* __restrict brow = b + p * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
 }
 
 Tensor MatMulEval(const Tensor& a, const Tensor& b) {
@@ -90,8 +94,11 @@ Tensor MatMulEval(const Tensor& a, const Tensor& b) {
     return out;
   }
 
-  const Tensor ac = a.Detach().Contiguous();
-  const Tensor bc = b.Detach().Contiguous();
+  // Request row-major operands through the format tag: already-dense views
+  // pass through untouched, strided views hit the impl's cached reorder
+  // (built once, reused by every later call over the same view).
+  const Tensor ac = a.RowMajor();
+  const Tensor bc = b.RowMajor();
   TDP_DISPATCH_FLOAT(a.dtype(), {
     MatMulAccel(ac.data<scalar_t>(), bc.data<scalar_t>(),
                 out.data<scalar_t>(), m, k, n);
@@ -122,8 +129,8 @@ Tensor BMM(const Tensor& a, const Tensor& b) {
 
   const int64_t batch = a.size(0), m = a.size(1), k = a.size(2),
                 n = b.size(2);
-  const Tensor ac = a.Detach().Contiguous();
-  const Tensor bc = b.Detach().Contiguous();
+  const Tensor ac = a.RowMajor();
+  const Tensor bc = b.RowMajor();
   Tensor out = Tensor::Empty({batch, m, n}, a.dtype(), a.device());
 
   TDP_DISPATCH_FLOAT(a.dtype(), {
@@ -133,7 +140,7 @@ Tensor BMM(const Tensor& a, const Tensor& b) {
     // Shard over the batch; the per-matrix kernels run inline inside the
     // shard (nested ParallelFor calls do not re-enter the pool).
     const bool reference = a.device() == Device::kCpu;
-    ParallelFor(0, batch, GrainForCost(m * k * n),
+    ParallelFor(0, batch, GrainForCost(SaturatingCostProduct(m, k, n)),
                 [=](int64_t batch_begin, int64_t batch_end) {
                   for (int64_t bi = batch_begin; bi < batch_end; ++bi) {
                     if (reference) {

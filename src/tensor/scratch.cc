@@ -1,0 +1,49 @@
+#include "src/tensor/scratch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace tdp {
+
+namespace {
+constexpr int64_t kAlignment = 64;
+std::atomic<int64_t> g_growth_count{0};
+}  // namespace
+
+ScratchArena& ScratchArena::ForThread() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+int64_t ScratchArena::growth_count() {
+  return g_growth_count.load(std::memory_order_relaxed);
+}
+
+ScratchArena::~ScratchArena() {
+  for (Slot& s : slots_) std::free(s.data);
+}
+
+void* ScratchArena::GetBytes(int slot, int64_t bytes) {
+  TDP_CHECK_GE(slot, 0);
+  TDP_CHECK_GE(bytes, 0);
+  if (slot >= static_cast<int>(slots_.size())) {
+    slots_.resize(static_cast<size_t>(slot) + 1);
+  }
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  if (bytes > s.capacity_bytes) {
+    const int64_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    void* grown = std::aligned_alloc(
+        static_cast<size_t>(kAlignment), static_cast<size_t>(rounded));
+    TDP_CHECK(grown != nullptr)
+        << "scratch allocation of " << rounded << " bytes failed";
+    std::free(s.data);
+    s.data = grown;
+    s.capacity_bytes = rounded;
+    g_growth_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s.data;
+}
+
+}  // namespace tdp

@@ -1,6 +1,7 @@
 #include "src/tensor/tensor.h"
 
 #include <cstring>
+#include <mutex>
 #include <sstream>
 
 #include "src/tensor/dispatch.h"
@@ -114,8 +115,15 @@ int64_t Tensor::size(int64_t d) const {
   return impl_->shape[static_cast<size_t>(d)];
 }
 
-bool Tensor::is_contiguous() const {
-  return impl_->strides == ContiguousStrides(impl_->shape);
+MemFormat Tensor::format() const {
+  MemFormat f = impl_->format.load(std::memory_order_relaxed);
+  if (f == MemFormat::kUnknown) {
+    f = impl_->strides == ContiguousStrides(impl_->shape)
+            ? MemFormat::kRowMajor
+            : MemFormat::kStrided;
+    impl_->format.store(f, std::memory_order_relaxed);
+  }
+  return f;
 }
 
 double Tensor::At(const std::vector<int64_t>& index) const {
@@ -205,6 +213,21 @@ Tensor Tensor::Contiguous() const {
   out.impl()->requires_grad = impl_->requires_grad;
   out.impl()->grad_fn = impl_->grad_fn;
   return out;
+}
+
+Tensor Tensor::RowMajor() const {
+  if (format() == MemFormat::kRowMajor) return *this;
+  // Reorders are expensive relative to a lock, and only strided views
+  // reach here; one global mutex keeps concurrent first-reorders of a
+  // shared impl (e.g. two queries hitting the same weight view) race-free.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!impl_->reorder) {
+    Tensor out = Empty(shape(), dtype(), device());
+    StridedCopy(*impl_, *out.impl());
+    impl_->reorder = out.impl();
+  }
+  return Tensor(impl_->reorder);
 }
 
 Tensor Tensor::Clone() const {

@@ -1,6 +1,7 @@
 #ifndef TDP_TENSOR_TENSOR_H_
 #define TDP_TENSOR_TENSOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,6 +20,21 @@ class Node;
 
 class Tensor;
 
+/// Memory-format tag carried by every tensor: how the viewed elements are
+/// laid out relative to the logical (row-major) element order. Ops that
+/// want a dense scan request `kRowMajor` via `Tensor::RowMajor()` and a
+/// cached reorder fixes mismatches — instead of every kernel call paying
+/// an ad-hoc `Contiguous()` copy.
+enum class MemFormat : uint8_t {
+  /// Dense C-order strides: linear pointer walks visit elements in
+  /// logical order. (The view may still start at a nonzero offset.)
+  kRowMajor = 0,
+  /// Any other stride pattern: transposes, broadcasts, inner slices.
+  kStrided = 1,
+  /// Not classified yet; resolved lazily on first query.
+  kUnknown = 2,
+};
+
 /// Shared state behind a `Tensor` handle: storage view (buffer + shape +
 /// strides + offset) plus autograd metadata. Multiple `Tensor` handles and
 /// views may alias one buffer.
@@ -34,6 +50,33 @@ struct TensorImpl {
   bool requires_grad = false;
   std::shared_ptr<TensorImpl> grad;
   std::shared_ptr<autograd::Node> grad_fn;
+
+  /// Cached memory-format classification of (shape, strides). Geometry is
+  /// immutable after construction, so the tag is computed at most once
+  /// (lazily, by `Tensor::format()`); atomic so concurrent first queries
+  /// are race-free.
+  mutable std::atomic<MemFormat> format{MemFormat::kUnknown};
+
+  /// Lazily built row-major copy of a strided view, shared across handle
+  /// copies so repeated kernel calls pay the reorder once (see
+  /// `Tensor::RowMajor()`). Only ever set on `kStrided` impls whose
+  /// backing storage is immutable for the cache's lifetime — true for the
+  /// kernel inputs (columns, weights) that request reorders.
+  std::shared_ptr<TensorImpl> reorder;
+
+  TensorImpl() = default;
+  TensorImpl(const TensorImpl& other)
+      : buffer(other.buffer),
+        shape(other.shape),
+        strides(other.strides),
+        offset(other.offset),
+        dtype(other.dtype),
+        device(other.device),
+        requires_grad(other.requires_grad),
+        grad(other.grad),
+        grad_fn(other.grad_fn),
+        format(other.format.load(std::memory_order_relaxed)),
+        reorder(other.reorder) {}
 };
 
 /// Computes the row-major (C-order) strides for `shape`.
@@ -109,7 +152,9 @@ class Tensor {
   int64_t numel() const { return ShapeNumel(impl_->shape); }
   DType dtype() const { return impl_->dtype; }
   Device device() const { return impl_->device; }
-  bool is_contiguous() const;
+  bool is_contiguous() const { return format() == MemFormat::kRowMajor; }
+  /// Memory-format tag (cached; computed once per impl).
+  MemFormat format() const;
 
   // ---- Raw data access -------------------------------------------------
 
@@ -143,6 +188,15 @@ class Tensor {
 
   /// Same-contents tensor with contiguous layout (no-op if already).
   Tensor Contiguous() const;
+  /// The tensor in `kRowMajor` format: `*this` when already row-major,
+  /// otherwise a detached, cached reorder (built once per impl, shared by
+  /// every handle). Kernels use this instead of per-call `Contiguous()`
+  /// so repeated runs over the same strided view reorder once. The cache
+  /// snapshots the data — only valid for storage that is not mutated in
+  /// place afterwards. The in-place writers uphold this: tables are
+  /// immutable, and optimizer steps only touch contiguous parameters
+  /// (enforced in `Optimizer`), which never cache a reorder.
+  Tensor RowMajor() const;
   /// Deep copy, contiguous; drops autograd history.
   Tensor Clone() const;
   /// Copies to `device` (same data, different kernel backend).

@@ -1,0 +1,674 @@
+// Kernel-correctness and primitive-cache regression suite for the layout /
+// fused-evaluation overhaul:
+//
+//   - IEEE non-finite propagation: the accelerated matmul/conv kernels used
+//     to skip zero multiplicands, silently turning `0 * inf` (NaN under
+//     IEEE 754) into 0. Both backends must now classify every output
+//     element (NaN / inf / finite) exactly like a naive double-precision
+//     reference.
+//   - Strided/transposed views: the cached row-major reorder behind
+//     `Tensor::RowMajor()` must make kernels over views bit-identical to
+//     the same kernels over eager contiguous copies, per backend, across
+//     thread counts.
+//   - Fused filter+project: with the fusion knob on vs off, every
+//     (executor, thread count, morsel size) combination must be
+//     bit-identical — including the runtime-fallback cases (parameters,
+//     unfusable projections, bool columns, dictionary predicates with
+//     absent literals, literal-on-the-left comparisons).
+//   - Per-plan primitive cache: repeated runs of one CompiledQuery reuse
+//     the join build side (hit/miss stats), invalidate on table change
+//     (re-register and DML UPDATE), and never cache a parameter-bearing
+//     build subtree.
+//   - Scratch reuse: a warm accelerated Conv2d forward allocates exactly
+//     one buffer (the output) and never grows the scratch arena.
+//
+// Runs under ASan/UBSan and TSan in CI (see TDP_SANITIZER_TESTS).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/exec/bound_expr.h"
+#include "src/exec/fused_filter_project.h"
+#include "src/exec/primitive_cache.h"
+#include "src/runtime/session.h"
+#include "src/tensor/buffer.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/scratch.h"
+#include "tests/vector_test_util.h"
+
+namespace tdp {
+namespace {
+
+constexpr int64_t kWholeRelation = int64_t{1} << 30;
+const int64_t kMorselSizes[] = {1, 7, 4096, kWholeRelation};
+const int kThreadCounts[] = {1, 4};
+const Device kDevices[] = {Device::kCpu, Device::kAccel};
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+// ---- SaturatingCostProduct ------------------------------------------------
+
+TEST(SaturatingCostProductTest, ExactWhenInRange) {
+  EXPECT_EQ(SaturatingCostProduct(3, 4), 12);
+  EXPECT_EQ(SaturatingCostProduct(0, kInt64Max), 0);
+  EXPECT_EQ(SaturatingCostProduct(1, kInt64Max), kInt64Max);
+  EXPECT_EQ(SaturatingCostProduct(2, 3, 4), 24);
+  EXPECT_EQ(SaturatingCostProduct(0, kInt64Max, kInt64Max), 0);
+}
+
+TEST(SaturatingCostProductTest, ClampsInsteadOfWrapping) {
+  // 2^40 * 2^40 wraps to 0 under plain int64 multiply; the cost must clamp
+  // so GrainForCost never sees a tiny (or negative) "cost" for a huge loop.
+  const int64_t big = int64_t{1} << 40;
+  EXPECT_EQ(SaturatingCostProduct(big, big), kInt64Max);
+  EXPECT_EQ(SaturatingCostProduct(kInt64Max, 2), kInt64Max);
+  EXPECT_EQ(SaturatingCostProduct(big, big, big), kInt64Max);
+  // A clamped partial product stays clamped through the 3-arg form.
+  EXPECT_EQ(SaturatingCostProduct(big, big, 1), kInt64Max);
+}
+
+// ---- IEEE non-finite propagation ------------------------------------------
+
+// 0 = finite, 1 = +/-inf, 2 = NaN.
+int Classify(double v) {
+  if (std::isnan(v)) return 2;
+  if (std::isinf(v)) return 1;
+  return 0;
+}
+
+// Element classification of a float tensor (any device, any dtype).
+std::vector<int> ClassifyTensor(const Tensor& t) {
+  const Tensor c = t.To(Device::kCpu).Contiguous();
+  std::vector<int> out;
+  if (c.dtype() == DType::kFloat64) {
+    for (double v : c.ToVector<double>()) out.push_back(Classify(v));
+  } else {
+    for (float v : c.ToVector<float>()) {
+      out.push_back(Classify(static_cast<double>(v)));
+    }
+  }
+  return out;
+}
+
+// A zero in `a` meeting an inf in `b` must yield NaN in the product sum.
+// Pre-fix, the accelerated kernel skipped `a == 0` multiplicands, so the
+// NaN cell came out finite — this test fails on that kernel.
+TEST(KernelNonFiniteTest, MatMulPropagatesZeroTimesInf) {
+  // a[0] = [0, 1]: row 0 hits b's inf row with a zero -> 0*inf = NaN.
+  // a[1] = [1, 1]: row 1 hits it with a one -> inf propagates as inf.
+  // a[2] = [1, 0]: a zero meets the *finite* b row -> stays finite.
+  const std::vector<float> a_vals = {0, 1, 1, 1, 1, 0};
+  const std::vector<float> b_vals = {static_cast<float>(kInf), 2, 3, 4};
+  // The expected classification comes from a naive double loop instead of
+  // being hand-written — the oracle and the kernel must agree cell by
+  // cell for every backend.
+  const int64_t m = 3, k = 2, n = 2;
+  std::vector<int> naive;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a_vals[i * k + p]) *
+               static_cast<double>(b_vals[p * n + j]);
+      }
+      naive.push_back(Classify(acc));
+    }
+  }
+  // Sanity: the construction really exercises all three classes.
+  EXPECT_EQ(naive[0], 2);  // 0*inf + 1*3 = NaN
+  EXPECT_EQ(naive[1], 0);  // 0*2 + 1*4 = 4
+  EXPECT_EQ(naive[2], 1);  // 1*inf + 1*3 = inf
+  EXPECT_EQ(naive[5], 0);  // 1*2 + 0*4 = 2 (a zero meeting finite data)
+
+  for (Device device : kDevices) {
+    SCOPED_TRACE(device == Device::kCpu ? "cpu" : "accel");
+    const Tensor a = Tensor::FromVector(a_vals, {m, k}, device);
+    const Tensor b = Tensor::FromVector(b_vals, {k, n}, device);
+    EXPECT_EQ(ClassifyTensor(MatMul(a, b)), naive);
+  }
+}
+
+// Same property for Conv2d: an inf input pixel under a zero weight tap
+// must produce NaN wherever the window covers it with that tap. The
+// accelerated path lowers to im2col + the shared GEMM, so the pre-fix
+// zero-skip dropped the NaN there too.
+TEST(KernelNonFiniteTest, Conv2dPropagatesZeroTimesInf) {
+  const int64_t h = 4, w = 4, kk = 2;
+  std::vector<float> input(static_cast<size_t>(h * w), 1.0f);
+  input[static_cast<size_t>(1 * w + 1)] = static_cast<float>(kInf);
+  // Weight [[0, 1], [1, 1]]: windows where the inf aligns with the zero
+  // tap yield NaN; other windows covering the inf yield inf.
+  const std::vector<float> weight = {0, 1, 1, 1};
+
+  // Naive double conv (stride 1, no padding) as the oracle.
+  const int64_t oh = h - kk + 1, ow = w - kk + 1;
+  std::vector<int> naive;
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      double acc = 0;
+      for (int64_t ky = 0; ky < kk; ++ky) {
+        for (int64_t kx = 0; kx < kk; ++kx) {
+          acc += static_cast<double>(input[static_cast<size_t>(
+                     (oy + ky) * w + (ox + kx))]) *
+                 static_cast<double>(
+                     weight[static_cast<size_t>(ky * kk + kx)]);
+        }
+      }
+      naive.push_back(Classify(acc));
+    }
+  }
+  // The inf pixel sits under the zero tap for exactly one window.
+  EXPECT_NE(std::count(naive.begin(), naive.end(), 2), 0);
+  EXPECT_NE(std::count(naive.begin(), naive.end(), 1), 0);
+  EXPECT_NE(std::count(naive.begin(), naive.end(), 0), 0);
+
+  for (Device device : kDevices) {
+    SCOPED_TRACE(device == Device::kCpu ? "cpu" : "accel");
+    const Tensor in = Tensor::FromVector(input, {1, 1, h, w}, device);
+    const Tensor wt = Tensor::FromVector(weight, {1, 1, kk, kk}, device);
+    const Tensor out = Conv2d(in, wt, Tensor(), /*stride=*/1, /*padding=*/0);
+    EXPECT_EQ(ClassifyTensor(out), naive);
+  }
+}
+
+// ---- Strided / transposed view parity -------------------------------------
+
+// Kernels over views must be bit-identical to the same kernels over eager
+// contiguous copies of those views, per backend, for serial and parallel
+// thread counts (the cached reorder must not change results, only cost).
+class ViewParityTest : public ::testing::Test {
+ protected:
+  static void ExpectBitwise(const Tensor& a, const Tensor& b) {
+    EXPECT_TRUE(TensorEqual(a.To(Device::kCpu), b.To(Device::kCpu)));
+  }
+};
+
+TEST_F(ViewParityTest, MatMulOnTransposedAndSlicedViews) {
+  Rng rng(11);
+  const Tensor base_a = RandNormal({37, 53}, 0, 1, rng);
+  const Tensor base_b = RandNormal({37, 29}, 0, 1, rng);
+  const Tensor wide = RandNormal({53, 64}, 0, 1, rng);
+  for (int threads : kThreadCounts) {
+    ScopedNumThreads guard(threads);
+    for (Device device : kDevices) {
+      SCOPED_TRACE(std::string(device == Device::kCpu ? "cpu" : "accel") +
+                   " threads=" + std::to_string(threads));
+      // Transposed left operand: [53, 37] view with swapped strides.
+      const Tensor at = Transpose(base_a.To(device), 0, 1);
+      const Tensor b = base_b.To(device);
+      ASSERT_FALSE(at.is_contiguous());
+      ExpectBitwise(MatMul(at, b), MatMul(at.Contiguous(), b));
+      // Column-sliced right operand: rows remain strided in the parent.
+      const Tensor bs = Slice(wide.To(device), /*dim=*/1, 3, 17);
+      ASSERT_FALSE(bs.is_contiguous());
+      ExpectBitwise(MatMul(base_a.To(device), bs),
+                    MatMul(base_a.To(device), bs.Contiguous()));
+      // Both operands transposed.
+      const Tensor bt = Transpose(base_b.To(device), 0, 1);
+      ExpectBitwise(MatMul(at, base_b.To(device)),
+                    MatMul(at.Contiguous(), base_b.To(device)));
+      ExpectBitwise(MatMul(bt, base_a.To(device)),
+                    MatMul(bt.Contiguous(), base_a.To(device).Contiguous()));
+    }
+  }
+}
+
+TEST_F(ViewParityTest, Conv2dOnStridedViews) {
+  Rng rng(12);
+  const Tensor base = RandNormal({2, 3, 9, 12}, 0, 1, rng);
+  const Tensor weight = RandNormal({4, 3, 3, 3}, 0, 1, rng);
+  const Tensor bias = RandNormal({4}, 0, 1, rng);
+  for (int threads : kThreadCounts) {
+    ScopedNumThreads guard(threads);
+    for (Device device : kDevices) {
+      SCOPED_TRACE(std::string(device == Device::kCpu ? "cpu" : "accel") +
+                   " threads=" + std::to_string(threads));
+      // Width-sliced input: every row strided within the parent buffer.
+      const Tensor view = Slice(base.To(device), /*dim=*/3, 2, 8);
+      ASSERT_FALSE(view.is_contiguous());
+      const Tensor w = weight.To(device);
+      const Tensor bi = bias.To(device);
+      ExpectBitwise(Conv2d(view, w, bi, 1, 1),
+                    Conv2d(view.Contiguous(), w, bi, 1, 1));
+      // Transposed-then-restored layout (permuted strides, same logical
+      // NCHW shape).
+      const Tensor perm =
+          Transpose(Transpose(base.To(device), 2, 3), 2, 3);
+      ExpectBitwise(Conv2d(perm, w, bi, 1, 0),
+                    Conv2d(perm.Contiguous(), w, bi, 1, 0));
+    }
+  }
+}
+
+// ---- Warm-path allocation accounting --------------------------------------
+
+TEST(ConvScratchTest, WarmAccelForwardAllocatesOnlyTheOutput) {
+  // Single-threaded so the im2col scratch lives in one deterministic
+  // thread-local arena (the parallel case is covered by the benchmark's
+  // steady-state assertion).
+  ScopedNumThreads guard(1);
+  Rng rng(13);
+  const Tensor in = RandNormal({2, 3, 16, 16}, 0, 1, rng).To(Device::kAccel);
+  const Tensor w = RandNormal({4, 3, 3, 3}, 0, 1, rng).To(Device::kAccel);
+  const Tensor b = RandNormal({4}, 0, 1, rng).To(Device::kAccel);
+  // Warm: sizes the arena slot and caches any reorders.
+  Conv2d(in, w, b, 1, 1);
+  Conv2d(in, w, b, 1, 1);
+  const int64_t allocs_before = Buffer::allocation_count();
+  const int64_t growth_before = ScratchArena::growth_count();
+  const Tensor out = Conv2d(in, w, b, 1, 1);
+  EXPECT_EQ(Buffer::allocation_count() - allocs_before, 1)
+      << "a warm Conv2d forward must allocate exactly the output buffer";
+  EXPECT_EQ(ScratchArena::growth_count() - growth_before, 0)
+      << "a warm Conv2d forward must reuse the sized im2col scratch slot";
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 4, 16, 16}));
+}
+
+// ---- CacheableExpr unit tests ---------------------------------------------
+
+TEST(PrimitiveCacheUnitTest, CacheableExprAcceptsPureScalarTrees) {
+  using exec::BoundBinary;
+  using exec::BoundColumnRef;
+  using exec::BoundLiteral;
+  using exec::ScalarValue;
+  EXPECT_TRUE(exec::CacheableExpr(BoundColumnRef(0)));
+  EXPECT_TRUE(exec::CacheableExpr(BoundLiteral(ScalarValue::Int(5))));
+  const BoundBinary cmp(sql::BinaryOp::kLt,
+                        std::make_unique<BoundColumnRef>(0),
+                        std::make_unique<BoundLiteral>(ScalarValue::Int(5)));
+  EXPECT_TRUE(exec::CacheableExpr(cmp));
+}
+
+TEST(PrimitiveCacheUnitTest, CacheableExprRejectsParameters) {
+  using exec::BoundBinary;
+  using exec::BoundColumnRef;
+  using exec::BoundParameter;
+  EXPECT_FALSE(exec::CacheableExpr(BoundParameter(0)));
+  // The rejection must be recursive: a parameter anywhere in the tree
+  // poisons it (its value changes run to run, so the build side must not
+  // be reused across runs).
+  const BoundBinary cmp(sql::BinaryOp::kGt,
+                        std::make_unique<BoundColumnRef>(0),
+                        std::make_unique<BoundParameter>(0));
+  EXPECT_FALSE(exec::CacheableExpr(cmp));
+}
+
+// ---- Fused filter+project parity ------------------------------------------
+
+/// Flips the process-wide fusion knob for one scope.
+class ScopedFusedEval {
+ public:
+  explicit ScopedFusedEval(bool enabled)
+      : saved_(exec::SetFusedEvalEnabled(enabled)) {}
+  ~ScopedFusedEval() { exec::SetFusedEvalEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+class FusedParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(4321);
+    const std::vector<std::string> vocab = {"alpha", "beta", "gamma",
+                                            "delta", "omega"};
+    const int64_t rows = 5000;
+    std::vector<int64_t> keys;
+    std::vector<double> values;
+    std::vector<float> floats;
+    std::vector<bool> flags;
+    std::vector<std::string> tags;
+    for (int64_t i = 0; i < rows; ++i) {
+      keys.push_back(rng.UniformInt(0, 63));
+      values.push_back(rng.Uniform(-100, 100));
+      floats.push_back(static_cast<float>(rng.Uniform(-8, 8)));
+      flags.push_back(rng.UniformInt(0, 1) == 1);
+      tags.push_back(vocab[static_cast<size_t>(rng.UniformInt(0, 4))]);
+    }
+    Register("big", TableBuilder("big")
+                        .AddInt64("k", keys)
+                        .AddFloat64("v", values)
+                        .AddFloat32("f", floats)
+                        .AddBool("flag", flags)
+                        .AddStrings("tag", tags));
+
+    std::vector<int64_t> kr;
+    std::vector<double> w;
+    for (int64_t i = 0; i < 40; ++i) {
+      kr.push_back(rng.UniformInt(0, 63));
+      w.push_back(rng.Uniform(0, 50));
+    }
+    Register("r", TableBuilder("r").AddInt64("kr", kr).AddFloat64("w", w));
+
+    Register("empty_t", TableBuilder("empty_t")
+                            .AddInt64("k", {})
+                            .AddFloat64("v", {}));
+  }
+
+  void Register(const std::string& name, TableBuilder builder) {
+    auto table = std::move(builder).Build();
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    ASSERT_TRUE(session_.RegisterTable(name, table.value()).ok());
+  }
+
+  StatusOr<std::shared_ptr<exec::CompiledQuery>> Compile(
+      const std::string& sql) {
+    QueryOptions options;
+    options.use_plan_cache = false;
+    return session_.Query(sql, options);
+  }
+
+  StatusOr<std::shared_ptr<Table>> RunWith(
+      const std::string& sql, bool streaming, int64_t morsel_rows,
+      const std::vector<exec::ScalarValue>& params = {}) {
+    exec::RunOptions run;
+    run.params = params;
+    run.exec.streaming = streaming;
+    run.exec.morsel_rows = morsel_rows;
+    TDP_ASSIGN_OR_RETURN(auto query, Compile(sql));
+    return query->Run(run);
+  }
+
+  // Strict bit-identity including encodings and dictionary identity (same
+  // oracle the streaming-parity suite uses).
+  void ExpectBitIdentical(const Table& a, const Table& b) {
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (int64_t c = 0; c < a.num_columns(); ++c) {
+      SCOPED_TRACE("column " + std::to_string(c));
+      EXPECT_EQ(a.column_names()[static_cast<size_t>(c)],
+                b.column_names()[static_cast<size_t>(c)]);
+      const Column& ca = a.column(c);
+      const Column& cb = b.column(c);
+      ASSERT_EQ(ca.encoding(), cb.encoding());
+      EXPECT_TRUE(
+          TensorEqual(ca.data().Contiguous(), cb.data().Contiguous()))
+          << "column data diverged";
+      EXPECT_EQ(ca.dictionary(), cb.dictionary());
+      EXPECT_EQ(ca.domain(), cb.domain());
+    }
+  }
+
+  /// The core oracle: results with fusion ON must be bit-identical to
+  /// results with fusion OFF, for both executors, across thread counts
+  /// and morsel sizes. The OFF legacy whole-relation run is the reference.
+  void ExpectFusedParity(const std::string& sql,
+                         const std::vector<exec::ScalarValue>& params = {}) {
+    SCOPED_TRACE(sql);
+    StatusOr<std::shared_ptr<Table>> reference(nullptr);
+    {
+      ScopedFusedEval off(false);
+      reference = RunWith(sql, /*streaming=*/false, 0, params);
+    }
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    for (const bool fused : {false, true}) {
+      ScopedFusedEval knob(fused);
+      for (int threads : kThreadCounts) {
+        ScopedNumThreads guard(threads);
+        for (int64_t morsel : kMorselSizes) {
+          SCOPED_TRACE(std::string("fused=") + (fused ? "on" : "off") +
+                       " threads=" + std::to_string(threads) +
+                       " morsel=" + std::to_string(morsel));
+          for (const bool streaming : {true, false}) {
+            auto got = RunWith(sql, streaming, morsel, params);
+            ASSERT_TRUE(got.ok()) << got.status().ToString();
+            ExpectBitIdentical(**reference, **got);
+          }
+        }
+      }
+    }
+  }
+
+  Session session_;
+};
+
+TEST_F(FusedParityTest, NumericComparisonsAndProjections) {
+  ExpectFusedParity("SELECT k, v FROM big WHERE v > 0");
+  ExpectFusedParity("SELECT k + 1, v * 2 FROM big WHERE k < 32 AND v <= 10");
+  ExpectFusedParity("SELECT v - 3.5, k * 2 FROM big WHERE v >= -50 AND k > 5");
+  // float32 column compared/combined with int and float literals (the
+  // promoted compute dtype differs per leaf).
+  ExpectFusedParity("SELECT f + 1, f * 0.5 FROM big WHERE f < 4");
+  ExpectFusedParity("SELECT k FROM big WHERE f > 2.5 AND k <= 40");
+}
+
+TEST_F(FusedParityTest, LiteralOnTheLeft) {
+  // Mirrored comparisons and non-commutative arithmetic with the literal
+  // on the left — the fused compiler must normalize, not reject.
+  ExpectFusedParity("SELECT k FROM big WHERE 10 > k AND 3 < k");
+  ExpectFusedParity("SELECT 100 - k, 2 * v FROM big WHERE 0 <= v");
+  ExpectFusedParity("SELECT 1 + k FROM big WHERE 32 >= k");
+}
+
+TEST_F(FusedParityTest, DictionaryPredicates) {
+  ExpectFusedParity("SELECT tag, k FROM big WHERE tag >= 'beta'");
+  ExpectFusedParity("SELECT k FROM big WHERE tag = 'omega'");
+  // Absent literals: constant-false / constant-true lowerings.
+  ExpectFusedParity("SELECT k FROM big WHERE tag = 'zzz'");
+  ExpectFusedParity("SELECT k FROM big WHERE tag <> 'zzz'");
+  ExpectFusedParity("SELECT k FROM big WHERE tag < 'aardvark'");
+  // Literal on the left over dictionary codes.
+  ExpectFusedParity("SELECT tag FROM big WHERE 'beta' <= tag");
+  // Mixed string + numeric conjunction.
+  ExpectFusedParity("SELECT k, v FROM big WHERE tag > 'beta' AND v > 0");
+}
+
+TEST_F(FusedParityTest, RuntimeFallbackCases) {
+  // Parameters resolve per run; the fused program must bind them from the
+  // run's bindings, and identical results must come out either way.
+  ExpectFusedParity("SELECT k, v FROM big WHERE v > ? AND k < ?",
+                    {exec::ScalarValue::Float(0.0), exec::ScalarValue::Int(40)});
+  // Division is not a fusable projection op -> filter-only fusion with the
+  // projection falling back to the unfused evaluator.
+  ExpectFusedParity("SELECT v / 2, k FROM big WHERE v > 0");
+  // A bare bool-column predicate is not a comparison conjunct.
+  ExpectFusedParity("SELECT k FROM big WHERE flag");
+  // Column-vs-column comparisons are not literal leaves.
+  ExpectFusedParity("SELECT k FROM big WHERE v > f");
+  // OR trees are not conjunctions.
+  ExpectFusedParity("SELECT k FROM big WHERE k < 5 OR v > 90");
+}
+
+TEST_F(FusedParityTest, DegenerateShapes) {
+  ExpectFusedParity("SELECT k + 1 FROM empty_t WHERE v > 0");
+  // Predicate selecting nothing / everything.
+  ExpectFusedParity("SELECT k, v FROM big WHERE v > 1000");
+  ExpectFusedParity("SELECT k, v FROM big WHERE v >= -1000");
+}
+
+TEST_F(FusedParityTest, FusedProgramCompiledOncePerPlan) {
+  auto query = Compile("SELECT k + 1 FROM big WHERE k < 32 AND v > 0");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  exec::RunOptions run;
+  ASSERT_TRUE((*query)->Run(run).ok());
+  const int64_t compiles = (*query)->primitive_cache().fused_compiles();
+  EXPECT_GE(compiles, 1);
+  // Re-runs (any executor) reuse the cached program — structural analysis
+  // happens exactly once per plan node.
+  ASSERT_TRUE((*query)->Run(run).ok());
+  run.exec.streaming = false;
+  ASSERT_TRUE((*query)->Run(run).ok());
+  EXPECT_EQ((*query)->primitive_cache().fused_compiles(), compiles);
+}
+
+// ---- Join build-side reuse ------------------------------------------------
+
+TEST_F(FusedParityTest, JoinBuildReusedAcrossRunsAndExecutors) {
+  // `r` is far smaller than `big`, so the planner builds on it; the build
+  // subtree is a bare cacheable scan.
+  auto query = Compile("SELECT big.k, r.w FROM big JOIN r ON big.k = r.kr "
+                       "WHERE r.w > 10");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const exec::PrimitiveCache& pc = (*query)->primitive_cache();
+
+  exec::RunOptions run;
+  auto first = (*query)->Run(run);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(pc.join_hits(), 0);
+  const int64_t misses = pc.join_misses();
+  EXPECT_GE(misses, 1);
+
+  auto second = (*query)->Run(run);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(pc.join_hits(), 1);
+  EXPECT_EQ(pc.join_misses(), misses);
+  ExpectBitIdentical(**first, **second);
+
+  // The legacy executor keys by the same plan node: cross-executor hit.
+  run.exec.streaming = false;
+  auto legacy = (*query)->Run(run);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(pc.join_hits(), 2);
+  EXPECT_EQ(pc.join_misses(), misses);
+  ExpectBitIdentical(**first, **legacy);
+}
+
+TEST_F(FusedParityTest, JoinCacheInvalidatedByReRegisteredTable) {
+  auto query =
+      Compile("SELECT big.k, r.w FROM big JOIN r ON big.k = r.kr");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const exec::PrimitiveCache& pc = (*query)->primitive_cache();
+
+  ASSERT_TRUE((*query)->Run().ok());
+  ASSERT_TRUE((*query)->Run().ok());
+  EXPECT_EQ(pc.join_hits(), 1);
+  const int64_t misses = pc.join_misses();
+
+  // Swap the build table for fresh data: the table identity changes, so
+  // the next run must rebuild — and reflect the new rows.
+  Register("r", TableBuilder("r")
+                    .AddInt64("kr", {1, 2, 3})
+                    .AddFloat64("w", {10.0, 20.0, 30.0}));
+  auto rebuilt = (*query)->Run();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(pc.join_hits(), 1);
+  EXPECT_GT(pc.join_misses(), misses);
+
+  // The rebuilt result equals a from-scratch compile over the new catalog.
+  auto fresh = RunWith("SELECT big.k, r.w FROM big JOIN r ON big.k = r.kr",
+                       /*streaming=*/true, kWholeRelation);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ExpectBitIdentical(**fresh, **rebuilt);
+}
+
+TEST_F(FusedParityTest, JoinCacheInvalidatedByDml) {
+  ASSERT_TRUE(session_.Sql("CREATE TABLE jt (kr BIGINT, w DOUBLE)").ok());
+  ASSERT_TRUE(
+      session_.Sql("INSERT INTO jt VALUES (1, 5.0), (2, 6.0), (3, 7.0)")
+          .ok());
+  auto query =
+      Compile("SELECT big.k, jt.w FROM big JOIN jt ON big.k = jt.kr");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const exec::PrimitiveCache& pc = (*query)->primitive_cache();
+
+  ASSERT_TRUE((*query)->Run().ok());
+  ASSERT_TRUE((*query)->Run().ok());
+  EXPECT_EQ(pc.join_hits(), 1);
+
+  // DML installs a fresh table: the cached build side must not survive.
+  ASSERT_TRUE(session_.Sql("UPDATE jt SET w = w + 100").ok());
+  auto updated = (*query)->Run();
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(pc.join_hits(), 1);
+
+  auto fresh = RunWith("SELECT big.k, jt.w FROM big JOIN jt ON big.k = jt.kr",
+                       /*streaming=*/true, kWholeRelation);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ExpectBitIdentical(**fresh, **updated);
+}
+
+TEST_F(FusedParityTest, ParamBearingBuildSideNeverCached) {
+  // The build subtree contains a `?` filter, so its result changes with
+  // the bindings: the cache must not even attempt a lookup.
+  auto query = Compile(
+      "SELECT big.k, s.w FROM big JOIN "
+      "(SELECT kr, w FROM r WHERE w > ?) s ON big.k = s.kr");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const exec::PrimitiveCache& pc = (*query)->primitive_cache();
+
+  auto low = (*query)->Run({exec::ScalarValue::Float(5.0)});
+  ASSERT_TRUE(low.ok()) << low.status().ToString();
+  auto high = (*query)->Run({exec::ScalarValue::Float(40.0)});
+  ASSERT_TRUE(high.ok()) << high.status().ToString();
+  EXPECT_EQ(pc.join_hits(), 0);
+  EXPECT_EQ(pc.join_misses(), 0);
+
+  // Each binding matches a from-scratch run with the same binding.
+  auto fresh_low = RunWith(
+      "SELECT big.k, s.w FROM big JOIN "
+      "(SELECT kr, w FROM r WHERE w > ?) s ON big.k = s.kr",
+      /*streaming=*/true, kWholeRelation, {exec::ScalarValue::Float(5.0)});
+  ASSERT_TRUE(fresh_low.ok()) << fresh_low.status().ToString();
+  ExpectBitIdentical(**fresh_low, **low);
+  EXPECT_NE((*low)->num_rows(), (*high)->num_rows());
+}
+
+TEST_F(FusedParityTest, ScanTransferCachedAcrossRunsAndExecutors) {
+  // Tables register on the CPU device and the session compiles for the
+  // accel device, so every scan needs a device transfer; repeated runs
+  // must reuse the moved columns instead of re-copying the table.
+  auto query = Compile("SELECT kr, w FROM r WHERE w > 10");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const exec::PrimitiveCache& pc = (*query)->primitive_cache();
+
+  exec::RunOptions run;
+  auto first = (*query)->Run(run);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(pc.scan_hits(), 0);
+  const int64_t misses = pc.scan_misses();
+  EXPECT_GE(misses, 1);
+
+  auto second = (*query)->Run(run);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(pc.scan_hits(), 1);
+  EXPECT_EQ(pc.scan_misses(), misses);
+  ExpectBitIdentical(**first, **second);
+
+  // The legacy executor keys by the same scan node: cross-executor hit.
+  run.exec.streaming = false;
+  auto legacy = (*query)->Run(run);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(pc.scan_hits(), 2);
+  EXPECT_EQ(pc.scan_misses(), misses);
+  ExpectBitIdentical(**first, **legacy);
+}
+
+TEST_F(FusedParityTest, ScanCacheInvalidatedByReRegisteredTable) {
+  auto query = Compile("SELECT kr, w FROM r WHERE w > 10");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const exec::PrimitiveCache& pc = (*query)->primitive_cache();
+
+  ASSERT_TRUE((*query)->Run().ok());
+  ASSERT_TRUE((*query)->Run().ok());
+  EXPECT_EQ(pc.scan_hits(), 1);
+  const int64_t misses = pc.scan_misses();
+
+  // Swap the table for fresh data: identity changes, so the next run must
+  // re-transfer — and read the new rows, not the cached copy.
+  Register("r", TableBuilder("r")
+                    .AddInt64("kr", {1, 2, 3})
+                    .AddFloat64("w", {15.0, 5.0, 25.0}));
+  auto refreshed = (*query)->Run();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(pc.scan_hits(), 1);
+  EXPECT_GT(pc.scan_misses(), misses);
+  EXPECT_EQ((*refreshed)->num_rows(), 2);
+
+  auto fresh = RunWith("SELECT kr, w FROM r WHERE w > 10",
+                       /*streaming=*/true, kWholeRelation);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ExpectBitIdentical(**fresh, **refreshed);
+}
+
+}  // namespace
+}  // namespace tdp
